@@ -1,0 +1,44 @@
+//===--- BenchCommon.h - Shared helpers for the evaluation benches --------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Budget scaling for the figure-reproduction harnesses. The paper ran 10
+/// hours per library on a 4-machine cluster; the default simulated budgets
+/// reproduce the same table *shapes* in seconds of real time. Set
+/// SYRUST_BUDGET (simulated seconds per library) to scale any bench up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_BENCH_BENCHCOMMON_H
+#define SYRUST_BENCH_BENCHCOMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace syrust::bench {
+
+/// Reads a positive double from the environment, falling back to \p Dflt.
+inline double envBudget(const char *Name, double Dflt) {
+  const char *Val = std::getenv(Name);
+  if (!Val)
+    return Dflt;
+  double Parsed = std::atof(Val);
+  return Parsed > 0 ? Parsed : Dflt;
+}
+
+/// Prints a figure banner in a uniform style.
+inline void banner(const char *Figure, const char *Caption) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s - %s\n", Figure, Caption);
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+} // namespace syrust::bench
+
+#endif // SYRUST_BENCH_BENCHCOMMON_H

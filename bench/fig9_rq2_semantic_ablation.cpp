@@ -1,0 +1,136 @@
+//===--- fig9_rq2_semantic_ablation.cpp - Reproduce Figure 9 (RQ2) --------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Figure 9: SyRust with the Section 4.4 semantic-awareness
+/// constraints turned off, on the two bug libraries the paper selected
+/// (crossbeam *2 and bitvec *3). Reports time-to-bug inflation, the
+/// explosion in rejected test cases (dominated by Lifetime&Ownership, with
+/// ownership >> borrowing), and the cumulative error-rate curves of the
+/// figure's top row.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "core/SyRustDriver.h"
+#include "report/Table.h"
+#include "support/StringUtils.h"
+
+using namespace syrust;
+using namespace syrust::bench;
+using namespace syrust::core;
+using namespace syrust::crates;
+using namespace syrust::report;
+using namespace syrust::rustsim;
+
+namespace {
+
+void printCurves(const char *Title, const RunResult &Base,
+                 const RunResult &Ablated) {
+  std::printf("%s: cumulative rejection rate over time (%% of test cases "
+              "rejected so far)\n", Title);
+  Table T({"t (s)", "baseline %", "ablated %", "ablated type %",
+           "ablated L&O %", "ablated misc %"});
+  size_t N = std::min(Base.Curve.size(), Ablated.Curve.size());
+  size_t Step = N > 12 ? N / 12 : 1;
+  for (size_t I = 0; I < N; I += Step) {
+    const CurvePoint &B = Base.Curve[I];
+    const CurvePoint &A = Ablated.Curve[I];
+    auto Rate = [](uint64_t Rej, uint64_t Syn) {
+      return Syn == 0 ? 0.0 : 100.0 * static_cast<double>(Rej) /
+                                  static_cast<double>(Syn);
+    };
+    auto Share = [](uint64_t Part, uint64_t Rej) {
+      return Rej == 0 ? 0.0 : 100.0 * static_cast<double>(Part) /
+                                  static_cast<double>(Rej);
+    };
+    T.addRow({format("%.0f", A.AtSeconds),
+              format("%.3f", Rate(B.Rejected, B.Synthesized)),
+              format("%.3f", Rate(A.Rejected, A.Synthesized)),
+              format("%.1f", Share(A.TypeErrors, A.Rejected)),
+              format("%.1f", Share(A.LifetimeErrors, A.Rejected)),
+              format("%.1f", Share(A.MiscErrors, A.Rejected))});
+  }
+  std::printf("%s\n", T.render().c_str());
+}
+
+} // namespace
+
+int main() {
+  double Budget = envBudget("SYRUST_BUDGET", 36000.0);
+  banner("Figure 9",
+         "RQ2 - semantic awareness (Section 4.4) turned off");
+
+  Table Summary({"Bug", "Lines Found", "Time to Discovery (s)",
+                 "Increase in # Errors", "Increase in # L&O Errors",
+                 "Ownership Errors", "Borrowing Errors"});
+
+  for (const char *Name : {"crossbeam", "bitvec"}) {
+    const CrateSpec *Spec = findCrate(Name);
+    RunConfig Base;
+    Base.BudgetSeconds = Budget;
+    RunConfig Ablation = Base;
+    Ablation.SemanticAware = false;
+
+    RunResult RBase = SyRustDriver(*Spec, Base).run();
+    RunResult RAbl = SyRustDriver(*Spec, Ablation).run();
+
+    auto Cat = [](const RunResult &R, ErrorCategory C) {
+      auto It = R.ByCategory.find(C);
+      return It == R.ByCategory.end() ? uint64_t{0} : It->second;
+    };
+    auto Det = [](const RunResult &R, ErrorDetail D) {
+      auto It = R.ByDetail.find(D);
+      return It == R.ByDetail.end() ? uint64_t{0} : It->second;
+    };
+    uint64_t LoBase = Cat(RBase, ErrorCategory::LifetimeOwnership);
+    uint64_t LoAbl = Cat(RAbl, ErrorCategory::LifetimeOwnership);
+    uint64_t Own = Det(RAbl, ErrorDetail::Ownership);
+    uint64_t Borrow = Det(RAbl, ErrorDetail::Borrowing) +
+                      Det(RAbl, ErrorDetail::AnonLifetime);
+    double OwnShare =
+        Own + Borrow == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(Own) /
+                  static_cast<double>(Own + Borrow);
+    std::string TimeStr =
+        RAbl.BugFound
+            ? format("%.1f (x%.2f)", RAbl.TimeToBug,
+                     RBase.BugFound && RBase.TimeToBug > 0
+                         ? RAbl.TimeToBug / RBase.TimeToBug
+                         : 0.0)
+            : "Not Found";
+    std::string ErrIncrease =
+        RBase.Rejected == 0
+            ? format("%llu (0 -> %llu)",
+                     static_cast<unsigned long long>(RAbl.Rejected),
+                     static_cast<unsigned long long>(RAbl.Rejected))
+            : format("%llu (x%.2f)",
+                     static_cast<unsigned long long>(RAbl.Rejected),
+                     static_cast<double>(RAbl.Rejected) /
+                         static_cast<double>(RBase.Rejected));
+    std::string LoIncrease =
+        LoBase == 0 ? format("%llu (0 -> %llu)",
+                             static_cast<unsigned long long>(LoAbl),
+                             static_cast<unsigned long long>(LoAbl))
+                    : format("%llu (x%.2f)",
+                             static_cast<unsigned long long>(LoAbl),
+                             static_cast<double>(LoAbl) /
+                                 static_cast<double>(LoBase));
+    Summary.addRow({std::string(Spec->Bug->Label) + " (" + Name + ")",
+                    RAbl.BugFound ? fmtCount(static_cast<uint64_t>(
+                                        RAbl.BugLines))
+                                  : "-",
+                    TimeStr, ErrIncrease, LoIncrease,
+                    format("%.2f %%", OwnShare),
+                    format("%.2f %%", 100.0 - OwnShare)});
+
+    printCurves(Name, RBase, RAbl);
+  }
+
+  std::printf("%s\n", Summary.render().c_str());
+  std::printf("Baseline = fully featured SyRust on the same budget.\n");
+  return 0;
+}

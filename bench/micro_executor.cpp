@@ -1,0 +1,100 @@
+//===--- micro_executor.cpp - google-benchmark for the test executor ------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Throughput of the two test-executor stages - the rustsim compile and
+/// the miri interpretation - over real synthesized programs. Backs the
+/// Section 6.3 observation that executing test cases, not solving
+/// constraint formulas, dominates the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateRegistry.h"
+#include "miri/Interpreter.h"
+#include "rustsim/Checker.h"
+#include "synth/Synthesizer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace syrust;
+using namespace syrust::crates;
+using namespace syrust::miri;
+using namespace syrust::program;
+
+namespace {
+
+/// Synthesizes a corpus of programs for one crate (checker-accepted only
+/// when \p OnlyValid).
+std::vector<Program> corpus(CrateInstance &Inst, size_t N,
+                            bool OnlyValid) {
+  synth::Synthesizer Synth(Inst.Arena, Inst.Traits, Inst.Db, Inst.Inputs,
+                           Inst.MaxLen, synth::SynthOptions{});
+  rustsim::Checker Check(Inst.Arena, Inst.Traits);
+  std::vector<Program> Out;
+  while (Out.size() < N) {
+    auto P = Synth.next();
+    if (!P)
+      break;
+    if (OnlyValid && !Check.check(*P, Inst.Db).Success)
+      continue;
+    Out.push_back(*P);
+  }
+  return Out;
+}
+
+void BM_CheckerCompile(benchmark::State &State) {
+  auto Inst = findCrate("bitvec")->instantiate();
+  auto Programs = corpus(*Inst, 300, /*OnlyValid=*/false);
+  rustsim::Checker Check(Inst->Arena, Inst->Traits);
+  for (auto _ : State) {
+    int Accepted = 0;
+    for (const Program &P : Programs)
+      Accepted += Check.check(P, Inst->Db).Success ? 1 : 0;
+    benchmark::DoNotOptimize(Accepted);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Programs.size()));
+}
+BENCHMARK(BM_CheckerCompile);
+
+void BM_MiriExecute(benchmark::State &State) {
+  auto Inst = findCrate("bitvec")->instantiate();
+  auto Programs = corpus(*Inst, 300, /*OnlyValid=*/true);
+  Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry, Inst->Init);
+  for (auto _ : State) {
+    int Ubs = 0;
+    for (const Program &P : Programs)
+      Ubs += Interp.run(P).UbFound ? 1 : 0;
+    benchmark::DoNotOptimize(Ubs);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Programs.size()));
+}
+BENCHMARK(BM_MiriExecute);
+
+void BM_FullExecutorStage(benchmark::State &State) {
+  // Compile + execute, the per-test-case cost Algorithm 1 pays.
+  auto Inst = findCrate("slab")->instantiate();
+  auto Programs = corpus(*Inst, 300, /*OnlyValid=*/false);
+  rustsim::Checker Check(Inst->Arena, Inst->Traits);
+  Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry, Inst->Init);
+  for (auto _ : State) {
+    int Executed = 0;
+    for (const Program &P : Programs) {
+      if (!Check.check(P, Inst->Db).Success)
+        continue;
+      benchmark::DoNotOptimize(Interp.run(P).UbFound);
+      ++Executed;
+    }
+    benchmark::DoNotOptimize(Executed);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Programs.size()));
+}
+BENCHMARK(BM_FullExecutorStage);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+//===--- micro_synth.cpp - google-benchmark microbenches for synthesis ----===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Backs the paper's Section 6.3 observation that "solving the constraint
+/// formulas is quite fast": encoding construction and model enumeration
+/// throughput on the running vector-library example, per program length,
+/// plus the Rule 7 path-check post-processing rate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateRegistry.h"
+#include "synth/Synthesizer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace syrust;
+using namespace syrust::crates;
+using namespace syrust::synth;
+
+namespace {
+
+void BM_EncodingBuild(benchmark::State &State) {
+  auto Inst = findCrate("bitvec")->instantiate();
+  for (auto _ : State) {
+    Encoding Enc(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs,
+                 static_cast<int>(State.range(0)), SynthOptions{});
+    benchmark::DoNotOptimize(Enc.numSatVars());
+  }
+}
+BENCHMARK(BM_EncodingBuild)->DenseRange(1, 5);
+
+void BM_EnumerateHundredPrograms(benchmark::State &State) {
+  auto Inst = findCrate("bitvec")->instantiate();
+  for (auto _ : State) {
+    Synthesizer Synth(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs,
+                      static_cast<int>(State.range(0)), SynthOptions{});
+    int Count = 0;
+    while (Count < 100 && Synth.next().has_value())
+      ++Count;
+    benchmark::DoNotOptimize(Count);
+  }
+}
+BENCHMARK(BM_EnumerateHundredPrograms)->Arg(3)->Arg(5);
+
+void BM_PathCheck(benchmark::State &State) {
+  auto Inst = findCrate("slab")->instantiate();
+  Synthesizer Synth(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs, 4,
+                    SynthOptions{});
+  std::vector<program::Program> Programs;
+  while (Programs.size() < 200) {
+    auto P = Synth.next();
+    if (!P)
+      break;
+    Programs.push_back(*P);
+  }
+  for (auto _ : State) {
+    int Ok = 0;
+    for (const auto &P : Programs)
+      Ok += Encoding::pathCheckOk(P, Inst->Db, Inst->Traits) ? 1 : 0;
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Programs.size()));
+}
+BENCHMARK(BM_PathCheck);
+
+void BM_FullPipelinePerTest(benchmark::State &State) {
+  // Amortized cost of one synthesize+decode step on a real library model.
+  auto Inst = findCrate("smallvec")->instantiate();
+  Synthesizer Synth(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs,
+                    Inst->MaxLen, SynthOptions{});
+  int64_t Produced = 0;
+  for (auto _ : State) {
+    auto P = Synth.next();
+    if (!P.has_value()) {
+      State.SkipWithError("space exhausted");
+      break;
+    }
+    benchmark::DoNotOptimize(P->hash());
+    ++Produced;
+  }
+  State.SetItemsProcessed(Produced);
+}
+BENCHMARK(BM_FullPipelinePerTest);
+
+} // namespace
+
+BENCHMARK_MAIN();

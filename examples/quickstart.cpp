@@ -1,0 +1,89 @@
+//===--- quickstart.cpp - Synthesize test cases for a small library -------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Quickstart: declare a handful of Vec-like API type signatures, give the
+/// synthesizer a code template (the paper's Figure 2), and stream
+/// well-typed Rust test cases. Every emitted program is re-checked with
+/// the rustsim compiler to show the paper's headline property: the
+/// semantic-aware encoding makes rejections rare.
+///
+/// Build and run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/ApiDatabase.h"
+#include "rustsim/Checker.h"
+#include "synth/Synthesizer.h"
+#include "types/TypeParser.h"
+
+#include <cstdio>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::program;
+using namespace syrust::synth;
+using namespace syrust::types;
+
+int main() {
+  // 1. A type world: arena + trait database.
+  TypeArena Arena;
+  TypeParser Parser(Arena, {"T"});
+  TraitEnv Traits(Arena);
+  Traits.addDefaultPrimImpls();
+  Traits.addImpl("Clone", Arena.named("String"));
+
+  auto Ty = [&](const char *Spec) { return Parser.parse(Spec); };
+
+  // 2. The API specifications under test (collected signatures in the
+  //    paper; hand-written here).
+  ApiDatabase Db;
+  addBuiltinApis(Db, Arena); // let mut / & / &mut (Section 6.2).
+  auto AddApi = [&](const char *Name, std::vector<const Type *> Ins,
+                    const Type *Out) {
+    ApiSig Sig;
+    Sig.Name = Name;
+    Sig.Inputs = std::move(Ins);
+    Sig.Output = Out;
+    return Db.add(std::move(Sig));
+  };
+  AddApi("Vec::push", {Ty("&mut Vec<T>"), Ty("T")}, Ty("()"));
+  AddApi("Vec::pop", {Ty("&mut Vec<T>")}, Ty("Option<T>"));
+  AddApi("Vec::len", {Ty("&Vec<T>")}, Ty("usize"));
+  AddApi("Vec::into_raw_parts", {Ty("Vec<T>")},
+         Ty("(usize, usize, usize)"));
+
+  // 3. The code template of Figure 2: test(s: String, v: Vec<String>).
+  std::vector<TemplateInput> Template{{"s", Ty("String")},
+                                      {"v", Ty("Vec<String>")}};
+
+  // 4. Synthesize programs of up to 4 lines and re-check each one.
+  Synthesizer Synth(Arena, Traits, Db, Template, /*MaxLines=*/4);
+  rustsim::Checker Check(Arena, Traits);
+
+  int Total = 0, Rejected = 0, Shown = 0;
+  while (auto P = Synth.next()) {
+    ++Total;
+    auto Result = Check.check(*P, Db);
+    if (!Result.Success)
+      ++Rejected;
+    if (Shown < 8) {
+      ++Shown;
+      std::printf("--- test case %d (%s)\n%s", Total,
+                  Result.Success ? "compiles" : Result.Diag.Message.c_str(),
+                  P->render(Db).c_str());
+    }
+  }
+
+  std::printf("\nsynthesized %d test cases; %d rejected by the checker "
+              "(%.2f%%)\n",
+              Total, Rejected,
+              Total ? 100.0 * Rejected / Total : 0.0);
+  std::printf("(the paper's Figure 6 reports well under 1%% for most "
+              "libraries)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+//===--- ApiDatabase.cpp - Mutable API specification set ------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/ApiDatabase.h"
+
+using namespace syrust::api;
+using namespace syrust::types;
+
+std::vector<ApiId> syrust::api::addBuiltinApis(ApiDatabase &Db,
+                                               TypeArena &Arena) {
+  const Type *T = Arena.typeVar("T");
+  std::vector<ApiId> Ids;
+
+  ApiSig LetMut;
+  LetMut.Name = "builtin::let_mut";
+  LetMut.Inputs = {T};
+  LetMut.Output = T;
+  LetMut.Builtin = BuiltinKind::LetMut;
+  Ids.push_back(Db.add(std::move(LetMut)));
+
+  ApiSig Borrow;
+  Borrow.Name = "builtin::borrow";
+  Borrow.Inputs = {T};
+  Borrow.Output = Arena.ref(T, /*Mutable=*/false);
+  Borrow.Builtin = BuiltinKind::Borrow;
+  Borrow.PropagatesFrom = {0};
+  Ids.push_back(Db.add(std::move(Borrow)));
+
+  ApiSig BorrowMut;
+  BorrowMut.Name = "builtin::borrow_mut";
+  BorrowMut.Inputs = {T};
+  BorrowMut.Output = Arena.ref(T, /*Mutable=*/true);
+  BorrowMut.Builtin = BuiltinKind::BorrowMut;
+  BorrowMut.PropagatesFrom = {0};
+  Ids.push_back(Db.add(std::move(BorrowMut)));
+
+  return Ids;
+}

@@ -1,0 +1,123 @@
+//===--- ApiSig.h - Library API type signatures ----------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An API type signature as consumed by the synthesizer: input types,
+/// output type, trait bounds on type variables, and the annotations the
+/// reproduction needs to mirror the paper's evaluation realities (unsafe
+/// weighting for API selection, signature-collection quirks that produce
+/// Misc/Lifetime errors, and lifetime-propagation metadata for Rules 6-7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_API_APISIG_H
+#define SYRUST_API_APISIG_H
+
+#include "types/Type.h"
+
+#include <string>
+#include <vector>
+
+namespace syrust::api {
+
+using ApiId = int;
+constexpr ApiId ApiIdInvalid = -1;
+
+/// The three built-in operations the paper always adds to the API set
+/// (Section 6.2): assignment-to-mutable and the two borrow forms.
+enum class BuiltinKind : uint8_t {
+  None,      ///< Ordinary library API.
+  LetMut,    ///< `let mut x = y;` - ownership move to a fresh mutable var.
+  Borrow,    ///< `let r = &v;` - shared borrow.
+  BorrowMut, ///< `let r = &mut v;` - mutable borrow.
+};
+
+/// Simulated imperfections of the collected API specifications. The paper
+/// attributes its Miscellaneous and residual Lifetime&Ownership errors to
+/// exactly these phenomena (Section 7.1).
+struct ApiQuirks {
+  /// The collected signature's arity differs from the real one; calling the
+  /// API yields an "expected n arguments, found j" Misc error.
+  bool SkewedArity = false;
+  /// The API resolves through trait-method machinery the collector missed;
+  /// calls yield "method not found" Misc errors (generic-array, hashbrown).
+  bool MethodNotFound = false;
+  /// The real signature involves an anonymous parameterized lifetime the
+  /// encoder cannot express; calls that chain its output into another call
+  /// are rejected with a Lifetime&Ownership error.
+  bool AnonLifetime = false;
+  /// The type variable has a default the collector dropped (petgraph);
+  /// uses with an unresolved variable are rejected with a Type error.
+  bool NeedsDefaultTypeParam = false;
+};
+
+/// One API type signature.
+struct ApiSig {
+  /// Display name, e.g. "Vec::push".
+  std::string Name;
+
+  /// Input types in call order. For methods the receiver is input 0.
+  std::vector<const types::Type *> Inputs;
+
+  /// Output type; the unit type for procedures.
+  const types::Type *Output = nullptr;
+
+  /// Trait bounds: (type-variable name, required trait). The SAT encoder
+  /// ignores these (Section 5.2); the checker enforces them.
+  std::vector<std::pair<std::string, std::string>> Bounds;
+
+  /// Bounds already resolved to concrete types, produced when refinement
+  /// instantiates a polymorphic API (the instantiated signature no longer
+  /// mentions the type variable, but rustc would still check the trait).
+  std::vector<std::pair<const types::Type *, std::string>> ResolvedBounds;
+
+  /// True when the implementation contains unsafe code; selection weighs
+  /// such APIs 50% higher (Section 6.2).
+  bool HasUnsafe = false;
+
+  BuiltinKind Builtin = BuiltinKind::None;
+
+  ApiQuirks Quirks;
+
+  /// Indices of inputs whose lifetime flows into the output (Definition 5
+  /// paths). Borrow builtins implicitly propagate from input 0.
+  std::vector<int> PropagatesFrom;
+
+  /// Key into the miri semantic-model registry; empty for builtins.
+  std::string SemanticsKey;
+
+  /// For APIs produced by refinement: the id of the polymorphic original.
+  ApiId RefinedFrom = ApiIdInvalid;
+
+  /// Distinct type-variable names over inputs and output.
+  std::vector<std::string> typeVarNames() const {
+    std::vector<std::string> Names;
+    for (const types::Type *In : Inputs)
+      In->collectVars(Names);
+    if (Output)
+      Output->collectVars(Names);
+    return Names;
+  }
+
+  bool isPolymorphic() const {
+    for (const types::Type *In : Inputs)
+      if (!In->isConcrete())
+        return true;
+    return Output && !Output->isConcrete();
+  }
+
+  /// True when the output (possibly through a wrapper) carries a borrow of
+  /// some input, i.e. PropagatesFrom is non-empty or this is a borrow
+  /// builtin.
+  bool propagatesLifetime() const {
+    return !PropagatesFrom.empty() || Builtin == BuiltinKind::Borrow ||
+           Builtin == BuiltinKind::BorrowMut;
+  }
+};
+
+} // namespace syrust::api
+
+#endif // SYRUST_API_APISIG_H

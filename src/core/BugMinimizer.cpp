@@ -1,0 +1,82 @@
+//===--- BugMinimizer.cpp - Shrink bug-inducing test cases ----------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BugMinimizer.h"
+
+#include "miri/Interpreter.h"
+#include "rustsim/Checker.h"
+
+using namespace syrust;
+using namespace syrust::core;
+using namespace syrust::crates;
+using namespace syrust::miri;
+using namespace syrust::program;
+
+namespace {
+
+/// Builds \p P without statement \p Drop, renumbering later output
+/// variables. Returns false when a later statement uses the dropped
+/// output (removal impossible).
+bool removeStatement(const Program &P, size_t Drop, Program &Out) {
+  VarId Removed = P.Stmts[Drop].Out;
+  Out.Inputs = P.Inputs;
+  Out.Stmts.clear();
+  for (size_t I = 0; I < P.Stmts.size(); ++I) {
+    if (I == Drop)
+      continue;
+    Stmt S = P.Stmts[I];
+    for (VarId &A : S.Args) {
+      if (A == Removed)
+        return false;
+      if (A > Removed)
+        --A;
+    }
+    if (S.Out > Removed)
+      --S.Out;
+    Out.Stmts.push_back(std::move(S));
+  }
+  return true;
+}
+
+} // namespace
+
+MinimizedBug syrust::core::minimizeBugProgram(CrateInstance &Inst,
+                                              const Program &P,
+                                              UbKind Kind,
+                                              uint64_t Seed) {
+  rustsim::Checker Check(Inst.Arena, Inst.Traits);
+  auto Reproduces = [&](const Program &Candidate) {
+    if (!Check.check(Candidate, Inst.Db).Success)
+      return false;
+    Interpreter Interp(Inst.Db, Inst.Traits, Inst.Registry, Inst.Init,
+                       /*Cov=*/nullptr, Seed);
+    ExecResult R = Interp.run(Candidate);
+    return R.UbFound && R.Report.Kind == Kind;
+  };
+
+  MinimizedBug Result;
+  Result.Program = P;
+  Result.Kind = Kind;
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    // Try dropping statements from the back (later statements are least
+    // likely to feed the bug's data flow).
+    for (size_t I = Result.Program.Stmts.size(); I-- > 0;) {
+      Program Candidate;
+      if (!removeStatement(Result.Program, I, Candidate))
+        continue;
+      if (!Reproduces(Candidate))
+        continue;
+      Result.Program = std::move(Candidate);
+      Progress = true;
+      break; // Restart: indices shifted.
+    }
+  }
+  Result.Lines = static_cast<int>(Result.Program.Stmts.size());
+  return Result;
+}

@@ -1,0 +1,41 @@
+//===--- BugMinimizer.h - Shrink bug-inducing test cases -------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 7 reports the *minimum* number of lines needed to induce each
+/// bug; the synthesizer often finds a longer program first. This
+/// delta-debugging-style minimizer greedily removes statements while the
+/// program still compiles and still reproduces the same undefined
+/// behavior, giving the per-bug "min lines" column mechanically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_CORE_BUGMINIMIZER_H
+#define SYRUST_CORE_BUGMINIMIZER_H
+
+#include "crates/CrateSpec.h"
+#include "program/Program.h"
+
+namespace syrust::core {
+
+/// Result of a minimization pass.
+struct MinimizedBug {
+  program::Program Program;
+  int Lines = 0;
+  miri::UbKind Kind = miri::UbKind::None;
+};
+
+/// Greedily removes statements from \p P (a program known to exhibit
+/// \p Kind under \p Inst's model) while the rustsim checker still accepts
+/// the program and the interpreter still reports the same UB kind.
+/// Deterministic; runs to a fixpoint.
+MinimizedBug minimizeBugProgram(crates::CrateInstance &Inst,
+                                const program::Program &P,
+                                miri::UbKind Kind, uint64_t Seed = 1);
+
+} // namespace syrust::core
+
+#endif // SYRUST_CORE_BUGMINIMIZER_H

@@ -1,0 +1,97 @@
+//===--- ResultDatabase.h - Algorithm 1's program/result store -*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 line 12: "DB <- DB u R" - every synthesized program and its
+/// executor verdict is recorded. The driver keeps aggregate counters
+/// regardless; this store optionally retains the per-test records (up to a
+/// cap) for inspection, regression diffing, and the CLI's `--log-tests`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_CORE_RESULTDATABASE_H
+#define SYRUST_CORE_RESULTDATABASE_H
+
+#include "miri/Heap.h"
+#include "rustsim/Diagnostic.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syrust::core {
+
+/// Verdict of one test case.
+enum class TestVerdict : uint8_t {
+  Rejected, ///< Compiler error.
+  Passed,   ///< Compiled and ran without UB.
+  Ub,       ///< Compiled and Miri flagged undefined behavior.
+};
+
+/// One Algorithm 1 DB record.
+struct TestRecord {
+  uint64_t Hash = 0;           ///< Program::hash().
+  int Lines = 0;
+  double AtSeconds = 0;        ///< Simulated time of the verdict.
+  TestVerdict Verdict = TestVerdict::Passed;
+  rustsim::ErrorDetail Detail = rustsim::ErrorDetail::None; ///< Rejected.
+  miri::UbKind Ub = miri::UbKind::None;                     ///< Ub.
+  std::string Source;          ///< Rendered program.
+  std::string Message;         ///< Diagnostic / UB message.
+};
+
+/// Bounded store of per-test records plus lookup helpers.
+class ResultDatabase {
+public:
+  /// \p Cap bounds retained records (0 disables retention; counters still
+  /// advance).
+  explicit ResultDatabase(size_t Cap = 0) : Cap(Cap) {}
+
+  void record(TestRecord R) {
+    ++Totals[static_cast<size_t>(R.Verdict)];
+    if (Records.size() < Cap)
+      Records.push_back(std::move(R));
+  }
+
+  const std::vector<TestRecord> &records() const { return Records; }
+
+  /// True while the cap has room; callers can skip rendering sources for
+  /// records that would be dropped anyway.
+  bool wantsMore() const { return Records.size() < Cap; }
+
+  uint64_t count(TestVerdict V) const {
+    return Totals[static_cast<size_t>(V)];
+  }
+  uint64_t total() const {
+    return Totals[0] + Totals[1] + Totals[2];
+  }
+
+  /// First retained record with the given verdict; nullptr if none.
+  const TestRecord *firstWith(TestVerdict V) const {
+    for (const TestRecord &R : Records)
+      if (R.Verdict == V)
+        return &R;
+    return nullptr;
+  }
+
+  /// True when a retained record has this program hash (deduplication
+  /// check used by tests).
+  bool contains(uint64_t Hash) const {
+    for (const TestRecord &R : Records)
+      if (R.Hash == Hash)
+        return true;
+    return false;
+  }
+
+private:
+  size_t Cap;
+  std::vector<TestRecord> Records;
+  uint64_t Totals[3] = {0, 0, 0};
+};
+
+} // namespace syrust::core
+
+#endif // SYRUST_CORE_RESULTDATABASE_H

@@ -1,0 +1,114 @@
+//===--- ResultJson.cpp - RunResult JSON export ----------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ResultJson.h"
+
+#include "miri/Heap.h"
+
+using namespace syrust;
+using namespace syrust::core;
+using namespace syrust::json;
+using namespace syrust::rustsim;
+
+json::Value syrust::core::resultToJson(const RunResult &R) {
+  Value Root = Value::object();
+  Root.set("crate", Value::string(R.Crate));
+  Root.set("supported", Value::boolean(R.Supported));
+  Root.set("synthesized", Value::integer(static_cast<int64_t>(R.Synthesized)));
+  Root.set("rejected", Value::integer(static_cast<int64_t>(R.Rejected)));
+  Root.set("executed", Value::integer(static_cast<int64_t>(R.Executed)));
+  Root.set("rejected_percent", Value::number(R.rejectedPercent()));
+  Root.set("max_len_reached", Value::integer(R.MaxLenReached));
+  Root.set("space_exhausted", Value::boolean(R.SpaceExhausted));
+  Root.set("elapsed_sim_seconds", Value::number(R.ElapsedSeconds));
+
+  Value ByCategory = Value::object();
+  for (const auto &[Cat, N] : R.ByCategory)
+    ByCategory.set(categoryName(Cat),
+                   Value::integer(static_cast<int64_t>(N)));
+  Root.set("by_category", std::move(ByCategory));
+
+  Value ByDetail = Value::object();
+  for (const auto &[Det, N] : R.ByDetail)
+    ByDetail.set(detailName(Det), Value::integer(static_cast<int64_t>(N)));
+  Root.set("by_detail", std::move(ByDetail));
+
+  Value Curve = Value::array();
+  for (const CurvePoint &P : R.Curve) {
+    Value Pt = Value::object();
+    Pt.set("t", Value::number(P.AtSeconds));
+    Pt.set("synthesized", Value::integer(static_cast<int64_t>(P.Synthesized)));
+    Pt.set("rejected", Value::integer(static_cast<int64_t>(P.Rejected)));
+    Pt.set("type", Value::integer(static_cast<int64_t>(P.TypeErrors)));
+    Pt.set("lifetime",
+           Value::integer(static_cast<int64_t>(P.LifetimeErrors)));
+    Pt.set("misc", Value::integer(static_cast<int64_t>(P.MiscErrors)));
+    Curve.push(std::move(Pt));
+  }
+  Root.set("curve", std::move(Curve));
+
+  Value Cov = Value::object();
+  Cov.set("component_line", Value::number(R.Coverage.ComponentLine));
+  Cov.set("component_branch", Value::number(R.Coverage.ComponentBranch));
+  Cov.set("library_line", Value::number(R.Coverage.LibraryLine));
+  Cov.set("library_branch", Value::number(R.Coverage.LibraryBranch));
+  Cov.set("saturation_seconds", Value::number(R.CoverageSaturation));
+  Value Snaps = Value::array();
+  for (const auto &S : R.CoverageSnaps) {
+    Value Pt = Value::object();
+    Pt.set("t", Value::number(S.AtSeconds));
+    Pt.set("component_line", Value::number(S.Numbers.ComponentLine));
+    Pt.set("component_branch", Value::number(S.Numbers.ComponentBranch));
+    Pt.set("library_line", Value::number(S.Numbers.LibraryLine));
+    Pt.set("library_branch", Value::number(S.Numbers.LibraryBranch));
+    Snaps.push(std::move(Pt));
+  }
+  Cov.set("snapshots", std::move(Snaps));
+  Root.set("coverage", std::move(Cov));
+
+  Value Bug = Value::object();
+  Bug.set("found", Value::boolean(R.BugFound));
+  if (R.BugFound) {
+    Bug.set("kind", Value::string(miri::ubKindName(R.FirstBug.Kind)));
+    Bug.set("message", Value::string(R.FirstBug.Message));
+    Bug.set("time_to_bug", Value::number(R.TimeToBug));
+    Bug.set("lines", Value::integer(R.BugLines));
+    Bug.set("program", Value::string(R.BugProgram));
+    if (R.MinimizedLines > 0) {
+      Bug.set("minimized_lines", Value::integer(R.MinimizedLines));
+      Bug.set("minimized_program", Value::string(R.MinimizedProgram));
+    }
+    Bug.set("ub_count", Value::integer(static_cast<int64_t>(R.UbCount)));
+  }
+  Root.set("bug", std::move(Bug));
+
+  Value Synth = Value::object();
+  Synth.set("emitted", Value::integer(static_cast<int64_t>(R.Synth.Emitted)));
+  Synth.set("path_filtered",
+            Value::integer(static_cast<int64_t>(R.Synth.PathFiltered)));
+  Synth.set("duplicates_skipped",
+            Value::integer(static_cast<int64_t>(R.Synth.DuplicatesSkipped)));
+  Synth.set("rebuilds",
+            Value::integer(static_cast<int64_t>(R.Synth.Rebuilds)));
+  Root.set("synthesis", std::move(Synth));
+
+  Value Refine = Value::object();
+  Refine.set("eager_concretizations",
+             Value::integer(
+                 static_cast<int64_t>(R.Refine.EagerConcretizations)));
+  Refine.set("trait_removals",
+             Value::integer(static_cast<int64_t>(R.Refine.TraitRemovals)));
+  Refine.set("combo_blocks",
+             Value::integer(static_cast<int64_t>(R.Refine.ComboBlocks)));
+  Refine.set("output_duplications",
+             Value::integer(
+                 static_cast<int64_t>(R.Refine.OutputDuplications)));
+  Refine.set("direct_fixes",
+             Value::integer(static_cast<int64_t>(R.Refine.DirectFixes)));
+  Refine.set("bans", Value::integer(static_cast<int64_t>(R.Refine.Bans)));
+  Root.set("refinement", std::move(Refine));
+  return Root;
+}

@@ -1,0 +1,28 @@
+//===--- ResultJson.h - RunResult JSON export ------------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a RunResult to JSON for downstream tooling (plotting the
+/// Figure 9/10 curves, archiving bug reports, regression-diffing runs).
+/// Used by the CLI's `--json` flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_CORE_RESULTJSON_H
+#define SYRUST_CORE_RESULTJSON_H
+
+#include "core/SyRustDriver.h"
+#include "support/Json.h"
+
+namespace syrust::core {
+
+/// Full structured dump: counters, per-category/per-detail breakdowns,
+/// the error-rate curve, coverage snapshots, and the bug report.
+json::Value resultToJson(const RunResult &R);
+
+} // namespace syrust::core
+
+#endif // SYRUST_CORE_RESULTJSON_H

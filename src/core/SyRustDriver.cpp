@@ -1,0 +1,233 @@
+//===--- SyRustDriver.cpp - Algorithm 1 end-to-end driver -----------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SyRustDriver.h"
+
+#include "core/BugMinimizer.h"
+#include "miri/Interpreter.h"
+#include "rustsim/Checker.h"
+#include "rustsim/DiagnosticJson.h"
+
+#include <cstdio>
+
+#include <algorithm>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::core;
+using namespace syrust::crates;
+using namespace syrust::miri;
+using namespace syrust::program;
+using namespace syrust::refine;
+using namespace syrust::rustsim;
+using namespace syrust::synth;
+
+void SyRustDriver::selectApis(CrateInstance &Inst, Rng &R) const {
+  // Section 6.2: 15 APIs per library - pinned picks first, the rest by
+  // weighted random selection where unsafe-containing APIs get 50% more
+  // weight. Unselected APIs are disabled for this run.
+  std::vector<ApiId> Candidates;
+  for (size_t I = 0; I < Inst.Db.size(); ++I) {
+    ApiId Id = static_cast<ApiId>(I);
+    if (Inst.Db.get(Id).Builtin == BuiltinKind::None)
+      Candidates.push_back(Id);
+  }
+  std::vector<ApiId> Selected = Inst.Pinned;
+  auto IsSelected = [&Selected](ApiId Id) {
+    return std::find(Selected.begin(), Selected.end(), Id) !=
+           Selected.end();
+  };
+  std::vector<ApiId> Pool;
+  for (ApiId Id : Candidates)
+    if (!IsSelected(Id))
+      Pool.push_back(Id);
+  while (static_cast<int>(Selected.size()) < Config.NumApis &&
+         !Pool.empty()) {
+    std::vector<double> Weights;
+    Weights.reserve(Pool.size());
+    for (ApiId Id : Pool)
+      Weights.push_back(Inst.Db.get(Id).HasUnsafe ? 1.5 : 1.0);
+    size_t Pick = R.pickWeighted(Weights);
+    Selected.push_back(Pool[Pick]);
+    Pool.erase(Pool.begin() + static_cast<long>(Pick));
+  }
+  for (ApiId Id : Pool)
+    Inst.Db.ban(Id);
+}
+
+RunResult SyRustDriver::run() {
+  RunResult Result;
+  Result.Crate = Spec.Info.Name;
+  Result.Db = ResultDatabase(Config.RecordTests);
+  if (!Spec.Info.SupportsSynthesis) {
+    Result.Supported = false;
+    return Result;
+  }
+
+  auto Inst = Spec.instantiate();
+  Rng R(Config.Seed ^ std::hash<std::string>{}(Spec.Info.Name));
+  selectApis(*Inst, R);
+
+  RefinementEngine Refine(Inst->Arena, Inst->Db, Config.Mode);
+  Refine.setEagerCap(Config.EagerCap);
+  Refine.initialize(Inst->Inputs);
+
+  SynthOptions Opts;
+  Opts.SemanticAware = Config.SemanticAware;
+  Opts.InterleaveLengths = Config.InterleaveLengths;
+  Opts.SolverSeed = Config.Seed;
+  Synthesizer Synth(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs,
+                    Inst->MaxLen, Opts);
+  Checker Check(Inst->Arena, Inst->Traits);
+  coverage::CoverageMap Cov(Inst->ComponentLines, Inst->LibraryLines,
+                            Inst->ComponentBranches,
+                            Inst->LibraryBranches);
+  TemplateInit Init = Inst->Init;
+  if (Config.MutateInputs) {
+    // Input-mutation extension: jitter scalar payloads and lengths so
+    // data-dependent branches flip across executions.
+    TemplateInit Base = Inst->Init;
+    Init = [Base](AbstractHeap &Heap, Rng &R) {
+      std::vector<Value> Values = Base(Heap, R);
+      for (Value &V : Values) {
+        V.Int += static_cast<int64_t>(R.below(7)) - 3;
+        if (V.Int < 0)
+          V.Int = 0;
+        if (V.Len > 0) {
+          V.Len += static_cast<int64_t>(R.below(5)) - 2;
+          if (V.Len < 0)
+            V.Len = 0;
+          if (V.Cap < V.Len)
+            V.Cap = V.Len;
+        }
+      }
+      return Values;
+    };
+  }
+  Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry, Init, &Cov,
+                     Config.Seed + 7);
+
+  SimClock Clock;
+  double NextSnapshot = Config.SnapshotInterval;
+  double CurveStep =
+      Config.BudgetSeconds / std::max(Config.CurveSamples, 1);
+  double NextCurve = CurveStep;
+
+  auto SampleCurve = [&]() {
+    CurvePoint P;
+    P.AtSeconds = Clock.now();
+    P.Synthesized = Result.Synthesized;
+    P.Rejected = Result.Rejected;
+    P.TypeErrors = Result.ByCategory[ErrorCategory::Type];
+    P.LifetimeErrors = Result.ByCategory[ErrorCategory::LifetimeOwnership];
+    P.MiscErrors = Result.ByCategory[ErrorCategory::Misc];
+    Result.Curve.push_back(P);
+  };
+
+  while (!Clock.exhausted(Config.BudgetSeconds)) {
+    if (Config.MaxTests != 0 && Result.Synthesized >= Config.MaxTests)
+      break;
+    std::optional<Program> P = Synth.next();
+    Clock.charge(Config.SolveCost);
+    if (!P.has_value()) {
+      Result.SpaceExhausted = true;
+      break;
+    }
+    Result.MaxLenReached =
+        std::max(Result.MaxLenReached, static_cast<int>(P->Stmts.size()));
+    ++Result.Synthesized;
+
+    // Test executor stage 1: compile.
+    CompileResult Compiled = Check.check(*P, Inst->Db);
+    Clock.charge(Config.CompileCost);
+    bool DbChanged = false;
+    auto Record = [&](TestVerdict Verdict, ErrorDetail Detail,
+                      miri::UbKind Ub, const std::string &Message) {
+      TestRecord Rec;
+      Rec.Hash = P->hash();
+      Rec.Lines = static_cast<int>(P->Stmts.size());
+      Rec.AtSeconds = Clock.now();
+      Rec.Verdict = Verdict;
+      Rec.Detail = Detail;
+      Rec.Ub = Ub;
+      Rec.Message = Message;
+      if (Result.Db.wantsMore())
+        Rec.Source = P->render(Inst->Db);
+      Result.Db.record(std::move(Rec));
+    };
+    if (!Compiled.Success) {
+      ++Result.Rejected;
+      ++Result.ByCategory[Compiled.Diag.Category];
+      ++Result.ByDetail[Compiled.Diag.Detail];
+      if (Config.JsonErrorChannel) {
+        // Paper pipeline: the executor emits a cargo-style JSON message,
+        // the synthesizer side parses it back (Section 6.1).
+        std::string Wire = diagnosticToJson(Compiled.Diag);
+        Diagnostic Parsed;
+        std::string Err;
+        if (diagnosticFromJson(Wire, Inst->Arena, Parsed, Err)) {
+          DbChanged = Refine.onDiagnostic(Parsed);
+        } else {
+          std::fprintf(stderr, "json channel error: %s\n", Err.c_str());
+          DbChanged = Refine.onDiagnostic(Compiled.Diag);
+        }
+      } else {
+        DbChanged = Refine.onDiagnostic(Compiled.Diag);
+      }
+      Record(TestVerdict::Rejected, Compiled.Diag.Detail,
+             miri::UbKind::None, Compiled.Diag.Message);
+    } else {
+      DbChanged = Refine.onSuccess(*P);
+      // Test executor stage 2: run under the miri substitute.
+      ExecResult Exec = Interp.run(*P);
+      Clock.charge(Config.ExecCost * Inst->MiriCostFactor);
+      ++Result.Executed;
+      Record(Exec.UbFound ? TestVerdict::Ub : TestVerdict::Passed,
+             ErrorDetail::None, Exec.Report.Kind, Exec.Report.Message);
+      if (Exec.UbFound) {
+        ++Result.UbCount;
+        if (!Result.BugFound) {
+          Result.BugFound = true;
+          Result.FirstBug = Exec.Report;
+          Result.TimeToBug = Clock.now();
+          Result.BugLines = static_cast<int>(P->Stmts.size());
+          Result.BugProgram = P->render(Inst->Db);
+          if (Config.MinimizeBugs) {
+            MinimizedBug Min = minimizeBugProgram(*Inst, *P,
+                                                  Exec.Report.Kind);
+            Result.MinimizedLines = Min.Lines;
+            Result.MinimizedProgram = Min.Program.render(Inst->Db);
+          }
+        }
+        if (Config.StopOnFirstBug)
+          break;
+      }
+    }
+    if (DbChanged)
+      Synth.notifyDatabaseChanged();
+
+    while (Clock.now() >= NextCurve &&
+           NextCurve <= Config.BudgetSeconds) {
+      SampleCurve();
+      NextCurve += CurveStep;
+    }
+    while (Clock.now() >= NextSnapshot &&
+           NextSnapshot <= Config.BudgetSeconds) {
+      Cov.snapshot(NextSnapshot);
+      NextSnapshot += Config.SnapshotInterval;
+    }
+  }
+  SampleCurve();
+  Cov.snapshot(Clock.now());
+
+  Result.Coverage = Cov.numbers();
+  Result.CoverageSnaps = Cov.snapshots();
+  Result.CoverageSaturation = Cov.saturationTime();
+  Result.Synth = Synth.stats();
+  Result.Refine = Refine.stats();
+  Result.ElapsedSeconds = Clock.now();
+  return Result;
+}

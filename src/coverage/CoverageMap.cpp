@@ -1,0 +1,87 @@
+//===--- CoverageMap.cpp - Line and branch coverage tracking --------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "coverage/CoverageMap.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace syrust::coverage;
+
+CoverageMap::CoverageMap(int ComponentLines, int LibraryLines,
+                         int ComponentBranches, int LibraryBranches)
+    : ComponentLineCount(ComponentLines),
+      ComponentBranchCount(ComponentBranches) {
+  assert(ComponentLines <= LibraryLines &&
+         "component is a subset of the library");
+  assert(ComponentBranches <= LibraryBranches &&
+         "component is a subset of the library");
+  LineHit.assign(static_cast<size_t>(LibraryLines), false);
+  BranchArmHit.assign(static_cast<size_t>(LibraryBranches) * 2, false);
+}
+
+void CoverageMap::coverLines(int Begin, int End) {
+  Begin = std::max(Begin, 0);
+  End = std::min(End, static_cast<int>(LineHit.size()));
+  for (int L = Begin; L < End; ++L)
+    LineHit[static_cast<size_t>(L)] = true;
+}
+
+void CoverageMap::coverBranch(int Branch, bool Taken) {
+  size_t Arm = static_cast<size_t>(Branch) * 2 + (Taken ? 1 : 0);
+  if (Arm < BranchArmHit.size())
+    BranchArmHit[Arm] = true;
+}
+
+CoverageNumbers CoverageMap::numbers() const {
+  auto Ratio = [](size_t Hits, size_t Total) {
+    return Total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(Hits) /
+                            static_cast<double>(Total);
+  };
+  size_t CompLineHits = 0, LibLineHits = 0;
+  for (size_t L = 0; L < LineHit.size(); ++L) {
+    if (!LineHit[L])
+      continue;
+    ++LibLineHits;
+    if (L < static_cast<size_t>(ComponentLineCount))
+      ++CompLineHits;
+  }
+  size_t CompArmHits = 0, LibArmHits = 0;
+  for (size_t A = 0; A < BranchArmHit.size(); ++A) {
+    if (!BranchArmHit[A])
+      continue;
+    ++LibArmHits;
+    if (A < static_cast<size_t>(ComponentBranchCount) * 2)
+      ++CompArmHits;
+  }
+  CoverageNumbers N;
+  N.ComponentLine =
+      Ratio(CompLineHits, static_cast<size_t>(ComponentLineCount));
+  N.LibraryLine = Ratio(LibLineHits, LineHit.size());
+  N.ComponentBranch =
+      Ratio(CompArmHits, static_cast<size_t>(ComponentBranchCount) * 2);
+  N.LibraryBranch = Ratio(LibArmHits, BranchArmHit.size());
+  return N;
+}
+
+void CoverageMap::snapshot(double AtSeconds) {
+  Snaps.push_back(CoverageSnapshot{AtSeconds, numbers()});
+}
+
+double CoverageMap::saturationTime() const {
+  if (Snaps.empty())
+    return -1;
+  double Saturation = Snaps.front().AtSeconds;
+  double Best = Snaps.front().Numbers.ComponentLine;
+  for (const CoverageSnapshot &S : Snaps) {
+    if (S.Numbers.ComponentLine > Best + 1e-9) {
+      Best = S.Numbers.ComponentLine;
+      Saturation = S.AtSeconds;
+    }
+  }
+  return Saturation;
+}

@@ -1,0 +1,136 @@
+//===--- CrateBuilder.h - Convenience builder for library models -*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared scaffolding for the 30 library models: type parsing with a
+/// per-crate type-variable set, template-input factories, an API builder
+/// that wires signature + quirks + coverage range + executable semantics
+/// in one declaration, and a small vocabulary of reusable semantic kinds
+/// (containers, encoders, views) so each crate file focuses on what is
+/// genuinely library-specific.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_CRATES_CRATEBUILDER_H
+#define SYRUST_CRATES_CRATEBUILDER_H
+
+#include "crates/CrateSpec.h"
+#include "types/TypeParser.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace syrust::crates {
+
+/// Reusable executable behaviors for modeled APIs.
+enum class SemKind {
+  Inert,         ///< Covers its range, returns a default of the out type.
+  MakeScalar,    ///< Scalar derived from scalar args; one branch.
+  AllocContainer,///< Allocates a buffer; capacity from first scalar arg.
+  ContainerPush, ///< len++ with a grow-and-reallocate branch.
+  ContainerPop,  ///< Some/None branch on emptiness.
+  ContainerLen,  ///< Scalar length read.
+  ContainerClear,///< len = 0.
+  ConsumeFree,   ///< Consumes an owned value, freeing its buffer.
+  ViewRef,       ///< Returns a reference into the first propagated arg.
+  Transform,     ///< Encoder-style value transform; allocates owned outs.
+  Custom,        ///< Crate-provided callback (bug injections live here).
+};
+
+/// One API declaration.
+struct ApiDecl {
+  std::string Name;
+  std::vector<std::string> Ins;
+  std::string Out;
+  SemKind Kind = SemKind::Inert;
+  std::vector<std::pair<std::string, std::string>> Bounds;
+  bool Unsafe = false;
+  api::ApiQuirks Quirks;
+  std::vector<int> PropagatesFrom;
+  bool Pinned = false;
+  int CovLines = 8;
+  int CovBranches = 1;
+  miri::ApiSemantics Custom;
+};
+
+/// Builds one CrateInstance.
+class CrateBuilder {
+public:
+  CrateBuilder(CrateInstance &Inst, std::set<std::string> TypeVars);
+
+  /// Parses a type in this crate's variable scope; aborts on bad syntax.
+  const types::Type *ty(const std::string &Spec);
+
+  /// Registers a trait impl (pattern may use the crate's type variables).
+  void impl(const std::string &Trait, const std::string &Pattern,
+            std::vector<std::pair<std::string, std::string>> Where = {});
+
+  /// Template inputs.
+  void scalarInput(const std::string &Name, const std::string &Ty,
+                   int64_t Value);
+  void stringInput(const std::string &Name, const std::string &Ty,
+                   const std::string &Value);
+  /// A heap-backed container input with the given length and capacity.
+  void containerInput(const std::string &Name, const std::string &Ty,
+                      int64_t Len, int64_t Cap);
+  /// Fully custom input value.
+  void customInput(const std::string &Name, const std::string &Ty,
+                   std::function<miri::Value(miri::AbstractHeap &,
+                                             syrust::Rng &)>
+                       Factory);
+
+  /// Declares one API: signature, semantics, quirks, coverage.
+  api::ApiId api(ApiDecl Decl);
+
+  /// Registers custom drop glue for a nominal type head.
+  void dropGlue(const std::string &TypeHead, miri::DropSemantics Fn);
+
+  /// Finalizes the model: adds builtins, composes the template init, and
+  /// sets the coverage layout. \p ComponentPadLines / \p PadBranches model
+  /// component code the selected APIs cannot reach; the library totals add
+  /// the rest of the crate.
+  void finish(int ComponentPadLines, int ComponentPadBranches,
+              int LibraryExtraLines, int LibraryExtraBranches, int MaxLen,
+              double MiriCost = 1.0);
+
+  CrateInstance &instance() { return Inst; }
+
+private:
+  struct CovRange {
+    int Line0 = 0, NumLines = 0, Branch0 = 0, NumBranches = 0;
+  };
+  miri::ApiSemantics wrapSemantics(SemKind Kind, CovRange Range,
+                                   miri::ApiSemantics Custom);
+
+  CrateInstance &Inst;
+  types::TypeParser Parser;
+  std::vector<std::function<miri::Value(miri::AbstractHeap &,
+                                        syrust::Rng &)>>
+      InputFactories;
+  int NextLine = 0;
+  int NextBranch = 0;
+};
+
+/// Default value of \p Ty (None for Options, zero scalars, etc.). Exposed
+/// for custom semantics.
+miri::Value defaultValue(const types::Type *Ty, miri::InterpCtx &Ctx);
+
+/// Terse ApiDecl construction for crate model files; tweak the returned
+/// value for bounds/quirks/etc. before passing it to CrateBuilder::api.
+inline ApiDecl decl(std::string Name, std::vector<std::string> Ins,
+                    std::string Out, SemKind Kind = SemKind::Inert) {
+  ApiDecl D;
+  D.Name = std::move(Name);
+  D.Ins = std::move(Ins);
+  D.Out = std::move(Out);
+  D.Kind = Kind;
+  return D;
+}
+
+} // namespace syrust::crates
+
+#endif // SYRUST_CRATES_CRATEBUILDER_H

@@ -1,0 +1,75 @@
+//===--- CrateRegistry.cpp - All evaluated library models -----------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateRegistry.h"
+
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::crates;
+
+const std::vector<CrateSpec> &syrust::crates::allCrates() {
+  static const std::vector<CrateSpec> Crates = [] {
+    std::vector<CrateSpec> C;
+    // Figure 12 order: data structures by downloads...
+    C.push_back(makeSmallvec());
+    C.push_back(makeCrossbeamUtils());
+    C.push_back(makeBytes());
+    C.push_back(makeSlab());
+    C.push_back(makeCrossbeamDeque());
+    C.push_back(makeGenericArray());
+    C.push_back(makeCrossbeamQueue());
+    C.push_back(makeNumRational());
+    C.push_back(makeHashbrown());
+    C.push_back(makeCrossbeam());
+    C.push_back(makePetgraph());
+    C.push_back(makeImRc());
+    C.push_back(makeBitvec());
+    C.push_back(makeNdarray());
+    C.push_back(makeDashmap());
+    // ...then encodings by downloads.
+    C.push_back(makeEncodingRs());
+    C.push_back(makeBstr());
+    C.push_back(makeCsvCore());
+    C.push_back(makeDataEncoding());
+    C.push_back(makeEncodeUnicode());
+    C.push_back(makeUrlencoding());
+    C.push_back(makeRmpSerde());
+    C.push_back(makeBytemuck());
+    C.push_back(makeSval());
+    C.push_back(makeCookieFactory());
+    C.push_back(makeBase16());
+    C.push_back(makeCborCodec());
+    C.push_back(makeJsonrpcClientCore());
+    C.push_back(makeHcid());
+    C.push_back(makeUtf8Width());
+    return C;
+  }();
+  return Crates;
+}
+
+const CrateSpec *syrust::crates::findCrate(const std::string &Name) {
+  for (const CrateSpec &Spec : allCrates())
+    if (Spec.Info.Name == Name)
+      return &Spec;
+  return nullptr;
+}
+
+std::vector<const CrateSpec *> syrust::crates::buggyCrates() {
+  std::vector<const CrateSpec *> Bugs(4, nullptr);
+  for (const CrateSpec &Spec : allCrates()) {
+    if (!Spec.Bug)
+      continue;
+    if (Spec.Bug->Label == "*1")
+      Bugs[0] = &Spec;
+    else if (Spec.Bug->Label == "*2")
+      Bugs[1] = &Spec;
+    else if (Spec.Bug->Label == "*3")
+      Bugs[2] = &Spec;
+    else if (Spec.Bug->Label == "*4")
+      Bugs[3] = &Spec;
+  }
+  return Bugs;
+}

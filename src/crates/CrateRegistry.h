@@ -1,0 +1,34 @@
+//===--- CrateRegistry.h - All evaluated library models --------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of the 30 library models of Figure 12, in the paper's order.
+/// Each entry is built by a maker function in src/crates/libs/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_CRATES_CRATEREGISTRY_H
+#define SYRUST_CRATES_CRATEREGISTRY_H
+
+#include "crates/CrateSpec.h"
+
+#include <vector>
+
+namespace syrust::crates {
+
+/// All library models, in Figure 12 order (data structures first, then
+/// encodings, by download count).
+const std::vector<CrateSpec> &allCrates();
+
+/// Finds a model by crate name; nullptr when unknown.
+const CrateSpec *findCrate(const std::string &Name);
+
+/// The four bug-carrying models, in Figure 7 order.
+std::vector<const CrateSpec *> buggyCrates();
+
+} // namespace syrust::crates
+
+#endif // SYRUST_CRATES_CRATEREGISTRY_H

@@ -1,0 +1,104 @@
+//===--- CrateSpec.h - Library model descriptors ---------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One CrateSpec per evaluated library, mirroring the Figure 12 inventory:
+/// crates.io metadata, the tested subcomponent, and a builder that
+/// instantiates the library *model* - API type signatures (with trait
+/// bounds, unsafe weighting, and collection quirks), a code template,
+/// executable semantics over the miri heap, and a coverage layout. Four
+/// models carry the paper's injected bugs (Figure 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_CRATES_CRATESPEC_H
+#define SYRUST_CRATES_CRATESPEC_H
+
+#include "api/ApiDatabase.h"
+#include "miri/Interpreter.h"
+#include "program/Program.h"
+#include "types/TraitEnv.h"
+#include "types/Type.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace syrust::crates {
+
+/// Figure 12 row: crates.io metadata for one library.
+struct CrateInfo {
+  std::string Name;
+  std::string Category; ///< "DS" (data structures) or "EN" (encodings).
+  uint64_t Downloads = 0;
+  bool Polymorphic = false;
+  std::string Subcomponent;
+  std::string RevHash;
+  /// False for closure-based libraries SyRust cannot drive (Section 7.1:
+  /// cookie-factory, jsonrpc-client-core).
+  bool SupportsSynthesis = true;
+};
+
+/// Figure 7 row: an injected bug a model is expected to expose.
+struct BugInfo {
+  std::string Label;   ///< "*1" .. "*4".
+  std::string BugType; ///< "Memory Leak", "Hanging Pointer", ...
+  int MinLines = 0;
+  miri::UbKind Kind = miri::UbKind::None;
+};
+
+/// A fully instantiated library model, ready for one SyRust run. Owns its
+/// type arena; everything inside references it.
+struct CrateInstance {
+  CrateInstance() : Traits(Arena) {}
+  CrateInstance(const CrateInstance &) = delete;
+  CrateInstance &operator=(const CrateInstance &) = delete;
+
+  types::TypeArena Arena;
+  types::TraitEnv Traits;
+  api::ApiDatabase Db;
+  /// Builtin ids in {LetMut, Borrow, BorrowMut} order.
+  std::vector<api::ApiId> Builtins;
+  /// APIs always included in the 15-API selection (the paper allows two
+  /// manual picks per library, Section 6.2).
+  std::vector<api::ApiId> Pinned;
+  std::vector<program::TemplateInput> Inputs;
+  miri::SemanticsRegistry Registry;
+  miri::TemplateInit Init;
+
+  /// Coverage layout (component region is a prefix of the library).
+  int ComponentLines = 0;
+  int LibraryLines = 0;
+  int ComponentBranches = 0;
+  int LibraryBranches = 0;
+
+  /// Maximum test-case length for this library (Figure 6 column 2).
+  int MaxLen = 6;
+  /// Relative Miri interpretation cost (dashmap: "extremely slow to be
+  /// interpreted by Miri", Section 7.1).
+  double MiriCostFactor = 1.0;
+};
+
+/// Descriptor + builder for one library.
+struct CrateSpec {
+  CrateInfo Info;
+  std::optional<BugInfo> Bug;
+  std::function<void(CrateInstance &)> Build;
+
+  /// Instantiates a fresh model.
+  std::unique_ptr<CrateInstance> instantiate() const {
+    auto Inst = std::make_unique<CrateInstance>();
+    if (Build)
+      Build(*Inst);
+    return Inst;
+  }
+};
+
+} // namespace syrust::crates
+
+#endif // SYRUST_CRATES_CRATESPEC_H

@@ -1,0 +1,56 @@
+//===--- AllCrates.h - Maker declarations for every library model -*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal header: one maker per Figure 12 library, implemented in the
+/// sibling .cpp files and collected by CrateRegistry.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_CRATES_LIBS_ALLCRATES_H
+#define SYRUST_CRATES_LIBS_ALLCRATES_H
+
+#include "crates/CrateSpec.h"
+
+namespace syrust::crates {
+
+// Data structures (Figure 12 top half).
+CrateSpec makeSmallvec();
+CrateSpec makeCrossbeamUtils();
+CrateSpec makeBytes();
+CrateSpec makeSlab();
+CrateSpec makeCrossbeamDeque();
+CrateSpec makeGenericArray();
+CrateSpec makeCrossbeamQueue(); // Bug *1: memory leak.
+CrateSpec makeNumRational();
+CrateSpec makeHashbrown();
+CrateSpec makeCrossbeam(); // Bug *2: hanging pointer.
+CrateSpec makePetgraph();
+CrateSpec makeImRc();
+CrateSpec makeBitvec(); // Bug *3: use-after-free.
+CrateSpec makeNdarray();
+CrateSpec makeDashmap();
+
+// Encodings (Figure 12 bottom half).
+CrateSpec makeEncodingRs(); // Bug *4: OOB pointer.
+CrateSpec makeBstr();
+CrateSpec makeCsvCore();
+CrateSpec makeDataEncoding();
+CrateSpec makeEncodeUnicode();
+CrateSpec makeUrlencoding();
+CrateSpec makeRmpSerde();
+CrateSpec makeBytemuck();
+CrateSpec makeSval();
+CrateSpec makeCookieFactory(); // Excluded: closure-based API.
+CrateSpec makeBase16();
+CrateSpec makeCborCodec();
+CrateSpec makeJsonrpcClientCore(); // Excluded: closure-based API.
+CrateSpec makeHcid();
+CrateSpec makeUtf8Width();
+
+} // namespace syrust::crates
+
+#endif // SYRUST_CRATES_LIBS_ALLCRATES_H

@@ -1,0 +1,146 @@
+//===--- Base16.cpp - Model of base16 -------------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("AsRefBytes", "HexBytes");
+  B.impl("AsRefBytes", "String");
+
+  B.containerInput("raw", "HexBytes", 6, 6);
+  B.stringInput("hex", "String", "6a6b6c");
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("base16::encode_lower", {"&HexBytes"}, "String",
+                     SemKind::Transform);
+    D.Pinned = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("base16::encode_upper", {"&HexBytes"}, "String",
+                     SemKind::Transform);
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("base16::decode", {"&String"}, "HexBytes",
+                     SemKind::Transform);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("base16::encoded_len", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("base16::decoded_len_checked", {"usize"},
+                     "Option<usize>", SemKind::ContainerPop);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HexBytes::len", {"&HexBytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HexBytes::from_len", {"usize"}, "HexBytes",
+                     SemKind::AllocContainer);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("base16::is_valid_hex", {"&String"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("base16::hex_digit_value", {"u8"}, "Option<u8>",
+                     SemKind::ContainerPop);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("String::hex_len", {"&String"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    // AsRef<[u8]>-style generic: the row's small type-error source.
+    ApiDecl D = decl("base16::encode_config_len", {"&T"}, "usize",
+                     SemKind::ContainerLen);
+    D.Bounds = {{"T", "AsRefBytes"}};
+    D.CovLines = 5;
+    Api(D);
+  }
+
+  {
+    ApiDecl D = decl("base16::encode_byte_lower", {"u8"}, "u8",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("base16::encode_byte_upper", {"u8"}, "u8",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HexBytes::push_byte", {"&mut HexBytes", "u8"}, "()",
+                     SemKind::ContainerPush);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("base16::decode_in_place_len", {"&mut HexBytes"},
+                     "usize", SemKind::ContainerLen);
+    D.Unsafe = true;
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    Api(D);
+  }
+
+  B.finish(12, 4, 18, 4, /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeBase16() {
+  CrateSpec Spec;
+  Spec.Info = {"base16", "EN", 133173, false, "base16", "a532182", true};
+  Spec.Build = build;
+  return Spec;
+}

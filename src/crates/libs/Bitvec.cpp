@@ -1,0 +1,285 @@
+//===--- Bitvec.cpp - Model of the bitvec crate (bug *3) ------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Models bitvec::vec::BitVec, the paper's flagship bug target (Section
+/// 7.1, Figure 8): a use-after-free when a BitVec that has reallocated its
+/// backing buffer is converted into a BitBox and dropped. The model keeps
+/// the paper's trait obstacle: BitVec<O, T> requires O: BitOrder and
+/// T: BitStore, so BitVec<usize, Msb0> is a trait error while
+/// BitVec<Msb0, usize> is the valid instantiation.
+///
+/// Minimal trigger (5 lines, matching Figure 7):
+///   let v1 : BitVec<Msb0, usize> = BitVec::repeat(b, n);
+///   let mut v2 = v1;
+///   let v3 = &mut v2;
+///   BitVec::push(v3, b);               // forces a reallocation
+///   let v5 : BitBox<Msb0, usize> = BitVec::into_boxed_bitslice(v2);
+///   // scope end: BitBox drop reads through the stale pre-push pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"O", "T"});
+
+  // Order/store marker types and the crate's trait structure.
+  B.impl("BitOrder", "Msb0");
+  B.impl("BitOrder", "Lsb0");
+  B.impl("BitStore", "usize");
+  B.impl("BitStore", "u8");
+  B.impl("Clone", "Msb0");
+  B.impl("Clone", "Lsb0");
+  B.impl("Clone", "BitVec<O, T>", {{"O", "Clone"}, {"T", "Clone"}});
+
+  // Template (Figure 2 style): scalar raw material only - the bug requires
+  // constructing the bitvector inside the synthesized code.
+  B.scalarInput("b", "bool", 1);
+  B.scalarInput("n", "usize", 6);
+
+  // --- Constructors (no-input polymorphism handled eagerly, 5.1). -------
+  {
+    ApiDecl D = decl("BitVec::new", {}, "BitVec<O, T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"O", "BitOrder"}, {"T", "BitStore"}};
+    D.CovLines = 10;
+    B.api(D);
+  }
+  {
+    // repeat(bit, len): the Figure 8 entry point. Exact-capacity buffer so
+    // any push reallocates.
+    ApiDecl D = decl("BitVec::repeat", {"bool", "usize"},
+                     "BitVec<Msb0, usize>", SemKind::Custom);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 14;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value Out;
+      Out.Ty = Ctx.outType();
+      int64_t Len = Ctx.deref(1).Int;
+      Out.Len = Len;
+      Out.Cap = Len; // Exact fit: the next push must grow.
+      Out.Alloc = Ctx.heap().allocate(
+          static_cast<size_t>(Len) * 8 + 8, "BitVec buffer");
+      Ctx.coverBranch(1, Ctx.deref(0).Int != 0);
+      return Out;
+    };
+    B.api(D);
+  }
+
+  // --- Mutators. ----------------------------------------------------------
+  {
+    ApiDecl D = decl("BitVec::push", {"&mut BitVec<O, T>", "bool"}, "()",
+                     SemKind::ContainerPush);
+    D.Bounds = {{"O", "BitOrder"}, {"T", "BitStore"}};
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::pop", {"&mut BitVec<O, T>"}, "Option<bool>",
+                     SemKind::ContainerPop);
+    D.Bounds = {{"O", "BitOrder"}, {"T", "BitStore"}};
+    D.CovLines = 10;
+    D.CovBranches = 3;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::set", {"&mut BitVec<O, T>", "usize", "bool"},
+                     "()", SemKind::MakeScalar);
+    D.Bounds = {{"O", "BitOrder"}, {"T", "BitStore"}};
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 3;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::clear", {"&mut BitVec<O, T>"}, "()",
+                     SemKind::ContainerClear);
+    D.CovLines = 6;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::truncate", {"&mut BitVec<O, T>", "usize"},
+                     "()", SemKind::Custom);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &C = Ctx.deref(0);
+      int64_t NewLen = Ctx.deref(1).Int;
+      Ctx.coverBranch(0, NewLen < C.Len);
+      if (NewLen < C.Len)
+        C.Len = NewLen;
+      return defaultValue(Ctx.outType(), Ctx);
+    };
+    B.api(D);
+  }
+
+  // --- Observers. ----------------------------------------------------------
+  {
+    ApiDecl D = decl("BitVec::len", {"&BitVec<O, T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::is_empty", {"&BitVec<O, T>"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::capacity", {"&BitVec<O, T>"}, "usize",
+                     SemKind::Custom);
+    D.CovLines = 4;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Int = Ctx.deref(0).Cap;
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::count_ones", {"&BitVec<O, T>"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::any", {"&BitVec<O, T>"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::as_bitslice", {"&BitVec<O, T>"},
+                     "&BitSlice<O, T>", SemKind::ViewRef);
+    D.PropagatesFrom = {0};
+    D.CovLines = 4;
+    B.api(D);
+  }
+
+  // --- Conversions (the buggy path). --------------------------------------
+  {
+    ApiDecl D = decl("BitVec::into_boxed_bitslice", {"BitVec<Msb0, usize>"},
+                     "BitBox<Msb0, usize>", SemKind::Custom);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 16;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &V = Ctx.arg(0);
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Len = V.Len;
+      bool WasReallocated = V.Int > 0; // Growth count from push.
+      Ctx.coverBranch(0, WasReallocated);
+      if (WasReallocated) {
+        // BUG *3: the shrink-to-fit path copies out of the OLD buffer but
+        // keeps a pointer to it inside the box; drop reads through it.
+        int Stale = V.Alloc;
+        Out.Alloc = Ctx.heap().allocate(
+            static_cast<size_t>(V.Len) * 8 + 8, "BitBox buffer");
+        Ctx.heap().free(Stale, Ctx.line());
+        Out.Elems.push_back(Value{});
+        Out.Elems[0].Int = Stale; // Stashed stale pointer.
+        Out.Elems[0].IsNone = false;
+      } else {
+        Out.Alloc = V.Alloc; // Clean handoff of the exact-fit buffer.
+      }
+      V.Alloc = -1;
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::into_vec", {"BitVec<Msb0, usize>"},
+                     "Vec<usize>", SemKind::Custom);
+    D.CovLines = 8;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &V = Ctx.arg(0);
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Len = V.Len;
+      Out.Cap = V.Cap;
+      Out.Alloc = V.Alloc; // Ownership handoff.
+      V.Alloc = -1;
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitBox::len", {"&BitBox<Msb0, usize>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BitVec::reserve", {"&mut BitVec<O, T>", "usize"},
+                     "()", SemKind::Custom);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &C = Ctx.deref(0);
+      int64_t Extra = Ctx.deref(1).Int;
+      bool Grow = C.Len + Extra > C.Cap;
+      Ctx.coverBranch(0, Grow);
+      if (Grow) {
+        if (C.Alloc >= 0)
+          Ctx.heap().free(C.Alloc, Ctx.line());
+        C.Cap = C.Len + Extra;
+        C.Alloc = Ctx.heap().allocate(
+            static_cast<size_t>(C.Cap) * 8 + 8, "BitVec buffer (grown)");
+        C.Int += 1;
+      }
+      return defaultValue(Ctx.outType(), Ctx);
+    };
+    B.api(D);
+  }
+
+  // BitBox drop glue: reading through the stale pointer is the UAF.
+  B.dropGlue("BitBox", [](InterpCtx &Ctx, Value &V) {
+    if (!V.Elems.empty() && !V.Elems[0].IsNone && V.Elems[0].Int >= 0) {
+      int Stale = static_cast<int>(V.Elems[0].Int);
+      // The deallocation routine walks the slice through the stale
+      // pointer before releasing memory.
+      Ctx.heap().useBorrow(Stale, /*Tag=*/1, /*UniqueAccess=*/false,
+                           Ctx.line());
+    }
+    if (V.Alloc >= 0)
+      Ctx.heap().free(V.Alloc, Ctx.line());
+  });
+
+  B.finish(/*ComponentPadLines=*/15, /*ComponentPadBranches=*/1,
+           /*LibraryExtraLines=*/35, /*LibraryExtraBranches=*/3,
+           /*MaxLen=*/7);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeBitvec() {
+  CrateSpec Spec;
+  Spec.Info = {"bitvec", "DS", 799016, false, "bitvec::vec::BitVec",
+               "293e670", true};
+  Spec.Bug = BugInfo{"*3", "Use-After-Free", 5, UbKind::UseAfterFree};
+  Spec.Build = build;
+  return Spec;
+}

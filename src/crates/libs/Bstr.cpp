@@ -1,0 +1,175 @@
+//===--- Bstr.cpp - Model of bstr -----------------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("Clone", "BString");
+  B.impl("ByteSlice", "BString");
+
+  B.containerInput("bs", "BString", 9, 16);
+  B.scalarInput("byte", "u8", 0x62);
+  B.scalarInput("n", "usize", 3);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("BString::new_filled", {"usize", "u8"}, "BString",
+                     SemKind::AllocContainer);
+    D.Pinned = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::push_byte", {"&mut BString", "u8"}, "()",
+                     SemKind::ContainerPush);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::pop_byte", {"&mut BString"}, "Option<u8>",
+                     SemKind::ContainerPop);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::len", {"&BString"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::is_empty", {"&BString"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::find_byte", {"&BString", "u8"},
+                     "Option<usize>", SemKind::ContainerPop);
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::to_uppercase", {"&BString"}, "BString",
+                     SemKind::Transform);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::is_ascii", {"&BString"}, "bool",
+                     SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::clear", {"&mut BString"}, "()",
+                     SemKind::ContainerClear);
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    // Generic over byte-source: the small type-error share.
+    ApiDecl D = decl("bstr::byte_count", {"&T"}, "usize",
+                     SemKind::ContainerLen);
+    D.Bounds = {{"T", "ByteSlice"}};
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::fields_first", {"&BString"},
+                     "Option<&BString>", SemKind::ViewRef);
+    D.PropagatesFrom = {0};
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    // Mis-collected signature (Misc sliver).
+    ApiDecl D = decl("BString::splitn_count", {"&BString", "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.Quirks.SkewedArity = true;
+    D.CovLines = 7;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::into_vec", {"BString"}, "Vec<u8>",
+                     SemKind::Custom);
+    D.CovLines = 6;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &S = Ctx.arg(0);
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Len = S.Len;
+      Out.Cap = S.Cap;
+      Out.Alloc = S.Alloc;
+      S.Alloc = -1;
+      return Out;
+    };
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::contains_byte", {"&BString", "u8"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("bstr::trim_hint", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+
+  {
+    ApiDecl D = decl("BString::last_byte", {"&BString"}, "Option<u8>",
+                     SemKind::ContainerPop);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("BString::starts_with_byte", {"&BString", "u8"},
+                     "bool", SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 2;
+    Api(D);
+  }
+
+  B.finish(22, 8, 110, 22, /*MaxLen=*/9);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeBstr() {
+  CrateSpec Spec;
+  Spec.Info = {"bstr", "EN", 5789836, false, "bstr::BString", "7f0ad15",
+               true};
+  Spec.Build = build;
+  return Spec;
+}

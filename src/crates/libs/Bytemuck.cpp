@@ -1,0 +1,155 @@
+//===--- Bytemuck.cpp - Model of bytemuck ---------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// bytemuck: Pod casting. Figure 6's worst rejection rate (17.47%): the
+/// cast functions need Pod layout facts the collected signatures cannot
+/// express (modeled as unfixable inference quirks), plus a
+/// Lifetime&Ownership share from cast_ref-style reborrows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"A", "B"});
+
+  B.impl("Pod", "u8");
+  B.impl("Pod", "u32");
+  B.impl("Pod", "u64");
+
+  B.scalarInput("word", "u32", 0xDEADBEEF);
+  B.containerInput("bytes", "PodBytes", 8, 8);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    // Layout-dependent casts: unfixable inference failures (type errors
+    // that keep recurring; no refinement exists).
+    ApiDecl D = decl("bytemuck::cast_u32_pair", {"u32"}, "u64",
+                     SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("bytemuck::cast_slice_len", {"&PodBytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.Quirks.NeedsDefaultTypeParam = true;
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    // Reborrowing casts with anonymous lifetimes (the L&O share).
+    ApiDecl D = decl("bytemuck::cast_ref_view", {"&PodBytes"}, "&PodBytes",
+                     SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.Unsafe = true;
+    D.CovLines = 8;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("bytemuck::bytes_of_len", {"u32"}, "usize",
+                     SemKind::MakeScalar);
+    D.Pinned = true;
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("bytemuck::zeroed_u32", {}, "u32",
+                     SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("bytemuck::fill_zeroes", {"&mut PodBytes"}, "()",
+                     SemKind::ContainerClear);
+    D.Unsafe = true;
+    D.CovLines = 6;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("PodBytes::from_len", {"usize"}, "PodBytes",
+                     SemKind::AllocContainer);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("PodBytes::len", {"&PodBytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("bytemuck::pod_align_hint", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("bytemuck::checked_cast_len", {"usize", "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("bytemuck::offset_of_hint", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    // Pod-layout inference lost in collection (bytemuck is Figure 6's
+    // worst row: these casts keep type-erroring and nothing can fix them).
+    ApiDecl D = decl("PodBytes::first_word", {"&PodBytes"}, "u32",
+                     SemKind::MakeScalar);
+    D.Quirks.NeedsDefaultTypeParam = true;
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("PodBytes::word_count", {"&PodBytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("bytemuck::try_cast_ok", {"u32", "usize"}, "bool",
+                     SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+
+  B.finish(16, 6, 30, 8, /*MaxLen=*/5);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeBytemuck() {
+  CrateSpec Spec;
+  Spec.Info = {"bytemuck", "EN", 727756, false, "bytemuck", "68ed5fe",
+               true};
+  Spec.Build = build;
+  return Spec;
+}

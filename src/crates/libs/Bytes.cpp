@@ -1,0 +1,201 @@
+//===--- Bytes.cpp - Model of the bytes crate -----------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// bytes::BytesMut: a reference-counted byte buffer. Mostly concrete APIs;
+/// the small type-error count comes from one generic helper, the Misc
+/// sliver from a mis-collected signature.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("Buf", "BytesMut");
+  B.impl("Buf", "Bytes");
+
+  B.containerInput("buf", "BytesMut", 5, 16);
+  B.scalarInput("byte", "u8", 0x41);
+  B.scalarInput("n", "usize", 4);
+
+  {
+    ApiDecl D = decl("BytesMut::with_capacity", {"usize"}, "BytesMut",
+                     SemKind::AllocContainer);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::new", {}, "BytesMut",
+                     SemKind::AllocContainer);
+    D.CovLines = 6;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::put_u8", {"&mut BytesMut", "u8"}, "()",
+                     SemKind::ContainerPush);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 11;
+    D.CovBranches = 3;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::len", {"&BytesMut"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::capacity", {"&BytesMut"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::is_empty", {"&BytesMut"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::clear", {"&mut BytesMut"}, "()",
+                     SemKind::ContainerClear);
+    D.CovLines = 5;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::truncate", {"&mut BytesMut", "usize"}, "()",
+                     SemKind::ContainerClear);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::reserve", {"&mut BytesMut", "usize"}, "()",
+                     SemKind::ContainerPush);
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::split_to", {"&mut BytesMut", "usize"},
+                     "BytesMut", SemKind::Custom);
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &Buf = Ctx.deref(0);
+      int64_t At = Ctx.deref(1).Int;
+      if (At > Buf.Len)
+        At = Buf.Len;
+      Ctx.coverBranch(0, At > 0);
+      Buf.Len -= At;
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Len = At;
+      Out.Cap = At;
+      // Shares the refcounted allocation: model as a fresh buffer.
+      Out.Alloc = Ctx.heap().allocate(static_cast<size_t>(At) + 8,
+                                      "BytesMut split");
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::freeze", {"BytesMut"}, "Bytes",
+                     SemKind::Custom);
+    D.Pinned = false;
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &Buf = Ctx.arg(0);
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Len = Buf.Len;
+      Out.Alloc = Buf.Alloc;
+      Buf.Alloc = -1;
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Bytes::len", {"&Bytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Bytes::slice_len", {"&Bytes", "usize", "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    // Generic helper over Buf: the small type-error source.
+    ApiDecl D = decl("buf::remaining", {"&T"}, "usize",
+                     SemKind::ContainerLen);
+    D.Bounds = {{"T", "Buf"}};
+    D.CovLines = 5;
+    B.api(D);
+  }
+  {
+    // Mis-collected signature.
+    ApiDecl D = decl("BytesMut::extend_from_slice",
+                     {"&mut BytesMut", "usize"}, "()", SemKind::Inert);
+    D.Quirks.SkewedArity = true;
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::remaining_mut", {"&BytesMut"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    B.api(D);
+  }
+
+  {
+    ApiDecl D = decl("Bytes::first_byte", {"&Bytes"}, "Option<u8>",
+                     SemKind::ContainerPop);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("BytesMut::put_u32", {"&mut BytesMut", "u32"}, "()",
+                     SemKind::ContainerPush);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+
+  B.finish(26, 8, 90, 18, /*MaxLen=*/7);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeBytes() {
+  CrateSpec Spec;
+  Spec.Info = {"bytes", "DS", 16302396, false, "bytes::BytesMut",
+               "b7f7582", true};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,128 @@
+//===--- CborCodec.cpp - Model of cbor-codec ------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// cbor::decoder::Decoder. Figure 6: L&O-majority (63.41%) rejections over
+/// a small synthesized count - reader-handle APIs with anonymous
+/// parameterized lifetimes dominate the surface.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {});
+
+  B.containerInput("cbor", "CborBytes", 12, 12);
+  B.customInput("dec", "Decoder", [](AbstractHeap &Heap, syrust::Rng &) {
+    Value V;
+    V.Alloc = Heap.allocate(64, "Decoder state");
+    return V;
+  });
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("Decoder::new", {"&CborBytes"}, "Decoder",
+                     SemKind::AllocContainer);
+    D.Pinned = true;
+    D.CovLines = 9;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Decoder::u64_value", {"&mut Decoder"}, "u64",
+                     SemKind::MakeScalar);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 11;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Decoder::bool_value", {"&mut Decoder"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    // Reader views with anonymous lifetimes: the L&O majority.
+    ApiDecl D = decl("Decoder::text_view", {"&mut Decoder"}, "&CborBytes",
+                     SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.CovLines = 9;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Decoder::bytes_view", {"&mut Decoder"}, "&CborBytes",
+                     SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.CovLines = 9;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Decoder::array_len", {"&mut Decoder"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Decoder::skip_value", {"&mut Decoder"}, "()",
+                     SemKind::ContainerPush);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Decoder::position", {"&Decoder"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("CborBytes::len", {"&CborBytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("types::major_type_of", {"u8"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    // Short consumer for the borrowed views (keeps the anonymous-
+    // lifetime chains inside reachable lengths).
+    ApiDecl D = decl("CborBytes::first_byte", {"&CborBytes"}, "u8",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+
+  B.finish(14, 4, 60, 14, /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeCborCodec() {
+  CrateSpec Spec;
+  Spec.Info = {"cbor-codec", "EN", 108378, false, "decoder::Decoder",
+               "ea76c0c", true};
+  Spec.Build = build;
+  return Spec;
+}

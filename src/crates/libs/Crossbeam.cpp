@@ -1,0 +1,214 @@
+//===--- Crossbeam.cpp - Model of the crossbeam facade crate (bug *2) -----===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Models crossbeam::epoch::Collector (the component the paper tested for
+/// the facade crate; disjoint from the crossbeam-queue/-deque/-utils
+/// components, Section 7.1). Bug *2: during handle registration the
+/// epoch machinery constructs a pointer into a retired (already freed)
+/// garbage bag without going through MaybeUninit - creating a hanging
+/// pointer, which Miri flags even without a dereference.
+///
+/// Minimal trigger (3 lines, matching Figure 7):
+///   let v1 : Collector = Collector::new();
+///   let v2 = &v1;
+///   let v3 : LocalHandle = Collector::register(v2);
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("Send", "usize");
+  B.impl("Send", "String");
+
+  B.scalarInput("n", "usize", 4);
+  B.stringInput("s", "String", "payload");
+
+  {
+    // Collector::new allocates the global epoch state plus an initial
+    // garbage bag that is immediately retired (freed).
+    ApiDecl D = decl("Collector::new", {}, "Collector", SemKind::Custom);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 14;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Alloc = Ctx.heap().allocate(128, "Collector global state");
+      int Bag = Ctx.heap().allocate(64, "epoch bag 0");
+      Ctx.heap().free(Bag, Ctx.line()); // Retired during construction.
+      Out.Int = Bag;                    // Retired-bag id kept inside.
+      Ctx.coverBranch(0, true);
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    // BUG *2: registration rebuilds a bag-list pointer from the retired
+    // bag's address - a hanging pointer the moment it is formed.
+    ApiDecl D = decl("Collector::register", {"&Collector"}, "LocalHandle",
+                     SemKind::Custom);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 16;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &C = Ctx.deref(0);
+      int RetiredBag = static_cast<int>(C.Int);
+      if (RetiredBag >= 0)
+        Ctx.heap().recordRawPointer(RetiredBag, 0, Ctx.line(),
+                                    "epoch bag-list link");
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Alloc = Ctx.heap().allocate(32, "LocalHandle");
+      Ctx.coverBranch(0, RetiredBag >= 0);
+      return Out;
+    };
+    B.api(D);
+  }
+
+  // The rest of the selected component surface: scoped-thread and channel
+  // helpers the facade re-exports, modeled concretely.
+  {
+    ApiDecl D = decl("Backoff::new", {}, "Backoff",
+                     SemKind::AllocContainer);
+    D.CovLines = 6;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Backoff::spin", {"&Backoff"}, "()",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Backoff::is_completed", {"&Backoff"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("channel::bounded_capacity_hint", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("channel::chunk_len", {"usize", "usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("epoch::bag_capacity", {}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("LocalHandle::is_pinned", {"&LocalHandle"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("utils::cache_padded_len", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("String::hash_seed", {"&String"}, "usize",
+                     SemKind::Transform);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    // epoch::Owned<T>: Send-bounded; its eager instantiations over
+    // non-Send types are the facade's small type-error source - and the
+    // reason the purely eager RQ3 variant drowns (Figure 10): the epoch
+    // module is generic everywhere.
+    ApiDecl D = decl("Owned::new", {"T"}, "Owned<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 7;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Owned::into_usize", {"Owned<T>"}, "usize",
+                     SemKind::ConsumeFree);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 6;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Atomic::null", {}, "Atomic<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 6;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Atomic::from_owned", {"Owned<T>"}, "Atomic<T>",
+                     SemKind::Custom);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &O = Ctx.arg(0);
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Alloc = O.Alloc;
+      Out.Len = O.Len;
+      O.Alloc = -1;
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Atomic::is_null", {"&Atomic<T>"}, "bool",
+                     SemKind::ContainerLen);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 5;
+    B.api(D);
+  }
+
+  // The facade is far larger than the tested component (Figure 11's low
+  // whole-library coverage for crossbeam).
+  B.finish(/*ComponentPadLines=*/8, /*ComponentPadBranches=*/0,
+           /*LibraryExtraLines=*/188, /*LibraryExtraBranches=*/86,
+           /*MaxLen=*/4);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeCrossbeam() {
+  CrateSpec Spec;
+  Spec.Info = {"crossbeam", "DS", 5645952, false,
+               "crossbeam::epoch::Collector", "5a68889", true};
+  Spec.Bug = BugInfo{"*2", "Hanging Pointer", 3, UbKind::DanglingPointer};
+  Spec.Build = build;
+  return Spec;
+}

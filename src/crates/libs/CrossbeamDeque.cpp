@@ -1,0 +1,156 @@
+//===--- CrossbeamDeque.cpp - Model of crossbeam-deque --------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("Send", "usize");
+  B.impl("Send", "String");
+
+  B.scalarInput("task", "usize", 9);
+  B.stringInput("name", "String", "job");
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("Injector::new", {}, "Injector<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Send"}};
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 10;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Injector::push", {"&Injector<T>", "T"}, "()",
+                     SemKind::ContainerPush);
+    D.Bounds = {{"T", "Send"}};
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Injector::steal", {"&Injector<T>"}, "Steal<T>",
+                     SemKind::ContainerPop);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Injector::len", {"&Injector<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Injector::is_empty", {"&Injector<T>"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Worker::new_fifo", {}, "Worker<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 9;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Worker::new_lifo", {}, "Worker<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 9;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Worker::push", {"&Worker<T>", "T"}, "()",
+                     SemKind::ContainerPush);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 11;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Worker::pop", {"&Worker<T>"}, "Option<T>",
+                     SemKind::ContainerPop);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 11;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Worker::len", {"&Worker<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Worker::stealer", {"&Worker<T>"}, "Stealer<T>",
+                     SemKind::MakeScalar);
+    D.Bounds = {{"T", "Send"}};
+    D.CovLines = 6;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Stealer::steal", {"&Stealer<T>"}, "Steal<T>",
+                     SemKind::ContainerPop);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Steal::is_success", {"&Steal<usize>"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Steal::is_empty", {"&Steal<usize>"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("deque::batch_hint", {"usize", "usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+
+  B.finish(24, 8, 80, 16, /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeCrossbeamDeque() {
+  CrateSpec Spec;
+  Spec.Info = {"crossbeam-deque", "DS", 15140300, true,
+               "crossbeam_deque::Injector", "5a68889", true};
+  Spec.Build = build;
+  return Spec;
+}

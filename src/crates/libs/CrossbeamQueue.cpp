@@ -1,0 +1,217 @@
+//===--- CrossbeamQueue.cpp - Model of crossbeam-queue (bug *1) -----------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Models crossbeam_queue::ArrayQueue. Bug *1 (Figure 7, RUSTSEC-2020-0052
+/// in the paper's citation [6]): the destructor reconstructs the internal
+/// buffer as a Vec sized by the element count, so a queue dropped with
+/// fewer elements than its capacity releases the wrong amount of memory -
+/// observable as a leak on the very first one-line test case:
+///
+///   let v1 : ArrayQueue<usize> = ArrayQueue::new(n);   // n > 0
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("Send", "usize");
+  B.impl("Send", "String");
+  B.impl("Clone", "String");
+
+  B.scalarInput("n", "usize", 3);
+  B.stringInput("s", "String", "item");
+
+  {
+    // The buggy constructor: capacity-sized buffer.
+    ApiDecl D = decl("ArrayQueue::new", {"usize"}, "ArrayQueue<T>",
+                     SemKind::Custom);
+    D.Bounds = {{"T", "Send"}};
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value Out;
+      Out.Ty = Ctx.outType();
+      int64_t Cap = Ctx.deref(0).Int;
+      Ctx.coverBranch(0, Cap == 0);
+      Out.Cap = Cap;
+      Out.Len = 0;
+      if (Cap > 0)
+        Out.Alloc = Ctx.heap().allocate(static_cast<size_t>(Cap) * 16,
+                                        "ArrayQueue slots");
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("ArrayQueue::push", {"&ArrayQueue<T>", "T"},
+                     "Result<i32>", SemKind::Custom);
+    D.Bounds = {{"T", "Send"}};
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 14;
+    D.CovBranches = 3;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &Q = Ctx.deref(0);
+      Value Out;
+      Out.Ty = Ctx.outType();
+      bool Full = Q.Len >= Q.Cap;
+      Ctx.coverBranch(0, Full);
+      if (!Full)
+        Q.Len += 1;
+      Out.Int = Full ? 1 : 0;
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("ArrayQueue::pop", {"&ArrayQueue<T>"}, "Option<T>",
+                     SemKind::ContainerPop);
+    D.Bounds = {{"T", "Send"}};
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("ArrayQueue::len", {"&ArrayQueue<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("ArrayQueue::capacity", {"&ArrayQueue<T>"}, "usize",
+                     SemKind::Custom);
+    D.CovLines = 4;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Int = Ctx.deref(0).Cap;
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("ArrayQueue::is_empty", {"&ArrayQueue<T>"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("ArrayQueue::is_full", {"&ArrayQueue<T>"}, "bool",
+                     SemKind::Custom);
+    D.CovLines = 4;
+    D.CovBranches = 1;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &Q = Ctx.deref(0);
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Int = Q.Len >= Q.Cap ? 1 : 0;
+      Ctx.coverBranch(0, Out.Int != 0);
+      return Out;
+    };
+    B.api(D);
+  }
+
+  // SegQueue: the crate's other queue, kept concrete and leak-free.
+  {
+    ApiDecl D = decl("SegQueue::new", {}, "SegQueue<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Send"}};
+    D.CovLines = 8;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SegQueue::push", {"&SegQueue<T>", "T"}, "()",
+                     SemKind::ContainerPush);
+    D.Bounds = {{"T", "Send"}};
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SegQueue::pop", {"&SegQueue<T>"}, "Option<T>",
+                     SemKind::ContainerPop);
+    D.Bounds = {{"T", "Send"}};
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SegQueue::len", {"&SegQueue<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 5;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("queue::usable_capacity", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("queue::recommended_capacity", {"usize", "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("String::from_queue_item", {"&String"}, "String",
+                     SemKind::Transform);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("String::item_len", {"&String"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+
+  // BUG *1: drop releases only the occupied prefix; a partially filled
+  // queue leaks its buffer (modeled as: the buffer is freed only when the
+  // queue was exactly full).
+  B.dropGlue("ArrayQueue", [](InterpCtx &Ctx, Value &V) {
+    if (V.Alloc < 0)
+      return;
+    if (V.Len == V.Cap) {
+      Ctx.heap().free(V.Alloc, Ctx.line());
+      return;
+    }
+    // Deallocation through Vec::from_raw_parts with len != cap: the slot
+    // buffer is never fully released (leak; cited advisory).
+  });
+
+  B.finish(/*ComponentPadLines=*/30, /*ComponentPadBranches=*/8,
+           /*LibraryExtraLines=*/60, /*LibraryExtraBranches=*/10,
+           /*MaxLen=*/5);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeCrossbeamQueue() {
+  CrateSpec Spec;
+  Spec.Info = {"crossbeam-queue", "DS", 10081038, true,
+               "crossbeam_queue::ArrayQueue", "5a68889", true};
+  Spec.Bug = BugInfo{"*1", "Memory Leak", 1, UbKind::MemoryLeak};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,165 @@
+//===--- CrossbeamUtils.cpp - Model of crossbeam-utils --------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// crossbeam_utils::atomic::AtomicCell. Figure 6 profile: a mix of type
+/// errors, a notable Misc share (trait-machinery methods the collector
+/// mis-resolved), and a small Lifetime&Ownership residue from a view API
+/// with an anonymous parameterized lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("Copy", "CachePadded<usize>");
+  B.impl("Send", "usize");
+  B.impl("Send", "u64");
+  B.impl("Send", "bool");
+
+  B.scalarInput("x", "usize", 11);
+  B.scalarInput("flag", "bool", 1);
+
+  {
+    ApiDecl D = decl("AtomicCell::new", {"T"}, "AtomicCell<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Send"}};
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 10;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("AtomicCell::load", {"&AtomicCell<usize>"}, "usize",
+                     SemKind::ContainerLen);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("AtomicCell::store", {"&AtomicCell<usize>", "usize"},
+                     "()", SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("AtomicCell::swap", {"&AtomicCell<usize>", "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("AtomicCell::take", {"&AtomicCell<usize>"}, "usize",
+                     SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 7;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("AtomicCell::into_inner", {"AtomicCell<usize>"},
+                     "usize", SemKind::ConsumeFree);
+    D.Unsafe = true;
+    D.CovLines = 7;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    // "method not found": resolves through an is-lock-free trait impl the
+    // collector could not see (the Misc share).
+    ApiDecl D = decl("AtomicCell::fetch_add",
+                     {"&AtomicCell<usize>", "usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.Quirks.MethodNotFound = true;
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("AtomicCell::is_lock_free", {"&AtomicCell<usize>"},
+                     "bool", SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    // Anonymous parameterized lifetime: chaining this view breaks.
+    ApiDecl D = decl("AtomicCell::as_ptr_view", {"&AtomicCell<usize>"},
+                     "&usize", SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.Unsafe = true;
+    D.CovLines = 6;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("CachePadded::new", {"usize"}, "CachePadded<usize>",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("CachePadded::into_inner", {"CachePadded<usize>"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 5;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Backoff::new", {}, "Backoff",
+                     SemKind::AllocContainer);
+    D.CovLines = 5;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Backoff::snooze_count", {"&Backoff"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("thread::scope_depth", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("AtomicCell::compare_exchange_hint",
+                     {"&AtomicCell<usize>", "usize", "usize"}, "bool",
+                     SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 3;
+    B.api(D);
+  }
+
+  B.finish(24, 8, 110, 26, /*MaxLen=*/5);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeCrossbeamUtils() {
+  CrateSpec Spec;
+  Spec.Info = {"crossbeam-utils", "DS", 19491917, true,
+               "crossbeam_utils::atomic::AtomicCell", "5a68889", true};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,138 @@
+//===--- CsvCore.cpp - Model of csv-core ----------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// csv_core::Reader. Figure 6's L&O-dominated outlier (93.72% of its
+/// rejections): the push-parser's buffer-in/buffer-out API surface is
+/// full of anonymous parameterized lifetimes the encoder cannot express,
+/// and its narrow typing graph exhausts the synthesis space early (only
+/// ~15k test cases in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {});
+
+  B.customInput("rdr", "Reader", [](AbstractHeap &Heap, syrust::Rng &) {
+    Value V;
+    V.Alloc = Heap.allocate(256, "Reader state");
+    return V;
+  });
+  B.containerInput("input", "CsvBytes", 24, 24);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("Reader::new", {}, "Reader", SemKind::Custom);
+    D.Pinned = true;
+    D.CovLines = 10;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value V;
+      V.Ty = Ctx.outType();
+      V.Alloc = Ctx.heap().allocate(256, "Reader state");
+      return V;
+    };
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Reader::read_field", {"&mut Reader", "&CsvBytes"},
+                     "ReadFieldResult", SemKind::MakeScalar);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 16;
+    D.CovBranches = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Reader::read_record", {"&mut Reader", "&CsvBytes"},
+                     "ReadRecordResult", SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 16;
+    D.CovBranches = 4;
+    Api(D);
+  }
+  {
+    // The L&O flood: output buffers borrowed with anonymous lifetimes.
+    ApiDecl D = decl("Reader::field_view", {"&Reader"}, "&CsvBytes",
+                     SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.CovLines = 7;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Reader::record_view", {"&Reader"}, "&CsvBytes",
+                     SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.CovLines = 7;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("CsvBytes::len", {"&CsvBytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Reader::is_done", {"&Reader"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Reader::line", {"&Reader"}, "u64",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Reader::reset", {"&mut Reader"}, "()",
+                     SemKind::ContainerClear);
+    D.CovLines = 6;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("ReadFieldResult::is_field", {"&ReadFieldResult"},
+                     "bool", SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("ReadRecordResult::is_record", {"&ReadRecordResult"},
+                     "bool", SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("ReaderBuilder::delimiter_default", {}, "u8",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    Api(D);
+  }
+
+  B.finish(22, 8, 60, 14, /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeCsvCore() {
+  CrateSpec Spec;
+  Spec.Info = {"csv-core", "EN", 4144518, false, "csv_core::Reader::",
+               "70c8600", true};
+  Spec.Build = build;
+  return Spec;
+}

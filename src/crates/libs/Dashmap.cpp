@@ -1,0 +1,165 @@
+//===--- Dashmap.cpp - Model of dashmap -----------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// dashmap::DashMap. Section 7.1 singles dashmap out as "extremely slow to
+/// be interpreted by Miri" (sharded locks amplify Stacked Borrows
+/// bookkeeping) - only about half as many test cases execute within the
+/// budget, modeled by MiriCostFactor.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"K", "V"});
+
+  B.impl("Hash", "String");
+  B.impl("Eq", "String");
+  B.impl("Clone", "String");
+
+  B.containerInput("map", "DashMap<String, usize>", 2, 32);
+  B.stringInput("key", "String", "route");
+  B.scalarInput("val", "usize", 17);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("DashMap::new", {}, "DashMap<K, V>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"K", "Hash"}, {"K", "Eq"}};
+    D.Unsafe = true;
+    D.CovLines = 10;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::with_capacity", {"usize"}, "DashMap<K, V>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"K", "Hash"}, {"K", "Eq"}};
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::insert",
+                     {"&DashMap<String, usize>", "String", "usize"},
+                     "Option<usize>", SemKind::Custom);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 14;
+    D.CovBranches = 3;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &M = Ctx.deref(0);
+      M.Len += 1;
+      Ctx.coverBranch(0, M.Len > 8);
+      Value Out = defaultValue(Ctx.outType(), Ctx);
+      Out.IsNone = true;
+      return Out;
+    };
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::remove",
+                     {"&DashMap<String, usize>", "&String"},
+                     "Option<usize>", SemKind::ContainerPop);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::contains_key",
+                     {"&DashMap<String, usize>", "&String"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::len", {"&DashMap<String, usize>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::is_empty", {"&DashMap<String, usize>"},
+                     "bool", SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::clear", {"&DashMap<String, usize>"}, "()",
+                     SemKind::ContainerClear);
+    D.Unsafe = true;
+    D.CovLines = 7;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::shard_count", {"&DashMap<String, usize>"},
+                     "usize", SemKind::MakeScalar);
+    D.Quirks.MethodNotFound = true;
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::capacity_hint", {"&DashMap<String, usize>"},
+                     "usize", SemKind::ContainerLen);
+    D.Quirks.MethodNotFound = true;
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::alter_count",
+                     {"&DashMap<String, usize>", "&String"}, "usize",
+                     SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("mapref::entry_hint", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::hasher_seed", {"&DashMap<String, usize>"},
+                     "u64", SemKind::MakeScalar);
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("DashMap::reserve_hint",
+                     {"&DashMap<String, usize>", "usize"}, "()",
+                     SemKind::ContainerPush);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+
+  B.finish(24, 8, 140, 30, /*MaxLen=*/7, /*MiriCost=*/2.1);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeDashmap() {
+  CrateSpec Spec;
+  Spec.Info = {"dashmap", "DS", 465022, true, "dashmap::DashMap",
+               "b2951f8", true};
+  Spec.Build = build;
+  return Spec;
+}

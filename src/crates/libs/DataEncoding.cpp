@@ -1,0 +1,132 @@
+//===--- DataEncoding.cpp - Model of data-encoding ------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {});
+
+  B.containerInput("data", "EncBytes", 10, 10);
+  B.stringInput("text", "String", "SGVsbG8=");
+  B.scalarInput("n", "usize", 5);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("Encoding::base64", {}, "Encoding",
+                     SemKind::MakeScalar);
+    D.Pinned = true;
+    D.CovLines = 6;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Encoding::base32", {}, "Encoding",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Encoding::encode", {"&Encoding", "&EncBytes"},
+                     "String", SemKind::Transform);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 14;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Encoding::decode", {"&Encoding", "&String"},
+                     "EncBytes", SemKind::Transform);
+    D.Unsafe = true;
+    D.CovLines = 14;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Encoding::encode_len", {"&Encoding", "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Encoding::decode_len", {"&Encoding", "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    // Anonymous lifetime on the zero-copy view (the L&O share).
+    ApiDecl D = decl("Encoding::symbols_view", {"&Encoding"}, "&String",
+                     SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    // Mis-collected specification-builder signature (Misc share).
+    ApiDecl D = decl("Specification::encoding_for", {"&String"},
+                     "Encoding", SemKind::MakeScalar);
+    D.Quirks.SkewedArity = true;
+    D.CovLines = 8;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("EncBytes::len", {"&EncBytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("EncBytes::from_len", {"usize"}, "EncBytes",
+                     SemKind::AllocContainer);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Encoding::is_canonical", {"&Encoding"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("String::enc_len", {"&String"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("encoding::bit_width", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+
+  B.finish(22, 8, 70, 14, /*MaxLen=*/10);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeDataEncoding() {
+  CrateSpec Spec;
+  Spec.Info = {"data-encoding", "EN", 2240282, false,
+               "data_encoding::Encoding", "34d1f0e", true};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,155 @@
+//===--- EncodeUnicode.cpp - Model of encode_unicode ----------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("CharExt", "char");
+
+  B.scalarInput("c", "char", 0x61);
+  B.scalarInput("cp", "u32", 0x1F600);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("Utf8Char::from_char", {"char"}, "Utf8Char",
+                     SemKind::MakeScalar);
+    D.Pinned = true;
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Utf8Char::len", {"&Utf8Char"}, "usize",
+                     SemKind::MakeScalar);
+    D.Pinned = true;
+    D.CovLines = 5;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Utf8Char::is_ascii", {"&Utf8Char"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Utf8Char::to_char", {"&Utf8Char"}, "char",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Utf16Char::from_char", {"char"}, "Utf16Char",
+                     SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Utf16Char::len", {"&Utf16Char"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Utf8Char::from_codepoint_checked", {"u32"},
+                     "Option<Utf8Char>", SemKind::ContainerPop);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Utf16Char::from_codepoint_checked", {"u32"},
+                     "Option<Utf16Char>", SemKind::ContainerPop);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("char::width_utf8", {"char"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("char::width_utf16", {"char"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    // Mis-collected signature (Misc sliver).
+    ApiDecl D = decl("Utf8Char::to_slice_len", {"&Utf8Char"}, "usize",
+                     SemKind::MakeScalar);
+    D.Quirks.SkewedArity = true;
+    D.CovLines = 6;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Utf8Char::eq_char", {"&Utf8Char", "char"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("iterator::byte_count_hint", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    // Extension-trait generic (the type-error source): only `char`
+    // implements CharExt.
+    ApiDecl D = decl("CharExt::to_utf8_len", {"T"}, "usize",
+                     SemKind::MakeScalar);
+    D.Bounds = {{"T", "CharExt"}};
+    D.CovLines = 5;
+    Api(D);
+  }
+
+  {
+    ApiDecl D = decl("Utf16Char::to_char", {"&Utf16Char"}, "char",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Utf8Char::as_u32", {"&Utf8Char"}, "u32",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    Api(D);
+  }
+
+  B.finish(18, 6, 50, 12, /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeEncodeUnicode() {
+  CrateSpec Spec;
+  Spec.Info = {"encode_unicode", "EN", 1985895, false,
+               "encode_unicode::Utf8Char", "47f8483", true};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,207 @@
+//===--- EncodingRs.cpp - Model of encoding_rs (bug *4) -------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Models encoding_rs::Decoder. Bug *4: the UTF-8 to UTF-16 conversion
+/// scans the source for the next alignment boundary and forms a pointer
+/// past the end of the buffer when the length is not a multiple of the
+/// SIMD stride - an out-of-bounds pointer, which Miri flags at creation.
+///
+/// Minimal trigger (4 lines, matching Figure 7):
+///   let v1 = &src;
+///   let mut v2 = d;
+///   let v3 = &mut v2;
+///   let v4 : usize = Decoder::decode_to_utf16(v3, v1);
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+constexpr int64_t SimdStride = 8;
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("AsBytes", "Utf8Bytes");
+
+  // Template: a UTF-8 decoder plus a source buffer whose length is NOT a
+  // multiple of the SIMD stride (13 bytes).
+  B.customInput("d", "Decoder", [](AbstractHeap &Heap, syrust::Rng &) {
+    Value V;
+    V.Alloc = Heap.allocate(96, "Decoder state");
+    return V;
+  });
+  B.customInput("src", "Utf8Bytes", [](AbstractHeap &Heap, syrust::Rng &) {
+    Value V;
+    V.Len = 13;
+    V.Cap = 13;
+    V.Alloc = Heap.allocate(13, "source bytes");
+    return V;
+  });
+
+  {
+    // BUG *4: alignment scan overshoots a misaligned source.
+    ApiDecl D = decl("Decoder::decode_to_utf16",
+                     {"&mut Decoder", "&Utf8Bytes"}, "usize",
+                     SemKind::Custom);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 18;
+    D.CovBranches = 4;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &Src = Ctx.deref(1);
+      bool Misaligned = Src.Len % SimdStride != 0;
+      Ctx.coverBranch(0, Misaligned);
+      if (Misaligned && Src.Alloc >= 0) {
+        int64_t Overshoot =
+            ((Src.Len / SimdStride) + 1) * SimdStride; // Past the end.
+        Ctx.heap().recordRawPointer(Src.Alloc, Overshoot, Ctx.line(),
+                                    "alignment scan");
+      }
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Int = Src.Len * 2;
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Decoder::max_utf16_buffer_length",
+                     {"&Decoder", "usize"}, "usize", SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Decoder::encoding_name", {"&Decoder"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Encoding::utf8_decoder", {}, "Decoder",
+                     SemKind::Custom);
+    D.Pinned = true;
+    D.CovLines = 8;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value V;
+      V.Ty = Ctx.outType();
+      V.Alloc = Ctx.heap().allocate(96, "Decoder state");
+      return V;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Encoding::windows1252_decoder", {}, "Decoder",
+                     SemKind::Custom);
+    D.CovLines = 8;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value V;
+      V.Ty = Ctx.outType();
+      V.Alloc = Ctx.heap().allocate(96, "Decoder state");
+      return V;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Utf8Bytes::from_len", {"usize"}, "Utf8Bytes",
+                     SemKind::Custom);
+    D.CovLines = 7;
+    D.CovBranches = 1;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value V;
+      V.Ty = Ctx.outType();
+      // Sources built in-test are stride-aligned, so only the template's
+      // odd-length buffer exposes the bug.
+      V.Len = (Ctx.deref(0).Int / SimdStride + 1) * SimdStride;
+      V.Cap = V.Len;
+      V.Alloc = Ctx.heap().allocate(static_cast<size_t>(V.Len),
+                                    "aligned source bytes");
+      Ctx.coverBranch(0, Ctx.deref(0).Int > 0);
+      return V;
+    };
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Utf8Bytes::len", {"&Utf8Bytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Utf8Bytes::is_ascii", {"&Utf8Bytes"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Decoder::latin1_byte_compatible_up_to",
+                     {"&Decoder", "&Utf8Bytes"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("mem::is_utf8_latin1", {"&Utf8Bytes"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("mem::utf8_valid_up_to", {"&Utf8Bytes"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("mem::convert_latin1_to_utf8_len", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Decoder::has_pending_state", {"&Decoder"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    // Generic byte-source helper: the small type-error source.
+    ApiDecl D = decl("mem::source_len", {"&T"}, "usize",
+                     SemKind::ContainerLen);
+    D.Bounds = {{"T", "AsBytes"}};
+    D.CovLines = 5;
+    B.api(D);
+  }
+
+  B.finish(/*ComponentPadLines=*/26, /*ComponentPadBranches=*/8,
+           /*LibraryExtraLines=*/120, /*LibraryExtraBranches=*/30,
+           /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeEncodingRs() {
+  CrateSpec Spec;
+  Spec.Info = {"encoding_rs", "EN", 7344939, false, "Decoder", "8e3eee5",
+               true};
+  Spec.Bug =
+      BugInfo{"*4", "OOB Pointer", 4, UbKind::OutOfBoundsPointer};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,45 @@
+//===--- Excluded.cpp - Closure-based crates SyRust cannot drive ----------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// cookie-factory and jsonrpc-client-core build their APIs around
+/// first-class closures, which the straight-line synthesis syntax cannot
+/// express (Section 7.1 / 7.4.1); the paper excluded both from the
+/// results. They remain in the registry so the Figure 12 inventory is
+/// complete, with SupportsSynthesis = false.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::crates;
+
+namespace {
+
+void buildEmpty(CrateInstance &I) {
+  CrateBuilder B(I, {});
+  B.scalarInput("n", "usize", 1);
+  B.finish(0, 0, 120, 30, /*MaxLen=*/1);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeCookieFactory() {
+  CrateSpec Spec;
+  Spec.Info = {"cookie-factory", "EN", 292900, false, "cookie_factory",
+               "a935a81", /*SupportsSynthesis=*/false};
+  Spec.Build = buildEmpty;
+  return Spec;
+}
+
+CrateSpec syrust::crates::makeJsonrpcClientCore() {
+  CrateSpec Spec;
+  Spec.Info = {"jsonrpc-client-core", "EN", 78992, false,
+               "example::ExampleRpcClient", "4fde208",
+               /*SupportsSynthesis=*/false};
+  Spec.Build = buildEmpty;
+  return Spec;
+}

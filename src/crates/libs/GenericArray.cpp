@@ -1,0 +1,169 @@
+//===--- GenericArray.cpp - Model of generic-array ------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// generic_array::GenericArray: length-in-the-type arrays driven by
+/// typenum trait machinery. Figure 6: Misc-dominated (98.71%) - the
+/// collector cannot resolve methods that come in through ArrayLength
+/// impls, yielding sustained "method not found" rejections.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T", "N"});
+
+  B.impl("ArrayLength", "U4");
+  B.impl("ArrayLength", "U8");
+  B.impl("Clone", "GenericArray<T, N>", {{"T", "Clone"}});
+  B.impl("Clone", "u8");
+
+  B.containerInput("arr", "GenericArray<u8, U4>", 4, 4);
+  B.scalarInput("x", "u8", 3);
+  B.scalarInput("n", "usize", 2);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    // Collected at a concrete instantiation (the generic Default impl is
+    // what the Misc-quirked methods below resolve through).
+    ApiDecl D = decl("GenericArray::default4", {}, "GenericArray<u8, U4>",
+                     SemKind::AllocContainer);
+    D.Pinned = true;
+    D.CovLines = 9;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::len", {"&GenericArray<u8, U4>"},
+                     "usize", SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    // typenum-resolved methods the collector mis-saw (the Misc flood).
+    ApiDecl D = decl("GenericArray::from_slice", {"&GenericArray<u8, U4>"},
+                     "GenericArray<u8, U4>", SemKind::Transform);
+    D.Quirks.MethodNotFound = true;
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::as_slice_len",
+                     {"&GenericArray<u8, U4>"}, "usize",
+                     SemKind::ContainerLen);
+    D.Quirks.MethodNotFound = true;
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::concat_len",
+                     {"&GenericArray<u8, U4>", "&GenericArray<u8, U4>"},
+                     "usize", SemKind::MakeScalar);
+    D.Quirks.MethodNotFound = true;
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::first", {"&GenericArray<u8, U4>"},
+                     "Option<u8>", SemKind::ContainerPop);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::fill", {"&mut GenericArray<u8, U4>",
+                                            "u8"},
+                     "()", SemKind::MakeScalar);
+    D.CovLines = 7;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("arr::generic_length_of", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::swap", {"&mut GenericArray<u8, U4>",
+                                            "usize", "usize"},
+                     "()", SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::reverse", {"&mut GenericArray<u8, U4>"},
+                     "()", SemKind::Inert);
+    D.CovLines = 6;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::contains_byte",
+                     {"&GenericArray<u8, U4>", "u8"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::clone_array",
+                     {"&GenericArray<u8, U4>"}, "GenericArray<u8, U4>",
+                     SemKind::Transform);
+    D.CovLines = 7;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("sequence::split_hint", {"usize", "usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.Quirks.MethodNotFound = true;
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::sum_bytes", {"&GenericArray<u8, U4>"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("GenericArray::map_len", {"GenericArray<u8, U4>"},
+                     "usize", SemKind::ConsumeFree);
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.CovBranches = 1;
+    Api(D);
+  }
+
+  B.finish(24, 8, 60, 12, /*MaxLen=*/10);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeGenericArray() {
+  CrateSpec Spec;
+  Spec.Info = {"generic-array", "DS", 12145172, true,
+               "generic_array::GenericArray", "04fe34c", true};
+  Spec.Build = build;
+  return Spec;
+}

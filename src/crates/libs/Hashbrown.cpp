@@ -1,0 +1,175 @@
+//===--- Hashbrown.cpp - Model of hashbrown -------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// hashbrown::HashSet. Figure 6: a comparatively high rejection count
+/// dominated by Misc - raw-entry and hasher-parameterized methods the
+/// collector resolved against the wrong inherent impl.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("Hash", "String");
+  B.impl("Eq", "String");
+  B.impl("Clone", "String");
+  B.impl("Clone", "HashSet<T>", {{"T", "Clone"}});
+
+  B.containerInput("set", "HashSet<String>", 2, 16);
+  B.stringInput("key", "String", "alpha");
+  B.scalarInput("n", "usize", 8);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("HashSet::new", {}, "HashSet<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Hash"}, {"T", "Eq"}};
+    D.CovLines = 8;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::with_capacity", {"usize"}, "HashSet<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Hash"}, {"T", "Eq"}};
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::insert", {"&mut HashSet<T>", "T"}, "bool",
+                     SemKind::ContainerPush);
+    D.Bounds = {{"T", "Hash"}, {"T", "Eq"}};
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 14;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::contains", {"&HashSet<String>", "&String"},
+                     "bool", SemKind::MakeScalar);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::remove", {"&mut HashSet<String>", "&String"},
+                     "bool", SemKind::Custom);
+    D.Unsafe = true;
+    D.CovLines = 11;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &S = Ctx.deref(0);
+      Ctx.coverBranch(0, S.Len > 0);
+      if (S.Len > 0)
+        S.Len -= 1;
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Int = S.Len > 0 ? 1 : 0;
+      return Out;
+    };
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::len", {"&HashSet<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::capacity", {"&HashSet<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.Quirks.MethodNotFound = true;
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::is_empty", {"&HashSet<T>"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::clear", {"&mut HashSet<T>"}, "()",
+                     SemKind::ContainerClear);
+    D.CovLines = 6;
+    Api(D);
+  }
+  {
+    // Hasher-parameterized constructors: wrong inherent impl (Misc).
+    ApiDecl D = decl("HashSet::with_hasher_capacity", {"usize"},
+                     "HashSet<String>", SemKind::AllocContainer);
+    D.Quirks.MethodNotFound = true;
+    D.Unsafe = true;
+    D.CovLines = 9;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::raw_reserve_hint",
+                     {"&mut HashSet<String>", "usize"}, "()",
+                     SemKind::ContainerPush);
+    D.Quirks.MethodNotFound = true;
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::get", {"&HashSet<String>", "&String"},
+                     "Option<&String>", SemKind::ViewRef);
+    D.PropagatesFrom = {0};
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::shrink_to_fit", {"&mut HashSet<T>"}, "()",
+                     SemKind::Inert);
+    D.Unsafe = true;
+    D.CovLines = 7;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("set::load_factor_hint", {"usize", "usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HashSet::reserve", {"&mut HashSet<T>", "usize"}, "()",
+                     SemKind::ContainerPush);
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+
+  B.finish(26, 8, 120, 24, /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeHashbrown() {
+  CrateSpec Spec;
+  Spec.Info = {"hashbrown", "DS", 6577360, true, "hashbrown::HashSet",
+               "34c1189", true};
+  Spec.Build = build;
+  return Spec;
+}

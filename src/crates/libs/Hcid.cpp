@@ -1,0 +1,143 @@
+//===--- Hcid.cpp - Model of hcid -----------------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("AsKey", "KeyBytes");
+
+  B.containerInput("keybytes", "KeyBytes", 32, 32);
+  B.stringInput("id", "String", "HcKciDdu");
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("HcidEncoding::with_kind", {"&String"},
+                     "HcidEncoding", SemKind::AllocContainer);
+    D.Pinned = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HcidEncoding::encode", {"&HcidEncoding", "&KeyBytes"},
+                     "String", SemKind::Transform);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 13;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HcidEncoding::decode", {"&HcidEncoding", "&String"},
+                     "KeyBytes", SemKind::Transform);
+    D.Unsafe = true;
+    D.CovLines = 13;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HcidEncoding::is_corrupt", {"&HcidEncoding",
+                                                  "&String"},
+                     "bool", SemKind::MakeScalar);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("KeyBytes::len", {"&KeyBytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("KeyBytes::from_len", {"usize"}, "KeyBytes",
+                     SemKind::AllocContainer);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("hcid::parity_len", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("hcid::char_value", {"char"}, "Option<u8>",
+                     SemKind::ContainerPop);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("String::hcid_prefix_ok", {"&String"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("hcid::key_len_of", {"&T"}, "usize",
+                     SemKind::ContainerLen);
+    D.Bounds = {{"T", "AsKey"}};
+    D.CovLines = 5;
+    Api(D);
+  }
+
+  {
+    ApiDecl D = decl("HcidEncoding::encode_len", {"&HcidEncoding",
+                                                  "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("HcidEncoding::decode_len", {"&HcidEncoding",
+                                                  "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("KeyBytes::push_byte", {"&mut KeyBytes", "u8"}, "()",
+                     SemKind::ContainerPush);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("hcid::cap_segment_count", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    D.CovBranches = 1;
+    Api(D);
+  }
+
+  B.finish(12, 4, 20, 4, /*MaxLen=*/5);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeHcid() {
+  CrateSpec Spec;
+  Spec.Info = {"hcid", "EN", 75423, false, "hcid::HcidEncoding",
+               "2caee15", true};
+  Spec.Build = build;
+  return Spec;
+}

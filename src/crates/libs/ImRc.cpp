@@ -1,0 +1,174 @@
+//===--- ImRc.cpp - Model of im-rc ----------------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// im::ordset::OrdSet - persistent ordered sets. Ord-bounded polymorphism
+/// everywhere drives im-rc's elevated (2%) type-error rate: eager
+/// concretizations over non-Ord types fail their bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"A"});
+
+  B.impl("Ord", "String");
+  B.impl("Clone", "String");
+  B.impl("Clone", "OrdSet<A>", {{"A", "Clone"}});
+
+  B.containerInput("set", "OrdSet<String>", 3, 12);
+  B.stringInput("item", "String", "kiwi");
+  B.scalarInput("n", "usize", 2);
+  B.scalarInput("f", "f64", 1);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("OrdSet::new", {}, "OrdSet<A>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"A", "Ord"}};
+    D.CovLines = 8;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::unit", {"A"}, "OrdSet<A>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"A", "Ord"}};
+    D.CovLines = 7;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::insert", {"&mut OrdSet<A>", "A"},
+                     "Option<A>", SemKind::Custom);
+    D.Bounds = {{"A", "Ord"}, {"A", "Clone"}};
+    D.Pinned = true;
+    D.CovLines = 13;
+    D.CovBranches = 3;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &S = Ctx.deref(0);
+      S.Len += 1;
+      Ctx.coverBranch(0, S.Len > 4);
+      Value Out = defaultValue(Ctx.outType(), Ctx);
+      Out.IsNone = true; // Fresh key: no previous value.
+      return Out;
+    };
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::remove", {"&mut OrdSet<String>", "&String"},
+                     "Option<String>", SemKind::ContainerPop);
+    D.Pinned = true;
+    D.CovLines = 11;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::contains", {"&OrdSet<String>", "&String"},
+                     "bool", SemKind::MakeScalar);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::len", {"&OrdSet<A>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::is_empty", {"&OrdSet<A>"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::get_min", {"&OrdSet<String>"},
+                     "Option<&String>", SemKind::ViewRef);
+    D.PropagatesFrom = {0};
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::get_max", {"&OrdSet<String>"},
+                     "Option<&String>", SemKind::ViewRef);
+    D.PropagatesFrom = {0};
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::union", {"OrdSet<String>", "OrdSet<String>"},
+                     "OrdSet<String>", SemKind::Custom);
+    D.CovLines = 12;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &L = Ctx.arg(0);
+      Value &R = Ctx.arg(1);
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Len = L.Len + R.Len;
+      Out.Alloc = Ctx.heap().allocate(
+          static_cast<size_t>(Out.Len) * 8 + 16, "OrdSet union");
+      // Persistent structure: consumed inputs release their roots.
+      if (L.Alloc >= 0)
+        Ctx.heap().free(L.Alloc, Ctx.line());
+      if (R.Alloc >= 0)
+        Ctx.heap().free(R.Alloc, Ctx.line());
+      L.Alloc = R.Alloc = -1;
+      Ctx.coverBranch(0, Out.Len > 0);
+      return Out;
+    };
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::clear", {"&mut OrdSet<A>"}, "()",
+                     SemKind::ContainerClear);
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::is_subset", {"&OrdSet<String>",
+                                           "&OrdSet<String>"},
+                     "bool", SemKind::MakeScalar);
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("ordset::balance_hint", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OrdSet::clone_set", {"&OrdSet<String>"},
+                     "OrdSet<String>", SemKind::Transform);
+    D.CovLines = 7;
+    D.CovBranches = 1;
+    Api(D);
+  }
+
+  B.finish(24, 8, 150, 30, /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeImRc() {
+  CrateSpec Spec;
+  Spec.Info = {"im-rc", "DS", 916529, true, "im::ordset::OrdSet",
+               "b586a96", true};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,180 @@
+//===--- Ndarray.cpp - Model of ndarray -----------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"A"});
+
+  B.impl("Num", "f64");
+  B.impl("Num", "i64");
+  B.impl("Clone", "Array1<A>", {{"A", "Clone"}});
+
+  B.containerInput("arr", "Array1<f64>", 6, 6);
+  B.scalarInput("x", "f64", 2);
+  B.scalarInput("n", "usize", 4);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("Array1::zeros", {"usize"}, "Array1<A>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"A", "Num"}};
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::from_elem", {"usize", "A"}, "Array1<A>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"A", "Num"}, {"A", "Clone"}};
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::len", {"&Array1<f64>"}, "usize",
+                     SemKind::ContainerLen);
+    D.Pinned = true;
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::sum", {"&Array1<f64>"}, "f64",
+                     SemKind::MakeScalar);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::mean", {"&Array1<f64>"}, "Option<f64>",
+                     SemKind::ContainerPop);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::mapv_scale", {"&Array1<f64>", "f64"},
+                     "Array1<f64>", SemKind::Transform);
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::dot", {"&Array1<f64>", "&Array1<f64>"},
+                     "f64", SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::fill", {"&mut Array1<f64>", "f64"}, "()",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::push_row_hint", {"&mut Array1<f64>", "f64"},
+                     "()", SemKind::ContainerPush);
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::view_len", {"&Array1<f64>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::into_raw_vec", {"Array1<f64>"}, "Vec<f64>",
+                     SemKind::Custom);
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &A = Ctx.arg(0);
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Len = A.Len;
+      Out.Cap = A.Cap;
+      Out.Alloc = A.Alloc;
+      A.Alloc = -1;
+      return Out;
+    };
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::slice_len", {"&Array1<f64>", "usize",
+                                           "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("shape::stride_hint", {"usize", "usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::is_standard_layout", {"&Array1<f64>"},
+                     "bool", SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::swap_elems",
+                     {"&mut Array1<f64>", "usize", "usize"}, "()",
+                     SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+
+  {
+    ApiDecl D = decl("Array1::max_hint", {"&Array1<f64>"}, "Option<f64>",
+                     SemKind::ContainerPop);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Array1::scale_in_place", {"&mut Array1<f64>", "f64"},
+                     "()", SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    Api(D);
+  }
+
+  B.finish(26, 8, 300, 70, /*MaxLen=*/9);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeNdarray() {
+  CrateSpec Spec;
+  Spec.Info = {"ndarray", "DS", 684962, true, "ndarray::ArrayBase",
+               "9cba023", true};
+  Spec.Build = build;
+  return Spec;
+}

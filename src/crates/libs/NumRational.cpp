@@ -1,0 +1,147 @@
+//===--- NumRational.cpp - Model of num-rational --------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("Integer", "i64");
+  B.impl("Integer", "i32");
+  B.impl("Clone", "Ratio<T>", {{"T", "Clone"}});
+
+  B.scalarInput("num", "i64", 6);
+  B.scalarInput("den", "i64", 4);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("Ratio::new", {"i64", "i64"}, "Ratio<i64>",
+                     SemKind::MakeScalar);
+    D.Pinned = true;
+    D.CovLines = 10;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::new_raw", {"T", "T"}, "Ratio<T>",
+                     SemKind::MakeScalar);
+    D.Bounds = {{"T", "Integer"}};
+    D.Unsafe = true;
+    D.CovLines = 6;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::from_integer", {"i64"}, "Ratio<i64>",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::numer", {"&Ratio<i64>"}, "i64",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::denom", {"&Ratio<i64>"}, "i64",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::is_integer", {"&Ratio<i64>"}, "bool",
+                     SemKind::MakeScalar);
+    D.Pinned = true;
+    D.CovLines = 5;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::reduced", {"&Ratio<i64>"}, "Ratio<i64>",
+                     SemKind::Transform);
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::recip", {"&Ratio<i64>"}, "Ratio<i64>",
+                     SemKind::Transform);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::floor", {"&Ratio<i64>"}, "Ratio<i64>",
+                     SemKind::Transform);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::ceil", {"&Ratio<i64>"}, "Ratio<i64>",
+                     SemKind::Transform);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::to_integer", {"&Ratio<i64>"}, "i64",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::checked_add",
+                     {"&Ratio<i64>", "&Ratio<i64>"}, "Option<Ratio<i64>>",
+                     SemKind::ContainerPop);
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Ratio::checked_mul",
+                     {"&Ratio<i64>", "&Ratio<i64>"}, "Option<Ratio<i64>>",
+                     SemKind::ContainerPop);
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("rational::gcd", {"i64", "i64"}, "i64",
+                     SemKind::MakeScalar);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("rational::lcm", {"i64", "i64"}, "i64",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+
+  B.finish(20, 6, 60, 14, /*MaxLen=*/4);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeNumRational() {
+  CrateSpec Spec;
+  Spec.Info = {"num-rational", "DS", 7250507, false,
+               "num_rational::Ratio", "bb4c920", true};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,192 @@
+//===--- Petgraph.cpp - Model of petgraph ---------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// petgraph::graph::Graph<N, E, Ty, Ix>. The collected signatures dropped
+/// the defaulted type parameters (Ty = Directed, Ix = u32), which the
+/// paper calls out as the cause of petgraph's outlier 10.87% rejection
+/// rate, 100% type errors (Section 7.1: "fixing [this] requires modifying
+/// the rules ... we leave these improvements to future work"). Modeled by
+/// the NeedsDefaultTypeParam quirk on the graph-building core, which no
+/// refinement can repair.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"N", "E"});
+
+  B.impl("Clone", "Graph<N, E>", {{"N", "Clone"}, {"E", "Clone"}});
+  B.impl("Clone", "String");
+
+  B.containerInput("g", "Graph<usize, usize>", 3, 8);
+  B.scalarInput("w", "usize", 5);
+  B.scalarInput("a", "NodeIndex", 0);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  // Constructors survived collection with usable signatures.
+  {
+    ApiDecl D = decl("Graph::new", {}, "Graph<N, E>",
+                     SemKind::AllocContainer);
+    D.CovLines = 9;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Graph::with_capacity", {"usize", "usize"},
+                     "Graph<N, E>", SemKind::AllocContainer);
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  // The graph-building core lost its defaulted type parameters
+  // (Ty = Directed, Ix = u32) during collection: every use is an
+  // unfixable type error (Section 7.1), sustaining petgraph's outlier
+  // rejection rate.
+  {
+    ApiDecl D = decl("Graph::add_node", {"&mut Graph<usize, usize>",
+                                         "usize"},
+                     "NodeIndex", SemKind::Custom);
+    D.Quirks.NeedsDefaultTypeParam = true;
+    D.Pinned = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &G = Ctx.deref(0);
+      G.Len += 1;
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Int = G.Len - 1;
+      return Out;
+    };
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Graph::add_edge",
+                     {"&mut Graph<usize, usize>", "NodeIndex", "NodeIndex",
+                      "usize"},
+                     "EdgeIndex", SemKind::MakeScalar);
+    D.Quirks.NeedsDefaultTypeParam = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    Api(D);
+  }
+
+  // Index-level helpers that did survive collection.
+  {
+    ApiDecl D = decl("Graph::node_count", {"&Graph<usize, usize>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Graph::edge_count", {"&Graph<usize, usize>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Graph::is_directed", {"&Graph<usize, usize>"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    // NodeIndex<Ix> defaults Ix = u32; the collected signature lost it,
+    // so even index construction type-errors (reachable at length 1,
+    // which keeps petgraph's error stream dense).
+    ApiDecl D = decl("NodeIndex::new", {"usize"}, "NodeIndex",
+                     SemKind::MakeScalar);
+    D.Quirks.NeedsDefaultTypeParam = true;
+    D.Pinned = true;
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("NodeIndex::index", {"&NodeIndex"}, "usize",
+                     SemKind::MakeScalar);
+    D.Quirks.NeedsDefaultTypeParam = true;
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("EdgeIndex::index", {"&EdgeIndex"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    // Also lost its defaulted parameters during collection; reachable
+    // with a single borrow, so the error stream starts at length 2.
+    ApiDecl D = decl("Graph::contains_node",
+                     {"&Graph<usize, usize>", "NodeIndex"}, "bool",
+                     SemKind::MakeScalar);
+    D.Quirks.NeedsDefaultTypeParam = true;
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Graph::neighbors_count",
+                     {"&Graph<usize, usize>", "NodeIndex"}, "usize",
+                     SemKind::MakeScalar);
+    D.Quirks.NeedsDefaultTypeParam = true;
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Graph::clear", {"&mut Graph<usize, usize>"}, "()",
+                     SemKind::ContainerClear);
+    D.CovLines = 6;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Graph::node_weight",
+                     {"&Graph<usize, usize>", "NodeIndex"},
+                     "Option<&usize>", SemKind::ViewRef);
+    D.PropagatesFrom = {0};
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Graph::reserve_nodes",
+                     {"&mut Graph<usize, usize>", "usize"}, "()",
+                     SemKind::ContainerPush);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("algo::connected_components_hint", {"usize", "usize"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    Api(D);
+  }
+
+  B.finish(26, 8, 220, 60, /*MaxLen=*/4);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makePetgraph() {
+  CrateSpec Spec;
+  Spec.Info = {"petgraph", "DS", 4538136, true, "petgraph::graph::Graph",
+               "397b9fc", true};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,134 @@
+//===--- RmpSerde.cpp - Model of rmp-serde --------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// rmp_serde (MessagePack). Serialize/Deserialize-bounded generics over a
+/// narrow typing graph: few valid combinations (the paper synthesized only
+/// ~11.5k cases) with an elevated type-error rate (8.34%) that keeps
+/// recurring because the serde trait surface is enormous.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  // Only a couple of the harvested types are Serialize in the model,
+  // so most eager concretizations die with trait errors.
+  B.impl("Serialize", "String");
+  B.impl("Serialize", "u64");
+  B.impl("Deserialize", "String");
+
+  B.stringInput("msg", "String", "payload");
+  B.scalarInput("num", "u64", 99);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("rmp_serde::to_vec", {"&T"}, "MsgBytes",
+                     SemKind::Transform);
+    D.Bounds = {{"T", "Serialize"}};
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 14;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("rmp_serde::from_slice_string", {"&MsgBytes"},
+                     "String", SemKind::Transform);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 14;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Serializer::new", {}, "Serializer",
+                     SemKind::AllocContainer);
+    D.CovLines = 7;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Serializer::written", {"&Serializer"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Deserializer::from_bytes", {"&MsgBytes"},
+                     "Deserializer", SemKind::AllocContainer);
+    D.CovLines = 8;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("Deserializer::position", {"&Deserializer"}, "u64",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("MsgBytes::len", {"&MsgBytes"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("encode::marker_byte", {"u64"}, "u8",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("decode::marker_len", {"u8"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    // Deserialization entry point whose Deserialize machinery the
+    // collector could not express; every use keeps type-erroring
+    // (rmp-serde is one of Figure 6's elevated rows at 8.34%).
+    ApiDecl D = decl("rmp_serde::from_slice_value", {"&MsgBytes"}, "u64",
+                     SemKind::MakeScalar);
+    D.Quirks.NeedsDefaultTypeParam = true;
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("rmp_serde::to_vec_named", {"&T"}, "MsgBytes",
+                     SemKind::Transform);
+    D.Bounds = {{"T", "Serialize"}};
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 2;
+    Api(D);
+  }
+
+  B.finish(18, 6, 70, 16, /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeRmpSerde() {
+  CrateSpec Spec;
+  Spec.Info = {"rmp-serde", "EN", 816677, true, "rmp_serde::", "00eeadf",
+               true};
+  Spec.Build = build;
+  return Spec;
+}

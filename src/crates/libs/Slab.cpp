@@ -1,0 +1,179 @@
+//===--- Slab.cpp - Model of the slab crate -------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// slab::Slab: pre-allocated storage with stable keys. Figure 6 shows a
+/// substantial Lifetime&Ownership share (36%): the accessor APIs return
+/// references whose anonymous parameterized lifetimes the encoder cannot
+/// express.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("Clone", "String");
+  B.impl("Clone", "Slab<T>", {{"T", "Clone"}});
+
+  B.containerInput("slab", "Slab<String>", 2, 8);
+  B.stringInput("val", "String", "entry");
+  B.scalarInput("key", "usize", 1);
+
+  {
+    ApiDecl D = decl("Slab::new", {}, "Slab<T>", SemKind::AllocContainer);
+    D.CovLines = 7;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::with_capacity", {"usize"}, "Slab<T>",
+                     SemKind::AllocContainer);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::insert", {"&mut Slab<T>", "T"}, "usize",
+                     SemKind::ContainerPush);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::remove", {"&mut Slab<String>", "usize"},
+                     "String", SemKind::Custom);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 11;
+    D.CovBranches = 2;
+    D.Custom = [](InterpCtx &Ctx) {
+      Value &S = Ctx.deref(0);
+      Ctx.coverBranch(0, S.Len > 0);
+      if (S.Len > 0)
+        S.Len -= 1;
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Str = "removed";
+      Out.Alloc = Ctx.heap().allocate(16, "removed entry");
+      return Out;
+    };
+    B.api(D);
+  }
+  {
+    // Anonymous parameterized lifetime on the accessor (the L&O share).
+    ApiDecl D = decl("Slab::get", {"&Slab<String>", "usize"},
+                     "Option<&String>", SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::get_mut", {"&mut Slab<String>", "usize"},
+                     "Option<&mut String>", SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::contains", {"&Slab<String>", "usize"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::len", {"&Slab<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::capacity", {"&Slab<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::is_empty", {"&Slab<T>"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::clear", {"&mut Slab<T>"}, "()",
+                     SemKind::ContainerClear);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::reserve", {"&mut Slab<T>", "usize"}, "()",
+                     SemKind::ContainerPush);
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::vacant_key", {"&Slab<T>"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::shrink_to_fit", {"&mut Slab<T>"}, "()",
+                     SemKind::Inert);
+    D.Unsafe = true;
+    D.CovLines = 7;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("Slab::key_of_hint", {"&Slab<String>", "&String"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    // Clone-bounded generic (the type-error share of Figure 6's slab
+    // row): harvested non-Clone instantiations die with trait errors.
+    ApiDecl D = decl("Slab::clone_entry", {"&T"}, "T",
+                     SemKind::Transform);
+    D.Bounds = {{"T", "Clone"}};
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+
+  B.finish(24, 8, 52, 10, /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeSlab() {
+  CrateSpec Spec;
+  Spec.Info = {"slab", "DS", 15575908, true, "slab::Slab", "e6b8676",
+               true};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,170 @@
+//===--- Smallvec.cpp - Model of the smallvec crate -----------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// smallvec::SmallVec: an inline-capacity vector. Heavily polymorphic and
+/// unsafe-rich; Figure 6 reports a near-zero rejection rate dominated by
+/// type errors (trait-invalid eager concretizations) with a sliver of
+/// Misc from one mis-collected signature.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("Array", "u8");
+  B.impl("Array", "usize");
+  B.impl("Clone", "String");
+  B.impl("Clone", "SmallVec<T>", {{"T", "Clone"}});
+
+  B.containerInput("sv", "SmallVec<u8>", 3, 4);
+  B.scalarInput("x", "u8", 7);
+  B.scalarInput("n", "usize", 5);
+
+  {
+    ApiDecl D = decl("SmallVec::new", {}, "SmallVec<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Array"}};
+    D.Unsafe = true;
+    D.CovLines = 9;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::with_capacity", {"usize"}, "SmallVec<T>",
+                     SemKind::AllocContainer);
+    D.Bounds = {{"T", "Array"}};
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::push", {"&mut SmallVec<T>", "T"}, "()",
+                     SemKind::ContainerPush);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::pop", {"&mut SmallVec<T>"}, "Option<T>",
+                     SemKind::ContainerPop);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::len", {"&SmallVec<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::capacity", {"&SmallVec<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::is_empty", {"&SmallVec<T>"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::spilled", {"&SmallVec<T>"}, "bool",
+                     SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::clear", {"&mut SmallVec<T>"}, "()",
+                     SemKind::ContainerClear);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::truncate", {"&mut SmallVec<T>", "usize"},
+                     "()", SemKind::ContainerClear);
+    D.CovLines = 7;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::reserve", {"&mut SmallVec<T>", "usize"},
+                     "()", SemKind::ContainerPush);
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::into_vec", {"SmallVec<u8>"}, "Vec<u8>",
+                     SemKind::ConsumeFree);
+    D.Unsafe = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    // Mis-collected signature (the Misc sliver in Figure 6).
+    ApiDecl D = decl("SmallVec::insert_many", {"&mut SmallVec<T>", "usize"},
+                     "()", SemKind::Inert);
+    D.Quirks.SkewedArity = true;
+    D.Unsafe = true;
+    D.CovLines = 10;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::grow", {"&mut SmallVec<T>", "usize"}, "()",
+                     SemKind::ContainerPush);
+    D.Unsafe = true;
+    D.CovLines = 11;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::as_slice_len", {"&SmallVec<T>"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    B.api(D);
+  }
+  {
+    ApiDecl D = decl("SmallVec::swap_remove", {"&mut SmallVec<u8>", "usize"},
+                     "u8", SemKind::ContainerPop);
+    D.Unsafe = true;
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    B.api(D);
+  }
+
+  B.finish(26, 8, 70, 12, /*MaxLen=*/9);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeSmallvec() {
+  CrateSpec Spec;
+  Spec.Info = {"smallvec", "DS", 21780282, true, "smallvec::SmallVec",
+               "9ae7076", true};
+  Spec.Build = build;
+  return Spec;
+}

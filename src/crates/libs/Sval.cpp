@@ -1,0 +1,143 @@
+//===--- Sval.cpp - Model of sval -----------------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// sval::stream::OwnedStream: a streaming value API whose visitor surface
+/// borrows aggressively - Figure 6 reports a Lifetime&Ownership-majority
+/// error mix (55.61%) over a modest test-case count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("SvalValue", "u64");
+  B.impl("SvalValue", "String");
+
+  B.stringInput("label", "String", "record");
+  B.scalarInput("num", "u64", 12);
+  B.containerInput("stream", "OwnedStream", 1, 8);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("OwnedStream::new", {}, "OwnedStream",
+                     SemKind::AllocContainer);
+    D.Pinned = true;
+    D.CovLines = 8;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OwnedStream::u64_value", {"&mut OwnedStream", "u64"},
+                     "()", SemKind::ContainerPush);
+    D.Pinned = true;
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OwnedStream::str_value",
+                     {"&mut OwnedStream", "&String"}, "()",
+                     SemKind::ContainerPush);
+    D.CovLines = 9;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OwnedStream::map_begin", {"&mut OwnedStream"}, "()",
+                     SemKind::ContainerPush);
+    D.CovLines = 8;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OwnedStream::map_end", {"&mut OwnedStream"}, "()",
+                     SemKind::ContainerPop);
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OwnedStream::depth", {"&OwnedStream"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    // Borrow-heavy visitor views: anonymous lifetimes (the L&O majority).
+    ApiDecl D = decl("OwnedStream::current_view", {"&OwnedStream"},
+                     "&String", SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.CovLines = 7;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OwnedStream::last_key_view", {"&OwnedStream"},
+                     "&String", SemKind::ViewRef);
+    D.Quirks.AnonLifetime = true;
+    D.PropagatesFrom = {0};
+    D.CovLines = 7;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("stream::tag_of", {"u64"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OwnedStream::is_streaming", {"&OwnedStream"}, "bool",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("OwnedStream::into_inner_len", {"OwnedStream"},
+                     "usize", SemKind::ConsumeFree);
+    D.CovLines = 7;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    // Short consumer for the borrowed views, so the anonymous-lifetime
+    // chains appear at small program lengths.
+    ApiDecl D = decl("stream::str_len", {"&String"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    // Value-trait generic: the type-error share of the sval row.
+    ApiDecl D = decl("sval::stream_any", {"&mut OwnedStream", "&T"}, "()",
+                     SemKind::ContainerPush);
+    D.Bounds = {{"T", "SvalValue"}};
+    D.CovLines = 8;
+    D.CovBranches = 2;
+    Api(D);
+  }
+
+  B.finish(16, 6, 90, 18, /*MaxLen=*/10);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeSval() {
+  CrateSpec Spec;
+  Spec.Info = {"sval", "EN", 414356, false, "sval::stream::OwnedStream",
+               "c432b60", true};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,140 @@
+//===--- Urlencoding.cpp - Model of urlencoding ---------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("IntoUrl", "String");
+
+  B.stringInput("url", "String", "a b&c=d");
+  B.scalarInput("n", "usize", 2);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("urlencoding::encode", {"&String"}, "String",
+                     SemKind::Transform);
+    D.Pinned = true;
+    D.CovLines = 12;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("urlencoding::decode", {"&String"}, "String",
+                     SemKind::Transform);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 14;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("urlencoding::encode_binary_len", {"&String"},
+                     "usize", SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("String::url_len", {"&String"}, "usize",
+                     SemKind::ContainerLen);
+    D.CovLines = 4;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("String::is_url_safe", {"&String"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("String::concat_query", {"&String", "&String"},
+                     "String", SemKind::Transform);
+    D.CovLines = 7;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("String::repeat_path", {"&String", "usize"}, "String",
+                     SemKind::Transform);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("urlencoding::hex_digit_of", {"usize"}, "char",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("urlencoding::is_reserved_byte", {"u8"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("String::first_byte", {"&String"}, "Option<u8>",
+                     SemKind::ContainerPop);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("urlencoding::encode_any_len", {"&T"}, "usize",
+                     SemKind::ContainerLen);
+    D.Bounds = {{"T", "IntoUrl"}};
+    D.CovLines = 5;
+    Api(D);
+  }
+
+  {
+    ApiDecl D = decl("urlencoding::decode_binary_len", {"&String"},
+                     "usize", SemKind::MakeScalar);
+    D.Unsafe = true;
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("String::strip_query", {"&String"}, "String",
+                     SemKind::Transform);
+    D.CovLines = 6;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("String::count_escapes", {"&String"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+
+  B.finish(14, 4, 26, 6, /*MaxLen=*/6);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeUrlencoding() {
+  CrateSpec Spec;
+  Spec.Info = {"urlencoding", "EN", 1119712, false, "urlencoding::",
+               "a86f1c4", true};
+  Spec.Build = build;
+  return Spec;
+}

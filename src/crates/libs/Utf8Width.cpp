@@ -1,0 +1,104 @@
+//===--- Utf8Width.cpp - Model of utf8-width ------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateBuilder.h"
+#include "crates/libs/AllCrates.h"
+
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+
+namespace {
+
+void build(CrateInstance &I) {
+  CrateBuilder B(I, {"T"});
+
+  B.impl("IntoByte", "u8");
+
+  B.scalarInput("byte", "u8", 0xE2);
+  B.scalarInput("n", "usize", 1);
+
+  auto Api = [&](ApiDecl D) { return B.api(std::move(D)); };
+
+  {
+    ApiDecl D = decl("utf8_width::get_width", {"u8"}, "usize",
+                     SemKind::MakeScalar);
+    D.Pinned = true;
+    D.CovLines = 8;
+    D.CovBranches = 3;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("utf8_width::get_width_assume_valid", {"u8"}, "usize",
+                     SemKind::MakeScalar);
+    D.Pinned = true;
+    D.Unsafe = true;
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("utf8_width::is_width_1", {"u8"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("utf8_width::is_width_2", {"u8"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("utf8_width::is_width_3", {"u8"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("utf8_width::is_width_4", {"u8"}, "bool",
+                     SemKind::MakeScalar);
+    D.CovLines = 4;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("utf8_width::max_width_for_len", {"usize"}, "usize",
+                     SemKind::MakeScalar);
+    D.CovLines = 5;
+    D.CovBranches = 1;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("utf8_width::continuation_count", {"u8"},
+                     "Option<usize>", SemKind::ContainerPop);
+    D.CovLines = 6;
+    D.CovBranches = 2;
+    Api(D);
+  }
+  {
+    ApiDecl D = decl("utf8_width::width_of_any", {"T"}, "usize",
+                     SemKind::MakeScalar);
+    D.Bounds = {{"T", "IntoByte"}};
+    D.CovLines = 5;
+    Api(D);
+  }
+
+  B.finish(8, 2, 10, 2, /*MaxLen=*/4);
+}
+
+} // namespace
+
+CrateSpec syrust::crates::makeUtf8Width() {
+  CrateSpec Spec;
+  Spec.Info = {"utf8-width", "EN", 64822, false, "utf8_width", "938c0b2",
+               true};
+  Spec.Build = build;
+  return Spec;
+}

@@ -1,0 +1,167 @@
+//===--- Interpreter.h - UB-detecting program interpreter ------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Miri substitute: executes checker-accepted programs over library
+/// *semantic models* (per-API callbacks registered by each crate spec) on
+/// the abstract heap, runs drop glue at end of scope, and reports the first
+/// undefined behavior. Library semantics receive an InterpCtx giving them
+/// argument access (including reference chasing with borrow validation),
+/// heap operations, and coverage instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_MIRI_INTERPRETER_H
+#define SYRUST_MIRI_INTERPRETER_H
+
+#include "api/ApiDatabase.h"
+#include "coverage/CoverageMap.h"
+#include "miri/Heap.h"
+#include "miri/Value.h"
+#include "program/Program.h"
+#include "support/Rng.h"
+#include "types/TraitEnv.h"
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace syrust::miri {
+
+class Interpreter;
+
+/// Execution context handed to library semantics callbacks.
+class InterpCtx {
+public:
+  AbstractHeap &heap() { return Heap; }
+  coverage::CoverageMap *cov() { return Cov; }
+  syrust::Rng &rng() { return Rand; }
+
+  /// Current statement index (for UB line attribution).
+  int line() const { return Line; }
+
+  /// Number of call arguments.
+  size_t numArgs() const { return Args.size(); }
+
+  /// Raw argument value (the reference itself for reference args).
+  Value &arg(size_t I) { return *Args[I]; }
+
+  /// Program variable id of argument \p I (for building references that
+  /// point at it).
+  program::VarId argVar(size_t I) const { return ArgVars[I]; }
+
+  /// Follows a reference argument to the owning slot, validating the
+  /// borrow through the heap (flags UseAfterFree/InvalidBorrow). For
+  /// non-reference arguments returns the value itself.
+  Value &deref(size_t I);
+
+  /// Declared output type of the call.
+  const types::Type *outType() const { return OutTy; }
+
+  /// Marks component/library lines covered; convenience forwarding.
+  void coverLines(int Begin, int End) {
+    if (Cov)
+      Cov->coverLines(Begin, End);
+  }
+  void coverBranch(int Branch, bool Taken) {
+    if (Cov)
+      Cov->coverBranch(Branch, Taken);
+  }
+
+  /// Flags bespoke UB from library semantics.
+  void flag(UbKind Kind, const std::string &Message) {
+    Heap.flag(Kind, Message, Line);
+  }
+
+private:
+  friend class Interpreter;
+  InterpCtx(AbstractHeap &Heap, coverage::CoverageMap *Cov,
+            syrust::Rng &Rand, std::vector<Value *> Args,
+            std::vector<program::VarId> ArgVars, const types::Type *OutTy,
+            int Line, std::vector<Value> *Slots)
+      : Heap(Heap), Cov(Cov), Rand(Rand), Args(std::move(Args)),
+        ArgVars(std::move(ArgVars)), OutTy(OutTy), Line(Line),
+        Slots(Slots) {}
+
+  AbstractHeap &Heap;
+  coverage::CoverageMap *Cov;
+  syrust::Rng &Rand;
+  std::vector<Value *> Args;
+  std::vector<program::VarId> ArgVars;
+  const types::Type *OutTy;
+  int Line;
+  std::vector<Value> *Slots;
+};
+
+/// Semantics of one library API: consumes the context, returns the output
+/// value.
+using ApiSemantics = std::function<Value(InterpCtx &)>;
+
+/// Drop glue for one nominal type head (e.g. "BitBox"). Runs when an owned
+/// value of that type goes out of scope; responsible for freeing backing
+/// allocations (or deliberately not, for buggy models).
+using DropSemantics = std::function<void(InterpCtx &, Value &)>;
+
+/// Per-crate registry mapping ApiSig::SemanticsKey to executable behavior.
+class SemanticsRegistry {
+public:
+  void registerApi(const std::string &Key, ApiSemantics Fn) {
+    ApiFns[Key] = std::move(Fn);
+  }
+  void registerDrop(const std::string &TypeHead, DropSemantics Fn) {
+    DropFns[TypeHead] = std::move(Fn);
+  }
+  const ApiSemantics *lookupApi(const std::string &Key) const {
+    auto It = ApiFns.find(Key);
+    return It == ApiFns.end() ? nullptr : &It->second;
+  }
+  const DropSemantics *lookupDrop(const std::string &TypeHead) const {
+    auto It = DropFns.find(TypeHead);
+    return It == DropFns.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::map<std::string, ApiSemantics> ApiFns;
+  std::map<std::string, DropSemantics> DropFns;
+};
+
+/// Builds the values for template inputs at the start of each run.
+using TemplateInit =
+    std::function<std::vector<Value>(AbstractHeap &, syrust::Rng &)>;
+
+/// Outcome of interpreting one test case.
+struct ExecResult {
+  bool UbFound = false;
+  UbReport Report;
+};
+
+/// Executes programs against a semantics registry.
+class Interpreter {
+public:
+  Interpreter(const api::ApiDatabase &Db, const types::TraitEnv &Traits,
+              const SemanticsRegistry &Registry, TemplateInit Init,
+              coverage::CoverageMap *Cov = nullptr, uint64_t Seed = 1)
+      : Db(Db), Traits(Traits), Registry(Registry), Init(std::move(Init)),
+        Cov(Cov), Rand(Seed) {}
+
+  /// Runs \p P to completion (or first UB) including end-of-scope drops
+  /// and the leak check.
+  ExecResult run(const program::Program &P);
+
+private:
+  void dropValue(InterpCtx &Ctx, Value &V);
+
+  const api::ApiDatabase &Db;
+  const types::TraitEnv &Traits;
+  const SemanticsRegistry &Registry;
+  TemplateInit Init;
+  coverage::CoverageMap *Cov;
+  syrust::Rng Rand;
+};
+
+} // namespace syrust::miri
+
+#endif // SYRUST_MIRI_INTERPRETER_H

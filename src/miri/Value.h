@@ -1,0 +1,68 @@
+//===--- Value.h - Abstract runtime values ---------------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value model the interpreter executes over. One variant-ish struct
+/// covers the fragment's needs: scalars, strings, heap-backed containers
+/// (an allocation id plus length/capacity), references (target variable +
+/// allocation + borrow tag), Option-like wrappers, and aggregates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_MIRI_VALUE_H
+#define SYRUST_MIRI_VALUE_H
+
+#include "program/Program.h"
+#include "types/Type.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syrust::miri {
+
+/// An abstract runtime value.
+struct Value {
+  const types::Type *Ty = nullptr;
+
+  /// Scalar payload (integers, booleans, chars, lengths returned by APIs).
+  int64_t Int = 0;
+
+  /// Text payload for string-like values.
+  std::string Str;
+
+  /// Owning allocation id for heap-backed values; -1 for none.
+  int Alloc = -1;
+
+  /// For references and raw pointers: the allocation referred to (-1 when
+  /// the referent is not heap-backed).
+  int RefAlloc = -1;
+
+  /// Borrow tag of a reference (0 = none).
+  uint64_t Tag = 0;
+
+  /// For references: the program variable pointed at; -1 otherwise.
+  program::VarId RefVar = -1;
+
+  /// True for &mut references.
+  bool RefMut = false;
+
+  /// Container length / capacity.
+  int64_t Len = 0;
+  int64_t Cap = 0;
+
+  /// Option-like emptiness.
+  bool IsNone = false;
+
+  /// Aggregate payload (tuple elements, Some(...) contents, etc.).
+  std::vector<Value> Elems;
+
+  bool isReference() const { return RefVar >= 0 || Tag != 0; }
+};
+
+} // namespace syrust::miri
+
+#endif // SYRUST_MIRI_VALUE_H

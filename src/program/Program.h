@@ -1,0 +1,74 @@
+//===--- Program.h - Straight-line synthesized test programs ---*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program fragment SyRust synthesizes (Section 4.2):
+///
+///   Program := Line | Line; Program
+///   Line    := f(Vars) | let v : t = f(Vars)
+///   Vars    := v1, ..., vk
+///
+/// Variables are numbered densely: template inputs first, then one output
+/// variable per line. Rendering produces the Rust source the paper's test
+/// executor would compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_PROGRAM_PROGRAM_H
+#define SYRUST_PROGRAM_PROGRAM_H
+
+#include "api/ApiDatabase.h"
+#include "types/Type.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syrust::program {
+
+/// Dense variable index: [0, numTemplateInputs) are template-provided,
+/// numTemplateInputs + i is the output of line i.
+using VarId = int;
+
+/// One synthesized line: `let vOut : DeclType = Api(Args...)`.
+struct Stmt {
+  api::ApiId Api = api::ApiIdInvalid;
+  std::vector<VarId> Args;
+  VarId Out = -1;
+  /// Declared type of the output variable as predicted by the synthesizer
+  /// (the instantiated API output).
+  const types::Type *DeclType = nullptr;
+};
+
+/// A template-provided input variable.
+struct TemplateInput {
+  std::string Name;
+  const types::Type *Ty = nullptr;
+};
+
+/// A complete straight-line test case.
+struct Program {
+  std::vector<TemplateInput> Inputs;
+  std::vector<Stmt> Stmts;
+
+  int numVars() const {
+    return static_cast<int>(Inputs.size() + Stmts.size());
+  }
+
+  /// Display name of variable \p V ("s", "v", or "v3" for synthesized).
+  std::string varName(VarId V) const;
+
+  /// Renders the body of the test function as Rust source.
+  std::string render(const api::ApiDatabase &Db) const;
+
+  /// Structural hash over APIs and argument wiring (used by the result
+  /// database to deduplicate).
+  uint64_t hash() const;
+};
+
+} // namespace syrust::program
+
+#endif // SYRUST_PROGRAM_PROGRAM_H

@@ -1,0 +1,221 @@
+//===--- ProgramParser.cpp - Parse rendered test-case source --------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/ProgramParser.h"
+
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::program;
+using namespace syrust::types;
+
+namespace {
+
+/// Splits "f(a, b, c)" into the name and argument names. Returns false on
+/// malformed syntax.
+bool splitCall(std::string_view Call, std::string &Name,
+               std::vector<std::string> &Args, std::string &Error) {
+  size_t Open = Call.find('(');
+  size_t Close = Call.rfind(')');
+  if (Open == std::string_view::npos || Close == std::string_view::npos ||
+      Close < Open) {
+    Error = "expected a call 'api(args)'";
+    return false;
+  }
+  Name = std::string(trim(Call.substr(0, Open)));
+  std::string_view Inner = trim(Call.substr(Open + 1, Close - Open - 1));
+  if (!Inner.empty()) {
+    for (const std::string &Arg : split(Inner, ','))
+      Args.emplace_back(trim(Arg));
+  }
+  if (Name.empty()) {
+    Error = "missing API name";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+ProgramParseResult syrust::program::parseProgram(
+    const ApiDatabase &Db, TypeArena &Arena,
+    std::vector<TemplateInput> Inputs, const std::string &Source,
+    std::set<std::string> TypeVars) {
+  ProgramParseResult R;
+  R.Prog.Inputs = Inputs;
+  TypeParser TyParser(Arena, std::move(TypeVars));
+
+  // Variable scope: name -> (id, current type).
+  std::map<std::string, VarId> Scope;
+  std::vector<const Type *> VarTy;
+  for (const TemplateInput &In : Inputs) {
+    Scope[In.Name] = static_cast<VarId>(VarTy.size());
+    VarTy.push_back(In.Ty);
+  }
+
+  auto Fail = [&](int LineNo, const std::string &Msg) {
+    R.Error = format("line %d: %s", LineNo, Msg.c_str());
+    return R;
+  };
+  auto LookupVar = [&](const std::string &Name) -> VarId {
+    auto It = Scope.find(Name);
+    return It == Scope.end() ? -1 : It->second;
+  };
+  auto FindApi = [&](const std::string &Name, size_t Arity) -> ApiId {
+    ApiId Fallback = ApiIdInvalid;
+    for (size_t I = 0; I < Db.size(); ++I) {
+      const ApiSig &Sig = Db.get(static_cast<ApiId>(I));
+      if (Sig.Name != Name || Sig.Inputs.size() != Arity)
+        continue;
+      if (!Db.isBanned(static_cast<ApiId>(I)))
+        return static_cast<ApiId>(I);
+      if (Fallback == ApiIdInvalid)
+        Fallback = static_cast<ApiId>(I);
+    }
+    return Fallback;
+  };
+  auto FindBuiltin = [&](BuiltinKind Kind) -> ApiId {
+    for (size_t I = 0; I < Db.size(); ++I)
+      if (Db.get(static_cast<ApiId>(I)).Builtin == Kind)
+        return static_cast<ApiId>(I);
+    return ApiIdInvalid;
+  };
+  auto Declare = [&](const std::string &Name, const Type *Ty) -> VarId {
+    VarId Id = static_cast<VarId>(VarTy.size());
+    Scope[Name] = Id;
+    VarTy.push_back(Ty);
+    return Id;
+  };
+
+  int LineNo = 0;
+  for (const std::string &RawLine : split(Source, '\n')) {
+    ++LineNo;
+    std::string_view Line = trim(RawLine);
+    if (Line.empty() || startsWith(Line, "//"))
+      continue;
+    if (Line.back() != ';')
+      return Fail(LineNo, "statement must end with ';'");
+    Line = trim(Line.substr(0, Line.size() - 1));
+
+    Stmt S;
+
+    if (startsWith(Line, "let mut ")) {
+      // let mut NAME = SRC
+      std::string_view Rest = trim(Line.substr(8));
+      size_t Eq = Rest.find('=');
+      if (Eq == std::string_view::npos)
+        return Fail(LineNo, "expected '=' in let-mut binding");
+      std::string Name = std::string(trim(Rest.substr(0, Eq)));
+      std::string Src = std::string(trim(Rest.substr(Eq + 1)));
+      VarId SrcId = LookupVar(Src);
+      if (SrcId < 0)
+        return Fail(LineNo, "unknown variable '" + Src + "'");
+      S.Api = FindBuiltin(BuiltinKind::LetMut);
+      if (S.Api == ApiIdInvalid)
+        return Fail(LineNo, "no let-mut builtin in the API database");
+      S.Args = {SrcId};
+      S.DeclType = VarTy[static_cast<size_t>(SrcId)];
+      S.Out = Declare(Name, S.DeclType);
+      R.Prog.Stmts.push_back(std::move(S));
+      continue;
+    }
+
+    if (startsWith(Line, "let ")) {
+      std::string_view Rest = trim(Line.substr(4));
+      size_t Eq = Rest.find('=');
+      if (Eq == std::string_view::npos)
+        return Fail(LineNo, "expected '=' in let binding");
+      std::string_view Lhs = trim(Rest.substr(0, Eq));
+      std::string_view Rhs = trim(Rest.substr(Eq + 1));
+
+      // Optional type ascription on the left.
+      std::string Name;
+      const Type *Ascribed = nullptr;
+      size_t Colon = Lhs.find(':');
+      if (Colon != std::string_view::npos) {
+        Name = std::string(trim(Lhs.substr(0, Colon)));
+        Ascribed = TyParser.parse(trim(Lhs.substr(Colon + 1)));
+        if (!Ascribed)
+          return Fail(LineNo, "bad type: " + TyParser.error());
+      } else {
+        Name = std::string(trim(Lhs));
+      }
+
+      if (startsWith(Rhs, "&")) {
+        // Borrow builtins: &NAME or &mut NAME.
+        bool Mut = startsWith(Rhs, "&mut ");
+        std::string Src =
+            std::string(trim(Rhs.substr(Mut ? 5 : 1)));
+        VarId SrcId = LookupVar(Src);
+        if (SrcId < 0)
+          return Fail(LineNo, "unknown variable '" + Src + "'");
+        S.Api = FindBuiltin(Mut ? BuiltinKind::BorrowMut
+                                : BuiltinKind::Borrow);
+        if (S.Api == ApiIdInvalid)
+          return Fail(LineNo, "no borrow builtin in the API database");
+        S.Args = {SrcId};
+        S.DeclType =
+            Arena.ref(VarTy[static_cast<size_t>(SrcId)], Mut);
+        if (Ascribed && Ascribed != S.DeclType)
+          return Fail(LineNo, "ascribed type does not match the borrow");
+        S.Out = Declare(Name, S.DeclType);
+        R.Prog.Stmts.push_back(std::move(S));
+        continue;
+      }
+
+      // API call with a bound result.
+      std::string ApiName;
+      std::vector<std::string> ArgNames;
+      std::string CallError;
+      if (!splitCall(Rhs, ApiName, ArgNames, CallError))
+        return Fail(LineNo, CallError);
+      ApiId Api = FindApi(ApiName, ArgNames.size());
+      if (Api == ApiIdInvalid)
+        return Fail(LineNo, format("no API '%s' with %zu inputs",
+                                   ApiName.c_str(), ArgNames.size()));
+      S.Api = Api;
+      for (const std::string &Arg : ArgNames) {
+        VarId Id = LookupVar(Arg);
+        if (Id < 0)
+          return Fail(LineNo, "unknown variable '" + Arg + "'");
+        S.Args.push_back(Id);
+      }
+      S.DeclType = Ascribed ? Ascribed : Db.get(Api).Output;
+      S.Out = Declare(Name, S.DeclType);
+      R.Prog.Stmts.push_back(std::move(S));
+      continue;
+    }
+
+    // Bare call statement: API(args);
+    std::string ApiName;
+    std::vector<std::string> ArgNames;
+    std::string CallError;
+    if (!splitCall(Line, ApiName, ArgNames, CallError))
+      return Fail(LineNo, CallError);
+    ApiId Api = FindApi(ApiName, ArgNames.size());
+    if (Api == ApiIdInvalid)
+      return Fail(LineNo, format("no API '%s' with %zu inputs",
+                                 ApiName.c_str(), ArgNames.size()));
+    S.Api = Api;
+    for (const std::string &Arg : ArgNames) {
+      VarId Id = LookupVar(Arg);
+      if (Id < 0)
+        return Fail(LineNo, "unknown variable '" + Arg + "'");
+      S.Args.push_back(Id);
+    }
+    S.DeclType = Arena.unit();
+    // Unit results still occupy an output slot, named by convention.
+    S.Out = Declare(format("v%zu", R.Prog.Stmts.size() + 1),
+                    S.DeclType);
+    R.Prog.Stmts.push_back(std::move(S));
+  }
+
+  R.Ok = true;
+  return R;
+}

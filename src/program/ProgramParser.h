@@ -1,0 +1,52 @@
+//===--- ProgramParser.h - Parse rendered test-case source -----*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the Rust-like source produced by Program::render back into a
+/// Program, given the API database and the template. Useful for writing
+/// test cases and examples as text, for replaying bug programs from logs,
+/// and as the round-trip property check on the renderer.
+///
+/// Grammar (one statement per line):
+///   let mut NAME = NAME;
+///   let NAME = &NAME;          | let NAME = &mut NAME;
+///   let NAME : TYPE = API(ARGS);
+///   API(ARGS);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_PROGRAM_PROGRAMPARSER_H
+#define SYRUST_PROGRAM_PROGRAMPARSER_H
+
+#include "api/ApiDatabase.h"
+#include "program/Program.h"
+#include "types/TypeParser.h"
+
+#include <set>
+#include <string>
+
+namespace syrust::program {
+
+/// Result of parsing a program body.
+struct ProgramParseResult {
+  bool Ok = false;
+  Program Prog;
+  std::string Error; ///< With a 1-based source line number.
+};
+
+/// Parses \p Source against \p Db's API names and \p Inputs' variable
+/// names. Synthesized variables must follow the renderer's convention
+/// ("v1", "v2", ... in declaration order). Declared types are parsed in
+/// \p TypeVars scope.
+ProgramParseResult parseProgram(const api::ApiDatabase &Db,
+                                types::TypeArena &Arena,
+                                std::vector<TemplateInput> Inputs,
+                                const std::string &Source,
+                                std::set<std::string> TypeVars = {});
+
+} // namespace syrust::program
+
+#endif // SYRUST_PROGRAM_PROGRAMPARSER_H

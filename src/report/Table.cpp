@@ -1,0 +1,60 @@
+//===--- Table.cpp - Paper-style table rendering --------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Table.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace syrust;
+using namespace syrust::report;
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size() && C < Widths.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t C = 0; C < Widths.size(); ++C) {
+      std::string Cell = C < Cells.size() ? Cells[C] : "";
+      Cell.resize(Widths[C], ' ');
+      Line += Cell;
+      if (C + 1 != Widths.size())
+        Line += "  ";
+    }
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  std::string Out = RenderRow(Headers);
+  size_t Total = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    Total += Widths[C] + (C + 1 != Widths.size() ? 2 : 0);
+  Out += std::string(Total, '-') + "\n";
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+std::string syrust::report::fmtCount(uint64_t N) {
+  return format("%llu", static_cast<unsigned long long>(N));
+}
+
+std::string syrust::report::fmtPercent(double P) {
+  if (P > 0 && P < 0.01)
+    return "< 0.01 %";
+  return format("%.2f %%", P);
+}
+
+std::string syrust::report::fmtShare(double P) {
+  return format("%.2f %%", P);
+}

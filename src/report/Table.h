@@ -1,0 +1,50 @@
+//===--- Table.h - Paper-style table rendering -----------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aligned ASCII tables shared by the evaluation benches, so every
+/// reproduced figure prints in a shape directly comparable to the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_REPORT_TABLE_H
+#define SYRUST_REPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace syrust::report {
+
+/// A simple column-aligned table with a header row.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  void addRow(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+  /// Renders with column alignment and a separator under the header.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// "1225952"-style grouping is not used by the paper; plain integers.
+std::string fmtCount(uint64_t N);
+
+/// "0.06 %" / "< 0.01 %" formatting used in Figure 6.
+std::string fmtPercent(double P);
+
+/// "95.45 %" category-share formatting.
+std::string fmtShare(double P);
+
+} // namespace syrust::report
+
+#endif // SYRUST_REPORT_TABLE_H

@@ -1,0 +1,37 @@
+//===--- DiagnosticJson.h - cargo-style JSON diagnostics -------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's test executor runs `cargo --message-format=json` and sends
+/// the parsed data back to the synthesizer (Section 6.1). This module
+/// reproduces that channel: a Diagnostic serializes to a compiler-message
+/// JSON object, and the refinement side parses it back - losslessly,
+/// including the machine-readable refinement payload (offending API,
+/// actual input types, expected output, failing trait bound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_RUSTSIM_DIAGNOSTICJSON_H
+#define SYRUST_RUSTSIM_DIAGNOSTICJSON_H
+
+#include "rustsim/Diagnostic.h"
+#include "types/Type.h"
+
+#include <string>
+
+namespace syrust::rustsim {
+
+/// Serializes \p D to a one-line JSON compiler message.
+std::string diagnosticToJson(const Diagnostic &D);
+
+/// Parses a message produced by diagnosticToJson. Types are re-interned
+/// into \p Arena. Returns false (and sets \p Error) on malformed input.
+bool diagnosticFromJson(const std::string &Text, types::TypeArena &Arena,
+                        Diagnostic &Out, std::string &Error);
+
+} // namespace syrust::rustsim
+
+#endif // SYRUST_RUSTSIM_DIAGNOSTICJSON_H

@@ -1,0 +1,137 @@
+//===--- Dimacs.cpp - DIMACS CNF input/output ------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Dimacs.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace syrust;
+using namespace syrust::sat;
+
+namespace {
+
+/// Ensures the solver has variables up to DIMACS index \p V (1-based).
+void ensureVars(Solver &S, int V) {
+  while (S.numVars() < V)
+    (void)S.newVar();
+}
+
+/// Converts a DIMACS literal (nonzero int) into a Lit, creating variables
+/// on demand.
+Lit fromDimacs(Solver &S, long L) {
+  int V = static_cast<int>(L < 0 ? -L : L);
+  ensureVars(S, V);
+  return mkLit(V - 1, L < 0);
+}
+
+} // namespace
+
+DimacsResult syrust::sat::loadDimacs(Solver &S, std::string_view Text) {
+  DimacsResult R;
+  int LineNo = 0;
+  bool SawHeader = false;
+
+  for (const std::string &RawLine : split(Text, '\n')) {
+    ++LineNo;
+    std::string_view Line = trim(RawLine);
+    if (Line.empty())
+      continue;
+
+    if (startsWith(Line, "c ") || Line == "c") {
+      // Cardinality extension: "c atmost k l1 ... 0".
+      std::string_view Rest = trim(Line.substr(1));
+      bool AtMost = startsWith(Rest, "atmost ");
+      bool AtLeast = startsWith(Rest, "atleast ");
+      if (!AtMost && !AtLeast)
+        continue; // Ordinary comment.
+      Rest = trim(Rest.substr(AtMost ? 7 : 8));
+      std::vector<long> Nums;
+      const char *P = Rest.data();
+      const char *End = Rest.data() + Rest.size();
+      while (P < End) {
+        char *Next = nullptr;
+        long Val = std::strtol(P, &Next, 10);
+        if (Next == P)
+          break;
+        Nums.push_back(Val);
+        P = Next;
+      }
+      if (Nums.size() < 2 || Nums.back() != 0) {
+        R.Error = format("line %d: malformed cardinality line", LineNo);
+        return R;
+      }
+      long K = Nums.front();
+      std::vector<Lit> Lits;
+      for (size_t I = 1; I + 1 < Nums.size(); ++I)
+        Lits.push_back(fromDimacs(S, Nums[I]));
+      bool Added = AtMost ? S.addAtMost(Lits, static_cast<int>(K))
+                          : S.addAtLeast(Lits, static_cast<int>(K));
+      R.Consistent = R.Consistent && Added;
+      ++R.NumCardinality;
+      continue;
+    }
+
+    if (startsWith(Line, "p ")) {
+      if (SawHeader) {
+        R.Error = format("line %d: duplicate problem header", LineNo);
+        return R;
+      }
+      SawHeader = true;
+      int V = 0, C = 0;
+      if (std::sscanf(std::string(Line).c_str(), "p cnf %d %d", &V, &C) !=
+          2) {
+        R.Error = format("line %d: expected 'p cnf V C'", LineNo);
+        return R;
+      }
+      ensureVars(S, V);
+      continue;
+    }
+
+    // A clause: integers terminated by 0 (may span the line only).
+    std::vector<Lit> Clause;
+    const char *P = Line.data();
+    const char *End = Line.data() + Line.size();
+    bool Terminated = false;
+    while (P < End) {
+      char *Next = nullptr;
+      long Val = std::strtol(P, &Next, 10);
+      if (Next == P) {
+        R.Error = format("line %d: expected literal", LineNo);
+        return R;
+      }
+      P = Next;
+      if (Val == 0) {
+        Terminated = true;
+        break;
+      }
+      Clause.push_back(fromDimacs(S, Val));
+    }
+    if (!Terminated) {
+      R.Error = format("line %d: clause not terminated by 0", LineNo);
+      return R;
+    }
+    R.Consistent = S.addClause(Clause) && R.Consistent;
+    ++R.NumClauses;
+  }
+
+  R.Ok = true;
+  R.NumVars = S.numVars();
+  return R;
+}
+
+std::string syrust::sat::modelToDimacs(const Solver &S) {
+  std::string Out = "v";
+  for (int V = 0; V < S.numVars(); ++V) {
+    Value Val = S.modelValue(V);
+    if (Val == Value::Undef)
+      continue;
+    Out += format(" %s%d", Val == Value::True ? "" : "-", V + 1);
+  }
+  Out += " 0";
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===--- Dimacs.h - DIMACS CNF input/output --------------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DIMACS CNF parsing and solution printing, so the Sat4J-substitute
+/// solver is usable standalone (debugging synthesis formulas, comparing
+/// against reference solvers). Supports the standard `p cnf V C` header,
+/// comment lines, and an extension line `c atmost k l1 l2 ... 0` /
+/// `c atleast k l1 l2 ... 0` for the native cardinality constraints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_SAT_DIMACS_H
+#define SYRUST_SAT_DIMACS_H
+
+#include "sat/Solver.h"
+
+#include <string>
+#include <string_view>
+
+namespace syrust::sat {
+
+/// Result of loading a DIMACS problem.
+struct DimacsResult {
+  bool Ok = false;
+  std::string Error;
+  int NumVars = 0;
+  int NumClauses = 0;
+  int NumCardinality = 0;
+  /// False when the formula was proven inconsistent while loading.
+  bool Consistent = true;
+};
+
+/// Parses DIMACS CNF text into \p S. Variables are created on demand (the
+/// header's variable count is a lower bound). Returns counts or an error
+/// description with a line number.
+DimacsResult loadDimacs(Solver &S, std::string_view Text);
+
+/// Renders the current model as a DIMACS "v" line ("v 1 -2 3 ... 0").
+/// Only valid after a Sat solve.
+std::string modelToDimacs(const Solver &S);
+
+} // namespace syrust::sat
+
+#endif // SYRUST_SAT_DIMACS_H

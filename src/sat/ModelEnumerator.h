@@ -1,0 +1,70 @@
+//===--- ModelEnumerator.h - Projected model enumeration -------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 of the paper repeatedly solves the synthesis formula, emits a
+/// program for each model, and blocks the model ("phi := phi AND NOT sigma").
+/// Blocking the *full* assignment would enumerate assignments that differ
+/// only in don't-care variables and emit duplicate programs, so this helper
+/// blocks models projected onto a caller-chosen set of variables (the A- and
+/// U-variables that determine the program text).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_SAT_MODELENUMERATOR_H
+#define SYRUST_SAT_MODELENUMERATOR_H
+
+#include "sat/Solver.h"
+
+#include <vector>
+
+namespace syrust::sat {
+
+/// Streams the models of a solver, blocking each one over a projection set.
+class ModelEnumerator {
+public:
+  /// \p Projection lists the variables whose values define "the same model".
+  ModelEnumerator(Solver &S, std::vector<Var> Projection)
+      : S(S), Projection(std::move(Projection)) {}
+
+  /// Finds the next model not yet enumerated. Returns false when the
+  /// formula is exhausted (or the solver hit its budget; check
+  /// Solver::budgetExhausted()).
+  bool next() {
+    if (!First && !blockCurrent())
+      return false;
+    First = false;
+    if (S.solve() != SolveResult::Sat)
+      return false;
+    ++Count;
+    return true;
+  }
+
+  /// Number of models delivered so far.
+  uint64_t count() const { return Count; }
+
+private:
+  bool blockCurrent() {
+    std::vector<Lit> Blocking;
+    Blocking.reserve(Projection.size());
+    for (Var V : Projection) {
+      Value Val = S.modelValue(V);
+      if (Val == Value::Undef)
+        continue;
+      Blocking.push_back(mkLit(V, Val == Value::True));
+    }
+    return S.addClause(std::move(Blocking));
+  }
+
+  Solver &S;
+  std::vector<Var> Projection;
+  bool First = true;
+  uint64_t Count = 0;
+};
+
+} // namespace syrust::sat
+
+#endif // SYRUST_SAT_MODELENUMERATOR_H

@@ -1,0 +1,232 @@
+//===--- Solver.h - CDCL SAT solver with cardinality constraints -*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver with *native* Boolean
+/// cardinality constraints (AtMost-k / AtLeast-k via counting propagation),
+/// standing in for Sat4J in the original system. The synthesis encoder of
+/// Section 4 / Appendix C emits both CNF clauses and the pseudo-Boolean
+/// inequalities of Figure 14 directly to this interface.
+///
+/// Features: two-watched-literal propagation, first-UIP clause learning with
+/// reason-based minimization, EVSIDS variable activities, phase saving, Luby
+/// restarts, learned-clause reduction, assumption-based incremental solving,
+/// and incremental clause addition between solve() calls (used by
+/// Algorithm 1's model-blocking loop).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_SAT_SOLVER_H
+#define SYRUST_SAT_SOLVER_H
+
+#include "sat/SatTypes.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace syrust::sat {
+
+/// Aggregate search statistics, exposed for the micro benchmarks.
+struct SolverStats {
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
+  uint64_t LearnedClauses = 0;
+  uint64_t DeletedClauses = 0;
+  uint64_t CardPropagations = 0;
+};
+
+/// CDCL solver. Not thread-safe; create one per synthesis task.
+class Solver {
+public:
+  Solver();
+  ~Solver();
+
+  Solver(const Solver &) = delete;
+  Solver &operator=(const Solver &) = delete;
+
+  /// Creates a fresh variable and returns its index.
+  Var newVar();
+
+  /// Number of variables created so far.
+  int numVars() const { return static_cast<int>(Assigns.size()); }
+
+  /// Adds a clause (disjunction of \p Lits). Returns false if the solver
+  /// became inconsistent at the root level (the clause, together with prior
+  /// constraints, is unsatisfiable without search).
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Convenience overloads.
+  bool addClause(Lit A);
+  bool addClause(Lit A, Lit B);
+  bool addClause(Lit A, Lit B, Lit C);
+
+  /// Adds the constraint "at most \p K of \p Lits are true".
+  bool addAtMost(std::vector<Lit> Lits, int K);
+
+  /// Adds the constraint "at least \p K of \p Lits are true".
+  bool addAtLeast(std::vector<Lit> Lits, int K);
+
+  /// Adds the constraint "exactly \p K of \p Lits are true".
+  bool addExactly(const std::vector<Lit> &Lits, int K);
+
+  /// Solves the current formula. Returns Sat and populates the model, or
+  /// Unsat.
+  SolveResult solve();
+
+  /// Solves under the given assumptions (they act as temporary unit
+  /// clauses).
+  SolveResult solve(const std::vector<Lit> &Assumptions);
+
+  /// Value of \p V in the most recent satisfying model. Only valid after a
+  /// Sat result.
+  Value modelValue(Var V) const;
+
+  /// Value of \p L in the most recent satisfying model.
+  Value modelValue(Lit L) const;
+
+  /// False once the formula has been proven unsatisfiable at the root.
+  bool okay() const { return Ok; }
+
+  /// Sets a per-solve conflict limit; 0 disables the limit. A solve that
+  /// runs out of budget returns Unsat and sets budgetExhausted(), which
+  /// callers must check before treating the result as a proof.
+  void setConflictBudget(uint64_t Conflicts) { ConflictBudget = Conflicts; }
+
+  /// True if the previous solve() stopped because of the conflict budget
+  /// rather than a real Unsat proof.
+  bool budgetExhausted() const { return BudgetHit; }
+
+  const SolverStats &stats() const { return Stats; }
+
+  /// Seeds the random tie-breaking used for a small fraction of decisions.
+  void setRandomSeed(uint64_t Seed);
+
+private:
+  // Clause storage: clauses live in a flat arena; a ClauseRef is an offset.
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef RefUndef = 0xffffffffu;
+
+  struct ClauseHeader {
+    uint32_t Size;
+    uint32_t Learned : 1;
+    uint32_t Mark : 1;
+    float Activity;
+  };
+
+  struct Watcher {
+    ClauseRef Ref;
+    Lit Blocker;
+  };
+
+  /// Native cardinality constraint: at most K of Lits may be true.
+  struct CardConstraint {
+    std::vector<Lit> Lits;
+    int K = 0;
+    int TrueCount = 0; ///< Literals currently assigned true.
+  };
+
+  /// Why a variable was assigned.
+  struct Reason {
+    enum KindTy : uint8_t { None, ClauseKind, CardKind } Kind = None;
+    uint32_t Index = 0;
+  };
+
+  struct VarData {
+    Reason Why;
+    int Level = 0;
+    int TrailPos = 0;
+  };
+
+  // --- clause arena -------------------------------------------------------
+  ClauseRef allocClause(const std::vector<Lit> &Lits, bool Learned);
+  ClauseHeader &header(ClauseRef Ref);
+  const ClauseHeader &header(ClauseRef Ref) const;
+  Lit *lits(ClauseRef Ref);
+  const Lit *lits(ClauseRef Ref) const;
+
+  // --- assignment / propagation -------------------------------------------
+  Value value(Var V) const { return Assigns[V]; }
+  Value value(Lit L) const {
+    Value V = Assigns[var(L)];
+    return sign(L) ? !V : V;
+  }
+  int level(Var V) const { return VarInfo[V].Level; }
+  int trailPos(Var V) const { return VarInfo[V].TrailPos; }
+  int decisionLevel() const { return static_cast<int>(TrailLim.size()); }
+
+  void enqueue(Lit P, Reason Why);
+  /// Runs unit propagation; returns a conflicting constraint reason or a
+  /// Reason with Kind==None when no conflict occurred.
+  Reason propagate();
+  bool propagateCard(uint32_t CardIdx, Lit P, Reason &ConflictOut);
+  void cancelUntil(int Level);
+
+  // --- conflict analysis ---------------------------------------------------
+  void analyze(Reason Conflict, std::vector<Lit> &Learned, int &BtLevel);
+  bool litRedundant(Lit P, uint32_t AbstractLevels);
+  void collectReasonLits(Reason Why, Lit Implied, std::vector<Lit> &Out);
+
+  // --- decisions ------------------------------------------------------------
+  void varBumpActivity(Var V);
+  void varDecayActivity();
+  void claBumpActivity(ClauseRef Ref);
+  void claDecayActivity();
+  Lit pickBranchLit();
+
+  // heap operations for the order heap keyed by activity
+  void heapInsert(Var V);
+  void heapUpdate(Var V);
+  Var heapPop();
+  bool heapEmpty() const { return Heap.empty(); }
+  void heapPercolateUp(int Pos);
+  void heapPercolateDown(int Pos);
+
+  // --- top-level search ------------------------------------------------------
+  SolveResult search();
+  void reduceDB();
+  void attachClause(ClauseRef Ref);
+  bool addClausePreprocessed(std::vector<Lit> &Lits);
+  static uint64_t luby(uint64_t I);
+
+  // --- data -------------------------------------------------------------------
+  bool Ok = true;
+  std::vector<uint32_t> Arena; ///< Clause storage (headers + literals).
+  std::vector<ClauseRef> LearnedRefs;
+  std::vector<std::vector<Watcher>> Watches;   ///< Indexed by literal code.
+  std::vector<CardConstraint> Cards;
+  std::vector<std::vector<uint32_t>> CardOccs; ///< Literal code -> card ids.
+
+  std::vector<Value> Assigns;
+  std::vector<VarData> VarInfo;
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  size_t QHead = 0;
+
+  std::vector<double> Activity;
+  std::vector<char> Polarity; ///< Saved phases (1 = last assigned false).
+  std::vector<int> HeapPos;   ///< Var -> position in Heap, or -1.
+  std::vector<Var> Heap;
+
+  std::vector<char> Seen;
+
+  std::vector<Lit> Assumptions;
+  std::vector<Value> Model;
+
+  double VarInc = 1.0;
+  double ClaInc = 1.0;
+  uint64_t ConflictBudget = 0;
+  bool BudgetHit = false;
+  double MaxLearned = 0;
+  uint64_t RandomState = 0x9e3779b97f4a7c15ULL;
+
+  SolverStats Stats;
+};
+
+} // namespace syrust::sat
+
+#endif // SYRUST_SAT_SOLVER_H

@@ -1,0 +1,71 @@
+//===--- StringUtils.cpp - Small string helpers ---------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace syrust;
+
+std::string syrust::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string syrust::join(const std::vector<std::string> &Parts,
+                         std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result.append(Sep);
+    Result.append(Parts[I]);
+  }
+  return Result;
+}
+
+std::vector<std::string> syrust::split(std::string_view Text, char Sep) {
+  std::vector<std::string> Fields;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Fields.emplace_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Fields;
+}
+
+std::string_view syrust::trim(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         (Text[Begin] == ' ' || Text[Begin] == '\t' || Text[Begin] == '\n' ||
+          Text[Begin] == '\r'))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin &&
+         (Text[End - 1] == ' ' || Text[End - 1] == '\t' ||
+          Text[End - 1] == '\n' || Text[End - 1] == '\r'))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool syrust::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}

@@ -1,0 +1,41 @@
+//===--- StringUtils.h - Small string helpers ------------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus join/split helpers used by
+/// diagnostics, program rendering, and the table renderers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_SUPPORT_STRINGUTILS_H
+#define SYRUST_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace syrust {
+
+/// printf-style formatting that returns a std::string.
+std::string format(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 std::string_view Sep);
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> split(std::string_view Text, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// True if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+} // namespace syrust
+
+#endif // SYRUST_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,729 @@
+//===--- Encoding.cpp - SAT encoding of the synthesis space ---------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Liveness discipline (refining Figure 14 into a deterministic model):
+///
+///   * owned non-Copy values: V_{i+1} <=> V_i AND not-consumed-at-i, via
+///     the Rule 5/appendix-rule-10 cardinality (consumption kills) plus a
+///     persistence clause (nothing else kills);
+///   * Copy values and template-provided references: persist to the end;
+///   * borrow-created and propagation-created references: alive exactly
+///     while their immediate source is alive (Rule 6 both directions);
+///     paths through owned wrappers are checked post-hoc (Rule 7).
+///
+/// Forcing persistence matters for soundness: if availability could be
+/// dropped spuriously, the solver could "forget" an active &mut borrow and
+/// slip past the Rule 8/9 exclusivity clauses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "synth/Encoding.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::program;
+using namespace syrust::sat;
+using namespace syrust::synth;
+using namespace syrust::types;
+
+Encoding::Encoding(TypeArena &Arena, const TraitEnv &Traits,
+                   const ApiDatabase &Db,
+                   const std::vector<TemplateInput> &Inputs, int NumLines,
+                   const SynthOptions &Opts)
+    : Arena(Arena), Traits(Traits), Db(Db), Inputs(Inputs),
+      NumLines(NumLines), Opts(Opts) {
+  Solver.setRandomSeed(Opts.SolverSeed);
+  build();
+}
+
+const Type *Encoding::renamedInput(ApiId F, size_t J) const {
+  for (size_t K = 0; K < Active.size(); ++K)
+    if (Active[K] == F)
+      return RenIn[K][J];
+  return nullptr;
+}
+
+const Type *Encoding::renamedOutput(ApiId F) const {
+  for (size_t K = 0; K < Active.size(); ++K)
+    if (Active[K] == F)
+      return RenOut[K];
+  return nullptr;
+}
+
+bool Encoding::isOwnedNonCopy(const Type *Ty) const {
+  return !Ty->isRef() && !Traits.isCopy(Ty);
+}
+
+sat::Var Encoding::getV(VarId X, const Type *Ty, int Line) {
+  auto Key = std::make_tuple(X, Ty, Line);
+  auto It = VMap.find(Key);
+  if (It != VMap.end())
+    return It->second;
+  sat::Var V = Solver.newVar();
+  VMap.emplace(Key, V);
+  return V;
+}
+
+bool Encoding::hasV(VarId X, const Type *Ty, int Line) const {
+  return VMap.count(std::make_tuple(X, Ty, Line)) != 0;
+}
+
+void Encoding::build() {
+  Active = Db.activeIds();
+  RenIn.resize(Active.size());
+  RenOut.resize(Active.size());
+  for (size_t K = 0; K < Active.size(); ++K) {
+    const ApiSig &Sig = Db.get(Active[K]);
+    std::string Suffix = format("a%d", Active[K]);
+    for (const Type *In : Sig.Inputs)
+      RenIn[K].push_back(renameVars(Arena, In, Suffix));
+    RenOut[K] = renameVars(Arena, Sig.Output, Suffix);
+  }
+  buildTypeUniverse();
+  buildCallSites();
+  buildContextConstraints();
+  if (Opts.SemanticAware) {
+    buildSemanticConstraints();
+    buildRedundancyConstraints();
+  }
+  buildBlockedCombos();
+  VarCount = static_cast<size_t>(Solver.numVars());
+}
+
+void Encoding::buildTypeUniverse() {
+  // NOTE: all collections here iterate in *insertion* order - never in
+  // pointer order - so encodings (and therefore enumeration order and
+  // every experiment table) are reproducible across processes.
+  int K = static_cast<int>(Inputs.size());
+  VarTypes.assign(static_cast<size_t>(K + NumLines), {});
+  for (int X = 0; X < K; ++X)
+    VarTypes[static_cast<size_t>(X)] = {Inputs[static_cast<size_t>(X)].Ty};
+
+  // Types available strictly before each line, grown monotonically.
+  std::vector<const Type *> Avail;
+  std::set<const Type *> AvailSeen;
+  auto AddAvail = [&](const Type *Ty) {
+    if (AvailSeen.insert(Ty).second)
+      Avail.push_back(Ty);
+  };
+  for (int X = 0; X < K; ++X)
+    AddAvail(Inputs[static_cast<size_t>(X)].Ty);
+
+  for (int I = 0; I < NumLines; ++I) {
+    std::vector<const Type *> OutTys;
+    std::set<const Type *> OutSeen;
+    auto AddOut = [&](const Type *Ty) {
+      if (OutSeen.insert(Ty).second)
+        OutTys.push_back(Ty);
+    };
+    for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
+      const ApiSig &Sig = Db.get(Active[Kk]);
+      if (Sig.Builtin == BuiltinKind::None) {
+        AddOut(RenOut[Kk]);
+        continue;
+      }
+      // Builtins derive their output from the chosen argument type.
+      for (const Type *Ty : Avail) {
+        if (Ty->isRef())
+          continue; // Encoder restriction: builtins act on non-refs.
+        switch (Sig.Builtin) {
+        case BuiltinKind::LetMut:
+          AddOut(Ty);
+          break;
+        case BuiltinKind::Borrow:
+          AddOut(Arena.ref(Ty, /*Mutable=*/false));
+          break;
+        case BuiltinKind::BorrowMut:
+          AddOut(Arena.ref(Ty, /*Mutable=*/true));
+          break;
+        case BuiltinKind::None:
+          break;
+        }
+      }
+    }
+    VarTypes[static_cast<size_t>(K + I)] = OutTys;
+    for (const Type *Ty : OutTys)
+      AddAvail(Ty);
+  }
+}
+
+void Encoding::buildCallSites() {
+  int K = static_cast<int>(Inputs.size());
+  Sites.assign(static_cast<size_t>(NumLines), {});
+  for (int I = 0; I < NumLines; ++I) {
+    std::vector<CallSite> &LineSites = Sites[static_cast<size_t>(I)];
+    LineSites.resize(Active.size());
+    for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
+      const ApiSig &Sig = Db.get(Active[Kk]);
+      CallSite &Site = LineSites[Kk];
+      Site.A = Solver.newVar();
+      Site.Slots.resize(Sig.Inputs.size());
+      for (size_t J = 0; J < Sig.Inputs.size(); ++J) {
+        const Type *Pattern = RenIn[Kk][J];
+        for (int X = 0; X < K + I; ++X) {
+          for (const Type *Ty : VarTypes[static_cast<size_t>(X)]) {
+            if (Sig.Builtin != BuiltinKind::None && Ty->isRef())
+              continue; // Builtins act on non-reference values.
+            if (Opts.SemanticAware &&
+                Sig.Builtin == BuiltinKind::BorrowMut && X < K)
+              continue; // Template bindings are immutable (no `mut`).
+            Substitution Probe;
+            if (!unifiable(Ty, Pattern, Probe))
+              continue;
+            Candidate C;
+            C.Var = X;
+            C.Ty = Ty;
+            C.U = Solver.newVar();
+            Site.Slots[J].push_back(C);
+            ++TotalCandidates;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Encoding::buildContextConstraints() {
+  int K = static_cast<int>(Inputs.size());
+
+  // Template availability at line 0 plus V-propagation for all variables.
+  for (int X = 0; X < K; ++X)
+    Solver.addClause(mkLit(getV(X, Inputs[static_cast<size_t>(X)].Ty, 0)));
+  for (int X = 0; X < K; ++X) {
+    const Type *Ty = Inputs[static_cast<size_t>(X)].Ty;
+    for (int I = 1; I <= NumLines; ++I)
+      Solver.addClause(mkLit(getV(X, Ty, I), true),
+                       mkLit(getV(X, Ty, I - 1)));
+  }
+  for (int J = 0; J < NumLines; ++J) {
+    for (const Type *Ty : VarTypes[static_cast<size_t>(K + J)]) {
+      for (int I = J + 2; I <= NumLines; ++I)
+        Solver.addClause(mkLit(getV(K + J, Ty, I), true),
+                         mkLit(getV(K + J, Ty, I - 1)));
+    }
+  }
+
+  for (int I = 0; I < NumLines; ++I) {
+    std::vector<CallSite> &LineSites = Sites[static_cast<size_t>(I)];
+
+    // Exactly one API per line.
+    std::vector<Lit> ALits;
+    for (CallSite &Site : LineSites)
+      ALits.push_back(mkLit(Site.A));
+    Solver.addExactly(ALits, 1);
+
+    // Use-variable wiring.
+    for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
+      CallSite &Site = LineSites[Kk];
+      for (size_t J = 0; J < Site.Slots.size(); ++J) {
+        std::vector<Candidate> &Slot = Site.Slots[J];
+        if (Slot.empty()) {
+          // An input cannot be filled: the API is unusable on this line.
+          Solver.addClause(mkLit(Site.A, true));
+          continue;
+        }
+        std::vector<Lit> AtLeast{mkLit(Site.A, true)};
+        std::vector<Lit> ULits;
+        for (Candidate &C : Slot) {
+          Solver.addClause(mkLit(C.U, true), mkLit(Site.A)); // U => A
+          Solver.addClause(mkLit(C.U, true),
+                           mkLit(getV(C.Var, C.Ty, I))); // U => V
+          AtLeast.push_back(mkLit(C.U));
+          ULits.push_back(mkLit(C.U));
+        }
+        Solver.addClause(AtLeast);      // A => some candidate used.
+        Solver.addAtMost(ULits, 1);     // At most one per slot.
+      }
+
+      // Pairwise compatibility across slots (Definition 2(3) + Rule 4).
+      for (size_t J1 = 0; J1 < Site.Slots.size(); ++J1) {
+        for (size_t J2 = J1 + 1; J2 < Site.Slots.size(); ++J2) {
+          for (Candidate &C1 : Site.Slots[J1]) {
+            for (Candidate &C2 : Site.Slots[J2]) {
+              bool Compatible = true;
+              if (C1.Var == C2.Var && !C1.Ty->isPrim() &&
+                  !C1.Ty->isSharedRef()) {
+                Compatible = false; // Rule 4: no owned/mut aliasing.
+              } else {
+                Substitution Joint;
+                Compatible =
+                    unifiable(C1.Ty, RenIn[Kk][J1], Joint) &&
+                    unifiable(C2.Ty, RenIn[Kk][J2], Joint);
+              }
+              if (!Compatible)
+                Solver.addClause(mkLit(C1.U, true), mkLit(C2.U, true));
+            }
+          }
+        }
+      }
+    }
+
+    // Output creation: V(o_i, tau, i+1) <=> OR(triggers).
+    VarId Out = K + I;
+    for (const Type *Ty : VarTypes[static_cast<size_t>(Out)]) {
+      std::vector<Lit> Triggers;
+      for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
+        const ApiSig &Sig = Db.get(Active[Kk]);
+        if (Sig.Builtin == BuiltinKind::None) {
+          if (RenOut[Kk] == Ty)
+            Triggers.push_back(mkLit(LineSites[Kk].A));
+          continue;
+        }
+        for (Candidate &C : LineSites[Kk].Slots[0]) {
+          const Type *Derived = nullptr;
+          switch (Sig.Builtin) {
+          case BuiltinKind::LetMut:
+            Derived = C.Ty;
+            break;
+          case BuiltinKind::Borrow:
+            Derived = Arena.ref(C.Ty, false);
+            break;
+          case BuiltinKind::BorrowMut:
+            Derived = Arena.ref(C.Ty, true);
+            break;
+          case BuiltinKind::None:
+            break;
+          }
+          if (Derived == Ty)
+            Triggers.push_back(mkLit(C.U));
+        }
+      }
+      sat::Var V = getV(Out, Ty, I + 1);
+      if (Triggers.empty()) {
+        Solver.addClause(mkLit(V, true));
+        continue;
+      }
+      std::vector<Lit> VImplies{mkLit(V, true)};
+      for (Lit T : Triggers) {
+        VImplies.push_back(T);
+        Solver.addClause(~T, mkLit(V)); // trigger => V
+      }
+      Solver.addClause(VImplies); // V => some trigger.
+    }
+  }
+}
+
+void Encoding::buildSemanticConstraints() {
+  int K = static_cast<int>(Inputs.size());
+  int NumVars = K + NumLines;
+
+  // Classify each (var, type) pair and collect its use variables per line.
+  for (int X = 0; X < NumVars; ++X) {
+    int FirstLine = X < K ? 0 : X - K + 1;
+    for (const Type *Ty : VarTypes[static_cast<size_t>(X)]) {
+      bool OwnedNonCopy = isOwnedNonCopy(Ty);
+      bool TieHandled = Ty->isRef() && X >= K; // Output refs get ties.
+      for (int I = FirstLine; I < NumLines; ++I) {
+        // Consuming uses of (X, Ty) on line I.
+        std::vector<Lit> Consuming;
+        for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
+          const ApiSig &Sig = Db.get(Active[Kk]);
+          if (Sig.Builtin == BuiltinKind::Borrow ||
+              Sig.Builtin == BuiltinKind::BorrowMut)
+            continue;
+          for (auto &Slot : Sites[static_cast<size_t>(I)][Kk].Slots)
+            for (Candidate &C : Slot)
+              if (C.Var == X && C.Ty == Ty)
+                Consuming.push_back(mkLit(C.U));
+        }
+        sat::Var VNow = getV(X, Ty, I);
+        sat::Var VNext = getV(X, Ty, I + 1);
+        if (OwnedNonCopy) {
+          // Consumption kills (Rule 5): uses + persistence <= 1.
+          std::vector<Lit> Card = Consuming;
+          Card.push_back(mkLit(VNext));
+          Solver.addAtMost(Card, 1);
+          // Nothing else kills: V_i => V_{i+1} OR consumed.
+          std::vector<Lit> Persist{mkLit(VNow, true), mkLit(VNext)};
+          for (Lit C : Consuming)
+            Persist.push_back(C);
+          Solver.addClause(Persist);
+        } else if (!TieHandled) {
+          // Copy values and template references persist.
+          Solver.addClause(mkLit(VNow, true), mkLit(VNext));
+        }
+      }
+    }
+  }
+
+  for (int I = 0; I < NumLines; ++I) {
+    std::vector<CallSite> &LineSites = Sites[static_cast<size_t>(I)];
+    VarId Out = K + I;
+    for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
+      const ApiSig &Sig = Db.get(Active[Kk]);
+      CallSite &Site = LineSites[Kk];
+
+      // Mutable borrows require a `let mut` binding (Section 6.2's
+      // assignment-to-mutable builtin exists exactly to enable this).
+      if (Sig.Builtin == BuiltinKind::BorrowMut) {
+        for (Candidate &C : Site.Slots[0]) {
+          if (C.Var < K)
+            continue; // Filtered at candidate creation.
+          int DefLine = C.Var - K;
+          // Find the let_mut site of the defining line.
+          for (size_t K2 = 0; K2 < Active.size(); ++K2) {
+            if (Db.get(Active[K2]).Builtin == BuiltinKind::LetMut) {
+              Solver.addClause(
+                  mkLit(C.U, true),
+                  mkLit(Sites[static_cast<size_t>(DefLine)][K2].A));
+            }
+          }
+        }
+      }
+
+      // Rule 6 ties: borrow-created references live exactly while their
+      // source lives.
+      auto AddTie = [&](Candidate &C, const Type *RefTy) {
+        for (int M = I + 2; M <= NumLines; ++M) {
+          sat::Var VRef = getV(Out, RefTy, M);
+          sat::Var VSrc = getV(C.Var, C.Ty, M);
+          // U and ref alive => source alive.
+          Solver.addClause(mkLit(C.U, true), mkLit(VRef, true),
+                           mkLit(VSrc));
+          // U and source alive => ref alive (maximal persistence).
+          Solver.addClause(mkLit(C.U, true), mkLit(VSrc, true),
+                           mkLit(VRef));
+        }
+      };
+      if (Sig.Builtin == BuiltinKind::Borrow ||
+          Sig.Builtin == BuiltinKind::BorrowMut) {
+        bool Mut = Sig.Builtin == BuiltinKind::BorrowMut;
+        for (Candidate &C : Site.Slots[0])
+          AddTie(C, Arena.ref(C.Ty, Mut));
+      } else if (!Sig.PropagatesFrom.empty() && RenOut[Kk]->isRef()) {
+        for (int J : Sig.PropagatesFrom) {
+          if (J < 0 || static_cast<size_t>(J) >= Site.Slots.size())
+            continue;
+          for (Candidate &C : Site.Slots[static_cast<size_t>(J)])
+            if (C.Ty->isRef())
+              AddTie(C, RenOut[Kk]);
+        }
+      }
+    }
+  }
+
+  // Rules 8/9: borrow exclusivity. For each (owner, type): a live &mut
+  // forbids later borrows; a live & forbids later &mut.
+  int NumVarsAll = K + NumLines;
+  for (int X = 0; X < NumVarsAll; ++X) {
+    for (const Type *Ty : VarTypes[static_cast<size_t>(X)]) {
+      if (Ty->isRef())
+        continue;
+      // Collect per-line borrow uses of (X, Ty).
+      struct BorrowUse {
+        int Line;
+        sat::Var U;
+        bool Mut;
+      };
+      std::vector<BorrowUse> Borrows;
+      for (int I = 0; I < NumLines; ++I) {
+        for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
+          const ApiSig &Sig = Db.get(Active[Kk]);
+          if (Sig.Builtin != BuiltinKind::Borrow &&
+              Sig.Builtin != BuiltinKind::BorrowMut)
+            continue;
+          bool Mut = Sig.Builtin == BuiltinKind::BorrowMut;
+          for (Candidate &C : Sites[static_cast<size_t>(I)][Kk].Slots[0])
+            if (C.Var == X && C.Ty == Ty)
+              Borrows.push_back(BorrowUse{I, C.U, Mut});
+        }
+      }
+      for (const BorrowUse &First : Borrows) {
+        const Type *RefTy = Arena.ref(Ty, First.Mut);
+        for (const BorrowUse &Second : Borrows) {
+          if (Second.Line <= First.Line)
+            continue;
+          // Rule 8 (mut blocks all) / Rule 9 (shared blocks mut).
+          if (!First.Mut && !Second.Mut)
+            continue; // Shared borrows coexist.
+          sat::Var RefAlive =
+              getV(K + First.Line, RefTy, Second.Line + 1);
+          Solver.addClause(std::vector<Lit>{
+              mkLit(First.U, true), mkLit(RefAlive, true),
+              mkLit(Second.U, true)});
+        }
+      }
+    }
+  }
+}
+
+void Encoding::buildRedundancyConstraints() {
+  int K = static_cast<int>(Inputs.size());
+
+  // Indices of builtin APIs in Active.
+  int LetMutIdx = -1;
+  std::vector<size_t> BorrowIdxs;
+  for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
+    BuiltinKind B = Db.get(Active[Kk]).Builtin;
+    if (B == BuiltinKind::LetMut)
+      LetMutIdx = static_cast<int>(Kk);
+    else if (B == BuiltinKind::Borrow || B == BuiltinKind::BorrowMut)
+      BorrowIdxs.push_back(Kk);
+  }
+
+  // (1) No move-to-mutable of an already-mutable variable.
+  if (LetMutIdx >= 0) {
+    for (int I = 0; I < NumLines; ++I) {
+      for (Candidate &C :
+           Sites[static_cast<size_t>(I)][static_cast<size_t>(LetMutIdx)]
+               .Slots[0]) {
+        if (C.Var < K)
+          continue;
+        int DefLine = C.Var - K;
+        Solver.addClause(
+            mkLit(C.U, true),
+            mkLit(Sites[static_cast<size_t>(DefLine)]
+                       [static_cast<size_t>(LetMutIdx)]
+                           .A,
+                  true));
+      }
+    }
+  }
+
+  // (2) At most one mutable borrow of any variable, program-wide.
+  int NumVarsAll = K + NumLines;
+  for (int X = 0; X < NumVarsAll; ++X) {
+    for (const Type *Ty : VarTypes[static_cast<size_t>(X)]) {
+      std::vector<Lit> MutBorrows;
+      for (int I = 0; I < NumLines; ++I) {
+        for (size_t Kk : BorrowIdxs) {
+          if (Db.get(Active[Kk]).Builtin != BuiltinKind::BorrowMut)
+            continue;
+          for (Candidate &C : Sites[static_cast<size_t>(I)][Kk].Slots[0])
+            if (C.Var == X && C.Ty == Ty)
+              MutBorrows.push_back(mkLit(C.U));
+        }
+      }
+      if (MutBorrows.size() > 1)
+        Solver.addAtMost(MutBorrows, 1);
+    }
+  }
+
+  // (3) Every created reference must be used at least once.
+  for (int I = 0; I < NumLines; ++I) {
+    for (size_t Kk : BorrowIdxs) {
+      std::vector<Lit> Clause{
+          mkLit(Sites[static_cast<size_t>(I)][Kk].A, true)};
+      VarId Out = K + I;
+      for (int M = I + 1; M < NumLines; ++M) {
+        for (size_t K2 = 0; K2 < Active.size(); ++K2) {
+          for (auto &Slot : Sites[static_cast<size_t>(M)][K2].Slots)
+            for (Candidate &C : Slot)
+              if (C.Var == Out)
+                Clause.push_back(mkLit(C.U));
+        }
+      }
+      Solver.addClause(Clause);
+    }
+  }
+}
+
+void Encoding::buildBlockedCombos() {
+  for (int I = 0; I < NumLines; ++I) {
+    for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
+      const ApiSig &Sig = Db.get(Active[Kk]);
+      (void)Sig;
+      CallSite &Site = Sites[static_cast<size_t>(I)][Kk];
+      // Collect the combos blocked for this API.
+      // (Iterate via probe: ApiDatabase exposes membership tests only, so
+      // the synthesizer's combos come through isComboBlocked on candidate
+      // type tuples. To keep the encoding closed-form we instead intersect
+      // per-slot candidate types and test each cross-product lazily below,
+      // bounded by slots' distinct-type counts.)
+      if (Site.Slots.empty())
+        continue;
+      std::vector<std::vector<const Type *>> SlotTypes(Site.Slots.size());
+      for (size_t J = 0; J < Site.Slots.size(); ++J) {
+        std::set<const Type *> Seen;
+        for (Candidate &C : Site.Slots[J])
+          if (Seen.insert(C.Ty).second)
+            SlotTypes[J].push_back(C.Ty); // Insertion order.
+      }
+      // Enumerate type tuples (bounded: used only for small slot counts).
+      std::vector<size_t> Idx(Site.Slots.size(), 0);
+      size_t Total = 1;
+      for (auto &Ts : SlotTypes)
+        Total *= std::max<size_t>(Ts.size(), 1);
+      if (Total > 4096)
+        continue; // Pathological; blocked combos re-checked at codegen.
+      for (size_t N = 0; N < Total; ++N) {
+        std::vector<const Type *> Combo;
+        size_t Rem = N;
+        bool Valid = true;
+        for (size_t J = 0; J < SlotTypes.size(); ++J) {
+          if (SlotTypes[J].empty()) {
+            Valid = false;
+            break;
+          }
+          Combo.push_back(SlotTypes[J][Rem % SlotTypes[J].size()]);
+          Rem /= SlotTypes[J].size();
+        }
+        if (!Valid || !Db.isComboBlocked(Active[Kk], Combo))
+          continue;
+        // Block: not all slots may simultaneously use these types.
+        std::vector<Lit> Clause{mkLit(Site.A, true)};
+        for (size_t J = 0; J < SlotTypes.size(); ++J) {
+          // Aux var S: some candidate of slot J with type Combo[J] used.
+          sat::Var S = Solver.newVar();
+          for (Candidate &C : Site.Slots[J])
+            if (C.Ty == Combo[J])
+              Solver.addClause(mkLit(C.U, true), mkLit(S));
+          Clause.push_back(mkLit(S, true));
+        }
+        Solver.addClause(Clause);
+      }
+    }
+  }
+}
+
+bool Encoding::nextModel() {
+  if (HasModel)
+    blockCurrent();
+  Solver.setConflictBudget(Opts.SolveConflictBudget);
+  HasModel = Solver.solve() == SolveResult::Sat;
+  return HasModel;
+}
+
+void Encoding::blockCurrent() {
+  assert(HasModel && "no model to block");
+  std::vector<Lit> Blocking;
+  for (auto &LineSites : Sites) {
+    for (CallSite &Site : LineSites) {
+      if (Solver.modelValue(Site.A) == Value::True)
+        Blocking.push_back(mkLit(Site.A, true));
+      for (auto &Slot : Site.Slots)
+        for (Candidate &C : Slot)
+          if (Solver.modelValue(C.U) == Value::True)
+            Blocking.push_back(mkLit(C.U, true));
+    }
+  }
+  Solver.addClause(std::move(Blocking));
+  HasModel = false;
+}
+
+Program Encoding::decode() const {
+  assert(HasModel && "decode requires a current model");
+  int K = static_cast<int>(Inputs.size());
+  Program P;
+  P.Inputs = Inputs;
+
+  // Predicted types per variable (the codeGen prediction of Section 5.3).
+  std::vector<const Type *> Predicted(static_cast<size_t>(K + NumLines),
+                                      nullptr);
+  for (int X = 0; X < K; ++X)
+    Predicted[static_cast<size_t>(X)] = Inputs[static_cast<size_t>(X)].Ty;
+
+  for (int I = 0; I < NumLines; ++I) {
+    const std::vector<CallSite> &LineSites = Sites[static_cast<size_t>(I)];
+    int Chosen = -1;
+    for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
+      if (Solver.modelValue(LineSites[Kk].A) == Value::True) {
+        Chosen = static_cast<int>(Kk);
+        break;
+      }
+    }
+    assert(Chosen >= 0 && "model must select an API per line");
+    const CallSite &Site = LineSites[static_cast<size_t>(Chosen)];
+    const ApiSig &Sig = Db.get(Active[static_cast<size_t>(Chosen)]);
+
+    Stmt S;
+    S.Api = Active[static_cast<size_t>(Chosen)];
+    S.Out = K + I;
+    for (const auto &Slot : Site.Slots) {
+      for (const Candidate &C : Slot) {
+        if (Solver.modelValue(C.U) == Value::True) {
+          S.Args.push_back(C.Var);
+          break;
+        }
+      }
+    }
+    assert(S.Args.size() == Sig.Inputs.size() &&
+           "every slot must be filled");
+
+    // Predict the declared output type from predicted argument types.
+    const Type *Decl = nullptr;
+    switch (Sig.Builtin) {
+    case BuiltinKind::LetMut:
+      Decl = Predicted[static_cast<size_t>(S.Args[0])];
+      break;
+    case BuiltinKind::Borrow:
+      Decl = Arena.ref(Predicted[static_cast<size_t>(S.Args[0])], false);
+      break;
+    case BuiltinKind::BorrowMut:
+      Decl = Arena.ref(Predicted[static_cast<size_t>(S.Args[0])], true);
+      break;
+    case BuiltinKind::None: {
+      Substitution Pred;
+      for (size_t J = 0; J < S.Args.size(); ++J) {
+        const Type *ArgTy = Predicted[static_cast<size_t>(S.Args[J])];
+        Substitution Attempt = Pred;
+        if (unifiable(ArgTy, RenIn[static_cast<size_t>(Chosen)][J],
+                      Attempt))
+          Pred = Attempt;
+      }
+      Decl = applySubst(Arena, RenOut[static_cast<size_t>(Chosen)], Pred);
+      break;
+    }
+    }
+    Predicted[static_cast<size_t>(S.Out)] = Decl;
+    S.DeclType = Decl;
+    P.Stmts.push_back(std::move(S));
+  }
+  return P;
+}
+
+bool Encoding::pathCheckOk(const Program &P, const ApiDatabase &Db,
+                           const TraitEnv &Traits) {
+  int NumVars = P.numVars();
+  std::vector<bool> Consumed(static_cast<size_t>(NumVars), false);
+  std::vector<std::vector<VarId>> Roots(static_cast<size_t>(NumVars));
+
+  for (const Stmt &S : P.Stmts) {
+    const ApiSig &Sig = Db.get(S.Api);
+    // Rule 7: no argument may ride on a consumed root.
+    for (VarId A : S.Args) {
+      for (VarId R : Roots[static_cast<size_t>(A)])
+        if (Consumed[static_cast<size_t>(R)])
+          return false;
+    }
+    bool IsBorrow = Sig.Builtin == BuiltinKind::Borrow ||
+                    Sig.Builtin == BuiltinKind::BorrowMut;
+    if (!IsBorrow) {
+      for (VarId A : S.Args) {
+        const Type *Ty = nullptr;
+        if (A < static_cast<VarId>(P.Inputs.size()))
+          Ty = P.Inputs[static_cast<size_t>(A)].Ty;
+        else
+          Ty = P.Stmts[static_cast<size_t>(A) - P.Inputs.size()].DeclType;
+        if (Ty && !Ty->isRef() && !Traits.isCopy(Ty))
+          Consumed[static_cast<size_t>(A)] = true;
+      }
+    }
+    // Root propagation.
+    auto RootsOf = [&](VarId A) -> std::vector<VarId> {
+      if (Roots[static_cast<size_t>(A)].empty())
+        return {A};
+      return Roots[static_cast<size_t>(A)];
+    };
+    if (IsBorrow) {
+      Roots[static_cast<size_t>(S.Out)] = RootsOf(S.Args[0]);
+    } else {
+      for (int J : Sig.PropagatesFrom) {
+        if (J < 0 || static_cast<size_t>(J) >= S.Args.size())
+          continue;
+        for (VarId R : RootsOf(S.Args[static_cast<size_t>(J)]))
+          Roots[static_cast<size_t>(S.Out)].push_back(R);
+      }
+    }
+  }
+  return true;
+}

@@ -1,0 +1,156 @@
+//===--- Encoding.h - SAT encoding of the synthesis space ------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the SAT formula of Section 4 / Appendix C for programs of one
+/// fixed length over the current API database, and decodes models back to
+/// programs.
+///
+/// Variable families (Figure 14):
+///   A[f,i]      - API f is called on line i;
+///   V[x,tau,i]  - variable x with encoder-level type tau is available in
+///                 the synthesis type context of line i;
+///   U[x,tau,i,j,f] - x:tau is used as the j-th input of f on line i.
+///
+/// Encoder-level types keep each API's type variables (renamed apart per
+/// API), and slot matching uses the optimistic `unifiable` relation: the
+/// encoder deliberately over-approximates (no trait bounds, no default
+/// type parameters) and lets compiler diagnostics drive refinement
+/// (Section 5). The Section 4.4 ownership/borrow constraints and the
+/// Section 4.7 redundancy suppressions are emitted only when
+/// SemanticAware is on - turning them off is exactly the RQ2 ablation.
+///
+/// Model blocking exploits the exactly-one structure: the true A- and
+/// U-variables uniquely determine a program, so blocking the conjunction
+/// of those (a ~20-literal clause) blocks exactly that program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_SYNTH_ENCODING_H
+#define SYRUST_SYNTH_ENCODING_H
+
+#include "api/ApiDatabase.h"
+#include "program/Program.h"
+#include "sat/Solver.h"
+#include "types/Subtyping.h"
+#include "types/TraitEnv.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace syrust::synth {
+
+/// Feature toggles and tuning for the encoder/synthesizer.
+struct SynthOptions {
+  /// Section 4.4 + 4.7 constraints (ownership, lifetimes, borrows,
+  /// redundancy). Off = the RQ2 ablation variant.
+  bool SemanticAware = true;
+  /// Test-scheduling extension (the paper's Section 7.4.3 future work):
+  /// instead of exhausting each program length before moving to the
+  /// next, round-robin across all lengths so deep call chains are
+  /// reached early. Off reproduces Algorithm 1's strict length order.
+  bool InterleaveLengths = false;
+  /// Conflict budget per solve (0 = unlimited).
+  uint64_t SolveConflictBudget = 200000;
+  uint64_t SolverSeed = 1;
+};
+
+/// SAT encoding for one (API database snapshot, program length) pair.
+class Encoding {
+public:
+  Encoding(types::TypeArena &Arena, const types::TraitEnv &Traits,
+           const api::ApiDatabase &Db,
+           const std::vector<program::TemplateInput> &Inputs, int NumLines,
+           const SynthOptions &Opts);
+
+  /// Finds the next not-yet-blocked model. Returns false when the space is
+  /// exhausted (or the budget was hit; see budgetExhausted()).
+  bool nextModel();
+
+  /// True when the last nextModel() failure was a solver budget stop, not
+  /// a real UNSAT.
+  bool budgetExhausted() const { return Solver.budgetExhausted(); }
+
+  /// Decodes the current model into a program with predicted declared
+  /// types (the codeGen step of Algorithm 1).
+  program::Program decode() const;
+
+  /// Blocks the current model's program so enumeration advances.
+  void blockCurrent();
+
+  /// Rule 7 path check, run as post-processing (Section 4.4.3): verifies
+  /// no variable is used after a root owner on its lifetime path has been
+  /// consumed. Exposed statically so tests can target it directly.
+  static bool pathCheckOk(const program::Program &P,
+                          const api::ApiDatabase &Db,
+                          const types::TraitEnv &Traits);
+
+  int numLines() const { return NumLines; }
+  size_t numSatVars() const { return VarCount; }
+  size_t numCandidates() const { return TotalCandidates; }
+
+private:
+  /// One (variable, encoder-type) candidate for an input slot.
+  struct Candidate {
+    program::VarId Var;
+    const types::Type *Ty;
+    sat::Var U = sat::VarUndef;
+  };
+
+  /// Per (line, api) call-site encoding.
+  struct CallSite {
+    sat::Var A = sat::VarUndef;
+    /// Candidates per input slot.
+    std::vector<std::vector<Candidate>> Slots;
+  };
+
+  sat::Var getV(program::VarId X, const types::Type *Ty, int Line);
+  bool hasV(program::VarId X, const types::Type *Ty, int Line) const;
+  const types::Type *renamedInput(api::ApiId F, size_t J) const;
+  const types::Type *renamedOutput(api::ApiId F) const;
+  bool isOwnedNonCopy(const types::Type *Ty) const;
+
+  void build();
+  void buildTypeUniverse();
+  void buildCallSites();
+  void buildContextConstraints();
+  void buildSemanticConstraints();
+  void buildRedundancyConstraints();
+  void buildBlockedCombos();
+
+  types::TypeArena &Arena;
+  const types::TraitEnv &Traits;
+  const api::ApiDatabase &Db;
+  std::vector<program::TemplateInput> Inputs;
+  int NumLines;
+  SynthOptions Opts;
+
+  std::vector<api::ApiId> Active;
+  /// Renamed signatures indexed by position in Active.
+  std::vector<std::vector<const types::Type *>> RenIn;
+  std::vector<const types::Type *> RenOut;
+
+  /// Possible encoder-level types of each variable. Template variables
+  /// have exactly one; line outputs one per producible type.
+  std::vector<std::vector<const types::Type *>> VarTypes;
+
+  /// CallSites[i][k] for line i, Active[k].
+  std::vector<std::vector<CallSite>> Sites;
+
+  /// V variables keyed by (var, type, line).
+  std::map<std::tuple<program::VarId, const types::Type *, int>, sat::Var>
+      VMap;
+
+  mutable sat::Solver Solver;
+  size_t VarCount = 0;
+  size_t TotalCandidates = 0;
+  bool HasModel = false;
+};
+
+} // namespace syrust::synth
+
+#endif // SYRUST_SYNTH_ENCODING_H

@@ -1,0 +1,124 @@
+//===--- Synthesizer.cpp - Test-case enumeration driver -------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+using namespace syrust;
+using namespace syrust::program;
+using namespace syrust::synth;
+
+Synthesizer::Synthesizer(types::TypeArena &Arena,
+                         const types::TraitEnv &Traits,
+                         const api::ApiDatabase &Db,
+                         std::vector<TemplateInput> Inputs, int MaxLines,
+                         SynthOptions Opts)
+    : Arena(Arena), Traits(Traits), Db(Db), Inputs(std::move(Inputs)),
+      MaxLines(MaxLines), Opts(Opts) {
+  Stats.CurrentLength = 1;
+  rebuild();
+}
+
+void Synthesizer::rebuild() {
+  if (Opts.InterleaveLengths) {
+    // Rebuild every still-live length. On first call, build all lengths.
+    bool First = LengthEncs.empty();
+    LengthEncs.resize(static_cast<size_t>(MaxLines));
+    for (int L = 1; L <= MaxLines; ++L) {
+      auto &Slot = LengthEncs[static_cast<size_t>(L - 1)];
+      if (First || Slot)
+        Slot = std::make_unique<Encoding>(Arena, Traits, Db, Inputs, L,
+                                          Opts);
+    }
+    ++Stats.Rebuilds;
+    return;
+  }
+  Enc = std::make_unique<Encoding>(Arena, Traits, Db, Inputs,
+                                   Stats.CurrentLength, Opts);
+  ++Stats.Rebuilds;
+}
+
+void Synthesizer::notifyDatabaseChanged() {
+  if (!Done)
+    rebuild();
+}
+
+bool Synthesizer::advanceLength() {
+  if (Stats.CurrentLength >= MaxLines) {
+    Done = true;
+    return false;
+  }
+  ++Stats.CurrentLength;
+  rebuild();
+  return true;
+}
+
+bool Synthesizer::acceptProgram(Program &P) {
+  if (Opts.SemanticAware && !Encoding::pathCheckOk(P, Db, Traits)) {
+    ++Stats.PathFiltered;
+    return false; // Model auto-blocked on the next nextModel() call.
+  }
+  if (!SeenHashes.insert(P.hash()).second) {
+    ++Stats.DuplicatesSkipped;
+    return false; // Re-emitted after a rebuild; skip.
+  }
+  ++Stats.Emitted;
+  return true;
+}
+
+std::optional<Program> Synthesizer::nextSequential() {
+  while (!Done) {
+    if (!Enc->nextModel()) {
+      if (Enc->budgetExhausted())
+        BudgetStop = true;
+      if (!advanceLength())
+        return std::nullopt;
+      continue;
+    }
+    Program P = Enc->decode();
+    if (acceptProgram(P))
+      return P;
+  }
+  return std::nullopt;
+}
+
+std::optional<Program> Synthesizer::nextInterleaved() {
+  // Round-robin across live lengths; a length that proves UNSAT is
+  // dropped. The rotation pointer persists across calls, so each call
+  // samples the "next" length.
+  while (!Done) {
+    size_t Live = 0;
+    for (const auto &E : LengthEncs)
+      Live += E ? 1 : 0;
+    if (Live == 0) {
+      Done = true;
+      return std::nullopt;
+    }
+    for (size_t Tried = 0; Tried < LengthEncs.size(); ++Tried) {
+      size_t Idx = Rotation % LengthEncs.size();
+      ++Rotation;
+      Encoding *E = LengthEncs[Idx].get();
+      if (!E)
+        continue;
+      if (!E->nextModel()) {
+        if (E->budgetExhausted())
+          BudgetStop = true;
+        LengthEncs[Idx].reset();
+        continue;
+      }
+      Stats.CurrentLength = E->numLines();
+      Program P = E->decode();
+      if (acceptProgram(P))
+        return P;
+      // Rejected by the path check or a duplicate: stay in the loop so
+      // the next length gets its turn.
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Program> Synthesizer::next() {
+  return Opts.InterleaveLengths ? nextInterleaved() : nextSequential();
+}

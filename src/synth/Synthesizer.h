@@ -1,0 +1,89 @@
+//===--- Synthesizer.h - Test-case enumeration driver ----------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streams well-formed candidate test cases for one (template, API
+/// database) pair, walking program lengths 1..m as in Algorithm 1. Handles
+/// the two events Algorithm 1 weaves into the enumeration loop:
+///
+///   * model blocking (phi := phi AND NOT sigma) - done with small
+///     projected blocking clauses;
+///   * API-database refinement (update(phi, A)) - the encoding is rebuilt
+///     on notifyDatabaseChanged(), and previously emitted programs are
+///     skipped via a structural-hash set so no test case repeats.
+///
+/// Models failing the Rule 7 path post-check are blocked and counted but
+/// never emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_SYNTH_SYNTHESIZER_H
+#define SYRUST_SYNTH_SYNTHESIZER_H
+
+#include "synth/Encoding.h"
+
+#include <memory>
+#include <set>
+
+namespace syrust::synth {
+
+/// Aggregate synthesis statistics.
+struct SynthStats {
+  uint64_t Emitted = 0;
+  uint64_t PathFiltered = 0;
+  uint64_t DuplicatesSkipped = 0;
+  uint64_t Rebuilds = 0;
+  int CurrentLength = 0;
+};
+
+/// Enumerates candidate programs of increasing length.
+class Synthesizer {
+public:
+  Synthesizer(types::TypeArena &Arena, const types::TraitEnv &Traits,
+              const api::ApiDatabase &Db,
+              std::vector<program::TemplateInput> Inputs, int MaxLines,
+              SynthOptions Opts = {});
+
+  /// Produces the next program, or nullopt when all lengths are exhausted.
+  std::optional<program::Program> next();
+
+  /// Signals that the API database was refined; the encoding for the
+  /// current length is rebuilt against the new database.
+  void notifyDatabaseChanged();
+
+  const SynthStats &stats() const { return Stats; }
+
+  /// True when enumeration ended due to solver budget rather than a real
+  /// proof of exhaustion (conservative: per current length).
+  bool sawBudgetStop() const { return BudgetStop; }
+
+private:
+  bool advanceLength();
+  void rebuild();
+  std::optional<program::Program> nextSequential();
+  std::optional<program::Program> nextInterleaved();
+  bool acceptProgram(program::Program &P);
+
+  types::TypeArena &Arena;
+  const types::TraitEnv &Traits;
+  const api::ApiDatabase &Db;
+  std::vector<program::TemplateInput> Inputs;
+  int MaxLines;
+  SynthOptions Opts;
+
+  std::unique_ptr<Encoding> Enc;
+  /// Interleaved mode: one live encoding per length (null = exhausted).
+  std::vector<std::unique_ptr<Encoding>> LengthEncs;
+  size_t Rotation = 0;
+  std::set<uint64_t> SeenHashes;
+  SynthStats Stats;
+  bool BudgetStop = false;
+  bool Done = false;
+};
+
+} // namespace syrust::synth
+
+#endif // SYRUST_SYNTH_SYNTHESIZER_H

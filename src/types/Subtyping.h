@@ -1,0 +1,93 @@
+//===--- Subtyping.h - Subtype matching and substitutions ------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the subtype operator (⊑) of Definition 2 in the paper:
+///
+///   * reflexivity:              τ ⊑ τ
+///   * reference mutability:     &mut τ ⊑ &τ       (top level only; generic
+///                               parameters are invariant, as in Rust)
+///   * polymorphism:             ∀τ. τ ⊑ T          (binding T := τ)
+///
+/// Matching an actual type against a (possibly polymorphic) signature type
+/// produces a Substitution; the compatibleTypes check of Definition 2(3) is
+/// "all arguments of one call match under a single joint substitution".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_TYPES_SUBTYPING_H
+#define SYRUST_TYPES_SUBTYPING_H
+
+#include "types/Type.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace syrust::types {
+
+/// A binding of type-variable names to types.
+class Substitution {
+public:
+  /// Returns the binding of \p Name, or nullptr when unbound.
+  const Type *lookup(const std::string &Name) const {
+    auto It = Map.find(Name);
+    return It == Map.end() ? nullptr : It->second;
+  }
+
+  /// Binds \p Name to \p T. Returns false if \p Name is already bound to a
+  /// different type.
+  bool bind(const std::string &Name, const Type *T) {
+    auto [It, Inserted] = Map.emplace(Name, T);
+    return Inserted || It->second == T;
+  }
+
+  bool empty() const { return Map.empty(); }
+  size_t size() const { return Map.size(); }
+
+  const std::map<std::string, const Type *> &bindings() const { return Map; }
+
+private:
+  std::map<std::string, const Type *> Map;
+};
+
+/// Checks Actual ⊑ Pattern, extending \p Subst with any type-variable
+/// bindings required. On failure \p Subst may be partially extended; use a
+/// copy if rollback matters.
+bool isSubtype(const Type *Actual, const Type *Pattern, Substitution &Subst);
+
+/// Convenience wrapper with a throwaway substitution.
+bool isSubtype(const Type *Actual, const Type *Pattern);
+
+/// Checks that a whole argument vector matches a signature's input vector
+/// under one joint substitution (the compatibleTypes condition). Returns
+/// the substitution through \p SubstOut on success.
+bool matchCall(const std::vector<const Type *> &Actuals,
+               const std::vector<const Type *> &Patterns,
+               Substitution &SubstOut);
+
+/// Applies \p Subst to \p T, interning results in \p Arena. Unbound type
+/// variables are left in place.
+const Type *applySubst(TypeArena &Arena, const Type *T,
+                       const Substitution &Subst);
+
+/// Two-sided unification: type variables on EITHER side may bind (a
+/// variable binds to the other side's type; two variables bind by name).
+/// Mutability coercion is permitted at the top level, like isSubtype. The
+/// synthesis encoder uses this optimistic relation - "could these types
+/// match under some instantiation" - and lets the compiler reject bad
+/// instantiations, which is what drives the refinement loop (Section 5).
+bool unifiable(const Type *A, const Type *B, Substitution &Subst);
+
+/// Renames every type variable "X" in \p T to "X#Suffix" so signatures
+/// instantiated at different call sites cannot capture each other's
+/// variables.
+const Type *renameVars(TypeArena &Arena, const Type *T,
+                       const std::string &Suffix);
+
+} // namespace syrust::types
+
+#endif // SYRUST_TYPES_SUBTYPING_H

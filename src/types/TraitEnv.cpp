@@ -1,0 +1,84 @@
+//===--- TraitEnv.cpp - Trait implementation database ---------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/TraitEnv.h"
+
+using namespace syrust::types;
+
+namespace {
+constexpr int MaxTraitDepth = 8;
+} // namespace
+
+bool TraitEnv::implements(const Type *T, const std::string &Trait) const {
+  return implementsDepth(T, Trait, 0);
+}
+
+bool TraitEnv::implementsDepth(const Type *T, const std::string &Trait,
+                               int Depth) const {
+  if (Depth > MaxTraitDepth)
+    return false;
+  // References inherit a few marker traits structurally; everything else is
+  // rule-driven. Shared references to any type are hashable/comparable etc.
+  // only when their pointee is, which a rule with pattern &T can encode, so
+  // no special casing here beyond the rules.
+  for (const ImplRule &Rule : Rules) {
+    if (Rule.Trait != Trait)
+      continue;
+    Substitution Subst;
+    if (!isSubtype(T, Rule.Pattern, Subst))
+      continue;
+    bool ConditionsHold = true;
+    for (const auto &[VarName, NeededTrait] : Rule.Where) {
+      const Type *Bound = Subst.lookup(VarName);
+      if (!Bound || !implementsDepth(Bound, NeededTrait, Depth + 1)) {
+        ConditionsHold = false;
+        break;
+      }
+    }
+    if (ConditionsHold)
+      return true;
+  }
+  return false;
+}
+
+bool TraitEnv::isCopy(const Type *T) const {
+  switch (T->kind()) {
+  case TypeKind::Prim:
+    return true;
+  case TypeKind::Ref:
+    return T->isSharedRef();
+  case TypeKind::Tuple: {
+    for (const Type *E : T->args())
+      if (!isCopy(E))
+        return false;
+    return true;
+  }
+  case TypeKind::Named:
+    return implements(T, "Copy");
+  case TypeKind::Var:
+    return false; // Conservative: unknown instantiation.
+  }
+  return false;
+}
+
+void TraitEnv::addDefaultPrimImpls() {
+  static const char *PrimNames[] = {"i8",   "i16",   "i32",   "i64",
+                                    "u8",   "u16",   "u32",   "u64",
+                                    "usize", "isize", "f32",   "f64",
+                                    "bool", "char"};
+  static const char *MarkerTraits[] = {"Copy", "Clone", "Default", "Debug"};
+  for (const char *P : PrimNames) {
+    const Type *Prim = Arena.prim(P);
+    for (const char *Tr : MarkerTraits)
+      addImpl(Tr, Prim);
+    // Floats are not Eq/Ord/Hash in Rust.
+    if (P[0] != 'f') {
+      addImpl("Eq", Prim);
+      addImpl("Ord", Prim);
+      addImpl("Hash", Prim);
+    }
+  }
+}

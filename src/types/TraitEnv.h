@@ -1,0 +1,78 @@
+//===--- TraitEnv.h - Trait implementation database ------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records which types implement which traits, including conditional
+/// generic impls ("impl<T: Clone> Clone for Vec<T>"). The synthesis encoder
+/// deliberately IGNORES trait bounds (Section 5.2 of the paper: "instead of
+/// dealing with complex trait requirements, we use the compiler errors as
+/// feedback"); this database is consulted by the rustsim checker, whose
+/// trait-mismatch diagnostics drive the lazy refinement loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_TYPES_TRAITENV_H
+#define SYRUST_TYPES_TRAITENV_H
+
+#include "types/Subtyping.h"
+#include "types/Type.h"
+
+#include <string>
+#include <vector>
+
+namespace syrust::types {
+
+/// One impl rule: `Pattern` implements `Trait` provided each listed type
+/// variable of the pattern implements its required traits.
+struct ImplRule {
+  std::string Trait;
+  const Type *Pattern = nullptr;
+  /// Conditions: (type-variable name in Pattern, required trait).
+  std::vector<std::pair<std::string, std::string>> Where;
+};
+
+/// Database of trait implementations with conditional-impl resolution.
+class TraitEnv {
+public:
+  explicit TraitEnv(TypeArena &Arena) : Arena(Arena) {}
+
+  /// Registers an unconditional impl for a concrete or generic pattern.
+  void addImpl(const std::string &Trait, const Type *Pattern) {
+    Rules.push_back(ImplRule{Trait, Pattern, {}});
+  }
+
+  /// Registers a conditional impl.
+  void addImpl(const std::string &Trait, const Type *Pattern,
+               std::vector<std::pair<std::string, std::string>> Where) {
+    Rules.push_back(ImplRule{Trait, Pattern, std::move(Where)});
+  }
+
+  /// True if \p T implements \p Trait. Conditional impls recurse into the
+  /// bound arguments; recursion depth is bounded to keep pathological rule
+  /// sets terminating.
+  bool implements(const Type *T, const std::string &Trait) const;
+
+  /// Copy semantics: primitives, shared references, and tuples of Copy
+  /// types are Copy; nominal types are Copy iff they implement the Copy
+  /// trait. &mut T is never Copy.
+  bool isCopy(const Type *T) const;
+
+  /// Default primitive universe, convenient for tests and crate specs.
+  void addDefaultPrimImpls();
+
+  const std::vector<ImplRule> &rules() const { return Rules; }
+
+private:
+  bool implementsDepth(const Type *T, const std::string &Trait,
+                       int Depth) const;
+
+  TypeArena &Arena;
+  std::vector<ImplRule> Rules;
+};
+
+} // namespace syrust::types
+
+#endif // SYRUST_TYPES_TRAITENV_H

@@ -1,0 +1,127 @@
+//===--- Type.h - Interned Rust type representation ------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Rust type fragment SyRust reasons about: primitives, named (possibly
+/// generic) nominal types, shared/mutable references, tuples, and type
+/// variables. Types are immutable and interned in a TypeArena, so equality
+/// is pointer equality and types can be used as map keys directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_TYPES_TYPE_H
+#define SYRUST_TYPES_TYPE_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace syrust::types {
+
+class TypeArena;
+
+/// Discriminates the structural forms of a type.
+enum class TypeKind : uint8_t {
+  Prim,  ///< Built-in scalar: i32, usize, bool, char, f64, unit, ...
+  Named, ///< Nominal type, possibly generic: String, Vec<T>, Option<i32>.
+  Ref,   ///< Reference: &T or &mut T.
+  Tuple, ///< Tuple: (A, B, C). The unit type is modeled as Prim "()".
+  Var,   ///< A type variable from a polymorphic API signature.
+};
+
+/// An immutable, interned Rust type. Construct only through TypeArena.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+
+  /// Name for Prim / Named / Var kinds ("i32", "Vec", "T").
+  const std::string &name() const { return Name; }
+
+  /// Generic arguments (Named) or element types (Tuple).
+  const std::vector<const Type *> &args() const { return Args; }
+
+  /// Referent of a Ref type.
+  const Type *pointee() const { return Args.empty() ? nullptr : Args[0]; }
+
+  /// True for &mut references.
+  bool isMutRef() const { return Kind == TypeKind::Ref && MutRef; }
+
+  /// True for shared (&) references.
+  bool isSharedRef() const { return Kind == TypeKind::Ref && !MutRef; }
+
+  bool isRef() const { return Kind == TypeKind::Ref; }
+  bool isPrim() const { return Kind == TypeKind::Prim; }
+  bool isVar() const { return Kind == TypeKind::Var; }
+  bool isUnit() const { return Kind == TypeKind::Prim && Name == "()"; }
+
+  /// True when no type variable occurs anywhere in the type.
+  bool isConcrete() const { return Concrete; }
+
+  /// Canonical Rust-syntax rendering ("&mut Vec<String>").
+  const std::string &str() const { return Rendered; }
+
+  /// Collects the distinct type-variable names occurring in this type, in
+  /// first-occurrence order.
+  void collectVars(std::vector<std::string> &Out) const;
+
+private:
+  friend class TypeArena;
+  Type() = default;
+
+  TypeKind Kind = TypeKind::Prim;
+  std::string Name;
+  std::vector<const Type *> Args;
+  bool MutRef = false;
+  bool Concrete = true;
+  std::string Rendered;
+  std::string Key; ///< Kind-disambiguated structural intern key.
+};
+
+/// Owns and interns Type instances. All types compared with each other must
+/// come from the same arena.
+class TypeArena {
+public:
+  TypeArena();
+
+  /// Interns a primitive type. \p Name must be one of the recognized
+  /// primitive spellings (see isPrimName) or "()".
+  const Type *prim(const std::string &Name);
+
+  /// Interns a nominal type with generic arguments (empty for plain names).
+  const Type *named(const std::string &Name,
+                    std::vector<const Type *> Args = {});
+
+  /// Interns &T (Mutable=false) or &mut T (Mutable=true).
+  const Type *ref(const Type *Pointee, bool Mutable);
+
+  /// Interns a tuple type; requires at least two elements (unit is prim,
+  /// one-element tuples do not exist in this fragment).
+  const Type *tuple(std::vector<const Type *> Elems);
+
+  /// Interns a type variable.
+  const Type *typeVar(const std::string &Name);
+
+  /// The unit type "()".
+  const Type *unit();
+
+  /// True if \p Name spells a Rust primitive scalar type.
+  static bool isPrimName(const std::string &Name);
+
+  /// Number of distinct interned types (for tests).
+  size_t size() const { return Pool.size(); }
+
+private:
+  const Type *intern(Type Proto);
+  static std::string render(const Type &T);
+
+  std::unordered_map<std::string, std::unique_ptr<Type>> Pool;
+  const Type *Unit = nullptr;
+};
+
+} // namespace syrust::types
+
+#endif // SYRUST_TYPES_TYPE_H

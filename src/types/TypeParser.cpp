@@ -1,0 +1,142 @@
+//===--- TypeParser.cpp - Parse Rust type syntax ---------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/TypeParser.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace syrust;
+using namespace syrust::types;
+
+const Type *TypeParser::parse(std::string_view Text) {
+  Input = Text;
+  Pos = 0;
+  Failed = false;
+  Error.clear();
+  const Type *Result = parseType();
+  skipSpace();
+  if (!Failed && Pos != Input.size()) {
+    fail(format("trailing characters at offset %zu", Pos));
+    return nullptr;
+  }
+  return Failed ? nullptr : Result;
+}
+
+void TypeParser::skipSpace() {
+  while (Pos < Input.size() && std::isspace(static_cast<unsigned char>(
+                                   Input[Pos])))
+    ++Pos;
+}
+
+bool TypeParser::peekIs(char C) {
+  skipSpace();
+  return Pos < Input.size() && Input[Pos] == C;
+}
+
+bool TypeParser::consume(char C) {
+  if (!peekIs(C))
+    return false;
+  ++Pos;
+  return true;
+}
+
+void TypeParser::fail(const std::string &Message) {
+  if (!Failed)
+    Error = Message;
+  Failed = true;
+}
+
+std::string TypeParser::parseIdent() {
+  skipSpace();
+  size_t Start = Pos;
+  // '#' appears only in renamed type variables ("T#a5"), which must
+  // round-trip through the JSON diagnostics channel.
+  while (Pos < Input.size() &&
+         (std::isalnum(static_cast<unsigned char>(Input[Pos])) ||
+          Input[Pos] == '_' || Input[Pos] == ':' || Input[Pos] == '#'))
+    ++Pos;
+  if (Pos == Start) {
+    fail(format("expected identifier at offset %zu", Start));
+    return std::string();
+  }
+  return std::string(Input.substr(Start, Pos - Start));
+}
+
+const Type *TypeParser::parseType() {
+  skipSpace();
+  if (Failed || Pos >= Input.size()) {
+    fail("unexpected end of input");
+    return nullptr;
+  }
+
+  // References: &T and &mut T.
+  if (consume('&')) {
+    skipSpace();
+    bool Mutable = false;
+    if (startsWith(Input.substr(Pos), "mut") &&
+        (Pos + 3 == Input.size() ||
+         !std::isalnum(static_cast<unsigned char>(Input[Pos + 3])))) {
+      Mutable = true;
+      Pos += 3;
+    }
+    const Type *Pointee = parseType();
+    if (Failed)
+      return nullptr;
+    return Arena.ref(Pointee, Mutable);
+  }
+
+  // Unit and tuples.
+  if (consume('(')) {
+    if (consume(')'))
+      return Arena.unit();
+    std::vector<const Type *> Elems;
+    do {
+      const Type *E = parseType();
+      if (Failed)
+        return nullptr;
+      Elems.push_back(E);
+    } while (consume(','));
+    if (!consume(')')) {
+      fail("expected ')' in tuple type");
+      return nullptr;
+    }
+    if (Elems.size() == 1)
+      return Elems[0]; // Parenthesized type, not a tuple.
+    return Arena.tuple(std::move(Elems));
+  }
+
+  // Identifier head: primitive, type variable, or nominal type.
+  std::string Name = parseIdent();
+  if (Failed)
+    return nullptr;
+  std::vector<const Type *> Args;
+  if (consume('<')) {
+    do {
+      const Type *Arg = parseType();
+      if (Failed)
+        return nullptr;
+      Args.push_back(Arg);
+    } while (consume(','));
+    if (!consume('>')) {
+      fail("expected '>' closing generic arguments");
+      return nullptr;
+    }
+  }
+  if (Args.empty()) {
+    if (TypeArena::isPrimName(Name))
+      return Arena.prim(Name);
+    if (Vars.count(Name) || Name.find('#') != std::string::npos)
+      return Arena.typeVar(Name);
+    return Arena.named(Name);
+  }
+  if (TypeArena::isPrimName(Name) || Vars.count(Name)) {
+    fail(format("type '%s' cannot take generic arguments", Name.c_str()));
+    return nullptr;
+  }
+  return Arena.named(Name, std::move(Args));
+}

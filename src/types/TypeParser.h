@@ -1,0 +1,62 @@
+//===--- TypeParser.h - Parse Rust type syntax -----------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual type syntax used by crate specifications and tests:
+///
+///   Type   := '&' 'mut'? Type | Name ('<' Type (',' Type)* '>')?
+///           | '(' ')' | '(' Type (',' Type)+ ')'
+///
+/// Identifiers listed in the parser's type-variable set parse as type
+/// variables; recognized primitive spellings parse as primitives; everything
+/// else parses as a nominal type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_TYPES_TYPEPARSER_H
+#define SYRUST_TYPES_TYPEPARSER_H
+
+#include "types/Type.h"
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace syrust::types {
+
+/// Recursive-descent parser for the type fragment.
+class TypeParser {
+public:
+  /// \p Vars names the identifiers that should parse as type variables.
+  TypeParser(TypeArena &Arena, std::set<std::string> Vars = {})
+      : Arena(Arena), Vars(std::move(Vars)) {}
+
+  /// Parses \p Text; returns nullptr (and records an error message) on
+  /// malformed input or trailing garbage.
+  const Type *parse(std::string_view Text);
+
+  /// Human-readable description of the last parse failure.
+  const std::string &error() const { return Error; }
+
+private:
+  const Type *parseType();
+  std::string parseIdent();
+  void skipSpace();
+  bool consume(char C);
+  bool peekIs(char C);
+  void fail(const std::string &Message);
+
+  TypeArena &Arena;
+  std::set<std::string> Vars;
+  std::string_view Input;
+  size_t Pos = 0;
+  std::string Error;
+  bool Failed = false;
+};
+
+} // namespace syrust::types
+
+#endif // SYRUST_TYPES_TYPEPARSER_H

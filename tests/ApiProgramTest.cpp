@@ -1,0 +1,145 @@
+//===--- ApiProgramTest.cpp - Tests for API db and program rendering ------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/ApiDatabase.h"
+#include "program/Program.h"
+#include "types/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::program;
+using namespace syrust::types;
+
+namespace {
+
+class ApiFixture : public ::testing::Test {
+protected:
+  TypeArena Arena;
+  TypeParser Parser{Arena, {"T"}};
+  ApiDatabase Db;
+
+  const Type *parse(const std::string &S) {
+    const Type *T = Parser.parse(S);
+    EXPECT_NE(T, nullptr) << Parser.error();
+    return T;
+  }
+
+  ApiId addApi(const std::string &Name, std::vector<std::string> Ins,
+               const std::string &Out) {
+    ApiSig Sig;
+    Sig.Name = Name;
+    for (const auto &I : Ins)
+      Sig.Inputs.push_back(parse(I));
+    Sig.Output = parse(Out);
+    return Db.add(std::move(Sig));
+  }
+};
+
+TEST_F(ApiFixture, BuiltinsHaveExpectedShapes) {
+  auto Ids = addBuiltinApis(Db, Arena);
+  ASSERT_EQ(Ids.size(), 3u);
+  const ApiSig &LetMut = Db.get(Ids[0]);
+  EXPECT_EQ(LetMut.Builtin, BuiltinKind::LetMut);
+  EXPECT_EQ(LetMut.Inputs[0], LetMut.Output);
+  const ApiSig &Borrow = Db.get(Ids[1]);
+  EXPECT_TRUE(Borrow.Output->isSharedRef());
+  EXPECT_TRUE(Borrow.propagatesLifetime());
+  const ApiSig &BorrowMut = Db.get(Ids[2]);
+  EXPECT_TRUE(BorrowMut.Output->isMutRef());
+}
+
+TEST_F(ApiFixture, PolymorphismDetection) {
+  ApiId New = addApi("Vec::new", {}, "Vec<T>");
+  ApiId Push = addApi("Vec::push", {"&mut Vec<T>", "T"}, "()");
+  ApiId Len = addApi("Vec::len", {"&Vec<i32>"}, "usize");
+  EXPECT_TRUE(Db.get(New).isPolymorphic());
+  EXPECT_TRUE(Db.get(Push).isPolymorphic());
+  EXPECT_FALSE(Db.get(Len).isPolymorphic());
+  EXPECT_EQ(Db.get(Push).typeVarNames(),
+            std::vector<std::string>{"T"});
+}
+
+TEST_F(ApiFixture, BanningRemovesFromActive) {
+  ApiId A = addApi("a", {}, "i32");
+  ApiId B = addApi("b", {}, "i32");
+  EXPECT_EQ(Db.activeIds().size(), 2u);
+  Db.ban(A);
+  auto Active = Db.activeIds();
+  ASSERT_EQ(Active.size(), 1u);
+  EXPECT_EQ(Active[0], B);
+  EXPECT_TRUE(Db.isBanned(A));
+}
+
+TEST_F(ApiFixture, BlockedCombos) {
+  ApiId Pop = addApi("Vec::pop", {"&mut Vec<T>"}, "Option<T>");
+  std::vector<const Type *> Combo{parse("&mut Vec<i32>")};
+  EXPECT_FALSE(Db.isComboBlocked(Pop, Combo));
+  Db.blockCombo(Pop, Combo);
+  EXPECT_TRUE(Db.isComboBlocked(Pop, Combo));
+  EXPECT_FALSE(Db.isComboBlocked(Pop, {parse("&mut Vec<u8>")}));
+}
+
+TEST_F(ApiFixture, FindDuplicate) {
+  ApiId A = addApi("Vec::pop", {"&mut Vec<i32>"}, "Option<i32>");
+  ApiSig Copy;
+  Copy.Name = "Vec::pop";
+  Copy.Inputs = {parse("&mut Vec<i32>")};
+  Copy.Output = parse("Option<i32>");
+  EXPECT_EQ(Db.findDuplicate(Copy), A);
+  Copy.Output = parse("Option<u8>");
+  EXPECT_EQ(Db.findDuplicate(Copy), ApiIdInvalid);
+}
+
+TEST_F(ApiFixture, ProgramRendering) {
+  auto Builtins = addBuiltinApis(Db, Arena);
+  ApiId Push = addApi("Vec::push", {"&mut Vec<String>", "String"}, "()");
+  ApiId Parts = addApi("Vec::into_raw_parts", {"Vec<String>"},
+                       "(usize, usize, usize)");
+
+  Program P;
+  P.Inputs.push_back({"s", parse("String")});
+  P.Inputs.push_back({"v", parse("Vec<String>")});
+  // let mut vm = v;
+  P.Stmts.push_back(Stmt{Builtins[0], {1}, 2, parse("Vec<String>")});
+  // let vr = &mut vm;
+  P.Stmts.push_back(Stmt{Builtins[2], {2}, 3, parse("&mut Vec<String>")});
+  // Vec::push(vr, s);
+  P.Stmts.push_back(Stmt{Push, {3, 0}, 4, Arena.unit()});
+  // let v3 : (usize,usize,usize) = Vec::into_raw_parts(vm);
+  P.Stmts.push_back(Stmt{Parts, {2}, 5, parse("(usize, usize, usize)")});
+
+  std::string Src = P.render(Db);
+  EXPECT_EQ(Src, "let mut v1 = v;\n"
+                 "let v2 = &mut v1;\n"
+                 "Vec::push(v2, s);\n"
+                 "let v4 : (usize, usize, usize) = "
+                 "Vec::into_raw_parts(v1);\n");
+}
+
+TEST_F(ApiFixture, ProgramHashDistinguishesWiring) {
+  ApiId F = addApi("f", {"i32", "i32"}, "i32");
+  Program A, B;
+  A.Inputs = {{"x", parse("i32")}, {"y", parse("i32")}};
+  B.Inputs = A.Inputs;
+  A.Stmts.push_back(Stmt{F, {0, 1}, 2, parse("i32")});
+  B.Stmts.push_back(Stmt{F, {1, 0}, 2, parse("i32")});
+  EXPECT_NE(A.hash(), B.hash());
+  Program A2 = A;
+  EXPECT_EQ(A.hash(), A2.hash());
+}
+
+TEST_F(ApiFixture, VarNames) {
+  Program P;
+  P.Inputs = {{"s", parse("String")}};
+  P.Stmts.push_back(Stmt{0, {}, 1, nullptr});
+  EXPECT_EQ(P.varName(0), "s");
+  EXPECT_EQ(P.varName(1), "v1");
+  EXPECT_EQ(P.numVars(), 2);
+}
+
+} // namespace

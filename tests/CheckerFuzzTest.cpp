@@ -1,0 +1,125 @@
+//===--- CheckerFuzzTest.cpp - Random-program robustness tests ------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fuzzes the rustsim checker and the miri interpreter with structurally
+/// well-formed but otherwise random programs (random APIs, random wiring
+/// of previously declared variables, random declared types). Invariants:
+/// the checker always terminates with a classified verdict, and any
+/// checker-accepted program can be interpreted without tripping internal
+/// assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateRegistry.h"
+#include "miri/Interpreter.h"
+#include "rustsim/Checker.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+using namespace syrust::program;
+using namespace syrust::rustsim;
+
+namespace {
+
+/// Builds a random structurally valid program over \p Inst's API set:
+/// every argument refers to some previously declared variable, arities
+/// match, and declared types are plucked from plausible candidates.
+Program randomProgram(CrateInstance &Inst, Rng &R, int Lines) {
+  std::vector<ApiId> Apis;
+  for (size_t I = 0; I < Inst.Db.size(); ++I)
+    Apis.push_back(static_cast<ApiId>(I));
+
+  Program P;
+  P.Inputs = Inst.Inputs;
+  int NumVars = static_cast<int>(Inst.Inputs.size());
+  for (int L = 0; L < Lines; ++L) {
+    ApiId Api = Apis[R.below(Apis.size())];
+    const ApiSig &Sig = Inst.Db.get(Api);
+    Stmt S;
+    S.Api = Api;
+    S.Out = NumVars;
+    for (size_t J = 0; J < Sig.Inputs.size(); ++J)
+      S.Args.push_back(
+          static_cast<VarId>(R.below(static_cast<uint64_t>(NumVars))));
+    // Declared type: sometimes the signature output, sometimes a random
+    // template type, sometimes the unit type.
+    switch (R.below(3)) {
+    case 0:
+      S.DeclType = Sig.Output;
+      break;
+    case 1:
+      S.DeclType = Inst.Inputs[R.below(Inst.Inputs.size())].Ty;
+      break;
+    default:
+      S.DeclType = Inst.Arena.unit();
+      break;
+    }
+    P.Stmts.push_back(std::move(S));
+    ++NumVars;
+  }
+  return P;
+}
+
+class CheckerFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CheckerFuzz, CheckerAlwaysClassifies) {
+  const char *Names[] = {"bitvec", "crossbeam", "slab", "bstr",
+                         "hashbrown"};
+  for (const char *Name : Names) {
+    auto Inst = findCrate(Name)->instantiate();
+    Checker Check(Inst->Arena, Inst->Traits);
+    Rng R(GetParam() * 97 + 13);
+    for (int Round = 0; Round < 120; ++Round) {
+      Program P =
+          randomProgram(*Inst, R, 1 + static_cast<int>(R.below(5)));
+      CompileResult Res = Check.check(P, Inst->Db);
+      if (Res.Success)
+        continue;
+      // The verdict must carry a coherent category/detail pair.
+      EXPECT_EQ(Res.Diag.Category, categoryOf(Res.Diag.Detail))
+          << Name << ": " << Res.Diag.Message;
+      EXPECT_FALSE(Res.Diag.Message.empty());
+      EXPECT_GE(Res.Diag.Line, 0);
+      EXPECT_LT(Res.Diag.Line, static_cast<int>(P.Stmts.size()));
+    }
+  }
+}
+
+TEST_P(CheckerFuzz, AcceptedProgramsInterpretSafely) {
+  const char *Names[] = {"bitvec", "crossbeam-queue", "im-rc"};
+  for (const char *Name : Names) {
+    auto Inst = findCrate(Name)->instantiate();
+    Checker Check(Inst->Arena, Inst->Traits);
+    Rng R(GetParam() * 131 + 7);
+    int Accepted = 0;
+    for (int Round = 0; Round < 400; ++Round) {
+      Program P =
+          randomProgram(*Inst, R, 1 + static_cast<int>(R.below(4)));
+      if (!Check.check(P, Inst->Db).Success)
+        continue;
+      ++Accepted;
+      Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry,
+                         Inst->Init, /*Cov=*/nullptr, GetParam());
+      ExecResult Res = Interp.run(P); // Must not crash; UB is fine.
+      (void)Res;
+    }
+    // Note: no lower bound on Accepted - random wiring almost never
+    // typechecks (JCrasher/Randoop-style generation is exactly what the
+    // paper argues cannot work for Rust). The property under test is
+    // that accepted programs interpret without tripping assertions.
+    (void)Accepted;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerFuzz,
+                         ::testing::Range<uint64_t>(1, 9));
+
+} // namespace

@@ -1,0 +1,423 @@
+//===--- CheckerTest.cpp - Tests for the rustsim semantic checker ---------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rustsim/Checker.h"
+#include "types/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::program;
+using namespace syrust::rustsim;
+using namespace syrust::types;
+
+namespace {
+
+/// Fixture modeling a small Vec-like library, mirroring Figures 1-2 of the
+/// paper.
+class CheckerFixture : public ::testing::Test {
+protected:
+  TypeArena Arena;
+  TypeParser Parser{Arena, {"T"}};
+  TraitEnv Traits{Arena};
+  ApiDatabase Db;
+  Checker Check{Arena, Traits};
+
+  ApiId LetMut, Borrow, BorrowMut;
+  ApiId Push, Pop, Len, IntoRawParts, CloneVec;
+
+  const Type *parse(const std::string &S) {
+    const Type *T = Parser.parse(S);
+    EXPECT_NE(T, nullptr) << Parser.error();
+    return T;
+  }
+
+  ApiId addApi(const std::string &Name, std::vector<std::string> Ins,
+               const std::string &Out,
+               std::vector<std::pair<std::string, std::string>> Bounds = {},
+               ApiQuirks Quirks = {}) {
+    ApiSig Sig;
+    Sig.Name = Name;
+    for (const auto &I : Ins)
+      Sig.Inputs.push_back(parse(I));
+    Sig.Output = parse(Out);
+    Sig.Bounds = std::move(Bounds);
+    Sig.Quirks = Quirks;
+    return Db.add(std::move(Sig));
+  }
+
+  void SetUp() override {
+    Traits.addDefaultPrimImpls();
+    Traits.addImpl("Clone", Arena.named("String"));
+    Traits.addImpl("Clone", parse("Vec<T>"), {{"T", "Clone"}});
+    auto B = addBuiltinApis(Db, Arena);
+    LetMut = B[0];
+    Borrow = B[1];
+    BorrowMut = B[2];
+    Push = addApi("Vec::push", {"&mut Vec<T>", "T"}, "()");
+    Pop = addApi("Vec::pop", {"&mut Vec<T>"}, "Option<T>");
+    Len = addApi("Vec::len", {"&Vec<T>"}, "usize");
+    IntoRawParts = addApi("Vec::into_raw_parts", {"Vec<T>"},
+                          "(usize, usize, usize)");
+    CloneVec = addApi("Vec::clone", {"&Vec<T>"}, "Vec<T>",
+                      {{"T", "Clone"}});
+  }
+
+  /// Template of Figure 2: test(s: String, v: Vec<String>).
+  Program makeTemplate() {
+    Program P;
+    P.Inputs.push_back({"s", parse("String")});
+    P.Inputs.push_back({"v", parse("Vec<String>")});
+    return P;
+  }
+
+  CompileResult check(const Program &P) { return Check.check(P, Db); }
+};
+
+//===----------------------------------------------------------------------===//
+// The paper's running example (Figure 1)
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckerFixture, Figure1ProgramTypeChecks) {
+  Program P = makeTemplate();
+  // let mut vm = v;
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  // let vr = &mut vm;
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 3, parse("&mut Vec<String>")});
+  // vr.push(s);
+  P.Stmts.push_back(Stmt{Push, {3, 0}, 4, Arena.unit()});
+  // let parts = vm.into_raw_parts();
+  P.Stmts.push_back(
+      Stmt{IntoRawParts, {2}, 5, parse("(usize, usize, usize)")});
+  CompileResult R = check(P);
+  EXPECT_TRUE(R.Success) << R.Diag.Message;
+}
+
+TEST_F(CheckerFixture, SwappedLinesRejected) {
+  // Section 2: swapping the last two lines kills vr before its use.
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 3, parse("&mut Vec<String>")});
+  P.Stmts.push_back(
+      Stmt{IntoRawParts, {2}, 4, parse("(usize, usize, usize)")});
+  P.Stmts.push_back(Stmt{Push, {3, 0}, 5, Arena.unit()});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Category, ErrorCategory::LifetimeOwnership);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Borrowing);
+  EXPECT_EQ(R.Diag.Line, 3);
+}
+
+TEST_F(CheckerFixture, DoubleUseOfMovedStringRejected) {
+  // Section 2: calling vr.push(s) twice - s moved on first push.
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 3, parse("&mut Vec<String>")});
+  P.Stmts.push_back(Stmt{Push, {3, 0}, 4, Arena.unit()});
+  P.Stmts.push_back(Stmt{Push, {3, 0}, 5, Arena.unit()});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Ownership);
+  EXPECT_NE(R.Diag.Message.find("moved"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, SecondMutableBorrowRejected) {
+  // Section 2: a second &mut while the first is active.
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 3, parse("&mut Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 4, parse("&mut Vec<String>")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Borrowing);
+}
+
+TEST_F(CheckerFixture, SharedAfterMutableBorrowRejected) {
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 3, parse("&mut Vec<String>")});
+  P.Stmts.push_back(Stmt{Borrow, {2}, 4, parse("&Vec<String>")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Borrowing);
+}
+
+TEST_F(CheckerFixture, ManySharedBorrowsAllowed) {
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{Borrow, {1}, 2, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{Borrow, {1}, 3, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{Len, {2}, 4, parse("usize")});
+  P.Stmts.push_back(Stmt{Len, {3}, 5, parse("usize")});
+  EXPECT_TRUE(check(P).Success);
+}
+
+TEST_F(CheckerFixture, MutableBorrowAfterSharedRejected) {
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{Borrow, {2}, 3, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 4, parse("&mut Vec<String>")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Borrowing);
+}
+
+TEST_F(CheckerFixture, MutableBorrowNeedsMutBinding) {
+  // `&mut v` where v is an immutable template binding.
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{BorrowMut, {1}, 2, parse("&mut Vec<String>")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  // Binding-mode violations are ownership errors (E0596).
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Ownership);
+  EXPECT_NE(R.Diag.Message.find("not declared as mutable"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Typing
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckerFixture, PolymorphicInstantiationConsistency) {
+  // Vec::push(&mut Vec<String>, <something non-String>) must fail.
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 3, parse("&mut Vec<String>")});
+  P.Stmts.push_back(Stmt{Len, {3}, 4, parse("usize")}); // usize result
+  P.Stmts.push_back(Stmt{Push, {3, 4}, 5, Arena.unit()}); // push usize!
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Category, ErrorCategory::Type);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Polymorphism);
+}
+
+TEST_F(CheckerFixture, MutRefCoercionAccepted) {
+  // Vec::len takes &Vec<T>; passing &mut Vec<String> must work.
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 3, parse("&mut Vec<String>")});
+  P.Stmts.push_back(Stmt{Len, {3}, 4, parse("usize")});
+  EXPECT_TRUE(check(P).Success);
+}
+
+TEST_F(CheckerFixture, WrongDeclTypeIsPolymorphismError) {
+  // Predicting Option<u8> for pop of a Vec<String> is the Section 5.3
+  // "expected X, got Y" case; the checker reports the correct output.
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 3, parse("&mut Vec<String>")});
+  P.Stmts.push_back(Stmt{Pop, {3}, 4, parse("Option<u8>")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Polymorphism);
+  EXPECT_EQ(R.Diag.ExpectedOutput, parse("Option<String>"));
+  ASSERT_EQ(R.Diag.ActualInputs.size(), 1u);
+  EXPECT_EQ(R.Diag.ActualInputs[0], parse("&mut Vec<String>"));
+}
+
+TEST_F(CheckerFixture, TraitBoundViolationReported) {
+  // Vec<Msb0> is not Clone (Msb0 lacks Clone); Vec::clone must fail with a
+  // trait diagnostic carrying the refinement payload.
+  Program P;
+  P.Inputs.push_back({"v", parse("Vec<Msb0>")});
+  P.Stmts.push_back(Stmt{Borrow, {0}, 1, parse("&Vec<Msb0>")});
+  P.Stmts.push_back(Stmt{CloneVec, {1}, 2, parse("Vec<Msb0>")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::TraitBound);
+  EXPECT_EQ(R.Diag.BadTypeVar, "T");
+  EXPECT_EQ(R.Diag.MissingTrait, "Clone");
+  EXPECT_EQ(R.Diag.BadBinding, Arena.named("Msb0"));
+}
+
+TEST_F(CheckerFixture, TraitBoundSatisfiedPasses) {
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{Borrow, {1}, 2, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{CloneVec, {2}, 3, parse("Vec<String>")});
+  EXPECT_TRUE(check(P).Success);
+}
+
+TEST_F(CheckerFixture, UnresolvedOutputIsPolymorphismError) {
+  // An un-concretized constructor: Vec::new() -> Vec<T>.
+  ApiId New = addApi("Vec::new", {}, "Vec<T>");
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{New, {}, 2, parse("Vec<T>")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Polymorphism);
+  EXPECT_NE(R.Diag.Message.find("annotations needed"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Quirks (Misc / residual L&O errors)
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckerFixture, SkewedArityIsMisc) {
+  ApiQuirks Q;
+  Q.SkewedArity = true;
+  ApiId Bad = addApi("Skewed::call", {"usize"}, "usize", {}, Q);
+  Program P;
+  P.Inputs.push_back({"n", parse("usize")});
+  P.Stmts.push_back(Stmt{Bad, {0}, 1, parse("usize")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Category, ErrorCategory::Misc);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Arity);
+}
+
+TEST_F(CheckerFixture, MethodNotFoundIsMisc) {
+  ApiQuirks Q;
+  Q.MethodNotFound = true;
+  ApiId Bad = addApi("Ghost::method", {"usize"}, "usize", {}, Q);
+  Program P;
+  P.Inputs.push_back({"n", parse("usize")});
+  P.Stmts.push_back(Stmt{Bad, {0}, 1, parse("usize")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::MethodNotFound);
+}
+
+TEST_F(CheckerFixture, DefaultTypeParamQuirkIsTypeError) {
+  ApiQuirks Q;
+  Q.NeedsDefaultTypeParam = true;
+  ApiId Bad = addApi("Graph::with_capacity", {"usize"}, "Graph<i32>", {}, Q);
+  Program P;
+  P.Inputs.push_back({"n", parse("usize")});
+  P.Stmts.push_back(Stmt{Bad, {0}, 1, parse("Graph<i32>")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Category, ErrorCategory::Type);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::DefaultTypeParam);
+}
+
+TEST_F(CheckerFixture, AnonLifetimeTaintsChainedUse) {
+  ApiQuirks Q;
+  Q.AnonLifetime = true;
+  ApiId Mk = addApi("Reader::header", {"&Vec<String>"}, "&String", {}, Q);
+  ApiId UseRef = addApi("String::len_of", {"&String"}, "usize");
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{Borrow, {1}, 2, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{Mk, {2}, 3, parse("&String")});
+  // Chaining the quirked output into another call is the unsupported
+  // lifetime corner case.
+  P.Stmts.push_back(Stmt{UseRef, {3}, 4, parse("usize")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Category, ErrorCategory::LifetimeOwnership);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::AnonLifetime);
+
+  // Without the chained use the program is fine.
+  Program P2 = makeTemplate();
+  P2.Stmts.push_back(Stmt{Borrow, {1}, 2, parse("&Vec<String>")});
+  P2.Stmts.push_back(Stmt{Mk, {2}, 3, parse("&String")});
+  EXPECT_TRUE(check(P2).Success);
+}
+
+//===----------------------------------------------------------------------===//
+// Paths and propagated lifetimes (Rule 7)
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckerFixture, PropagatedBorrowDiesWithOwner) {
+  // first(&Vec<T>) -> &T propagates the borrow; consuming the vector kills
+  // the propagated reference.
+  ApiSig FirstSig;
+  FirstSig.Name = "Vec::first_ref";
+  FirstSig.Inputs = {parse("&Vec<T>")};
+  FirstSig.Output = parse("&T");
+  FirstSig.PropagatesFrom = {0};
+  ApiId First = Db.add(std::move(FirstSig));
+  ApiId UseRef = addApi("String::len_of", {"&String"}, "usize");
+
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{Borrow, {2}, 3, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{First, {3}, 4, parse("&String")});
+  P.Stmts.push_back(
+      Stmt{IntoRawParts, {2}, 5, parse("(usize, usize, usize)")});
+  P.Stmts.push_back(Stmt{UseRef, {4}, 6, parse("usize")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Borrowing);
+  EXPECT_EQ(R.Diag.Line, 4);
+}
+
+TEST_F(CheckerFixture, PropagatedBorrowUsableWhileOwnerAlive) {
+  ApiSig FirstSig;
+  FirstSig.Name = "Vec::first_ref";
+  FirstSig.Inputs = {parse("&Vec<T>")};
+  FirstSig.Output = parse("&T");
+  FirstSig.PropagatesFrom = {0};
+  ApiId First = Db.add(std::move(FirstSig));
+  ApiId UseRef = addApi("String::len_of", {"&String"}, "usize");
+
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{Borrow, {1}, 2, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{First, {2}, 3, parse("&String")});
+  P.Stmts.push_back(Stmt{UseRef, {3}, 4, parse("usize")});
+  EXPECT_TRUE(check(P).Success);
+}
+
+//===----------------------------------------------------------------------===//
+// Rule 4 (aliasing within one line)
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckerFixture, SameOwnedVarTwiceInCallRejected) {
+  ApiId Pair = addApi("pair", {"String", "String"}, "()");
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{Pair, {0, 0}, 2, Arena.unit()});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Ownership);
+}
+
+TEST_F(CheckerFixture, SamePrimVarTwiceAllowed) {
+  ApiId Add = addApi("add", {"usize", "usize"}, "usize");
+  Program P;
+  P.Inputs.push_back({"n", parse("usize")});
+  P.Stmts.push_back(Stmt{Add, {0, 0}, 1, parse("usize")});
+  EXPECT_TRUE(check(P).Success);
+}
+
+TEST_F(CheckerFixture, SameSharedRefTwiceAllowed) {
+  ApiId Cmp = addApi("cmp", {"&Vec<String>", "&Vec<String>"}, "bool");
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{Borrow, {1}, 2, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{Cmp, {2, 2}, 3, parse("bool")});
+  EXPECT_TRUE(check(P).Success);
+}
+
+//===----------------------------------------------------------------------===//
+// Copy semantics
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckerFixture, CopyTypesNotMoved) {
+  ApiId Use = addApi("use_usize", {"usize"}, "()");
+  Program P;
+  P.Inputs.push_back({"n", parse("usize")});
+  P.Stmts.push_back(Stmt{Use, {0}, 1, Arena.unit()});
+  P.Stmts.push_back(Stmt{Use, {0}, 2, Arena.unit()});
+  EXPECT_TRUE(check(P).Success);
+}
+
+TEST_F(CheckerFixture, SharedRefsReusableAcrossLines) {
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{Borrow, {1}, 2, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{Len, {2}, 3, parse("usize")});
+  P.Stmts.push_back(Stmt{Len, {2}, 4, parse("usize")});
+  EXPECT_TRUE(check(P).Success);
+}
+
+TEST_F(CheckerFixture, MutRefsReusableAcrossLines) {
+  // Implicit reborrow: vr usable on multiple lines (Figure 1 narrative).
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 3, parse("&mut Vec<String>")});
+  P.Stmts.push_back(Stmt{Pop, {3}, 4, parse("Option<String>")});
+  P.Stmts.push_back(Stmt{Pop, {3}, 5, parse("Option<String>")});
+  EXPECT_TRUE(check(P).Success);
+}
+
+} // namespace

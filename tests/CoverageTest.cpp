@@ -1,0 +1,75 @@
+//===--- CoverageTest.cpp - Tests for the coverage substrate --------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "coverage/CoverageMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust::coverage;
+
+namespace {
+
+TEST(CoverageTest, StartsAtZero) {
+  CoverageMap M(10, 20, 4, 8);
+  CoverageNumbers N = M.numbers();
+  EXPECT_DOUBLE_EQ(N.ComponentLine, 0);
+  EXPECT_DOUBLE_EQ(N.LibraryLine, 0);
+  EXPECT_DOUBLE_EQ(N.ComponentBranch, 0);
+  EXPECT_DOUBLE_EQ(N.LibraryBranch, 0);
+}
+
+TEST(CoverageTest, ComponentAndLibraryRatios) {
+  CoverageMap M(10, 20, 4, 8);
+  M.coverLines(0, 5); // Half the component, quarter of the library.
+  CoverageNumbers N = M.numbers();
+  EXPECT_DOUBLE_EQ(N.ComponentLine, 50.0);
+  EXPECT_DOUBLE_EQ(N.LibraryLine, 25.0);
+}
+
+TEST(CoverageTest, LinesOutsideComponentCountOnlyForLibrary) {
+  CoverageMap M(10, 20, 4, 8);
+  M.coverLines(10, 20);
+  CoverageNumbers N = M.numbers();
+  EXPECT_DOUBLE_EQ(N.ComponentLine, 0.0);
+  EXPECT_DOUBLE_EQ(N.LibraryLine, 50.0);
+}
+
+TEST(CoverageTest, BranchArmsCountSeparately) {
+  CoverageMap M(10, 20, 4, 8);
+  M.coverBranch(0, true);
+  EXPECT_DOUBLE_EQ(M.numbers().ComponentBranch, 100.0 / 8);
+  M.coverBranch(0, false);
+  EXPECT_DOUBLE_EQ(M.numbers().ComponentBranch, 2 * 100.0 / 8);
+  // Re-covering the same arm changes nothing.
+  M.coverBranch(0, true);
+  EXPECT_DOUBLE_EQ(M.numbers().ComponentBranch, 2 * 100.0 / 8);
+}
+
+TEST(CoverageTest, OutOfRangeClamped) {
+  CoverageMap M(4, 6, 1, 2);
+  M.coverLines(-5, 100);
+  EXPECT_DOUBLE_EQ(M.numbers().LibraryLine, 100.0);
+  M.coverBranch(99, true); // Silently ignored.
+  EXPECT_DOUBLE_EQ(M.numbers().LibraryBranch, 0.0);
+}
+
+TEST(CoverageTest, SnapshotsAndSaturation) {
+  CoverageMap M(10, 10, 1, 1);
+  M.coverLines(0, 2);
+  M.snapshot(100);
+  M.coverLines(0, 8);
+  M.snapshot(200);
+  M.snapshot(300); // No change after 200.
+  EXPECT_EQ(M.snapshots().size(), 3u);
+  EXPECT_DOUBLE_EQ(M.saturationTime(), 200);
+}
+
+TEST(CoverageTest, SaturationWithNoSnapshotsIsMinusOne) {
+  CoverageMap M(10, 10, 1, 1);
+  EXPECT_DOUBLE_EQ(M.saturationTime(), -1);
+}
+
+} // namespace

@@ -1,0 +1,307 @@
+//===--- CrateModelTest.cpp - Tests for the library-model corpus ----------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crates/CrateRegistry.h"
+#include "miri/Interpreter.h"
+#include "rustsim/Checker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::crates;
+using namespace syrust::miri;
+using namespace syrust::program;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Registry invariants (the Figure 12 inventory)
+//===----------------------------------------------------------------------===//
+
+TEST(CrateRegistryTest, ThirtyCratesInFigure12Order) {
+  const auto &Crates = allCrates();
+  ASSERT_EQ(Crates.size(), 30u);
+  EXPECT_EQ(Crates.front().Info.Name, "smallvec");
+  EXPECT_EQ(Crates.back().Info.Name, "utf8-width");
+  // 15 data-structure crates first, then 15 encodings.
+  for (size_t I = 0; I < 15; ++I)
+    EXPECT_EQ(Crates[I].Info.Category, "DS") << Crates[I].Info.Name;
+  for (size_t I = 15; I < 30; ++I)
+    EXPECT_EQ(Crates[I].Info.Category, "EN") << Crates[I].Info.Name;
+}
+
+TEST(CrateRegistryTest, NamesAreUniqueAndFindable) {
+  std::set<std::string> Names;
+  for (const CrateSpec &Spec : allCrates()) {
+    EXPECT_TRUE(Names.insert(Spec.Info.Name).second) << Spec.Info.Name;
+    EXPECT_EQ(findCrate(Spec.Info.Name), &Spec);
+  }
+  EXPECT_EQ(findCrate("does-not-exist"), nullptr);
+}
+
+TEST(CrateRegistryTest, DownloadsDescendWithinCategory) {
+  const auto &Crates = allCrates();
+  for (size_t I = 1; I < Crates.size(); ++I) {
+    if (Crates[I].Info.Category != Crates[I - 1].Info.Category)
+      continue;
+    EXPECT_LT(Crates[I].Info.Downloads, Crates[I - 1].Info.Downloads)
+        << Crates[I].Info.Name;
+  }
+}
+
+TEST(CrateRegistryTest, ExactlyTwoExcludedClosureCrates) {
+  std::vector<std::string> Excluded;
+  for (const CrateSpec &Spec : allCrates())
+    if (!Spec.Info.SupportsSynthesis)
+      Excluded.push_back(Spec.Info.Name);
+  ASSERT_EQ(Excluded.size(), 2u);
+  EXPECT_EQ(Excluded[0], "cookie-factory");
+  EXPECT_EQ(Excluded[1], "jsonrpc-client-core");
+}
+
+TEST(CrateRegistryTest, FourBuggyCratesMatchFigure7) {
+  auto Bugs = buggyCrates();
+  ASSERT_EQ(Bugs.size(), 4u);
+  ASSERT_TRUE(Bugs[0] && Bugs[1] && Bugs[2] && Bugs[3]);
+  EXPECT_EQ(Bugs[0]->Info.Name, "crossbeam-queue");
+  EXPECT_EQ(Bugs[0]->Bug->MinLines, 1);
+  EXPECT_EQ(Bugs[0]->Bug->Kind, UbKind::MemoryLeak);
+  EXPECT_EQ(Bugs[1]->Info.Name, "crossbeam");
+  EXPECT_EQ(Bugs[1]->Bug->MinLines, 3);
+  EXPECT_EQ(Bugs[1]->Bug->Kind, UbKind::DanglingPointer);
+  EXPECT_EQ(Bugs[2]->Info.Name, "bitvec");
+  EXPECT_EQ(Bugs[2]->Bug->MinLines, 5);
+  EXPECT_EQ(Bugs[2]->Bug->Kind, UbKind::UseAfterFree);
+  EXPECT_EQ(Bugs[3]->Info.Name, "encoding_rs");
+  EXPECT_EQ(Bugs[3]->Bug->MinLines, 4);
+  EXPECT_EQ(Bugs[3]->Bug->Kind, UbKind::OutOfBoundsPointer);
+}
+
+//===----------------------------------------------------------------------===//
+// Every model instantiates into a coherent world
+//===----------------------------------------------------------------------===//
+
+class EveryCrateTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EveryCrateTest, InstantiatesCoherently) {
+  const CrateSpec &Spec = allCrates()[GetParam()];
+  auto Inst = Spec.instantiate();
+  if (!Spec.Info.SupportsSynthesis)
+    return;
+
+  // Builtins present; at least 8 library APIs; all semantics registered.
+  ASSERT_EQ(Inst->Builtins.size(), 3u) << Spec.Info.Name;
+  size_t LibApis = 0;
+  for (size_t I = 0; I < Inst->Db.size(); ++I) {
+    const ApiSig &Sig = Inst->Db.get(static_cast<ApiId>(I));
+    if (Sig.Builtin != BuiltinKind::None)
+      continue;
+    ++LibApis;
+    EXPECT_FALSE(Sig.Name.empty());
+    ASSERT_NE(Sig.Output, nullptr) << Sig.Name;
+    EXPECT_NE(Inst->Registry.lookupApi(Sig.SemanticsKey), nullptr)
+        << Spec.Info.Name << "::" << Sig.Name;
+  }
+  EXPECT_GE(LibApis, 8u) << Spec.Info.Name;
+
+  // Template inputs exist and the init factory produces matching values.
+  ASSERT_FALSE(Inst->Inputs.empty()) << Spec.Info.Name;
+  AbstractHeap Heap;
+  Rng R(1);
+  auto Values = Inst->Init(Heap, R);
+  EXPECT_EQ(Values.size(), Inst->Inputs.size());
+
+  // Coverage layout sane.
+  EXPECT_GT(Inst->ComponentLines, 0);
+  EXPECT_GE(Inst->LibraryLines, Inst->ComponentLines);
+  EXPECT_GE(Inst->LibraryBranches, Inst->ComponentBranches);
+  EXPECT_GE(Inst->MaxLen, 1);
+
+  // Pinned APIs must be valid ids of non-builtin APIs.
+  for (ApiId Id : Inst->Pinned) {
+    ASSERT_GE(Id, 0);
+    ASSERT_LT(static_cast<size_t>(Id), Inst->Db.size());
+    EXPECT_EQ(Inst->Db.get(Id).Builtin, BuiltinKind::None);
+  }
+}
+
+TEST_P(EveryCrateTest, TemplateOnlyProgramIsCleanUnderMiri) {
+  // Dropping the template inputs untouched must not be UB for any model
+  // (the injected bugs all require API calls).
+  const CrateSpec &Spec = allCrates()[GetParam()];
+  if (!Spec.Info.SupportsSynthesis)
+    return;
+  auto Inst = Spec.instantiate();
+  Program P;
+  P.Inputs = Inst->Inputs;
+  Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry, Inst->Init);
+  ExecResult Res = Interp.run(P);
+  EXPECT_FALSE(Res.UbFound)
+      << Spec.Info.Name << ": " << Res.Report.Message;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCrates, EveryCrateTest,
+                         ::testing::Range<size_t>(0, 30),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           std::string Name =
+                               allCrates()[Info.param].Info.Name;
+                           for (char &C : Name)
+                             if (C == '-' || C == '_')
+                               C = '0';
+                           return Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Hand-written minimal bug triggers (independent of the synthesizer)
+//===----------------------------------------------------------------------===//
+
+/// Finds an API id by name; fails the test when missing.
+ApiId findApi(const CrateInstance &Inst, const std::string &Name) {
+  for (size_t I = 0; I < Inst.Db.size(); ++I)
+    if (Inst.Db.get(static_cast<ApiId>(I)).Name == Name)
+      return static_cast<ApiId>(I);
+  ADD_FAILURE() << "API not found: " << Name;
+  return ApiIdInvalid;
+}
+
+TEST(BugTriggerTest, CrossbeamQueueLeakInOneLine) {
+  auto Inst = findCrate("crossbeam-queue")->instantiate();
+  ApiId New = findApi(*Inst, "ArrayQueue::new");
+  Program P;
+  P.Inputs = Inst->Inputs;
+  P.Stmts.push_back(
+      Stmt{New, {0}, static_cast<VarId>(Inst->Inputs.size()),
+           Inst->Arena.named("ArrayQueue",
+                             {Inst->Arena.prim("usize")})});
+  Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry, Inst->Init);
+  ExecResult Res = Interp.run(P);
+  ASSERT_TRUE(Res.UbFound);
+  EXPECT_EQ(Res.Report.Kind, UbKind::MemoryLeak);
+}
+
+TEST(BugTriggerTest, CrossbeamDanglingPointerInThreeLines) {
+  auto Inst = findCrate("crossbeam")->instantiate();
+  ApiId New = findApi(*Inst, "Collector::new");
+  ApiId Register = findApi(*Inst, "Collector::register");
+  VarId Base = static_cast<VarId>(Inst->Inputs.size());
+  Program P;
+  P.Inputs = Inst->Inputs;
+  const auto *CollectorTy = Inst->Arena.named("Collector");
+  P.Stmts.push_back(Stmt{New, {}, Base, CollectorTy});
+  P.Stmts.push_back(Stmt{Inst->Builtins[1], {Base}, Base + 1,
+                         Inst->Arena.ref(CollectorTy, false)});
+  P.Stmts.push_back(Stmt{Register, {Base + 1}, Base + 2,
+                         Inst->Arena.named("LocalHandle")});
+  Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry, Inst->Init);
+  ExecResult Res = Interp.run(P);
+  ASSERT_TRUE(Res.UbFound);
+  EXPECT_EQ(Res.Report.Kind, UbKind::DanglingPointer);
+}
+
+TEST(BugTriggerTest, BitvecUseAfterFreeInFiveLines) {
+  auto Inst = findCrate("bitvec")->instantiate();
+  ApiId Repeat = findApi(*Inst, "BitVec::repeat");
+  ApiId Push = findApi(*Inst, "BitVec::push");
+  ApiId IntoBox = findApi(*Inst, "BitVec::into_boxed_bitslice");
+  VarId Base = static_cast<VarId>(Inst->Inputs.size());
+  const auto *BvTy = Inst->Arena.named(
+      "BitVec", {Inst->Arena.named("Msb0"), Inst->Arena.prim("usize")});
+  Program P;
+  P.Inputs = Inst->Inputs;
+  P.Stmts.push_back(Stmt{Repeat, {0, 1}, Base, BvTy});
+  P.Stmts.push_back(Stmt{Inst->Builtins[0], {Base}, Base + 1, BvTy});
+  P.Stmts.push_back(Stmt{Inst->Builtins[2], {Base + 1}, Base + 2,
+                         Inst->Arena.ref(BvTy, true)});
+  P.Stmts.push_back(Stmt{Push, {Base + 2, 0}, Base + 3,
+                         Inst->Arena.unit()});
+  P.Stmts.push_back(
+      Stmt{IntoBox, {Base + 1}, Base + 4,
+           Inst->Arena.named("BitBox", {Inst->Arena.named("Msb0"),
+                                        Inst->Arena.prim("usize")})});
+  Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry, Inst->Init);
+  ExecResult Res = Interp.run(P);
+  ASSERT_TRUE(Res.UbFound);
+  EXPECT_EQ(Res.Report.Kind, UbKind::UseAfterFree);
+}
+
+TEST(BugTriggerTest, BitvecCleanWithoutPush) {
+  // Without the reallocation the conversion path is sound - the bug needs
+  // the full five-line chain.
+  auto Inst = findCrate("bitvec")->instantiate();
+  ApiId Repeat = findApi(*Inst, "BitVec::repeat");
+  ApiId IntoBox = findApi(*Inst, "BitVec::into_boxed_bitslice");
+  VarId Base = static_cast<VarId>(Inst->Inputs.size());
+  const auto *BvTy = Inst->Arena.named(
+      "BitVec", {Inst->Arena.named("Msb0"), Inst->Arena.prim("usize")});
+  Program P;
+  P.Inputs = Inst->Inputs;
+  P.Stmts.push_back(Stmt{Repeat, {0, 1}, Base, BvTy});
+  P.Stmts.push_back(
+      Stmt{IntoBox, {Base}, Base + 1,
+           Inst->Arena.named("BitBox", {Inst->Arena.named("Msb0"),
+                                        Inst->Arena.prim("usize")})});
+  Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry, Inst->Init);
+  ExecResult Res = Interp.run(P);
+  EXPECT_FALSE(Res.UbFound) << Res.Report.Message;
+}
+
+TEST(BugTriggerTest, EncodingRsOobPointerInFourLines) {
+  auto Inst = findCrate("encoding_rs")->instantiate();
+  ApiId Decode = findApi(*Inst, "Decoder::decode_to_utf16");
+  VarId Base = static_cast<VarId>(Inst->Inputs.size());
+  const auto *DecoderTy = Inst->Arena.named("Decoder");
+  Program P;
+  P.Inputs = Inst->Inputs;
+  P.Stmts.push_back(Stmt{Inst->Builtins[0], {0}, Base, DecoderTy});
+  P.Stmts.push_back(Stmt{Inst->Builtins[2], {Base}, Base + 1,
+                         Inst->Arena.ref(DecoderTy, true)});
+  P.Stmts.push_back(Stmt{Inst->Builtins[1], {1}, Base + 2,
+                         Inst->Arena.ref(Inst->Arena.named("Utf8Bytes"),
+                                         false)});
+  P.Stmts.push_back(Stmt{Decode, {Base + 1, Base + 2}, Base + 3,
+                         Inst->Arena.prim("usize")});
+  Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry, Inst->Init);
+  ExecResult Res = Interp.run(P);
+  ASSERT_TRUE(Res.UbFound);
+  EXPECT_EQ(Res.Report.Kind, UbKind::OutOfBoundsPointer);
+}
+
+//===----------------------------------------------------------------------===//
+// Bug triggers also pass the compiler (they must be synthesizable)
+//===----------------------------------------------------------------------===//
+
+TEST(BugTriggerTest, MinimalTriggersTypecheck) {
+  // The one-line crossbeam-queue trigger through the eagerly-refined
+  // constructor is exercised end-to-end by the driver test; here we check
+  // the bitvec chain, which needs no refinement.
+  auto Inst = findCrate("bitvec")->instantiate();
+  ApiId Repeat = findApi(*Inst, "BitVec::repeat");
+  ApiId Push = findApi(*Inst, "BitVec::push");
+  ApiId IntoBox = findApi(*Inst, "BitVec::into_boxed_bitslice");
+  VarId Base = static_cast<VarId>(Inst->Inputs.size());
+  const auto *BvTy = Inst->Arena.named(
+      "BitVec", {Inst->Arena.named("Msb0"), Inst->Arena.prim("usize")});
+  Program P;
+  P.Inputs = Inst->Inputs;
+  P.Stmts.push_back(Stmt{Repeat, {0, 1}, Base, BvTy});
+  P.Stmts.push_back(Stmt{Inst->Builtins[0], {Base}, Base + 1, BvTy});
+  P.Stmts.push_back(Stmt{Inst->Builtins[2], {Base + 1}, Base + 2,
+                         Inst->Arena.ref(BvTy, true)});
+  P.Stmts.push_back(Stmt{Push, {Base + 2, 0}, Base + 3,
+                         Inst->Arena.unit()});
+  P.Stmts.push_back(
+      Stmt{IntoBox, {Base + 1}, Base + 4,
+           Inst->Arena.named("BitBox", {Inst->Arena.named("Msb0"),
+                                        Inst->Arena.prim("usize")})});
+  syrust::rustsim::Checker Check(Inst->Arena, Inst->Traits);
+  auto R = Check.check(P, Inst->Db);
+  EXPECT_TRUE(R.Success) << R.Diag.Message;
+}
+
+} // namespace

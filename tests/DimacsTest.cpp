@@ -1,0 +1,98 @@
+//===--- DimacsTest.cpp - Tests for DIMACS input/output -------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Dimacs.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust::sat;
+
+namespace {
+
+TEST(DimacsTest, ParsesSimpleSatInstance) {
+  Solver S;
+  DimacsResult R = loadDimacs(S, "c a comment\n"
+                                 "p cnf 3 2\n"
+                                 "1 -2 0\n"
+                                 "2 3 0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.NumVars, 3);
+  EXPECT_EQ(R.NumClauses, 2);
+  EXPECT_TRUE(R.Consistent);
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(DimacsTest, ParsesUnsatInstance) {
+  Solver S;
+  DimacsResult R = loadDimacs(S, "p cnf 1 2\n1 0\n-1 0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Consistent);
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(DimacsTest, VariablesCreatedOnDemandBeyondHeader) {
+  Solver S;
+  DimacsResult R = loadDimacs(S, "p cnf 2 1\n1 2 7 0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.NumVars, 7);
+}
+
+TEST(DimacsTest, CardinalityExtension) {
+  Solver S;
+  DimacsResult R = loadDimacs(S, "p cnf 4 1\n"
+                                 "1 2 3 4 0\n"
+                                 "c atmost 1 1 2 3 4 0\n"
+                                 "c atleast 1 1 2 0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.NumCardinality, 2);
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  int True = 0;
+  for (int V = 0; V < 4; ++V)
+    True += S.modelValue(V) == Value::True ? 1 : 0;
+  EXPECT_EQ(True, 1);
+  EXPECT_TRUE(S.modelValue(0) == Value::True ||
+              S.modelValue(1) == Value::True);
+}
+
+TEST(DimacsTest, RejectsMalformedInput) {
+  {
+    Solver S;
+    DimacsResult R = loadDimacs(S, "p cnf x y\n");
+    EXPECT_FALSE(R.Ok);
+    EXPECT_FALSE(R.Error.empty());
+  }
+  {
+    Solver S;
+    DimacsResult R = loadDimacs(S, "p cnf 2 1\n1 2\n");
+    EXPECT_FALSE(R.Ok); // Missing terminating 0.
+  }
+  {
+    Solver S;
+    DimacsResult R = loadDimacs(S, "p cnf 1 1\np cnf 1 1\n");
+    EXPECT_FALSE(R.Ok); // Duplicate header.
+  }
+  {
+    Solver S;
+    DimacsResult R = loadDimacs(S, "c atmost 1 1 2\n");
+    EXPECT_FALSE(R.Ok); // Unterminated cardinality line.
+  }
+}
+
+TEST(DimacsTest, ModelRoundTrip) {
+  Solver S;
+  ASSERT_TRUE(loadDimacs(S, "p cnf 2 2\n1 0\n-2 0\n").Ok);
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_EQ(modelToDimacs(S), "v 1 -2 0");
+}
+
+TEST(DimacsTest, EmptyInputIsTriviallySat) {
+  Solver S;
+  DimacsResult R = loadDimacs(S, "");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+} // namespace

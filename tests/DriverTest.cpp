@@ -1,0 +1,205 @@
+//===--- DriverTest.cpp - End-to-end pipeline tests -----------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SyRustDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace syrust;
+using namespace syrust::core;
+using namespace syrust::crates;
+using namespace syrust::miri;
+using namespace syrust::refine;
+using namespace syrust::rustsim;
+
+namespace {
+
+RunConfig quickConfig() {
+  RunConfig C;
+  C.BudgetSeconds = 60;
+  C.SnapshotInterval = 10;
+  return C;
+}
+
+TEST(DriverTest, UnsupportedCratesAreSkipped) {
+  SyRustDriver Driver(*findCrate("cookie-factory"), quickConfig());
+  RunResult R = Driver.run();
+  EXPECT_FALSE(R.Supported);
+  EXPECT_EQ(R.Synthesized, 0u);
+}
+
+TEST(DriverTest, FindsCrossbeamQueueLeakFast) {
+  RunConfig C = quickConfig();
+  C.StopOnFirstBug = true;
+  SyRustDriver Driver(*findCrate("crossbeam-queue"), C);
+  RunResult R = Driver.run();
+  ASSERT_TRUE(R.BugFound) << "synthesized " << R.Synthesized;
+  EXPECT_EQ(R.FirstBug.Kind, UbKind::MemoryLeak);
+  EXPECT_EQ(R.BugLines, 1);
+  EXPECT_GT(R.TimeToBug, 0.0);
+}
+
+TEST(DriverTest, FindsCrossbeamDanglingPointer) {
+  RunConfig C = quickConfig();
+  C.BudgetSeconds = 3000;
+  C.StopOnFirstBug = true;
+  SyRustDriver Driver(*findCrate("crossbeam"), C);
+  RunResult R = Driver.run();
+  ASSERT_TRUE(R.BugFound) << "synthesized " << R.Synthesized;
+  EXPECT_EQ(R.FirstBug.Kind, UbKind::DanglingPointer);
+  EXPECT_EQ(R.BugLines, 3);
+}
+
+TEST(DriverTest, FindsEncodingRsOobPointer) {
+  RunConfig C = quickConfig();
+  C.BudgetSeconds = 600;
+  C.StopOnFirstBug = true;
+  SyRustDriver Driver(*findCrate("encoding_rs"), C);
+  RunResult R = Driver.run();
+  ASSERT_TRUE(R.BugFound) << "synthesized " << R.Synthesized;
+  EXPECT_EQ(R.FirstBug.Kind, UbKind::OutOfBoundsPointer);
+  EXPECT_EQ(R.BugLines, 4);
+}
+
+TEST(DriverTest, FindsBitvecUseAfterFree) {
+  RunConfig C = quickConfig();
+  C.BudgetSeconds = 8000; // The deepest bug: a five-call chain.
+  C.StopOnFirstBug = true;
+  SyRustDriver Driver(*findCrate("bitvec"), C);
+  RunResult R = Driver.run();
+  ASSERT_TRUE(R.BugFound) << "synthesized " << R.Synthesized;
+  EXPECT_EQ(R.FirstBug.Kind, UbKind::UseAfterFree);
+  EXPECT_EQ(R.BugLines, 5);
+  EXPECT_FALSE(R.BugProgram.empty());
+}
+
+TEST(DriverTest, RejectionRateIsLowWithAllFeatures) {
+  // The paper's headline: with semantic awareness and hybrid refinement,
+  // only a small share of test cases is rejected.
+  SyRustDriver Driver(*findCrate("smallvec"), quickConfig());
+  RunResult R = Driver.run();
+  EXPECT_GT(R.Synthesized, 50u);
+  EXPECT_LT(R.rejectedPercent(), 20.0)
+      << R.Rejected << "/" << R.Synthesized;
+  EXPECT_GT(R.Executed, 0u);
+}
+
+TEST(DriverTest, SemanticAblationRaisesLifetimeErrors) {
+  RunConfig On = quickConfig();
+  RunConfig Off = quickConfig();
+  Off.SemanticAware = false;
+  RunResult ROn = SyRustDriver(*findCrate("slab"), On).run();
+  RunResult ROff = SyRustDriver(*findCrate("slab"), Off).run();
+  uint64_t LifetimeOn = ROn.ByCategory[ErrorCategory::LifetimeOwnership];
+  uint64_t LifetimeOff =
+      ROff.ByCategory[ErrorCategory::LifetimeOwnership];
+  EXPECT_GT(LifetimeOff, LifetimeOn * 2)
+      << "on=" << LifetimeOn << " off=" << LifetimeOff;
+}
+
+TEST(DriverTest, EagerAblationRaisesTypeErrors) {
+  RunConfig Hybrid = quickConfig();
+  RunConfig Eager = quickConfig();
+  Eager.Mode = RefinementMode::PurelyEager;
+  Eager.EagerCap = 16;
+  RunResult RHybrid = SyRustDriver(*findCrate("im-rc"), Hybrid).run();
+  RunResult REager = SyRustDriver(*findCrate("im-rc"), Eager).run();
+  EXPECT_GT(REager.rejectedPercent(), RHybrid.rejectedPercent())
+      << "hybrid=" << RHybrid.rejectedPercent()
+      << " eager=" << REager.rejectedPercent();
+}
+
+TEST(DriverTest, CoverageAccumulates) {
+  SyRustDriver Driver(*findCrate("bitvec"), quickConfig());
+  RunResult R = Driver.run();
+  EXPECT_GT(R.Coverage.ComponentLine, 10.0);
+  EXPECT_GT(R.Coverage.ComponentBranch, 0.0);
+  EXPECT_LE(R.Coverage.LibraryLine, R.Coverage.ComponentLine);
+  EXPECT_FALSE(R.CoverageSnaps.empty());
+}
+
+TEST(DriverTest, CurveIsMonotone) {
+  SyRustDriver Driver(*findCrate("base16"), quickConfig());
+  RunResult R = Driver.run();
+  ASSERT_FALSE(R.Curve.empty());
+  for (size_t I = 1; I < R.Curve.size(); ++I) {
+    EXPECT_GE(R.Curve[I].Synthesized, R.Curve[I - 1].Synthesized);
+    EXPECT_GE(R.Curve[I].Rejected, R.Curve[I - 1].Rejected);
+  }
+  const CurvePoint &Last = R.Curve.back();
+  EXPECT_EQ(Last.Rejected,
+            Last.TypeErrors + Last.LifetimeErrors + Last.MiscErrors);
+}
+
+TEST(DriverTest, DeterministicAcrossRuns) {
+  RunConfig C = quickConfig();
+  RunResult A = SyRustDriver(*findCrate("slab"), C).run();
+  RunResult B = SyRustDriver(*findCrate("slab"), C).run();
+  EXPECT_EQ(A.Synthesized, B.Synthesized);
+  EXPECT_EQ(A.Rejected, B.Rejected);
+  EXPECT_EQ(A.Executed, B.Executed);
+}
+
+TEST(DriverTest, ResultDatabaseRecordsEveryVerdict) {
+  RunConfig C = quickConfig();
+  C.RecordTests = 100000; // Retain everything at this budget.
+  RunResult R = SyRustDriver(*findCrate("crossbeam-queue"), C).run();
+  EXPECT_EQ(R.Db.total(), R.Synthesized);
+  EXPECT_EQ(R.Db.count(TestVerdict::Rejected), R.Rejected);
+  EXPECT_EQ(R.Db.count(TestVerdict::Passed) +
+                R.Db.count(TestVerdict::Ub),
+            R.Executed);
+  EXPECT_EQ(R.Db.count(TestVerdict::Ub), R.UbCount);
+  // The leak is in the DB with its program and message.
+  const TestRecord *Ub = R.Db.firstWith(TestVerdict::Ub);
+  ASSERT_NE(Ub, nullptr);
+  EXPECT_EQ(Ub->Ub, UbKind::MemoryLeak);
+  EXPECT_FALSE(Ub->Source.empty());
+  // No program hash repeats: Algorithm 1 blocks every model.
+  std::set<uint64_t> Hashes;
+  for (const TestRecord &Rec : R.Db.records())
+    EXPECT_TRUE(Hashes.insert(Rec.Hash).second);
+}
+
+TEST(DriverTest, ResultDatabaseCapAndOffSwitch) {
+  RunConfig C = quickConfig();
+  C.RecordTests = 5;
+  RunResult R = SyRustDriver(*findCrate("base16"), C).run();
+  EXPECT_LE(R.Db.records().size(), 5u);
+  EXPECT_EQ(R.Db.total(), R.Synthesized); // Counters still full.
+  RunConfig Off = quickConfig();
+  RunResult R2 = SyRustDriver(*findCrate("base16"), Off).run();
+  EXPECT_TRUE(R2.Db.records().empty());
+  EXPECT_EQ(R2.Db.total(), R2.Synthesized);
+}
+
+TEST(DriverTest, JsonErrorChannelIsLossless) {
+  // Routing diagnostics through the cargo-style JSON wire format must not
+  // change any outcome: refinement sees byte-equivalent information.
+  for (const char *Name : {"bitvec", "im-rc", "slab"}) {
+    RunConfig Direct = quickConfig();
+    RunConfig Wire = quickConfig();
+    Wire.JsonErrorChannel = true;
+    RunResult A = SyRustDriver(*findCrate(Name), Direct).run();
+    RunResult B = SyRustDriver(*findCrate(Name), Wire).run();
+    EXPECT_EQ(A.Synthesized, B.Synthesized) << Name;
+    EXPECT_EQ(A.Rejected, B.Rejected) << Name;
+    EXPECT_EQ(A.ByDetail, B.ByDetail) << Name;
+    EXPECT_EQ(A.Refine.ComboBlocks, B.Refine.ComboBlocks) << Name;
+    EXPECT_EQ(A.Refine.TraitRemovals, B.Refine.TraitRemovals) << Name;
+  }
+}
+
+TEST(DriverTest, MaxTestsCapRespected) {
+  RunConfig C = quickConfig();
+  C.MaxTests = 25;
+  RunResult R = SyRustDriver(*findCrate("bytes"), C).run();
+  EXPECT_LE(R.Synthesized, 25u);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===--- ExtensionsTest.cpp - Tests for the Section 7.4 extensions --------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BugMinimizer.h"
+#include "core/SyRustDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::core;
+using namespace syrust::crates;
+using namespace syrust::miri;
+using namespace syrust::program;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Bug minimization
+//===----------------------------------------------------------------------===//
+
+TEST(MinimizerTest, ShrinksPaddedLeakProgramToOneLine) {
+  auto Inst = findCrate("crossbeam-queue")->instantiate();
+  api::ApiId Poly = api::ApiIdInvalid, Len = api::ApiIdInvalid;
+  for (size_t I = 0; I < Inst->Db.size(); ++I) {
+    const auto &Sig = Inst->Db.get(static_cast<api::ApiId>(I));
+    if (Sig.Name == "ArrayQueue::new")
+      Poly = static_cast<api::ApiId>(I);
+    if (Sig.Name == "queue::usable_capacity")
+      Len = static_cast<api::ApiId>(I);
+  }
+  ASSERT_NE(Poly, api::ApiIdInvalid);
+  ASSERT_NE(Len, api::ApiIdInvalid);
+
+  // Bug programs always come from checker-accepted code, i.e. through a
+  // refinement-concretized constructor; build that concrete variant here.
+  const auto *QTy =
+      Inst->Arena.named("ArrayQueue", {Inst->Arena.prim("usize")});
+  api::ApiSig Concrete = Inst->Db.get(Poly);
+  Concrete.Inputs = {Inst->Arena.prim("usize")};
+  Concrete.Output = QTy;
+  Concrete.Bounds.clear();
+  Concrete.RefinedFrom = Poly;
+  api::ApiId New = Inst->Db.add(std::move(Concrete));
+
+  // A padded program: two irrelevant lines around the leaking constructor.
+  VarId Base = static_cast<VarId>(Inst->Inputs.size());
+  Program P;
+  P.Inputs = Inst->Inputs;
+  P.Stmts.push_back(Stmt{Len, {0}, Base, Inst->Arena.prim("usize")});
+  P.Stmts.push_back(Stmt{New, {0}, Base + 1, QTy});
+  P.Stmts.push_back(
+      Stmt{Len, {Base}, Base + 2, Inst->Arena.prim("usize")});
+
+  MinimizedBug Min =
+      minimizeBugProgram(*Inst, P, UbKind::MemoryLeak);
+  EXPECT_EQ(Min.Lines, 1);
+  ASSERT_EQ(Min.Program.Stmts.size(), 1u);
+  EXPECT_EQ(Min.Program.Stmts[0].Api, New);
+}
+
+TEST(MinimizerTest, KeepsLoadBearingLines) {
+  // The bitvec chain is already minimal: nothing can be removed.
+  RunConfig C;
+  C.BudgetSeconds = 8000;
+  C.StopOnFirstBug = true;
+  C.MinimizeBugs = true;
+  RunResult R = SyRustDriver(*findCrate("bitvec"), C).run();
+  ASSERT_TRUE(R.BugFound);
+  EXPECT_EQ(R.MinimizedLines, 5);
+}
+
+TEST(MinimizerTest, DriverReportsMinimizedLeak) {
+  RunConfig C;
+  C.BudgetSeconds = 60;
+  C.StopOnFirstBug = true;
+  C.MinimizeBugs = true;
+  RunResult R = SyRustDriver(*findCrate("crossbeam-queue"), C).run();
+  ASSERT_TRUE(R.BugFound);
+  EXPECT_EQ(R.MinimizedLines, 1);
+  EXPECT_FALSE(R.MinimizedProgram.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Length interleaving (7.4.3)
+//===----------------------------------------------------------------------===//
+
+TEST(InterleaveTest, FindsShallowBugUnderBothSchedules) {
+  // Both schedules must find crossbeam's 3-line chain. (Empirically,
+  // round-robin scheduling does NOT pay off on these models - the bugs
+  // sit either early in Algorithm 1's order or deep within their own
+  // length class - which is exactly the kind of result the paper's
+  // Section 7.4.3 asks about; the ext_scheduling_mutation bench reports
+  // the comparison.)
+  RunConfig Plain;
+  Plain.BudgetSeconds = 8000;
+  Plain.StopOnFirstBug = true;
+  RunConfig Inter = Plain;
+  Inter.InterleaveLengths = true;
+  RunResult RPlain = SyRustDriver(*findCrate("crossbeam"), Plain).run();
+  RunResult RInter = SyRustDriver(*findCrate("crossbeam"), Inter).run();
+  EXPECT_TRUE(RPlain.BugFound);
+  EXPECT_TRUE(RInter.BugFound);
+}
+
+TEST(InterleaveTest, StillFindsDeepBug) {
+  // Interleaving trades depth-within-a-length for breadth-across-lengths;
+  // it must still find bitvec's deep bug, even if later.
+  RunConfig Inter;
+  Inter.BudgetSeconds = 40000;
+  Inter.StopOnFirstBug = true;
+  Inter.InterleaveLengths = true;
+  RunResult R = SyRustDriver(*findCrate("bitvec"), Inter).run();
+  EXPECT_TRUE(R.BugFound);
+}
+
+TEST(InterleaveTest, EnumeratesSameProgramSet) {
+  // On an exhaustible space, interleaved and sequential enumeration must
+  // produce the same number of distinct programs (different order, no
+  // losses, no duplicates).
+  RunConfig A;
+  A.BudgetSeconds = 1e9;
+  A.MaxTests = 500000;
+  RunConfig B = A;
+  B.InterleaveLengths = true;
+  RunResult RA = SyRustDriver(*findCrate("hcid"), A).run();
+  RunResult RB = SyRustDriver(*findCrate("hcid"), B).run();
+  ASSERT_TRUE(RA.SpaceExhausted);
+  ASSERT_TRUE(RB.SpaceExhausted);
+  EXPECT_EQ(RA.Synthesized, RB.Synthesized);
+}
+
+//===----------------------------------------------------------------------===//
+// Input mutation (7.4.2)
+//===----------------------------------------------------------------------===//
+
+TEST(MutationTest, RaisesBranchCoverage) {
+  RunConfig Fixed;
+  Fixed.BudgetSeconds = 400;
+  RunConfig Mutated = Fixed;
+  Mutated.MutateInputs = true;
+  RunResult RFixed = SyRustDriver(*findCrate("bstr"), Fixed).run();
+  RunResult RMut = SyRustDriver(*findCrate("bstr"), Mutated).run();
+  EXPECT_GE(RMut.Coverage.ComponentBranch,
+            RFixed.Coverage.ComponentBranch);
+}
+
+TEST(MutationTest, StillDeterministic) {
+  RunConfig C;
+  C.BudgetSeconds = 60;
+  C.MutateInputs = true;
+  RunResult A = SyRustDriver(*findCrate("slab"), C).run();
+  RunResult B = SyRustDriver(*findCrate("slab"), C).run();
+  EXPECT_EQ(A.Synthesized, B.Synthesized);
+  EXPECT_EQ(A.Rejected, B.Rejected);
+  EXPECT_EQ(A.Coverage.ComponentBranch, B.Coverage.ComponentBranch);
+}
+
+} // namespace

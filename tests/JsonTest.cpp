@@ -1,0 +1,195 @@
+//===--- JsonTest.cpp - Tests for the JSON substrate and diagnostics ------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rustsim/DiagnosticJson.h"
+#include "support/Json.h"
+#include "types/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::json;
+using namespace syrust::rustsim;
+using namespace syrust::types;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JSON value / parser
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, DumpPrimitives) {
+  EXPECT_EQ(Value::null().dump(), "null");
+  EXPECT_EQ(Value::boolean(true).dump(), "true");
+  EXPECT_EQ(Value::integer(-42).dump(), "-42");
+  EXPECT_EQ(Value::string("a\"b\n").dump(), "\"a\\\"b\\n\"");
+}
+
+TEST(JsonTest, DumpNested) {
+  Value Obj = Value::object();
+  Obj.set("k", Value::integer(1));
+  Value Arr = Value::array();
+  Arr.push(Value::string("x"));
+  Arr.push(Value::boolean(false));
+  Obj.set("list", std::move(Arr));
+  EXPECT_EQ(Obj.dump(), "{\"k\":1,\"list\":[\"x\",false]}");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const char *Doc =
+      "{\"a\":1,\"b\":[true,null,\"s\"],\"c\":{\"d\":-2.5}}";
+  ParseResult R = parse(Doc);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Val.get("a").asInt(), 1);
+  EXPECT_EQ(R.Val.get("b").size(), 3u);
+  EXPECT_TRUE(R.Val.get("b").at(1).isNull());
+  EXPECT_DOUBLE_EQ(R.Val.get("c").get("d").asDouble(), -2.5);
+  // dump-parse-dump is a fixpoint.
+  EXPECT_EQ(parse(R.Val.dump()).Val.dump(), R.Val.dump());
+}
+
+TEST(JsonTest, ParseWithWhitespace) {
+  ParseResult R = parse("  { \"x\" : [ 1 , 2 ] }  ");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Val.get("x").at(1).asInt(), 2);
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  Value V = Value::string("tab\there\nnew\\slash\"quote");
+  ParseResult R = parse(V.dump());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Val.asString(), "tab\there\nnew\\slash\"quote");
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(parse("{").Ok);
+  EXPECT_FALSE(parse("[1,]").Ok);
+  EXPECT_FALSE(parse("{\"a\" 1}").Ok);
+  EXPECT_FALSE(parse("\"unterminated").Ok);
+  EXPECT_FALSE(parse("12 34").Ok);
+  EXPECT_FALSE(parse("").Ok);
+}
+
+TEST(JsonTest, MissingKeysAreNull) {
+  Value Obj = Value::object();
+  EXPECT_TRUE(Obj.get("nope").isNull());
+  EXPECT_FALSE(Obj.has("nope"));
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostic wire format (the paper's --message-format=json channel)
+//===----------------------------------------------------------------------===//
+
+class DiagJsonFixture : public ::testing::Test {
+protected:
+  TypeArena Arena;
+  TypeParser Parser{Arena, {"T"}};
+
+  const Type *ty(const char *S) {
+    const Type *T = Parser.parse(S);
+    EXPECT_NE(T, nullptr);
+    return T;
+  }
+
+  /// Serializes and re-parses; expects success.
+  Diagnostic roundTrip(const Diagnostic &D) {
+    std::string Wire = diagnosticToJson(D);
+    Diagnostic Out;
+    std::string Error;
+    EXPECT_TRUE(diagnosticFromJson(Wire, Arena, Out, Error))
+        << Error << "\n" << Wire;
+    return Out;
+  }
+};
+
+TEST_F(DiagJsonFixture, TraitErrorRoundTrips) {
+  Diagnostic D;
+  D.Detail = ErrorDetail::TraitBound;
+  D.Category = categoryOf(D.Detail);
+  D.Line = 3;
+  D.Api = 7;
+  D.Message = "the trait bound `Msb0: BitStore` is not satisfied";
+  D.ActualInputs = {ty("&mut Vec<String>"), ty("String")};
+  D.BadTypeVar = "T";
+  D.MissingTrait = "BitStore";
+  D.BadBinding = ty("Vec<String>");
+
+  Diagnostic Out = roundTrip(D);
+  EXPECT_EQ(Out.Detail, D.Detail);
+  EXPECT_EQ(Out.Category, D.Category);
+  EXPECT_EQ(Out.Line, 3);
+  EXPECT_EQ(Out.Api, 7);
+  EXPECT_EQ(Out.Message, D.Message);
+  // Types re-intern to the SAME pointers (same arena).
+  ASSERT_EQ(Out.ActualInputs.size(), 2u);
+  EXPECT_EQ(Out.ActualInputs[0], D.ActualInputs[0]);
+  EXPECT_EQ(Out.ActualInputs[1], D.ActualInputs[1]);
+  EXPECT_EQ(Out.BadBinding, D.BadBinding);
+  EXPECT_EQ(Out.BadTypeVar, "T");
+  EXPECT_EQ(Out.MissingTrait, "BitStore");
+}
+
+TEST_F(DiagJsonFixture, PolymorphismFixRoundTrips) {
+  Diagnostic D;
+  D.Detail = ErrorDetail::Polymorphism;
+  D.Category = categoryOf(D.Detail);
+  D.Line = 0;
+  D.Api = 2;
+  D.Message = "mismatched types: expected `Option<String>`";
+  D.ActualInputs = {ty("&mut Vec<String>")};
+  D.ExpectedOutput = ty("Option<String>");
+  Diagnostic Out = roundTrip(D);
+  EXPECT_EQ(Out.ExpectedOutput, D.ExpectedOutput);
+  ASSERT_EQ(Out.ActualInputs.size(), 1u);
+  EXPECT_EQ(Out.ActualInputs[0], D.ActualInputs[0]);
+}
+
+TEST_F(DiagJsonFixture, RenamedTypeVariablesRoundTrip) {
+  // Encoder-level context types can carry renamed variables ("T#a5");
+  // the wire format must preserve them as variables.
+  const Type *Poly =
+      Arena.named("Option", {Arena.typeVar("T#a5")});
+  Diagnostic D;
+  D.Detail = ErrorDetail::Polymorphism;
+  D.Category = categoryOf(D.Detail);
+  D.ActualInputs = {Poly};
+  Diagnostic Out = roundTrip(D);
+  ASSERT_EQ(Out.ActualInputs.size(), 1u);
+  EXPECT_EQ(Out.ActualInputs[0], Poly);
+  EXPECT_FALSE(Out.ActualInputs[0]->isConcrete());
+}
+
+TEST_F(DiagJsonFixture, EveryDetailTagRoundTrips) {
+  for (ErrorDetail Detail :
+       {ErrorDetail::TraitBound, ErrorDetail::Polymorphism,
+        ErrorDetail::DefaultTypeParam, ErrorDetail::TypeMismatch,
+        ErrorDetail::Ownership, ErrorDetail::Borrowing,
+        ErrorDetail::AnonLifetime, ErrorDetail::Arity,
+        ErrorDetail::MethodNotFound}) {
+    Diagnostic D;
+    D.Detail = Detail;
+    D.Category = categoryOf(Detail);
+    D.Message = "m";
+    Diagnostic Out = roundTrip(D);
+    EXPECT_EQ(Out.Detail, Detail);
+    EXPECT_EQ(Out.Category, categoryOf(Detail));
+  }
+}
+
+TEST_F(DiagJsonFixture, RejectsForeignRecords) {
+  Diagnostic Out;
+  std::string Error;
+  EXPECT_FALSE(diagnosticFromJson("{\"reason\":\"build-finished\"}",
+                                  Arena, Out, Error));
+  EXPECT_FALSE(diagnosticFromJson("not json", Arena, Out, Error));
+  // Category/detail mismatch is rejected.
+  EXPECT_FALSE(diagnosticFromJson(
+      "{\"reason\":\"compiler-message\",\"detail\":\"trait\","
+      "\"category\":\"Misc\",\"message\":\"m\",\"line\":0,\"api\":0}",
+      Arena, Out, Error));
+}
+
+} // namespace

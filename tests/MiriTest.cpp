@@ -1,0 +1,328 @@
+//===--- MiriTest.cpp - Tests for the heap and interpreter ----------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "miri/Interpreter.h"
+#include "types/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::miri;
+using namespace syrust::program;
+using namespace syrust::types;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// AbstractHeap
+//===----------------------------------------------------------------------===//
+
+TEST(HeapTest, AllocateAndFree) {
+  AbstractHeap H;
+  int A = H.allocate(16, "buf");
+  EXPECT_FALSE(H.isFreed(A));
+  EXPECT_EQ(H.size(A), 16u);
+  H.free(A, 0);
+  EXPECT_TRUE(H.isFreed(A));
+  EXPECT_FALSE(H.hasUb());
+}
+
+TEST(HeapTest, DoubleFreeFlagged) {
+  AbstractHeap H;
+  int A = H.allocate(8);
+  H.free(A, 0);
+  H.free(A, 1);
+  ASSERT_TRUE(H.hasUb());
+  EXPECT_EQ(H.ub().Kind, UbKind::DoubleFree);
+  EXPECT_EQ(H.ub().Line, 1);
+}
+
+TEST(HeapTest, LeakCheckFlagsLiveAllocations) {
+  AbstractHeap H;
+  (void)H.allocate(8, "leaky");
+  H.leakCheck();
+  ASSERT_TRUE(H.hasUb());
+  EXPECT_EQ(H.ub().Kind, UbKind::MemoryLeak);
+}
+
+TEST(HeapTest, LeakExemptionSuppressesLeak) {
+  AbstractHeap H;
+  int A = H.allocate(8);
+  H.exemptFromLeakCheck(A);
+  H.leakCheck();
+  EXPECT_FALSE(H.hasUb());
+}
+
+TEST(HeapTest, FirstUbWins) {
+  AbstractHeap H;
+  int A = H.allocate(8);
+  H.free(A, 0);
+  H.free(A, 1); // DoubleFree.
+  H.recordRawPointer(A, 100, 2, "later");
+  EXPECT_EQ(H.ub().Kind, UbKind::DoubleFree);
+}
+
+TEST(HeapTest, BorrowOfFreedIsUseAfterFree) {
+  AbstractHeap H;
+  int A = H.allocate(8);
+  H.free(A, 0);
+  (void)H.pushBorrow(A, false, 1);
+  ASSERT_TRUE(H.hasUb());
+  EXPECT_EQ(H.ub().Kind, UbKind::UseAfterFree);
+}
+
+TEST(HeapTest, UseThroughFreedAllocIsUseAfterFree) {
+  AbstractHeap H;
+  int A = H.allocate(8);
+  uint64_t Tag = H.pushBorrow(A, true, 0);
+  H.free(A, 1);
+  H.useBorrow(A, Tag, true, 2);
+  ASSERT_TRUE(H.hasUb());
+  EXPECT_EQ(H.ub().Kind, UbKind::UseAfterFree);
+  EXPECT_EQ(H.ub().Line, 2);
+}
+
+TEST(HeapTest, StackedBorrowsUniqueInvalidatesShared) {
+  AbstractHeap H;
+  int A = H.allocate(8);
+  uint64_t Shared = H.pushBorrow(A, false, 0);
+  (void)H.pushBorrow(A, true, 1); // Unique pops the shared tag.
+  H.useBorrow(A, Shared, false, 2);
+  ASSERT_TRUE(H.hasUb());
+  EXPECT_EQ(H.ub().Kind, UbKind::InvalidBorrow);
+}
+
+TEST(HeapTest, SharedBorrowsCoexist) {
+  AbstractHeap H;
+  int A = H.allocate(8);
+  uint64_t S1 = H.pushBorrow(A, false, 0);
+  uint64_t S2 = H.pushBorrow(A, false, 1);
+  EXPECT_TRUE(H.useBorrow(A, S1, false, 2));
+  EXPECT_TRUE(H.useBorrow(A, S2, false, 3));
+  EXPECT_FALSE(H.hasUb());
+}
+
+TEST(HeapTest, DanglingPointerCreationFlagged) {
+  AbstractHeap H;
+  int A = H.allocate(8);
+  H.free(A, 0);
+  H.recordRawPointer(A, 0, 1, "scan");
+  ASSERT_TRUE(H.hasUb());
+  EXPECT_EQ(H.ub().Kind, UbKind::DanglingPointer);
+}
+
+TEST(HeapTest, OobPointerCreationFlagged) {
+  AbstractHeap H;
+  int A = H.allocate(8);
+  H.recordRawPointer(A, 8, 0, "one-past-end"); // Allowed.
+  EXPECT_FALSE(H.hasUb());
+  H.recordRawPointer(A, 9, 1, "past");
+  ASSERT_TRUE(H.hasUb());
+  EXPECT_EQ(H.ub().Kind, UbKind::OutOfBoundsPointer);
+}
+
+TEST(HeapTest, NegativeOffsetIsOob) {
+  AbstractHeap H;
+  int A = H.allocate(8);
+  H.recordRawPointer(A, -1, 0, "before");
+  ASSERT_TRUE(H.hasUb());
+  EXPECT_EQ(H.ub().Kind, UbKind::OutOfBoundsPointer);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter over a small vec-like model
+//===----------------------------------------------------------------------===//
+
+/// Fixture wiring a minimal library model: a heap-backed MyVec<String>
+/// with push/pop/into_parts plus a leaky queue and a UAF-on-drop box.
+class InterpFixture : public ::testing::Test {
+protected:
+  TypeArena Arena;
+  TypeParser Parser{Arena, {"T"}};
+  TraitEnv Traits{Arena};
+  ApiDatabase Db;
+  SemanticsRegistry Registry;
+  ApiId LetMut, Borrow, BorrowMut;
+  ApiId Push, Pop, IntoParts, QueueNew, BoxUp;
+
+  const Type *parse(const std::string &S) {
+    const Type *T = Parser.parse(S);
+    EXPECT_NE(T, nullptr) << Parser.error();
+    return T;
+  }
+
+  ApiId addApi(const std::string &Name, std::vector<std::string> Ins,
+               const std::string &Out, const std::string &Key) {
+    ApiSig Sig;
+    Sig.Name = Name;
+    for (const auto &I : Ins)
+      Sig.Inputs.push_back(parse(I));
+    Sig.Output = parse(Out);
+    Sig.SemanticsKey = Key;
+    return Db.add(std::move(Sig));
+  }
+
+  void SetUp() override {
+    Traits.addDefaultPrimImpls();
+    auto B = addBuiltinApis(Db, Arena);
+    LetMut = B[0];
+    Borrow = B[1];
+    BorrowMut = B[2];
+    Push = addApi("MyVec::push", {"&mut MyVec<String>", "String"}, "()",
+                  "myvec::push");
+    Pop = addApi("MyVec::pop", {"&mut MyVec<String>"}, "Option<String>",
+                 "myvec::pop");
+    IntoParts = addApi("MyVec::into_parts", {"MyVec<String>"},
+                       "(usize, usize)", "myvec::into_parts");
+    QueueNew = addApi("LeakyQueue::new", {"usize"}, "LeakyQueue<String>",
+                      "queue::new");
+    BoxUp = addApi("MyVec::into_bad_box", {"MyVec<String>"},
+                   "BadBox<String>", "myvec::into_bad_box");
+
+    Registry.registerApi("myvec::push", [](InterpCtx &Ctx) {
+      Value &Vec = Ctx.deref(0);
+      Vec.Len += 1;
+      Value Out;
+      Out.Ty = Ctx.outType();
+      return Out;
+    });
+    Registry.registerApi("myvec::pop", [](InterpCtx &Ctx) {
+      Value &Vec = Ctx.deref(0);
+      Value Out;
+      Out.Ty = Ctx.outType();
+      if (Vec.Len == 0) {
+        Out.IsNone = true;
+      } else {
+        Vec.Len -= 1;
+        Out.Elems.push_back(Value{});
+      }
+      return Out;
+    });
+    Registry.registerApi("myvec::into_parts", [](InterpCtx &Ctx) {
+      Value &Vec = Ctx.deref(0);
+      // Destroys the vector: frees its buffer, returns raw parts. The
+      // buffer is taken over (Alloc cleared) so the callee-side drop of
+      // the consumed argument does not double-free.
+      Ctx.heap().free(Vec.Alloc, Ctx.line());
+      Vec.Alloc = -1;
+      Value Out;
+      Out.Ty = Ctx.outType();
+      return Out;
+    });
+    Registry.registerApi("queue::new", [](InterpCtx &Ctx) {
+      Value Out;
+      Out.Ty = Ctx.outType();
+      int64_t Cap = Ctx.deref(0).Int;
+      Out.Cap = Cap;
+      Out.Alloc =
+          Ctx.heap().allocate(static_cast<size_t>(Cap) * 8, "queue buf");
+      return Out;
+    });
+    Registry.registerApi("myvec::into_bad_box", [](InterpCtx &Ctx) {
+      Value &Vec = Ctx.deref(0);
+      // Buggy: frees the buffer but keeps the pointer in the box.
+      Ctx.heap().free(Vec.Alloc, Ctx.line());
+      Value Out;
+      Out.Ty = Ctx.outType();
+      Out.Int = Vec.Alloc; // Stashed raw pointer.
+      Vec.Alloc = -1;
+      return Out;
+    });
+    // LeakyQueue drop: frees only when the queue was filled to capacity.
+    Registry.registerDrop("LeakyQueue", [](InterpCtx &Ctx, Value &V) {
+      if (V.Alloc >= 0 && V.Len == V.Cap)
+        Ctx.heap().free(V.Alloc, Ctx.line());
+      // Otherwise: leak (the ⋆1-style bug).
+    });
+    // BadBox drop: dereferences the stale pointer -> UAF.
+    Registry.registerDrop("BadBox", [](InterpCtx &Ctx, Value &V) {
+      int StaleAlloc = static_cast<int>(V.Int);
+      if (StaleAlloc >= 0)
+        Ctx.heap().free(StaleAlloc, Ctx.line());
+    });
+  }
+
+  /// Template: test(s: String, v: MyVec<String>, n: usize).
+  Program makeTemplate() {
+    Program P;
+    P.Inputs.push_back({"s", parse("String")});
+    P.Inputs.push_back({"v", parse("MyVec<String>")});
+    P.Inputs.push_back({"n", parse("usize")});
+    return P;
+  }
+
+  TemplateInit makeInit() {
+    return [](AbstractHeap &Heap, Rng &) {
+      std::vector<Value> Vals(3);
+      Vals[0].Str = "hello";
+      Vals[1].Alloc = Heap.allocate(64, "myvec buf");
+      Vals[1].Len = 2;
+      Vals[1].Cap = 8;
+      Vals[2].Int = 4;
+      return Vals;
+    };
+  }
+
+  ExecResult run(const Program &P) {
+    Interpreter Interp(Db, Traits, Registry, makeInit());
+    return Interp.run(P);
+  }
+};
+
+TEST_F(InterpFixture, CleanProgramHasNoUb) {
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 3, parse("MyVec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {3}, 4, parse("&mut MyVec<String>")});
+  P.Stmts.push_back(Stmt{Push, {4, 0}, 5, Arena.unit()});
+  P.Stmts.push_back(Stmt{Pop, {4}, 6, parse("Option<String>")});
+  ExecResult R = run(P);
+  EXPECT_FALSE(R.UbFound) << R.Report.Message;
+}
+
+TEST_F(InterpFixture, IntoPartsThenDropIsClean) {
+  // into_parts frees the buffer; the consumed vector is not dropped again.
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{IntoParts, {1}, 3, parse("(usize, usize)")});
+  ExecResult R = run(P);
+  EXPECT_FALSE(R.UbFound) << R.Report.Message;
+}
+
+TEST_F(InterpFixture, LeakyQueueLeaksWhenNotFull) {
+  // The ⋆1 bug shape: one line, non-zero capacity, leak at drop.
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{QueueNew, {2}, 3, parse("LeakyQueue<String>")});
+  ExecResult R = run(P);
+  ASSERT_TRUE(R.UbFound);
+  EXPECT_EQ(R.Report.Kind, UbKind::MemoryLeak);
+}
+
+TEST_F(InterpFixture, BadBoxDropIsUseAfterFree) {
+  // The ⋆3 bug shape: convert then drop -> double free of the stale
+  // pointer target (reported as DoubleFree by the heap).
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{BoxUp, {1}, 3, parse("BadBox<String>")});
+  ExecResult R = run(P);
+  ASSERT_TRUE(R.UbFound);
+  EXPECT_EQ(R.Report.Kind, UbKind::DoubleFree);
+}
+
+TEST_F(InterpFixture, DropGlueFreesOwnedValues) {
+  // No statements: template values drop cleanly, no leak.
+  Program P = makeTemplate();
+  ExecResult R = run(P);
+  EXPECT_FALSE(R.UbFound) << R.Report.Message;
+}
+
+TEST_F(InterpFixture, MovedValueNotDoubleDropped) {
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 3, parse("MyVec<String>")});
+  P.Stmts.push_back(Stmt{LetMut, {3}, 4, parse("MyVec<String>")});
+  ExecResult R = run(P);
+  EXPECT_FALSE(R.UbFound) << R.Report.Message;
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===--- ProgramParserTest.cpp - Tests for textual test-case parsing ------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/ProgramParser.h"
+#include "rustsim/Checker.h"
+#include "synth/Synthesizer.h"
+#include "types/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::program;
+using namespace syrust::types;
+
+namespace {
+
+class ProgramParserFixture : public ::testing::Test {
+protected:
+  TypeArena Arena;
+  TypeParser Parser{Arena, {"T"}};
+  ApiDatabase Db;
+  std::vector<ApiId> Builtins;
+
+  const Type *ty(const std::string &S) {
+    const Type *T = Parser.parse(S);
+    EXPECT_NE(T, nullptr) << Parser.error();
+    return T;
+  }
+
+  void SetUp() override {
+    Builtins = addBuiltinApis(Db, Arena);
+    ApiSig Push;
+    Push.Name = "Vec::push";
+    Push.Inputs = {ty("&mut Vec<T>"), ty("T")};
+    Push.Output = ty("()");
+    Db.add(std::move(Push));
+    ApiSig Pop;
+    Pop.Name = "Vec::pop";
+    Pop.Inputs = {ty("&mut Vec<T>")};
+    Pop.Output = ty("Option<T>");
+    Db.add(std::move(Pop));
+    ApiSig Parts;
+    Parts.Name = "Vec::into_raw_parts";
+    Parts.Inputs = {ty("Vec<T>")};
+    Parts.Output = ty("(usize, usize, usize)");
+    Db.add(std::move(Parts));
+  }
+
+  std::vector<TemplateInput> vecTemplate() {
+    return {{"s", ty("String")}, {"v", ty("Vec<String>")}};
+  }
+};
+
+TEST_F(ProgramParserFixture, ParsesTheFigure1Program) {
+  const char *Source = "let mut v1 = v;\n"
+                       "let v2 = &mut v1;\n"
+                       "Vec::push(v2, s);\n"
+                       "let v4 : (usize, usize, usize) = "
+                       "Vec::into_raw_parts(v1);\n";
+  auto R = parseProgram(Db, Arena, vecTemplate(), Source, {"T"});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Prog.Stmts.size(), 4u);
+  EXPECT_EQ(Db.get(R.Prog.Stmts[0].Api).Builtin, BuiltinKind::LetMut);
+  EXPECT_EQ(Db.get(R.Prog.Stmts[1].Api).Builtin, BuiltinKind::BorrowMut);
+  EXPECT_EQ(Db.get(R.Prog.Stmts[2].Api).Name, "Vec::push");
+  EXPECT_EQ(R.Prog.Stmts[2].Args, (std::vector<VarId>{3, 0}));
+  EXPECT_EQ(R.Prog.Stmts[3].DeclType, ty("(usize, usize, usize)"));
+  // The parsed Figure 1 program typechecks.
+  TraitEnv Traits(Arena);
+  Traits.addDefaultPrimImpls();
+  rustsim::Checker Check(Arena, Traits);
+  EXPECT_TRUE(Check.check(R.Prog, Db).Success);
+}
+
+TEST_F(ProgramParserFixture, RenderParseRoundTrip) {
+  const char *Source = "let mut v1 = v;\n"
+                       "let v2 = &mut v1;\n"
+                       "let v3 : Option<String> = Vec::pop(v2);\n";
+  auto R = parseProgram(Db, Arena, vecTemplate(), Source, {"T"});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Prog.render(Db), Source);
+}
+
+TEST_F(ProgramParserFixture, CommentsAndBlankLinesIgnored) {
+  const char *Source = "// the paper's figure 1\n"
+                       "\n"
+                       "let mut v1 = v;\n";
+  auto R = parseProgram(Db, Arena, vecTemplate(), Source, {"T"});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Prog.Stmts.size(), 1u);
+}
+
+TEST_F(ProgramParserFixture, ErrorsCarryLineNumbers) {
+  auto Missing = parseProgram(Db, Arena, vecTemplate(),
+                              "let mut v1 = nosuch;\n", {"T"});
+  EXPECT_FALSE(Missing.Ok);
+  EXPECT_NE(Missing.Error.find("line 1"), std::string::npos);
+
+  auto BadApi = parseProgram(Db, Arena, vecTemplate(),
+                             "let mut v1 = v;\nGhost::call(v1);\n", {"T"});
+  EXPECT_FALSE(BadApi.Ok);
+  EXPECT_NE(BadApi.Error.find("line 2"), std::string::npos);
+
+  auto NoSemi =
+      parseProgram(Db, Arena, vecTemplate(), "let mut v1 = v\n", {"T"});
+  EXPECT_FALSE(NoSemi.Ok);
+
+  auto WrongArity = parseProgram(Db, Arena, vecTemplate(),
+                                 "Vec::push(v);\n", {"T"});
+  EXPECT_FALSE(WrongArity.Ok);
+  EXPECT_NE(WrongArity.Error.find("1 inputs"), std::string::npos);
+}
+
+TEST_F(ProgramParserFixture, BorrowAscriptionMustMatch) {
+  auto Bad = parseProgram(Db, Arena, vecTemplate(),
+                          "let v1 : &String = &v;\n", {"T"});
+  EXPECT_FALSE(Bad.Ok);
+  auto Good = parseProgram(Db, Arena, vecTemplate(),
+                           "let v1 : &Vec<String> = &v;\n", {"T"});
+  EXPECT_TRUE(Good.Ok) << Good.Error;
+}
+
+/// Property: every synthesized program round-trips through render+parse
+/// to an identical program (same APIs, wiring, declared types).
+TEST_F(ProgramParserFixture, SynthesizedProgramsRoundTrip) {
+  TraitEnv Traits(Arena);
+  Traits.addDefaultPrimImpls();
+  synth::Synthesizer Synth(Arena, Traits, Db, vecTemplate(), 4);
+  int Total = 0;
+  while (auto P = Synth.next()) {
+    ++Total;
+    std::string Source = P->render(Db);
+    auto R = parseProgram(Db, Arena, vecTemplate(), Source, {"T"});
+    ASSERT_TRUE(R.Ok) << R.Error << "\nsource:\n" << Source;
+    EXPECT_EQ(R.Prog.hash(), P->hash()) << Source;
+    EXPECT_EQ(R.Prog.render(Db), Source);
+    if (Total > 500)
+      break;
+  }
+  EXPECT_GT(Total, 10);
+}
+
+} // namespace

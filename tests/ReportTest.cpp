@@ -1,0 +1,57 @@
+//===--- ReportTest.cpp - Tests for the table renderer --------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust::report;
+
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table T({"Name", "N"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "23"});
+  std::string Out = T.render();
+  EXPECT_EQ(Out, "Name    N\n"
+                 "----------\n"
+                 "a       1\n"
+                 "longer  23\n");
+}
+
+TEST(TableTest, ShortRowsPadAndTrailingSpacesTrimmed) {
+  Table T({"A", "B", "C"});
+  T.addRow({"x"});
+  std::string Out = T.render();
+  for (const std::string &Line :
+       {std::string("A  B  C"), std::string("x")}) {
+    EXPECT_NE(Out.find(Line + "\n"), std::string::npos) << Out;
+  }
+  // No line ends with a space.
+  size_t Pos = 0;
+  while ((Pos = Out.find('\n', Pos)) != std::string::npos) {
+    if (Pos > 0) {
+      EXPECT_NE(Out[Pos - 1], ' ');
+    }
+    ++Pos;
+  }
+}
+
+TEST(TableTest, EmptyTableRendersHeaderOnly) {
+  Table T({"Only"});
+  EXPECT_EQ(T.render(), "Only\n----\n");
+}
+
+TEST(FormatterTest, PercentFormatting) {
+  EXPECT_EQ(fmtPercent(0.005), "< 0.01 %"); // Figure 6's "< 0.01 %".
+  EXPECT_EQ(fmtPercent(0.0), "0.00 %");
+  EXPECT_EQ(fmtPercent(10.87), "10.87 %");
+  EXPECT_EQ(fmtShare(95.447), "95.45 %");
+  EXPECT_EQ(fmtCount(1225952), "1225952");
+}
+
+} // namespace

@@ -1,0 +1,617 @@
+//===--- SatSolverTest.cpp - Unit and property tests for the CDCL core ----===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/ModelEnumerator.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace syrust;
+using namespace syrust::sat;
+
+namespace {
+
+std::vector<Var> makeVars(Solver &S, int N) {
+  std::vector<Var> Vars;
+  for (int I = 0; I < N; ++I)
+    Vars.push_back(S.newVar());
+  return Vars;
+}
+
+//===----------------------------------------------------------------------===//
+// Literal algebra
+//===----------------------------------------------------------------------===//
+
+TEST(LitTest, EncodingRoundTrip) {
+  Lit P = mkLit(7, false);
+  EXPECT_EQ(var(P), 7);
+  EXPECT_FALSE(sign(P));
+  EXPECT_EQ(var(~P), 7);
+  EXPECT_TRUE(sign(~P));
+  EXPECT_EQ(~~P, P);
+  EXPECT_NE(~P, P);
+}
+
+TEST(LitTest, ValueNegation) {
+  EXPECT_EQ(!Value::True, Value::False);
+  EXPECT_EQ(!Value::False, Value::True);
+  EXPECT_EQ(!Value::Undef, Value::Undef);
+}
+
+//===----------------------------------------------------------------------===//
+// Basic clause solving
+//===----------------------------------------------------------------------===//
+
+TEST(SolverTest, EmptyFormulaIsSat) {
+  Solver S;
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(SolverTest, SingleUnit) {
+  Solver S;
+  Var V = S.newVar();
+  ASSERT_TRUE(S.addClause(mkLit(V)));
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_EQ(S.modelValue(V), Value::True);
+}
+
+TEST(SolverTest, ContradictoryUnitsAreUnsat) {
+  Solver S;
+  Var V = S.newVar();
+  ASSERT_TRUE(S.addClause(mkLit(V)));
+  EXPECT_FALSE(S.addClause(mkLit(V, true)));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  EXPECT_FALSE(S.okay());
+}
+
+TEST(SolverTest, ImplicationChainPropagates) {
+  Solver S;
+  auto Vars = makeVars(S, 5);
+  for (int I = 0; I + 1 < 5; ++I)
+    ASSERT_TRUE(S.addClause(mkLit(Vars[I], true), mkLit(Vars[I + 1])));
+  ASSERT_TRUE(S.addClause(mkLit(Vars[0])));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  for (Var V : Vars)
+    EXPECT_EQ(S.modelValue(V), Value::True);
+}
+
+TEST(SolverTest, TautologyIsIgnored) {
+  Solver S;
+  Var V = S.newVar();
+  ASSERT_TRUE(S.addClause(std::vector<Lit>{mkLit(V), mkLit(V, true)}));
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(SolverTest, DuplicateLiteralsCollapse) {
+  Solver S;
+  Var V = S.newVar();
+  Var W = S.newVar();
+  ASSERT_TRUE(
+      S.addClause(std::vector<Lit>{mkLit(V), mkLit(V), mkLit(W, true)}));
+  ASSERT_TRUE(S.addClause(mkLit(W)));
+  ASSERT_TRUE(S.addClause(mkLit(V, true), mkLit(W)));
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_EQ(S.modelValue(W), Value::True);
+}
+
+TEST(SolverTest, XorChainUnsat) {
+  // x1 xor x2, x2 xor x3, x1 = x3 forced unequal -> unsat for odd cycles.
+  Solver S;
+  auto V = makeVars(S, 3);
+  auto AddXor = [&](Var A, Var B) {
+    ASSERT_TRUE(S.addClause(mkLit(A), mkLit(B)));
+    ASSERT_TRUE(S.addClause(mkLit(A, true), mkLit(B, true)));
+  };
+  AddXor(V[0], V[1]);
+  AddXor(V[1], V[2]);
+  AddXor(V[2], V[0]);
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(SolverTest, PigeonholeUnsat) {
+  // 4 pigeons into 3 holes: classic hard UNSAT instance exercising learning.
+  constexpr int Pigeons = 4, Holes = 3;
+  Solver S;
+  Var P[Pigeons][Holes];
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (auto &Row : P) {
+    std::vector<Lit> AtLeastOne;
+    for (Var V : Row)
+      AtLeastOne.push_back(mkLit(V));
+    ASSERT_TRUE(S.addClause(AtLeastOne));
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int I = 0; I < Pigeons; ++I)
+      for (int J = I + 1; J < Pigeons; ++J)
+        ASSERT_TRUE(S.addClause(mkLit(P[I][H], true), mkLit(P[J][H], true)));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  EXPECT_GT(S.stats().Conflicts, 0u);
+}
+
+TEST(SolverTest, PigeonholeViaCardinalityUnsat) {
+  // Same instance but holes constrained with native AtMost-1.
+  constexpr int Pigeons = 5, Holes = 4;
+  Solver S;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (auto &Row : P) {
+    std::vector<Lit> AtLeastOne;
+    for (Var V : Row)
+      AtLeastOne.push_back(mkLit(V));
+    ASSERT_TRUE(S.addClause(AtLeastOne));
+  }
+  for (int H = 0; H < Holes; ++H) {
+    std::vector<Lit> Column;
+    for (int I = 0; I < Pigeons; ++I)
+      Column.push_back(mkLit(P[I][H]));
+    ASSERT_TRUE(S.addAtMost(Column, 1));
+  }
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+//===----------------------------------------------------------------------===//
+// Cardinality constraints
+//===----------------------------------------------------------------------===//
+
+TEST(CardinalityTest, AtMostZeroForcesAllFalse) {
+  Solver S;
+  auto Vars = makeVars(S, 4);
+  std::vector<Lit> Lits;
+  for (Var V : Vars)
+    Lits.push_back(mkLit(V));
+  ASSERT_TRUE(S.addAtMost(Lits, 0));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  for (Var V : Vars)
+    EXPECT_EQ(S.modelValue(V), Value::False);
+}
+
+TEST(CardinalityTest, AtLeastAllForcesAllTrue) {
+  Solver S;
+  auto Vars = makeVars(S, 4);
+  std::vector<Lit> Lits;
+  for (Var V : Vars)
+    Lits.push_back(mkLit(V));
+  ASSERT_TRUE(S.addAtLeast(Lits, 4));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  for (Var V : Vars)
+    EXPECT_EQ(S.modelValue(V), Value::True);
+}
+
+TEST(CardinalityTest, ExactlyOnePropagatesNegations) {
+  Solver S;
+  auto Vars = makeVars(S, 5);
+  std::vector<Lit> Lits;
+  for (Var V : Vars)
+    Lits.push_back(mkLit(V));
+  ASSERT_TRUE(S.addExactly(Lits, 1));
+  ASSERT_TRUE(S.addClause(mkLit(Vars[2])));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(S.modelValue(Vars[I]), I == 2 ? Value::True : Value::False);
+}
+
+TEST(CardinalityTest, OverfullAtMostConflictsAtRoot) {
+  Solver S;
+  auto Vars = makeVars(S, 3);
+  for (Var V : Vars)
+    ASSERT_TRUE(S.addClause(mkLit(V)));
+  std::vector<Lit> Lits;
+  for (Var V : Vars)
+    Lits.push_back(mkLit(V));
+  EXPECT_FALSE(S.addAtMost(Lits, 1));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(CardinalityTest, AtLeastMoreThanSizeIsUnsat) {
+  Solver S;
+  auto Vars = makeVars(S, 2);
+  std::vector<Lit> Lits{mkLit(Vars[0]), mkLit(Vars[1])};
+  EXPECT_FALSE(S.addAtLeast(Lits, 3));
+}
+
+TEST(CardinalityTest, MixedPolarityAtMost) {
+  // AtMost(x, ~y; 1) with x forced true forces y true.
+  Solver S;
+  Var X = S.newVar();
+  Var Y = S.newVar();
+  Var Z = S.newVar();
+  ASSERT_TRUE(
+      S.addAtMost(std::vector<Lit>{mkLit(X), mkLit(Y, true), mkLit(Z)}, 1));
+  ASSERT_TRUE(S.addClause(mkLit(X)));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_EQ(S.modelValue(Y), Value::True);
+  EXPECT_EQ(S.modelValue(Z), Value::False);
+}
+
+/// Property: for random cardinality instances, solver verdict and any model
+/// agree with brute force over all 2^N assignments.
+class CardinalityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CardinalityPropertyTest, AgreesWithBruteForce) {
+  Rng R(GetParam());
+  constexpr int N = 8;
+  for (int Round = 0; Round < 20; ++Round) {
+    Solver S;
+    auto Vars = makeVars(S, N);
+    // Random mix of clauses and cardinality constraints.
+    struct CardSpec {
+      std::vector<Lit> Lits;
+      int K;
+      bool AtMostKind;
+    };
+    std::vector<std::vector<Lit>> Clauses;
+    std::vector<CardSpec> CardSpecs;
+    int NumClauses = 2 + static_cast<int>(R.below(10));
+    int NumCards = 1 + static_cast<int>(R.below(4));
+    bool AddOk = true;
+    for (int C = 0; C < NumClauses; ++C) {
+      std::vector<Lit> Cl;
+      int Len = 1 + static_cast<int>(R.below(3));
+      for (int L = 0; L < Len; ++L)
+        Cl.push_back(mkLit(Vars[R.below(N)], R.chance(0.5)));
+      Clauses.push_back(Cl);
+      AddOk = S.addClause(Cl) && AddOk;
+    }
+    for (int C = 0; C < NumCards; ++C) {
+      CardSpec Spec;
+      int Len = 2 + static_cast<int>(R.below(static_cast<uint64_t>(N - 1)));
+      std::set<Var> Used;
+      for (int L = 0; L < Len; ++L) {
+        Var V = Vars[R.below(N)];
+        if (!Used.insert(V).second)
+          continue;
+        Spec.Lits.push_back(mkLit(V, R.chance(0.5)));
+      }
+      if (Spec.Lits.size() < 2)
+        continue; // Too few distinct literals; skip this constraint.
+      Spec.K = 1 + static_cast<int>(R.below(Spec.Lits.size()));
+      Spec.AtMostKind = R.chance(0.5);
+      CardSpecs.push_back(Spec);
+      if (Spec.AtMostKind)
+        AddOk = S.addAtMost(Spec.Lits, Spec.K) && AddOk;
+      else
+        AddOk = S.addAtLeast(Spec.Lits, Spec.K) && AddOk;
+    }
+
+    auto SatisfiedBy = [&](uint32_t Bits) {
+      auto Val = [&](Lit L) {
+        bool B = (Bits >> var(L)) & 1;
+        return sign(L) ? !B : B;
+      };
+      for (const auto &Cl : Clauses) {
+        bool Any = false;
+        for (Lit L : Cl)
+          Any = Any || Val(L);
+        if (!Any)
+          return false;
+      }
+      for (const auto &Spec : CardSpecs) {
+        int Count = 0;
+        for (Lit L : Spec.Lits)
+          Count += Val(L) ? 1 : 0;
+        if (Spec.AtMostKind ? Count > Spec.K : Count < Spec.K)
+          return false;
+      }
+      return true;
+    };
+
+    bool BruteSat = false;
+    for (uint32_t Bits = 0; Bits < (1u << N) && !BruteSat; ++Bits)
+      BruteSat = SatisfiedBy(Bits);
+
+    SolveResult Result = AddOk ? S.solve() : SolveResult::Unsat;
+    if (!AddOk)
+      Result = SolveResult::Unsat;
+    EXPECT_EQ(Result == SolveResult::Sat, BruteSat)
+        << "round " << Round << " seed " << GetParam();
+    if (Result == SolveResult::Sat) {
+      uint32_t Bits = 0;
+      for (int I = 0; I < N; ++I)
+        if (S.modelValue(Vars[I]) == Value::True)
+          Bits |= 1u << I;
+      EXPECT_TRUE(SatisfiedBy(Bits))
+          << "model does not satisfy the instance";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CardinalityPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 42, 99, 123,
+                                           2026));
+
+/// Property: random 3-SAT near the phase transition; verify models, and
+/// verify UNSAT answers against brute force.
+class Random3SatTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Random3SatTest, VerdictMatchesBruteForce) {
+  Rng R(GetParam() * 0x9e3779b9ULL + 7);
+  constexpr int N = 12;
+  int NumClauses = static_cast<int>(4.26 * N);
+  Solver S;
+  auto Vars = makeVars(S, N);
+  std::vector<std::vector<Lit>> Clauses;
+  bool AddOk = true;
+  for (int C = 0; C < NumClauses; ++C) {
+    std::set<Var> Used;
+    std::vector<Lit> Cl;
+    while (Cl.size() < 3) {
+      Var V = Vars[R.below(N)];
+      if (Used.insert(V).second)
+        Cl.push_back(mkLit(V, R.chance(0.5)));
+    }
+    Clauses.push_back(Cl);
+    AddOk = S.addClause(Cl) && AddOk;
+  }
+  auto SatisfiedBy = [&](uint32_t Bits) {
+    for (const auto &Cl : Clauses) {
+      bool Any = false;
+      for (Lit L : Cl) {
+        bool B = (Bits >> var(L)) & 1;
+        Any = Any || (sign(L) ? !B : B);
+      }
+      if (!Any)
+        return false;
+    }
+    return true;
+  };
+  bool BruteSat = false;
+  for (uint32_t Bits = 0; Bits < (1u << N) && !BruteSat; ++Bits)
+    BruteSat = SatisfiedBy(Bits);
+  SolveResult Result = AddOk ? S.solve() : SolveResult::Unsat;
+  EXPECT_EQ(Result == SolveResult::Sat, BruteSat);
+  if (Result == SolveResult::Sat) {
+    uint32_t Bits = 0;
+    for (int I = 0; I < N; ++I)
+      if (S.modelValue(Vars[I]) == Value::True)
+        Bits |= 1u << I;
+    EXPECT_TRUE(SatisfiedBy(Bits));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3SatTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+//===----------------------------------------------------------------------===//
+// Incremental solving and enumeration
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalTest, AddClauseBetweenSolves) {
+  Solver S;
+  auto Vars = makeVars(S, 3);
+  ASSERT_TRUE(S.addClause(mkLit(Vars[0]), mkLit(Vars[1])));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  ASSERT_TRUE(S.addClause(mkLit(Vars[0], true)));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_EQ(S.modelValue(Vars[1]), Value::True);
+  // Adding ~v1 contradicts the forced v1 at the root: addClause reports the
+  // inconsistency immediately and subsequent solves stay Unsat.
+  EXPECT_FALSE(S.addClause(mkLit(Vars[1], true)));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(IncrementalTest, AssumptionsDoNotPersist) {
+  Solver S;
+  Var V = S.newVar();
+  EXPECT_EQ(S.solve({mkLit(V, true)}), SolveResult::Sat);
+  EXPECT_EQ(S.modelValue(V), Value::False);
+  EXPECT_EQ(S.solve({mkLit(V)}), SolveResult::Sat);
+  EXPECT_EQ(S.modelValue(V), Value::True);
+}
+
+TEST(IncrementalTest, ConflictingAssumptionsUnsatButRecoverable) {
+  Solver S;
+  Var V = S.newVar();
+  ASSERT_TRUE(S.addClause(mkLit(V)));
+  EXPECT_EQ(S.solve({mkLit(V, true)}), SolveResult::Unsat);
+  EXPECT_TRUE(S.okay());
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(EnumerationTest, CountsAllProjectedModels) {
+  // 4 free variables, no constraints: 16 models over the projection.
+  Solver S;
+  auto Vars = makeVars(S, 4);
+  ModelEnumerator Enum(S, Vars);
+  int Count = 0;
+  std::set<uint32_t> Distinct;
+  while (Enum.next()) {
+    ++Count;
+    uint32_t Bits = 0;
+    for (int I = 0; I < 4; ++I)
+      if (S.modelValue(Vars[I]) == Value::True)
+        Bits |= 1u << I;
+    EXPECT_TRUE(Distinct.insert(Bits).second) << "duplicate model";
+    ASSERT_LE(Count, 16) << "enumeration failed to terminate";
+  }
+  EXPECT_EQ(Count, 16);
+  EXPECT_EQ(Enum.count(), 16u);
+}
+
+TEST(EnumerationTest, ExactlyOneYieldsNModels) {
+  Solver S;
+  auto Vars = makeVars(S, 6);
+  std::vector<Lit> Lits;
+  for (Var V : Vars)
+    Lits.push_back(mkLit(V));
+  ASSERT_TRUE(S.addExactly(Lits, 1));
+  ModelEnumerator Enum(S, Vars);
+  int Count = 0;
+  while (Enum.next())
+    ASSERT_LE(++Count, 6);
+  EXPECT_EQ(Count, 6);
+}
+
+TEST(EnumerationTest, ProjectionCollapsesDontCares) {
+  // y is unconstrained; projecting on {x} must yield exactly 2 models.
+  Solver S;
+  Var X = S.newVar();
+  Var Y = S.newVar();
+  (void)Y;
+  ModelEnumerator Enum(S, {X});
+  int Count = 0;
+  while (Enum.next())
+    ASSERT_LE(++Count, 2);
+  EXPECT_EQ(Count, 2);
+}
+
+TEST(EnumerationTest, CardinalityChooseCount) {
+  // Exactly 2 of 5: C(5,2) = 10 models.
+  Solver S;
+  auto Vars = makeVars(S, 5);
+  std::vector<Lit> Lits;
+  for (Var V : Vars)
+    Lits.push_back(mkLit(V));
+  ASSERT_TRUE(S.addExactly(Lits, 2));
+  ModelEnumerator Enum(S, Vars);
+  int Count = 0;
+  while (Enum.next()) {
+    int True = 0;
+    for (Var V : Vars)
+      True += S.modelValue(V) == Value::True ? 1 : 0;
+    EXPECT_EQ(True, 2);
+    ASSERT_LE(++Count, 10);
+  }
+  EXPECT_EQ(Count, 10);
+}
+
+/// Property: projected enumeration over all variables yields exactly the
+/// brute-force model count for random clause+cardinality instances.
+class EnumerationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnumerationPropertyTest, CountMatchesBruteForce) {
+  Rng R(GetParam() * 1337 + 11);
+  constexpr int N = 7;
+  Solver S;
+  auto Vars = makeVars(S, N);
+  std::vector<std::vector<Lit>> Clauses;
+  struct CardSpec {
+    std::vector<Lit> Lits;
+    int K;
+  };
+  std::vector<CardSpec> CardSpecs;
+  bool AddOk = true;
+  int NumClauses = static_cast<int>(R.below(6));
+  for (int C = 0; C < NumClauses; ++C) {
+    std::vector<Lit> Cl;
+    int Len = 2 + static_cast<int>(R.below(3));
+    for (int L = 0; L < Len; ++L)
+      Cl.push_back(mkLit(Vars[R.below(N)], R.chance(0.5)));
+    Clauses.push_back(Cl);
+    AddOk = S.addClause(Cl) && AddOk;
+  }
+  int NumCards = 1 + static_cast<int>(R.below(2));
+  for (int C = 0; C < NumCards; ++C) {
+    CardSpec Spec;
+    std::set<Var> Used;
+    int Len = 3 + static_cast<int>(R.below(4));
+    for (int L = 0; L < Len; ++L) {
+      Var V = Vars[R.below(N)];
+      if (Used.insert(V).second)
+        Spec.Lits.push_back(mkLit(V, R.chance(0.5)));
+    }
+    if (Spec.Lits.size() < 2)
+      continue;
+    Spec.K = 1 + static_cast<int>(R.below(Spec.Lits.size() - 1));
+    CardSpecs.push_back(Spec);
+    AddOk = S.addAtMost(Spec.Lits, Spec.K) && AddOk;
+  }
+  auto SatisfiedBy = [&](uint32_t Bits) {
+    auto Val = [&](Lit L) {
+      bool B = (Bits >> var(L)) & 1;
+      return sign(L) ? !B : B;
+    };
+    for (const auto &Cl : Clauses) {
+      bool Any = false;
+      for (Lit L : Cl)
+        Any = Any || Val(L);
+      if (!Any)
+        return false;
+    }
+    for (const auto &Spec : CardSpecs) {
+      int Count = 0;
+      for (Lit L : Spec.Lits)
+        Count += Val(L) ? 1 : 0;
+      if (Count > Spec.K)
+        return false;
+    }
+    return true;
+  };
+  int BruteCount = 0;
+  for (uint32_t Bits = 0; Bits < (1u << N); ++Bits)
+    BruteCount += SatisfiedBy(Bits) ? 1 : 0;
+  // A tautological or root-satisfied clause may be dropped; AddOk==false
+  // only when the instance is root-unsat, in which case BruteCount is 0.
+  if (!AddOk) {
+    EXPECT_EQ(BruteCount, 0);
+    return;
+  }
+  ModelEnumerator Enum(S, Vars);
+  int Enumerated = 0;
+  std::set<uint32_t> Distinct;
+  while (Enum.next()) {
+    uint32_t Bits = 0;
+    for (int I = 0; I < N; ++I)
+      if (S.modelValue(Vars[I]) == Value::True)
+        Bits |= 1u << I;
+    EXPECT_TRUE(SatisfiedBy(Bits)) << "bogus model " << Bits;
+    EXPECT_TRUE(Distinct.insert(Bits).second) << "duplicate model " << Bits;
+    ASSERT_LE(++Enumerated, BruteCount) << "enumeration overshoots";
+  }
+  EXPECT_EQ(Enumerated, BruteCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumerationPropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+TEST(BudgetTest, ConflictBudgetStopsSearch) {
+  // A hard pigeonhole instance with a tiny budget must report exhaustion.
+  constexpr int Pigeons = 9, Holes = 8;
+  Solver S;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (auto &Row : P) {
+    std::vector<Lit> AtLeastOne;
+    for (Var V : Row)
+      AtLeastOne.push_back(mkLit(V));
+    ASSERT_TRUE(S.addClause(AtLeastOne));
+  }
+  for (int H = 0; H < Holes; ++H) {
+    std::vector<Lit> Column;
+    for (int I = 0; I < Pigeons; ++I)
+      Column.push_back(mkLit(P[I][H]));
+    ASSERT_TRUE(S.addAtMost(Column, 1));
+  }
+  S.setConflictBudget(10);
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  EXPECT_TRUE(S.budgetExhausted());
+  EXPECT_TRUE(S.okay());
+}
+
+TEST(StatsTest, CountersAdvance) {
+  Solver S;
+  auto Vars = makeVars(S, 10);
+  Rng R(3);
+  for (int C = 0; C < 40; ++C) {
+    std::vector<Lit> Cl;
+    for (int L = 0; L < 3; ++L)
+      Cl.push_back(mkLit(Vars[R.below(10)], R.chance(0.5)));
+    S.addClause(Cl);
+  }
+  (void)S.solve();
+  EXPECT_GT(S.stats().Propagations, 0u);
+}
+
+} // namespace

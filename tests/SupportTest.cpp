@@ -1,0 +1,123 @@
+//===--- SupportTest.cpp - Tests for support utilities --------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "support/SimClock.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace syrust;
+
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(RngTest, UnitStaysInHalfOpenInterval) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, PickWeightedRespectsZeroWeights) {
+  Rng R(11);
+  std::vector<double> Weights{0.0, 1.0, 0.0};
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(R.pickWeighted(Weights), 1u);
+}
+
+TEST(RngTest, PickWeightedRoughProportions) {
+  Rng R(13);
+  std::vector<double> Weights{1.0, 3.0};
+  int Counts[2] = {0, 0};
+  for (int I = 0; I < 8000; ++I)
+    ++Counts[R.pickWeighted(Weights)];
+  double Ratio = static_cast<double>(Counts[1]) / Counts[0];
+  EXPECT_GT(Ratio, 2.5);
+  EXPECT_LT(Ratio, 3.6);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng R(17);
+  std::vector<int> Items{1, 2, 3, 4, 5, 6, 7};
+  auto Sorted = Items;
+  R.shuffle(Items);
+  std::sort(Items.begin(), Items.end());
+  EXPECT_EQ(Items, Sorted);
+}
+
+TEST(SimClockTest, ChargeAccumulates) {
+  SimClock C;
+  EXPECT_DOUBLE_EQ(C.now(), 0.0);
+  C.charge(1.5);
+  C.charge(2.5);
+  EXPECT_DOUBLE_EQ(C.now(), 4.0);
+  EXPECT_FALSE(C.exhausted(5.0));
+  EXPECT_TRUE(C.exhausted(4.0));
+  C.reset();
+  EXPECT_DOUBLE_EQ(C.now(), 0.0);
+}
+
+TEST(StringUtilsTest, FormatBasic) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f %%", 3.14159), "3.14 %");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(StringUtilsTest, FormatLongString) {
+  std::string Long(5000, 'a');
+  EXPECT_EQ(format("%s!", Long.c_str()).size(), 5001u);
+}
+
+TEST(StringUtilsTest, JoinAndSplitRoundTrip) {
+  std::vector<std::string> Parts{"a", "bb", "", "ccc"};
+  std::string Joined = join(Parts, ",");
+  EXPECT_EQ(Joined, "a,bb,,ccc");
+  EXPECT_EQ(split(Joined, ','), Parts);
+}
+
+TEST(StringUtilsTest, SplitSingleField) {
+  EXPECT_EQ(split("abc", ','), std::vector<std::string>{"abc"});
+  EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+}
+
+TEST(StringUtilsTest, TrimEdges) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("z"), "z");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("Vec<T>", "Vec"));
+  EXPECT_FALSE(startsWith("Vec", "Vec<T>"));
+  EXPECT_TRUE(startsWith("anything", ""));
+}
+
+} // namespace

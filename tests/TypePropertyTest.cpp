@@ -1,0 +1,170 @@
+//===--- TypePropertyTest.cpp - Property tests for the type algebra -------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Randomized laws over the subtype/unification machinery the encoder and
+/// checker share. A small generator produces random types (with and
+/// without variables); the laws below must hold for every sample.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "types/Subtyping.h"
+#include "types/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::types;
+
+namespace {
+
+/// Random type generator over a fixed vocabulary.
+class TypeGen {
+public:
+  TypeGen(TypeArena &Arena, Rng &R) : Arena(Arena), R(R) {}
+
+  /// A random type; \p AllowVars enables type variables, \p Depth bounds
+  /// recursion.
+  const Type *gen(bool AllowVars, int Depth = 3) {
+    uint64_t Roll = R.below(AllowVars ? 6 : 5);
+    if (Depth <= 0)
+      Roll = R.below(AllowVars ? 2 : 1) == 0 ? 0 : 5;
+    switch (Roll) {
+    case 0: {
+      static const char *Prims[] = {"i32", "u8", "usize", "bool"};
+      return Arena.prim(Prims[R.below(4)]);
+    }
+    case 1:
+      return Arena.named("String");
+    case 2: {
+      static const char *Heads[] = {"Vec", "Option", "Box"};
+      return Arena.named(Heads[R.below(3)],
+                         {gen(AllowVars, Depth - 1)});
+    }
+    case 3:
+      return Arena.ref(gen(AllowVars, Depth - 1), R.chance(0.5));
+    case 4:
+      return Arena.tuple(
+          {gen(AllowVars, Depth - 1), gen(AllowVars, Depth - 1)});
+    default: {
+      static const char *Vars[] = {"T", "U"};
+      return Arena.typeVar(Vars[R.below(2)]);
+    }
+    }
+  }
+
+private:
+  TypeArena &Arena;
+  Rng &R;
+};
+
+class TypeLaws : public ::testing::TestWithParam<uint64_t> {
+protected:
+  TypeArena Arena;
+};
+
+TEST_P(TypeLaws, SubtypingIsReflexive) {
+  Rng R(GetParam());
+  TypeGen Gen(Arena, R);
+  for (int I = 0; I < 200; ++I) {
+    const Type *T = Gen.gen(/*AllowVars=*/false);
+    EXPECT_TRUE(isSubtype(T, T)) << T->str();
+  }
+}
+
+TEST_P(TypeLaws, MatchedSubstitutionReconstructsActual) {
+  // If concrete A matches pattern P (without top-level coercion in play),
+  // then applying the resulting substitution to P yields a type that A is
+  // still a subtype of - and an exact equality when A == P mod vars.
+  Rng R(GetParam() * 31 + 5);
+  TypeGen Gen(Arena, R);
+  for (int I = 0; I < 300; ++I) {
+    const Type *Pattern = Gen.gen(/*AllowVars=*/true);
+    const Type *Actual = Gen.gen(/*AllowVars=*/false);
+    Substitution S;
+    if (!isSubtype(Actual, Pattern, S))
+      continue;
+    const Type *Applied = applySubst(Arena, Pattern, S);
+    EXPECT_TRUE(Applied->isConcrete())
+        << Pattern->str() << " matched by " << Actual->str();
+    EXPECT_TRUE(isSubtype(Actual, Applied))
+        << Actual->str() << " !<= " << Applied->str() << " (pattern "
+        << Pattern->str() << ")";
+  }
+}
+
+TEST_P(TypeLaws, UnifiableIsSymmetricOnVarFreePairs) {
+  Rng R(GetParam() * 77 + 3);
+  TypeGen Gen(Arena, R);
+  for (int I = 0; I < 300; ++I) {
+    const Type *A = Gen.gen(false);
+    const Type *B = Gen.gen(false);
+    Substitution S1, S2;
+    bool AB = unifiable(A, B, S1);
+    bool BA = unifiable(B, A, S2);
+    if (A == B) {
+      EXPECT_TRUE(AB);
+      EXPECT_TRUE(BA);
+    }
+    // Mutability coercion is directional (&mut T <= &T), so only check
+    // symmetry when neither side is a reference at the top level.
+    if (!A->isRef() && !B->isRef()) {
+      EXPECT_EQ(AB, BA) << A->str() << " vs " << B->str();
+    }
+  }
+}
+
+TEST_P(TypeLaws, SubtypeImpliesUnifiable) {
+  Rng R(GetParam() * 13 + 1);
+  TypeGen Gen(Arena, R);
+  for (int I = 0; I < 300; ++I) {
+    const Type *A = Gen.gen(false);
+    const Type *P = Gen.gen(true);
+    Substitution S1;
+    if (!isSubtype(A, P, S1))
+      continue;
+    Substitution S2;
+    EXPECT_TRUE(unifiable(A, P, S2))
+        << A->str() << " <= " << P->str() << " but not unifiable";
+  }
+}
+
+TEST_P(TypeLaws, RenameIsStructurePreserving) {
+  Rng R(GetParam() * 101 + 9);
+  TypeGen Gen(Arena, R);
+  for (int I = 0; I < 200; ++I) {
+    const Type *T = Gen.gen(true);
+    const Type *Renamed = renameVars(Arena, T, "x");
+    EXPECT_EQ(T->isConcrete(), Renamed->isConcrete());
+    if (T->isConcrete()) {
+      EXPECT_EQ(T, Renamed) << "renaming must not touch concrete types";
+    } else {
+      // Renaming is invertible up to variable names: the renamed type
+      // unifies with the original.
+      Substitution S;
+      EXPECT_TRUE(unifiable(T, Renamed, S));
+    }
+  }
+}
+
+TEST_P(TypeLaws, InterningIsCanonical) {
+  Rng R(GetParam() * 7 + 2);
+  TypeGen Gen(Arena, R);
+  for (int I = 0; I < 200; ++I) {
+    const Type *T = Gen.gen(true);
+    // Re-parsing the rendering in a scope where T's variables are known
+    // yields the same interned pointer.
+    TypeParser Parser(Arena, {"T", "U"});
+    const Type *Reparsed = Parser.parse(T->str());
+    ASSERT_NE(Reparsed, nullptr) << T->str();
+    EXPECT_EQ(Reparsed, T) << T->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TypeLaws,
+                         ::testing::Range<uint64_t>(1, 11));
+
+} // namespace

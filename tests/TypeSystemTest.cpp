@@ -1,0 +1,273 @@
+//===--- TypeSystemTest.cpp - Tests for the Rust type model ---------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/Subtyping.h"
+#include "types/TraitEnv.h"
+#include "types/Type.h"
+#include "types/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust::types;
+
+namespace {
+
+class TypeFixture : public ::testing::Test {
+protected:
+  TypeArena Arena;
+  TypeParser Parser{Arena, {"T", "U", "O", "K", "V"}};
+
+  const Type *parse(const std::string &S) {
+    const Type *T = Parser.parse(S);
+    EXPECT_NE(T, nullptr) << "parse failed: " << Parser.error();
+    return T;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Interning and rendering
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypeFixture, InterningGivesPointerEquality) {
+  const Type *A = Arena.named("Vec", {Arena.prim("i32")});
+  const Type *B = Arena.named("Vec", {Arena.prim("i32")});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, Arena.named("Vec", {Arena.prim("u32")}));
+}
+
+TEST_F(TypeFixture, VarAndNamedWithSameNameAreDistinct) {
+  const Type *V = Arena.typeVar("T");
+  const Type *N = Arena.named("T");
+  EXPECT_NE(V, N);
+  // Nested occurrence must also be distinct.
+  const Type *VecV = Arena.named("Vec", {V});
+  const Type *VecN = Arena.named("Vec", {N});
+  EXPECT_NE(VecV, VecN);
+  EXPECT_EQ(VecV->str(), VecN->str());
+}
+
+TEST_F(TypeFixture, RefMutabilityDistinct) {
+  const Type *S = Arena.named("String");
+  EXPECT_NE(Arena.ref(S, true), Arena.ref(S, false));
+}
+
+TEST_F(TypeFixture, RenderingMatchesRustSyntax) {
+  EXPECT_EQ(parse("&mut Vec<String>")->str(), "&mut Vec<String>");
+  EXPECT_EQ(parse("&u8")->str(), "&u8");
+  EXPECT_EQ(parse("(usize, usize, usize)")->str(), "(usize, usize, usize)");
+  EXPECT_EQ(parse("Option<T>")->str(), "Option<T>");
+  EXPECT_EQ(parse("()")->str(), "()");
+  EXPECT_EQ(parse("HashMap<K, V>")->str(), "HashMap<K, V>");
+}
+
+TEST_F(TypeFixture, ConcretenessFlag) {
+  EXPECT_TRUE(parse("Vec<String>")->isConcrete());
+  EXPECT_FALSE(parse("Vec<T>")->isConcrete());
+  EXPECT_FALSE(parse("&mut Vec<T>")->isConcrete());
+  EXPECT_TRUE(parse("i32")->isConcrete());
+  EXPECT_FALSE(parse("(T, usize)")->isConcrete());
+}
+
+TEST_F(TypeFixture, CollectVarsInOrder) {
+  std::vector<std::string> Vars;
+  parse("HashMap<K, Vec<V>>")->collectVars(Vars);
+  ASSERT_EQ(Vars.size(), 2u);
+  EXPECT_EQ(Vars[0], "K");
+  EXPECT_EQ(Vars[1], "V");
+  Vars.clear();
+  parse("(T, T, U)")->collectVars(Vars);
+  ASSERT_EQ(Vars.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypeFixture, ParserHandlesWhitespace) {
+  EXPECT_EQ(parse("  &mut   Vec< String > "), parse("&mut Vec<String>"));
+}
+
+TEST_F(TypeFixture, ParserNestedGenerics) {
+  const Type *T = parse("Vec<Vec<Vec<i32>>>");
+  ASSERT_EQ(T->kind(), TypeKind::Named);
+  EXPECT_EQ(T->args()[0]->args()[0]->args()[0], Arena.prim("i32"));
+}
+
+TEST_F(TypeFixture, ParserModulePaths) {
+  const Type *T = parse("bitvec::vec::BitVec<O, usize>");
+  EXPECT_EQ(T->name(), "bitvec::vec::BitVec");
+  EXPECT_EQ(T->args().size(), 2u);
+  EXPECT_TRUE(T->args()[0]->isVar());
+}
+
+TEST_F(TypeFixture, ParserRejectsMalformed) {
+  TypeParser P(Arena);
+  EXPECT_EQ(P.parse("Vec<"), nullptr);
+  EXPECT_EQ(P.parse("Vec<i32"), nullptr);
+  EXPECT_EQ(P.parse("Vec<i32> extra"), nullptr);
+  EXPECT_EQ(P.parse(""), nullptr);
+  EXPECT_EQ(P.parse("(i32,"), nullptr);
+  EXPECT_EQ(P.parse("i32<u8>"), nullptr);
+  EXPECT_FALSE(P.error().empty());
+}
+
+TEST_F(TypeFixture, ParserParenthesizedTypeIsNotTuple) {
+  EXPECT_EQ(parse("(i32)"), Arena.prim("i32"));
+}
+
+TEST_F(TypeFixture, ParserMutPrefixNeedsWordBoundary) {
+  // "mutable" is an identifier, not "mut" + "able".
+  const Type *T = parse("&mutable");
+  ASSERT_NE(T, nullptr);
+  EXPECT_TRUE(T->isSharedRef());
+  EXPECT_EQ(T->pointee()->name(), "mutable");
+}
+
+//===----------------------------------------------------------------------===//
+// Subtyping and matching
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypeFixture, ReflexiveSubtyping) {
+  const Type *T = parse("Vec<String>");
+  EXPECT_TRUE(isSubtype(T, T));
+}
+
+TEST_F(TypeFixture, MutRefCoercesToSharedRef) {
+  EXPECT_TRUE(isSubtype(parse("&mut String"), parse("&String")));
+  EXPECT_FALSE(isSubtype(parse("&String"), parse("&mut String")));
+}
+
+TEST_F(TypeFixture, GenericArgumentsAreInvariant) {
+  // Vec<&mut T> is not a subtype of Vec<&T> (invariance), unlike top-level.
+  EXPECT_FALSE(
+      isSubtype(parse("Vec<&mut String>"), parse("Vec<&String>")));
+}
+
+TEST_F(TypeFixture, VarMatchesAnythingAndBinds) {
+  Substitution S;
+  EXPECT_TRUE(isSubtype(parse("Vec<String>"), parse("T"), S));
+  EXPECT_EQ(S.lookup("T"), parse("Vec<String>"));
+}
+
+TEST_F(TypeFixture, NestedVarBinding) {
+  Substitution S;
+  EXPECT_TRUE(isSubtype(parse("&mut Vec<String>"), parse("&mut Vec<T>"), S));
+  EXPECT_EQ(S.lookup("T"), Arena.named("String"));
+}
+
+TEST_F(TypeFixture, InconsistentBindingRejected) {
+  Substitution S;
+  EXPECT_TRUE(isSubtype(parse("Vec<String>"), parse("Vec<T>"), S));
+  EXPECT_FALSE(isSubtype(parse("i32"), parse("T"), S));
+  EXPECT_TRUE(isSubtype(parse("String"), parse("T"), S));
+}
+
+TEST_F(TypeFixture, MatchCallJointSubstitution) {
+  // Vec::push(&mut Vec<T>, T): (&mut Vec<String>, String) is fine.
+  Substitution S;
+  EXPECT_TRUE(matchCall({parse("&mut Vec<String>"), parse("String")},
+                        {parse("&mut Vec<T>"), parse("T")}, S));
+  EXPECT_EQ(S.lookup("T"), Arena.named("String"));
+  // (&mut Vec<String>, i32) must fail: T cannot be both String and i32.
+  Substitution S2;
+  EXPECT_FALSE(matchCall({parse("&mut Vec<String>"), parse("i32")},
+                         {parse("&mut Vec<T>"), parse("T")}, S2));
+}
+
+TEST_F(TypeFixture, MatchCallArityMismatch) {
+  Substitution S;
+  EXPECT_FALSE(matchCall({parse("i32")}, {parse("i32"), parse("i32")}, S));
+}
+
+TEST_F(TypeFixture, MultiVarMatch) {
+  Substitution S;
+  EXPECT_TRUE(matchCall({parse("HashMap<String, i32>"), parse("&String")},
+                        {parse("HashMap<K, V>"), parse("&K")}, S));
+  EXPECT_EQ(S.lookup("K"), Arena.named("String"));
+  EXPECT_EQ(S.lookup("V"), Arena.prim("i32"));
+}
+
+TEST_F(TypeFixture, ApplySubstitution) {
+  Substitution S;
+  ASSERT_TRUE(isSubtype(parse("Vec<String>"), parse("Vec<T>"), S));
+  EXPECT_EQ(applySubst(Arena, parse("Option<T>"), S),
+            parse("Option<String>"));
+  EXPECT_EQ(applySubst(Arena, parse("(T, usize)"), S),
+            parse("(String, usize)"));
+  // Unbound vars survive.
+  EXPECT_EQ(applySubst(Arena, parse("Option<U>"), S), parse("Option<U>"));
+}
+
+TEST_F(TypeFixture, PolymorphicActualBindsIntoPattern) {
+  // Context types may themselves be polymorphic (Vec<T> from Vec::new);
+  // they bind into pattern variables wholesale.
+  Substitution S;
+  EXPECT_TRUE(isSubtype(parse("Vec<T>"), parse("U"), S));
+  EXPECT_EQ(S.lookup("U"), parse("Vec<T>"));
+}
+
+//===----------------------------------------------------------------------===//
+// Trait environment
+//===----------------------------------------------------------------------===//
+
+class TraitFixture : public TypeFixture {
+protected:
+  TraitEnv Env{Arena};
+
+  void SetUp() override {
+    Env.addDefaultPrimImpls();
+    // impl Clone for String
+    Env.addImpl("Clone", Arena.named("String"));
+    // impl<T: Clone> Clone for Vec<T>
+    Env.addImpl("Clone", parse("Vec<T>"), {{"T", "Clone"}});
+    // impl<T: Eq + Hash> marker for HashSet is modeled at use sites.
+    Env.addImpl("Hash", Arena.named("String"));
+    Env.addImpl("Eq", Arena.named("String"));
+    // impl BitOrder for Msb0 / Lsb0 only.
+    Env.addImpl("BitOrder", Arena.named("Msb0"));
+    Env.addImpl("BitOrder", Arena.named("Lsb0"));
+    Env.addImpl("BitStore", Arena.prim("usize"));
+    Env.addImpl("BitStore", Arena.prim("u8"));
+  }
+};
+
+TEST_F(TraitFixture, PrimitivesImplementMarkers) {
+  EXPECT_TRUE(Env.implements(Arena.prim("i32"), "Copy"));
+  EXPECT_TRUE(Env.implements(Arena.prim("u8"), "Hash"));
+  EXPECT_FALSE(Env.implements(Arena.prim("f64"), "Eq"));
+  EXPECT_FALSE(Env.implements(Arena.prim("f32"), "Hash"));
+}
+
+TEST_F(TraitFixture, ConditionalImplRecurses) {
+  EXPECT_TRUE(Env.implements(parse("Vec<String>"), "Clone"));
+  EXPECT_TRUE(Env.implements(parse("Vec<Vec<i32>>"), "Clone"));
+  EXPECT_FALSE(Env.implements(parse("Vec<Msb0>"), "Clone"));
+}
+
+TEST_F(TraitFixture, BitvecStyleOrderStoreTraits) {
+  // The paper's bitvec bug hinges on BitVec<Msb0, usize> being valid while
+  // BitVec<usize, Msb0> is a trait error.
+  EXPECT_TRUE(Env.implements(Arena.named("Msb0"), "BitOrder"));
+  EXPECT_FALSE(Env.implements(Arena.prim("usize"), "BitOrder"));
+  EXPECT_TRUE(Env.implements(Arena.prim("usize"), "BitStore"));
+  EXPECT_FALSE(Env.implements(Arena.named("Msb0"), "BitStore"));
+}
+
+TEST_F(TraitFixture, CopySemantics) {
+  EXPECT_TRUE(Env.isCopy(Arena.prim("i32")));
+  EXPECT_TRUE(Env.isCopy(parse("&String")));
+  EXPECT_FALSE(Env.isCopy(parse("&mut String")));
+  EXPECT_FALSE(Env.isCopy(Arena.named("String")));
+  EXPECT_TRUE(Env.isCopy(parse("(i32, &String)")));
+  EXPECT_FALSE(Env.isCopy(parse("(i32, String)")));
+  EXPECT_FALSE(Env.isCopy(Arena.typeVar("T")));
+}
+
+TEST_F(TraitFixture, UnknownTraitFalse) {
+  EXPECT_FALSE(Env.implements(Arena.named("String"), "Serialize"));
+}
+
+} // namespace

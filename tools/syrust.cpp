@@ -1,0 +1,201 @@
+//===--- syrust.cpp - Command-line driver ---------------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The command-line face of the framework:
+///
+///   syrust list
+///       Print the library inventory (Figure 12).
+///   syrust run <crate> [options]
+///       Run the full pipeline against one library model.
+///
+/// Options for `run`:
+///   --budget <sim-seconds>   simulated budget (default 600)
+///   --seed <n>               RNG seed (default 2021)
+///   --apis <n>               APIs to select (default 15)
+///   --no-semantic            RQ2 variant: Section 4.4 constraints off
+///   --eager                  RQ3 variant: purely eager refinement
+///   --lazy                   purely lazy refinement (H+-style)
+///   --interleave             round-robin program lengths (7.4.3)
+///   --mutate-inputs          perturb template inputs (7.4.2)
+///   --stop-on-bug            stop at the first UB
+///   --minimize               delta-debug the bug-inducing program
+///   --max-tests <n>          hard cap on synthesized test cases
+///   --log-tests <n>          retain + print the first n test records
+///   --json-errors            route diagnostics via the JSON channel
+///   --json                   print the full result as JSON
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ResultJson.h"
+#include "core/SyRustDriver.h"
+#include "report/Table.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace syrust;
+using namespace syrust::core;
+using namespace syrust::crates;
+using namespace syrust::report;
+using namespace syrust::rustsim;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: syrust list\n"
+               "       syrust run <crate> [--budget N] [--seed N] "
+               "[--apis N]\n"
+               "                  [--no-semantic] [--eager] [--lazy]\n"
+               "                  [--interleave] [--mutate-inputs]\n"
+               "                  [--stop-on-bug] [--minimize] "
+               "[--max-tests N]\n"
+               "                  [--log-tests N] [--json-errors] "
+               "[--json]\n");
+  return 2;
+}
+
+int cmdList() {
+  Table T({"Library", "Cat.", "Downloads", "Poly", "Subcomponent",
+           "Bug", "Synthesizable"});
+  for (const CrateSpec &Spec : allCrates()) {
+    T.addRow({Spec.Info.Name, Spec.Info.Category,
+              fmtCount(Spec.Info.Downloads),
+              Spec.Info.Polymorphic ? "yes" : "no",
+              Spec.Info.Subcomponent,
+              Spec.Bug ? Spec.Bug->BugType : "-",
+              Spec.Info.SupportsSynthesis ? "yes" : "no (closures)"});
+  }
+  std::printf("%s", T.render().c_str());
+  return 0;
+}
+
+int cmdRun(int Argc, char **Argv) {
+  if (Argc < 1)
+    return usage();
+  const CrateSpec *Spec = findCrate(Argv[0]);
+  if (!Spec) {
+    std::fprintf(stderr, "unknown crate '%s'; try `syrust list`\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  RunConfig Config;
+  bool Json = false;
+  for (int I = 1; I < Argc; ++I) {
+    auto NextNum = [&](double &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::atof(Argv[++I]);
+      return true;
+    };
+    double Num = 0;
+    if (!std::strcmp(Argv[I], "--budget") && NextNum(Num))
+      Config.BudgetSeconds = Num;
+    else if (!std::strcmp(Argv[I], "--seed") && NextNum(Num))
+      Config.Seed = static_cast<uint64_t>(Num);
+    else if (!std::strcmp(Argv[I], "--apis") && NextNum(Num))
+      Config.NumApis = static_cast<int>(Num);
+    else if (!std::strcmp(Argv[I], "--max-tests") && NextNum(Num))
+      Config.MaxTests = static_cast<uint64_t>(Num);
+    else if (!std::strcmp(Argv[I], "--no-semantic"))
+      Config.SemanticAware = false;
+    else if (!std::strcmp(Argv[I], "--eager"))
+      Config.Mode = refine::RefinementMode::PurelyEager;
+    else if (!std::strcmp(Argv[I], "--lazy"))
+      Config.Mode = refine::RefinementMode::PurelyLazy;
+    else if (!std::strcmp(Argv[I], "--interleave"))
+      Config.InterleaveLengths = true;
+    else if (!std::strcmp(Argv[I], "--mutate-inputs"))
+      Config.MutateInputs = true;
+    else if (!std::strcmp(Argv[I], "--stop-on-bug"))
+      Config.StopOnFirstBug = true;
+    else if (!std::strcmp(Argv[I], "--minimize"))
+      Config.MinimizeBugs = true;
+    else if (!std::strcmp(Argv[I], "--json"))
+      Json = true;
+    else if (!std::strcmp(Argv[I], "--log-tests") && NextNum(Num))
+      Config.RecordTests = static_cast<size_t>(Num);
+    else if (!std::strcmp(Argv[I], "--json-errors"))
+      Config.JsonErrorChannel = true;
+    else
+      return usage();
+  }
+
+  RunResult R = SyRustDriver(*Spec, Config).run();
+  if (Json) {
+    std::printf("%s\n", resultToJson(R).dump().c_str());
+    return 0;
+  }
+  if (!R.Supported) {
+    std::printf("%s uses closure-based APIs; excluded from synthesis "
+                "(Section 7.1)\n",
+                Spec->Info.Name.c_str());
+    return 0;
+  }
+
+  std::printf("crate            %s (%s)\n", Spec->Info.Name.c_str(),
+              Spec->Info.Subcomponent.c_str());
+  std::printf("synthesized      %llu (max length %d%s)\n",
+              static_cast<unsigned long long>(R.Synthesized),
+              R.MaxLenReached,
+              R.SpaceExhausted ? ", space exhausted" : "");
+  std::printf("rejected         %llu (%s)\n",
+              static_cast<unsigned long long>(R.Rejected),
+              fmtPercent(R.rejectedPercent()).c_str());
+  std::printf("  type           %s\n",
+              fmtShare(R.categoryPercent(ErrorCategory::Type)).c_str());
+  std::printf("  lifetime/own   %s\n",
+              fmtShare(R.categoryPercent(ErrorCategory::LifetimeOwnership))
+                  .c_str());
+  std::printf("  misc           %s\n",
+              fmtShare(R.categoryPercent(ErrorCategory::Misc)).c_str());
+  std::printf("executed         %llu\n",
+              static_cast<unsigned long long>(R.Executed));
+  std::printf("coverage         component %.2f%% line / %.2f%% branch; "
+              "library %.2f%% / %.2f%%\n",
+              R.Coverage.ComponentLine, R.Coverage.ComponentBranch,
+              R.Coverage.LibraryLine, R.Coverage.LibraryBranch);
+  if (R.BugFound) {
+    std::printf("\nBUG after %.2f sim-s (%d lines): %s\n", R.TimeToBug,
+                R.BugLines, R.FirstBug.Message.c_str());
+    std::printf("%s", R.BugProgram.c_str());
+    if (R.MinimizedLines > 0 && !R.MinimizedProgram.empty()) {
+      std::printf("\nminimized to %d lines:\n%s", R.MinimizedLines,
+                  R.MinimizedProgram.c_str());
+    }
+  } else {
+    std::printf("\nno undefined behavior found within budget\n");
+  }
+  if (!R.Db.records().empty()) {
+    std::printf("\nfirst %zu test records (Algorithm 1's DB):\n",
+                R.Db.records().size());
+    for (const TestRecord &Rec : R.Db.records()) {
+      const char *Verdict = Rec.Verdict == TestVerdict::Rejected
+                                ? "REJECTED"
+                                : Rec.Verdict == TestVerdict::Ub
+                                      ? "UB"
+                                      : "passed";
+      std::printf("[t=%.2f %s] %s\n%s", Rec.AtSeconds, Verdict,
+                  Rec.Message.c_str(), Rec.Source.c_str());
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  if (!std::strcmp(Argv[1], "list"))
+    return cmdList();
+  if (!std::strcmp(Argv[1], "run"))
+    return cmdRun(Argc - 2, Argv + 2);
+  return usage();
+}
