@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scheduling_mutation.dir/ext_scheduling_mutation.cpp.o"
+  "CMakeFiles/ext_scheduling_mutation.dir/ext_scheduling_mutation.cpp.o.d"
+  "ext_scheduling_mutation"
+  "ext_scheduling_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scheduling_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

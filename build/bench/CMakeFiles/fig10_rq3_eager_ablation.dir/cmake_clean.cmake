@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rq3_eager_ablation.dir/fig10_rq3_eager_ablation.cpp.o"
+  "CMakeFiles/fig10_rq3_eager_ablation.dir/fig10_rq3_eager_ablation.cpp.o.d"
+  "fig10_rq3_eager_ablation"
+  "fig10_rq3_eager_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rq3_eager_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_coverage.dir/fig11_coverage.cpp.o"
+  "CMakeFiles/fig11_coverage.dir/fig11_coverage.cpp.o.d"
+  "fig11_coverage"
+  "fig11_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

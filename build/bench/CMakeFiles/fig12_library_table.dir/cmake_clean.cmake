@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_library_table.dir/fig12_library_table.cpp.o"
+  "CMakeFiles/fig12_library_table.dir/fig12_library_table.cpp.o.d"
+  "fig12_library_table"
+  "fig12_library_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_library_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

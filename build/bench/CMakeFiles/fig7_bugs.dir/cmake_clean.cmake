@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bugs.dir/fig7_bugs.cpp.o"
+  "CMakeFiles/fig7_bugs.dir/fig7_bugs.cpp.o.d"
+  "fig7_bugs"
+  "fig7_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

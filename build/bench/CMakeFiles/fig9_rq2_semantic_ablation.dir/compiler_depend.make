@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_rq2_semantic_ablation.
+# This may be replaced when dependencies are built.

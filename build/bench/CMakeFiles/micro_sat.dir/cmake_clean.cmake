@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sat.dir/micro_sat.cpp.o"
+  "CMakeFiles/micro_sat.dir/micro_sat.cpp.o.d"
+  "micro_sat"
+  "micro_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_synth.dir/micro_synth.cpp.o"
+  "CMakeFiles/micro_synth.dir/micro_synth.cpp.o.d"
+  "micro_synth"
+  "micro_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

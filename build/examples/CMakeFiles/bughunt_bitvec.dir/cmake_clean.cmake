@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bughunt_bitvec.dir/bughunt_bitvec.cpp.o"
+  "CMakeFiles/bughunt_bitvec.dir/bughunt_bitvec.cpp.o.d"
+  "bughunt_bitvec"
+  "bughunt_bitvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bughunt_bitvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bughunt_bitvec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_demo.dir/refinement_demo.cpp.o"
+  "CMakeFiles/refinement_demo.dir/refinement_demo.cpp.o.d"
+  "refinement_demo"
+  "refinement_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

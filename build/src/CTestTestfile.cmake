@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sat")
+subdirs("types")
+subdirs("api")
+subdirs("program")
+subdirs("rustsim")
+subdirs("miri")
+subdirs("coverage")
+subdirs("crates")
+subdirs("synth")
+subdirs("refine")
+subdirs("core")
+subdirs("report")

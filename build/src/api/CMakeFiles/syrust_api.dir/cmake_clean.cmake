@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_api.dir/ApiDatabase.cpp.o"
+  "CMakeFiles/syrust_api.dir/ApiDatabase.cpp.o.d"
+  "libsyrust_api.a"
+  "libsyrust_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_core.dir/BugMinimizer.cpp.o"
+  "CMakeFiles/syrust_core.dir/BugMinimizer.cpp.o.d"
+  "CMakeFiles/syrust_core.dir/ResultJson.cpp.o"
+  "CMakeFiles/syrust_core.dir/ResultJson.cpp.o.d"
+  "CMakeFiles/syrust_core.dir/SyRustDriver.cpp.o"
+  "CMakeFiles/syrust_core.dir/SyRustDriver.cpp.o.d"
+  "libsyrust_core.a"
+  "libsyrust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_coverage.dir/CoverageMap.cpp.o"
+  "CMakeFiles/syrust_coverage.dir/CoverageMap.cpp.o.d"
+  "libsyrust_coverage.a"
+  "libsyrust_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crates/CrateBuilder.cpp" "src/crates/CMakeFiles/syrust_crates.dir/CrateBuilder.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/CrateBuilder.cpp.o.d"
+  "/root/repo/src/crates/CrateRegistry.cpp" "src/crates/CMakeFiles/syrust_crates.dir/CrateRegistry.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/CrateRegistry.cpp.o.d"
+  "/root/repo/src/crates/libs/Base16.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Base16.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Base16.cpp.o.d"
+  "/root/repo/src/crates/libs/Bitvec.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Bitvec.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Bitvec.cpp.o.d"
+  "/root/repo/src/crates/libs/Bstr.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Bstr.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Bstr.cpp.o.d"
+  "/root/repo/src/crates/libs/Bytemuck.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Bytemuck.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Bytemuck.cpp.o.d"
+  "/root/repo/src/crates/libs/Bytes.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Bytes.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Bytes.cpp.o.d"
+  "/root/repo/src/crates/libs/CborCodec.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/CborCodec.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/CborCodec.cpp.o.d"
+  "/root/repo/src/crates/libs/Crossbeam.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Crossbeam.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Crossbeam.cpp.o.d"
+  "/root/repo/src/crates/libs/CrossbeamDeque.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/CrossbeamDeque.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/CrossbeamDeque.cpp.o.d"
+  "/root/repo/src/crates/libs/CrossbeamQueue.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/CrossbeamQueue.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/CrossbeamQueue.cpp.o.d"
+  "/root/repo/src/crates/libs/CrossbeamUtils.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/CrossbeamUtils.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/CrossbeamUtils.cpp.o.d"
+  "/root/repo/src/crates/libs/CsvCore.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/CsvCore.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/CsvCore.cpp.o.d"
+  "/root/repo/src/crates/libs/Dashmap.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Dashmap.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Dashmap.cpp.o.d"
+  "/root/repo/src/crates/libs/DataEncoding.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/DataEncoding.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/DataEncoding.cpp.o.d"
+  "/root/repo/src/crates/libs/EncodeUnicode.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/EncodeUnicode.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/EncodeUnicode.cpp.o.d"
+  "/root/repo/src/crates/libs/EncodingRs.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/EncodingRs.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/EncodingRs.cpp.o.d"
+  "/root/repo/src/crates/libs/Excluded.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Excluded.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Excluded.cpp.o.d"
+  "/root/repo/src/crates/libs/GenericArray.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/GenericArray.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/GenericArray.cpp.o.d"
+  "/root/repo/src/crates/libs/Hashbrown.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Hashbrown.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Hashbrown.cpp.o.d"
+  "/root/repo/src/crates/libs/Hcid.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Hcid.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Hcid.cpp.o.d"
+  "/root/repo/src/crates/libs/ImRc.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/ImRc.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/ImRc.cpp.o.d"
+  "/root/repo/src/crates/libs/Ndarray.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Ndarray.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Ndarray.cpp.o.d"
+  "/root/repo/src/crates/libs/NumRational.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/NumRational.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/NumRational.cpp.o.d"
+  "/root/repo/src/crates/libs/Petgraph.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Petgraph.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Petgraph.cpp.o.d"
+  "/root/repo/src/crates/libs/RmpSerde.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/RmpSerde.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/RmpSerde.cpp.o.d"
+  "/root/repo/src/crates/libs/Slab.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Slab.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Slab.cpp.o.d"
+  "/root/repo/src/crates/libs/Smallvec.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Smallvec.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Smallvec.cpp.o.d"
+  "/root/repo/src/crates/libs/Sval.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Sval.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Sval.cpp.o.d"
+  "/root/repo/src/crates/libs/Urlencoding.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Urlencoding.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Urlencoding.cpp.o.d"
+  "/root/repo/src/crates/libs/Utf8Width.cpp" "src/crates/CMakeFiles/syrust_crates.dir/libs/Utf8Width.cpp.o" "gcc" "src/crates/CMakeFiles/syrust_crates.dir/libs/Utf8Width.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/syrust_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/miri/CMakeFiles/syrust_miri.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/syrust_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/syrust_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/syrust_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/syrust_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

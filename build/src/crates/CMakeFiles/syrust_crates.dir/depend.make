@@ -1,0 +1,2 @@
+# Empty dependencies file for syrust_crates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/miri/Heap.cpp" "src/miri/CMakeFiles/syrust_miri.dir/Heap.cpp.o" "gcc" "src/miri/CMakeFiles/syrust_miri.dir/Heap.cpp.o.d"
+  "/root/repo/src/miri/Interpreter.cpp" "src/miri/CMakeFiles/syrust_miri.dir/Interpreter.cpp.o" "gcc" "src/miri/CMakeFiles/syrust_miri.dir/Interpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/syrust_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/syrust_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/syrust_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/syrust_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/syrust_api.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_miri.dir/Heap.cpp.o"
+  "CMakeFiles/syrust_miri.dir/Heap.cpp.o.d"
+  "CMakeFiles/syrust_miri.dir/Interpreter.cpp.o"
+  "CMakeFiles/syrust_miri.dir/Interpreter.cpp.o.d"
+  "libsyrust_miri.a"
+  "libsyrust_miri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_miri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsyrust_miri.a"
+)

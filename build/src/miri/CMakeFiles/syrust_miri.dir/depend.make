@@ -1,0 +1,2 @@
+# Empty dependencies file for syrust_miri.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_program.dir/Program.cpp.o"
+  "CMakeFiles/syrust_program.dir/Program.cpp.o.d"
+  "CMakeFiles/syrust_program.dir/ProgramParser.cpp.o"
+  "CMakeFiles/syrust_program.dir/ProgramParser.cpp.o.d"
+  "libsyrust_program.a"
+  "libsyrust_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_refine.dir/RefinementEngine.cpp.o"
+  "CMakeFiles/syrust_refine.dir/RefinementEngine.cpp.o.d"
+  "libsyrust_refine.a"
+  "libsyrust_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_report.dir/Table.cpp.o"
+  "CMakeFiles/syrust_report.dir/Table.cpp.o.d"
+  "libsyrust_report.a"
+  "libsyrust_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_rustsim.dir/Checker.cpp.o"
+  "CMakeFiles/syrust_rustsim.dir/Checker.cpp.o.d"
+  "CMakeFiles/syrust_rustsim.dir/DiagnosticJson.cpp.o"
+  "CMakeFiles/syrust_rustsim.dir/DiagnosticJson.cpp.o.d"
+  "libsyrust_rustsim.a"
+  "libsyrust_rustsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_rustsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

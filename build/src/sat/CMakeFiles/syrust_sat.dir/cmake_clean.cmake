@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_sat.dir/Dimacs.cpp.o"
+  "CMakeFiles/syrust_sat.dir/Dimacs.cpp.o.d"
+  "CMakeFiles/syrust_sat.dir/Solver.cpp.o"
+  "CMakeFiles/syrust_sat.dir/Solver.cpp.o.d"
+  "libsyrust_sat.a"
+  "libsyrust_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_support.dir/Json.cpp.o"
+  "CMakeFiles/syrust_support.dir/Json.cpp.o.d"
+  "CMakeFiles/syrust_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/syrust_support.dir/StringUtils.cpp.o.d"
+  "libsyrust_support.a"
+  "libsyrust_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_synth.dir/Encoding.cpp.o"
+  "CMakeFiles/syrust_synth.dir/Encoding.cpp.o.d"
+  "CMakeFiles/syrust_synth.dir/Synthesizer.cpp.o"
+  "CMakeFiles/syrust_synth.dir/Synthesizer.cpp.o.d"
+  "libsyrust_synth.a"
+  "libsyrust_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

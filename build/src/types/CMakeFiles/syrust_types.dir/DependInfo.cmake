@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/Subtyping.cpp" "src/types/CMakeFiles/syrust_types.dir/Subtyping.cpp.o" "gcc" "src/types/CMakeFiles/syrust_types.dir/Subtyping.cpp.o.d"
+  "/root/repo/src/types/TraitEnv.cpp" "src/types/CMakeFiles/syrust_types.dir/TraitEnv.cpp.o" "gcc" "src/types/CMakeFiles/syrust_types.dir/TraitEnv.cpp.o.d"
+  "/root/repo/src/types/Type.cpp" "src/types/CMakeFiles/syrust_types.dir/Type.cpp.o" "gcc" "src/types/CMakeFiles/syrust_types.dir/Type.cpp.o.d"
+  "/root/repo/src/types/TypeParser.cpp" "src/types/CMakeFiles/syrust_types.dir/TypeParser.cpp.o" "gcc" "src/types/CMakeFiles/syrust_types.dir/TypeParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/syrust_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

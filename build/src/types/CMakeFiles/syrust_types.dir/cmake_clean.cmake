@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust_types.dir/Subtyping.cpp.o"
+  "CMakeFiles/syrust_types.dir/Subtyping.cpp.o.d"
+  "CMakeFiles/syrust_types.dir/TraitEnv.cpp.o"
+  "CMakeFiles/syrust_types.dir/TraitEnv.cpp.o.d"
+  "CMakeFiles/syrust_types.dir/Type.cpp.o"
+  "CMakeFiles/syrust_types.dir/Type.cpp.o.d"
+  "CMakeFiles/syrust_types.dir/TypeParser.cpp.o"
+  "CMakeFiles/syrust_types.dir/TypeParser.cpp.o.d"
+  "libsyrust_types.a"
+  "libsyrust_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_program_test.dir/ApiProgramTest.cpp.o"
+  "CMakeFiles/api_program_test.dir/ApiProgramTest.cpp.o.d"
+  "api_program_test"
+  "api_program_test.pdb"
+  "api_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

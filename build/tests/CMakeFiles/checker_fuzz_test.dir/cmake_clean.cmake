@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_fuzz_test.dir/CheckerFuzzTest.cpp.o"
+  "CMakeFiles/checker_fuzz_test.dir/CheckerFuzzTest.cpp.o.d"
+  "checker_fuzz_test"
+  "checker_fuzz_test.pdb"
+  "checker_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crate_model_test.dir/CrateModelTest.cpp.o"
+  "CMakeFiles/crate_model_test.dir/CrateModelTest.cpp.o.d"
+  "crate_model_test"
+  "crate_model_test.pdb"
+  "crate_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crate_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/MiriTest.cpp" "tests/CMakeFiles/miri_test.dir/MiriTest.cpp.o" "gcc" "tests/CMakeFiles/miri_test.dir/MiriTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/miri/CMakeFiles/syrust_miri.dir/DependInfo.cmake"
+  "/root/repo/build/src/rustsim/CMakeFiles/syrust_rustsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/syrust_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/syrust_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/syrust_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/syrust_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/syrust_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

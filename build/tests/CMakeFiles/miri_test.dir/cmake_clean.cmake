@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miri_test.dir/MiriTest.cpp.o"
+  "CMakeFiles/miri_test.dir/MiriTest.cpp.o.d"
+  "miri_test"
+  "miri_test.pdb"
+  "miri_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_parser_test.dir/ProgramParserTest.cpp.o"
+  "CMakeFiles/program_parser_test.dir/ProgramParserTest.cpp.o.d"
+  "program_parser_test"
+  "program_parser_test.pdb"
+  "program_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/RefineTest.cpp" "tests/CMakeFiles/refine_test.dir/RefineTest.cpp.o" "gcc" "tests/CMakeFiles/refine_test.dir/RefineTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/refine/CMakeFiles/syrust_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/syrust_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/rustsim/CMakeFiles/syrust_rustsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/syrust_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/syrust_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/syrust_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/syrust_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/syrust_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_property_test.dir/TypePropertyTest.cpp.o"
+  "CMakeFiles/type_property_test.dir/TypePropertyTest.cpp.o.d"
+  "type_property_test"
+  "type_property_test.pdb"
+  "type_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_system_test.dir/TypeSystemTest.cpp.o"
+  "CMakeFiles/type_system_test.dir/TypeSystemTest.cpp.o.d"
+  "type_system_test"
+  "type_system_test.pdb"
+  "type_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrust.dir/syrust.cpp.o"
+  "CMakeFiles/syrust.dir/syrust.cpp.o.d"
+  "syrust"
+  "syrust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
