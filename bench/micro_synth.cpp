@@ -13,6 +13,7 @@
 
 #include "crates/CrateRegistry.h"
 #include "synth/Synthesizer.h"
+#include "types/TypeParser.h"
 
 #include <benchmark/benchmark.h>
 
@@ -85,6 +86,60 @@ void BM_FullPipelinePerTest(benchmark::State &State) {
   State.SetItemsProcessed(Produced);
 }
 BENCHMARK(BM_FullPipelinePerTest);
+
+void BM_RefinementHeavySynthesis(benchmark::State &State) {
+  // Refinement-heavy A/B: rounds of "emit a batch, then the database
+  // grows". Arg 1 = incremental refinement (extend encodings in place,
+  // blocking persists), Arg 0 = the historical rebuild-the-world path.
+  // The duplicates_skipped counter is the tell: rebuilds make the solver
+  // re-walk everything already emitted; the incremental path does not.
+  bool Incremental = State.range(0) != 0;
+  uint64_t Duplicates = 0;
+  uint64_t Emitted = 0;
+  for (auto _ : State) {
+    types::TypeArena Arena;
+    types::TypeParser Parser(Arena, {});
+    types::TraitEnv Traits(Arena);
+    api::ApiDatabase Db;
+    api::addBuiltinApis(Db, Arena);
+    auto Add = [&](const std::string &Name, std::vector<std::string> Ins,
+                   const std::string &Out) {
+      api::ApiSig Sig;
+      Sig.Name = Name;
+      for (const auto &I : Ins)
+        Sig.Inputs.push_back(Parser.parse(I));
+      Sig.Output = Parser.parse(Out);
+      Db.add(std::move(Sig));
+    };
+    Add("f", {"String"}, "Token");
+    Add("g", {"Token"}, "usize");
+    Add("h", {"Vec<String>"}, "usize");
+    std::vector<program::TemplateInput> Inputs = {
+        {"s", Parser.parse("String")}, {"v", Parser.parse("Vec<String>")}};
+    SynthOptions Opts;
+    Opts.IncrementalRefinement = Incremental;
+    Synthesizer Synth(Arena, Traits, Db, Inputs, /*MaxLines=*/3, Opts);
+    for (int Round = 0; Round < 8; ++Round) {
+      for (int K = 0; K < 10; ++K)
+        if (!Synth.next().has_value())
+          break;
+      Add("r" + std::to_string(Round), {"usize"},
+          "Out" + std::to_string(Round));
+      Synth.notifyDatabaseChanged();
+    }
+    Duplicates += Synth.stats().DuplicatesSkipped;
+    Emitted += Synth.stats().Emitted;
+  }
+  State.counters["duplicates_skipped"] = benchmark::Counter(
+      static_cast<double>(Duplicates), benchmark::Counter::kAvgIterations);
+  State.counters["emitted"] = benchmark::Counter(
+      static_cast<double>(Emitted), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RefinementHeavySynthesis)
+    ->ArgName("incremental")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -93,6 +93,23 @@ json::Value syrust::core::resultToJson(const RunResult &R) {
             Value::integer(static_cast<int64_t>(R.Synth.DuplicatesSkipped)));
   Synth.set("rebuilds",
             Value::integer(static_cast<int64_t>(R.Synth.Rebuilds)));
+  Synth.set("incremental_extends",
+            Value::integer(
+                static_cast<int64_t>(R.Synth.IncrementalExtends)));
+  Synth.set("models_reblocked",
+            Value::integer(static_cast<int64_t>(R.Synth.ModelsReblocked)));
+  Synth.set("dead_length_revivals",
+            Value::integer(
+                static_cast<int64_t>(R.Synth.DeadLengthRevivals)));
+  Synth.set("solve_calls",
+            Value::integer(static_cast<int64_t>(R.Synth.SolveCalls)));
+  Synth.set("solver_conflicts",
+            Value::integer(static_cast<int64_t>(R.Synth.SolverConflicts)));
+  Synth.set("solver_propagations",
+            Value::integer(
+                static_cast<int64_t>(R.Synth.SolverPropagations)));
+  Synth.set("build_seconds", Value::number(R.Synth.BuildSeconds));
+  Synth.set("solve_seconds", Value::number(R.Synth.SolveSeconds));
   Root.set("synthesis", std::move(Synth));
 
   Value Refine = Value::object();

@@ -11,6 +11,7 @@
 #include "rustsim/Checker.h"
 #include "rustsim/DiagnosticJson.h"
 
+#include <cassert>
 #include <cstdio>
 
 #include <algorithm>
@@ -25,37 +26,64 @@ using namespace syrust::refine;
 using namespace syrust::rustsim;
 using namespace syrust::synth;
 
-void SyRustDriver::selectApis(CrateInstance &Inst, Rng &R) const {
+std::vector<ApiId> syrust::core::selectApiSubset(
+    const ApiDatabase &Db, const std::vector<ApiId> &Pinned, int NumApis,
+    Rng &R) {
   // Section 6.2: 15 APIs per library - pinned picks first, the rest by
   // weighted random selection where unsafe-containing APIs get 50% more
-  // weight. Unselected APIs are disabled for this run.
+  // weight.
   std::vector<ApiId> Candidates;
-  for (size_t I = 0; I < Inst.Db.size(); ++I) {
+  for (size_t I = 0; I < Db.size(); ++I) {
     ApiId Id = static_cast<ApiId>(I);
-    if (Inst.Db.get(Id).Builtin == BuiltinKind::None)
+    if (Db.get(Id).Builtin == BuiltinKind::None)
       Candidates.push_back(Id);
   }
-  std::vector<ApiId> Selected = Inst.Pinned;
+  std::vector<ApiId> Selected;
   auto IsSelected = [&Selected](ApiId Id) {
     return std::find(Selected.begin(), Selected.end(), Id) !=
            Selected.end();
   };
+  // Pinned picks: deduplicated, restricted to real library APIs, and
+  // clamped so an oversized pinned list cannot exceed the protocol's
+  // selection budget.
+  for (ApiId Id : Pinned) {
+    if (static_cast<int>(Selected.size()) >= NumApis)
+      break;
+    if (IsSelected(Id) ||
+        std::find(Candidates.begin(), Candidates.end(), Id) ==
+            Candidates.end())
+      continue;
+    Selected.push_back(Id);
+  }
   std::vector<ApiId> Pool;
   for (ApiId Id : Candidates)
     if (!IsSelected(Id))
       Pool.push_back(Id);
-  while (static_cast<int>(Selected.size()) < Config.NumApis &&
-         !Pool.empty()) {
+  while (static_cast<int>(Selected.size()) < NumApis && !Pool.empty()) {
     std::vector<double> Weights;
     Weights.reserve(Pool.size());
     for (ApiId Id : Pool)
-      Weights.push_back(Inst.Db.get(Id).HasUnsafe ? 1.5 : 1.0);
+      Weights.push_back(Db.get(Id).HasUnsafe ? 1.5 : 1.0);
     size_t Pick = R.pickWeighted(Weights);
     Selected.push_back(Pool[Pick]);
     Pool.erase(Pool.begin() + static_cast<long>(Pick));
   }
-  for (ApiId Id : Pool)
-    Inst.Db.ban(Id);
+  assert(static_cast<int>(Selected.size()) <= NumApis &&
+         "API selection exceeds the configured budget");
+  return Selected;
+}
+
+void SyRustDriver::selectApis(CrateInstance &Inst, Rng &R) const {
+  std::vector<ApiId> Selected =
+      selectApiSubset(Inst.Db, Inst.Pinned, Config.NumApis, R);
+  // Unselected APIs are disabled for this run (builtins always stay).
+  for (size_t I = 0; I < Inst.Db.size(); ++I) {
+    ApiId Id = static_cast<ApiId>(I);
+    if (Inst.Db.get(Id).Builtin != BuiltinKind::None)
+      continue;
+    if (std::find(Selected.begin(), Selected.end(), Id) == Selected.end())
+      Inst.Db.ban(Id);
+  }
 }
 
 RunResult SyRustDriver::run() {
@@ -78,6 +106,7 @@ RunResult SyRustDriver::run() {
   SynthOptions Opts;
   Opts.SemanticAware = Config.SemanticAware;
   Opts.InterleaveLengths = Config.InterleaveLengths;
+  Opts.IncrementalRefinement = Config.IncrementalRefinement;
   Opts.SolverSeed = Config.Seed;
   Synthesizer Synth(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs,
                     Inst->MaxLen, Opts);
@@ -114,9 +143,15 @@ RunResult SyRustDriver::run() {
   double NextSnapshot = Config.SnapshotInterval;
   double CurveStep =
       Config.BudgetSeconds / std::max(Config.CurveSamples, 1);
-  double NextCurve = CurveStep;
+  int CurveIdx = 0;
 
   auto SampleCurve = [&]() {
+    // The curve is strictly monotone in AtSeconds: when several sample
+    // boundaries fall into one loop iteration (or the budget runs out
+    // exactly on a boundary) only one point is recorded for that time.
+    if (!Result.Curve.empty() &&
+        Result.Curve.back().AtSeconds >= Clock.now())
+      return;
     CurvePoint P;
     P.AtSeconds = Clock.now();
     P.Synthesized = Result.Synthesized;
@@ -209,10 +244,12 @@ RunResult SyRustDriver::run() {
     if (DbChanged)
       Synth.notifyDatabaseChanged();
 
-    while (Clock.now() >= NextCurve &&
-           NextCurve <= Config.BudgetSeconds) {
+    // Index-based boundaries: accumulating NextCurve += CurveStep drifts
+    // in floating point and could drop the final in-budget sample.
+    while (CurveIdx < Config.CurveSamples &&
+           Clock.now() >= CurveStep * (CurveIdx + 1)) {
       SampleCurve();
-      NextCurve += CurveStep;
+      ++CurveIdx;
     }
     while (Clock.now() >= NextSnapshot &&
            NextSnapshot <= Config.BudgetSeconds) {
@@ -220,7 +257,7 @@ RunResult SyRustDriver::run() {
       NextSnapshot += Config.SnapshotInterval;
     }
   }
-  SampleCurve();
+  SampleCurve(); // Terminal point (skipped if this instant was sampled).
   Cov.snapshot(Clock.now());
 
   Result.Coverage = Cov.numbers();

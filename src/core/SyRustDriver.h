@@ -55,6 +55,12 @@ struct RunConfig {
   /// bugs"). Off reproduces the paper's fixed-input setup.
   bool MutateInputs = false;
 
+  /// Additive database refinements extend the live SAT encodings in
+  /// place and blocked models persist across rebuilds, so the solver
+  /// never re-walks already-emitted programs. Off = the historical
+  /// rebuild-the-world refinement path (kept for A/B comparison).
+  bool IncrementalRefinement = true;
+
   /// Polymorphism strategy; PurelyEager = the RQ3 variant.
   refine::RefinementMode Mode = refine::RefinementMode::Hybrid;
 
@@ -161,6 +167,15 @@ struct RunResult {
                                static_cast<double>(Rejected);
   }
 };
+
+/// Section 6.2's API-subset selection: pinned picks first (deduplicated,
+/// restricted to synthesizable APIs, clamped to the budget), then a
+/// weighted random fill where unsafe-containing APIs get 50% more weight.
+/// Never returns more than NumApis entries or a duplicate. Exposed as a
+/// free function so tests can drive it directly.
+std::vector<api::ApiId> selectApiSubset(const api::ApiDatabase &Db,
+                                        const std::vector<api::ApiId> &Pinned,
+                                        int NumApis, Rng &R);
 
 /// Runs the full pipeline for one library model.
 class SyRustDriver {

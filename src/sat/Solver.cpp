@@ -605,6 +605,55 @@ void Solver::reduceDB() {
   LearnedRefs.resize(Out);
 }
 
+void Solver::simplify() {
+  if (!Ok)
+    return;
+  if (decisionLevel() != 0)
+    cancelUntil(0);
+  if (propagate().Kind != Reason::None) {
+    Ok = false;
+    return;
+  }
+  // Root assignments never backtrack, so their reasons are dead (conflict
+  // analysis skips level-0 literals); drop them so detaching a clause that
+  // served as a root reason leaves no dangling reference.
+  for (Lit L : Trail)
+    VarInfo[var(L)].Why = Reason{};
+  // The arena stores clauses contiguously; walk it and detach every live
+  // clause a root assignment satisfies.
+  size_t At = 0;
+  while (At < Arena.size()) {
+    ClauseRef Ref = static_cast<ClauseRef>(At);
+    ClauseHeader &H = header(Ref);
+    At += 3 + H.Size;
+    if (H.Mark)
+      continue;
+    const Lit *C = lits(Ref);
+    bool Satisfied = false;
+    for (uint32_t I = 0; I < H.Size && !Satisfied; ++I)
+      Satisfied = value(C[I]) == Value::True;
+    if (!Satisfied)
+      continue;
+    for (int W = 0; W < 2; ++W) {
+      std::vector<Watcher> &Ws = Watches[C[W].Code];
+      for (size_t K = 0; K < Ws.size(); ++K) {
+        if (Ws[K].Ref == Ref) {
+          Ws[K] = Ws.back();
+          Ws.pop_back();
+          break;
+        }
+      }
+    }
+    H.Mark = 1;
+    ++Stats.DeletedClauses;
+  }
+  LearnedRefs.erase(std::remove_if(LearnedRefs.begin(), LearnedRefs.end(),
+                                   [this](ClauseRef Ref) {
+                                     return header(Ref).Mark != 0;
+                                   }),
+                    LearnedRefs.end());
+}
+
 //===----------------------------------------------------------------------===//
 // Search
 //===----------------------------------------------------------------------===//

@@ -74,6 +74,13 @@ public:
   /// Adds the constraint "exactly \p K of \p Lits are true".
   bool addExactly(const std::vector<Lit> &Lits, int K);
 
+  /// Detaches clauses satisfied at the root level (problem and learned)
+  /// from the watch lists. Incremental clients that retire whole clause
+  /// groups behind a selector literal (a unit clause satisfies every
+  /// guarded clause at once) call this so the dead clauses stop taxing
+  /// propagation.
+  void simplify();
+
   /// Solves the current formula. Returns Sat and populates the model, or
   /// Unsat.
   SolveResult solve();

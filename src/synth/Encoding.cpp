@@ -18,6 +18,27 @@
 /// dropped spuriously, the solver could "forget" an active &mut borrow and
 /// slip past the Rule 8/9 exclusivity clauses.
 ///
+/// Incremental sync discipline: the initial build and every in-place
+/// extension run the same sync() path against snapshots of the previous
+/// state (empty on first build). Each constraint falls into one of three
+/// classes:
+///
+///   * additive - per-candidate/per-pair clauses whose meaning never
+///     changes as the database grows (U=>A, U=>V, incompatibility pairs,
+///     Rule 6 ties, Rules 8/9, redundancy 1): emitted once, only for the
+///     candidates/pairs introduced by this sync;
+///   * monotone - cardinalities over growing literal sets (exactly-one's
+///     at-most half, per-slot at-most-one, consumption-kills, redundancy
+///     2): re-emitted over the full grown set; the retired smaller card
+///     is implied by the larger one and stays harmlessly behind;
+///   * closure-sensitive - clauses asserting "one of the currently known
+///     options holds" which would wrongly constrain a grown space
+///     (exactly-one's at-least half, empty-slot ~A, slot at-least,
+///     output V=>triggers, owned-value persistence, redundancy 3): these
+///     carry the negated generation guard and are re-emitted under a
+///     fresh guard each sync; solving assumes the current guard, and a
+///     unit clause retires the previous generation.
+///
 //===----------------------------------------------------------------------===//
 
 #include "synth/Encoding.h"
@@ -26,7 +47,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 
 using namespace syrust;
 using namespace syrust::api;
@@ -42,7 +62,7 @@ Encoding::Encoding(TypeArena &Arena, const TraitEnv &Traits,
     : Arena(Arena), Traits(Traits), Db(Db), Inputs(Inputs),
       NumLines(NumLines), Opts(Opts) {
   Solver.setRandomSeed(Opts.SolverSeed);
-  build();
+  sync();
 }
 
 const Type *Encoding::renamedInput(ApiId F, size_t J) const {
@@ -77,17 +97,83 @@ bool Encoding::hasV(VarId X, const Type *Ty, int Line) const {
   return VMap.count(std::make_tuple(X, Ty, Line)) != 0;
 }
 
-void Encoding::build() {
+bool Encoding::isNewType(VarId X, const Type *Ty) const {
+  size_t Idx = static_cast<size_t>(X);
+  return Idx >= PrevTypes.size() || PrevTypes[Idx].count(Ty) == 0;
+}
+
+size_t Encoding::prevSlotCount(int Line, size_t Kk, size_t J) const {
+  size_t L = static_cast<size_t>(Line);
+  if (L >= PrevSlots.size() || Kk >= PrevSlots[L].size() ||
+      J >= PrevSlots[L][Kk].size())
+    return 0;
+  return PrevSlots[L][Kk][J];
+}
+
+void Encoding::addGuarded(std::vector<Lit> Lits) {
+  if (Gen != sat::VarUndef)
+    Lits.push_back(mkLit(Gen, true));
+  Solver.addClause(std::move(Lits));
+}
+
+bool Encoding::extendForDatabaseChange() {
+  if (!Opts.IncrementalRefinement)
+    return false;
+  std::vector<ApiId> NewActive = Db.activeIds();
+  if (NewActive.size() < Active.size() ||
+      !std::equal(Active.begin(), Active.end(), NewActive.begin()))
+    return false; // Destructive change (ban): caller rebuilds.
+  // Flush the pending model before any new variables exist: blockCurrent
+  // reads model values, and the saved model only covers current vars.
+  if (HasModel)
+    blockCurrent();
+  sync();
+  return true;
+}
+
+void Encoding::sync() {
+  // Snapshot the previous closure so the build functions can tell new
+  // sites, candidates, and (var, type) pairs from already-encoded ones.
+  PrevActive = Active.size();
+  PrevTypes.assign(VarTypes.size(), {});
+  for (size_t X = 0; X < VarTypes.size(); ++X)
+    PrevTypes[X].insert(VarTypes[X].begin(), VarTypes[X].end());
+  PrevSlots.assign(Sites.size(), {});
+  for (size_t I = 0; I < Sites.size(); ++I) {
+    PrevSlots[I].resize(Sites[I].size());
+    for (size_t Kk = 0; Kk < Sites[I].size(); ++Kk) {
+      PrevSlots[I][Kk].resize(Sites[I][Kk].Slots.size());
+      for (size_t J = 0; J < Sites[I][Kk].Slots.size(); ++J)
+        PrevSlots[I][Kk][J] = Sites[I][Kk].Slots[J].size();
+    }
+  }
+
+  // Turn the generation over: retire the previous guard's clauses and
+  // open a fresh one.
+  if (Opts.IncrementalRefinement) {
+    if (Gen != sat::VarUndef) {
+      Solver.addClause(mkLit(Gen, true));
+      // The unit just satisfied every clause of the retired generation;
+      // detach them so they stop taxing propagation.
+      Solver.simplify();
+    }
+    Gen = Solver.newVar();
+  }
+
+  // Refresh the active set; extendForDatabaseChange guarantees the old
+  // Active is a prefix, so renamed signatures only append.
   Active = Db.activeIds();
   RenIn.resize(Active.size());
   RenOut.resize(Active.size());
-  for (size_t K = 0; K < Active.size(); ++K) {
+  for (size_t K = PrevActive; K < Active.size(); ++K) {
     const ApiSig &Sig = Db.get(Active[K]);
     std::string Suffix = format("a%d", Active[K]);
     for (const Type *In : Sig.Inputs)
       RenIn[K].push_back(renameVars(Arena, In, Suffix));
     RenOut[K] = renameVars(Arena, Sig.Output, Suffix);
+    ActiveIndex[Active[K]] = K;
   }
+
   buildTypeUniverse();
   buildCallSites();
   buildContextConstraints();
@@ -102,7 +188,9 @@ void Encoding::build() {
 void Encoding::buildTypeUniverse() {
   // NOTE: all collections here iterate in *insertion* order - never in
   // pointer order - so encodings (and therefore enumeration order and
-  // every experiment table) are reproducible across processes.
+  // every experiment table) are reproducible across processes. The
+  // recompute is total; newly producible types may interleave among old
+  // ones, which is why the sync snapshots are per-variable type *sets*.
   int K = static_cast<int>(Inputs.size());
   VarTypes.assign(static_cast<size_t>(K + NumLines), {});
   for (int X = 0; X < K; ++X)
@@ -158,19 +246,25 @@ void Encoding::buildTypeUniverse() {
 
 void Encoding::buildCallSites() {
   int K = static_cast<int>(Inputs.size());
-  Sites.assign(static_cast<size_t>(NumLines), {});
+  if (Sites.empty())
+    Sites.assign(static_cast<size_t>(NumLines), {});
   for (int I = 0; I < NumLines; ++I) {
     std::vector<CallSite> &LineSites = Sites[static_cast<size_t>(I)];
     LineSites.resize(Active.size());
     for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
       const ApiSig &Sig = Db.get(Active[Kk]);
       CallSite &Site = LineSites[Kk];
-      Site.A = Solver.newVar();
-      Site.Slots.resize(Sig.Inputs.size());
+      bool NewSite = Kk >= PrevActive;
+      if (NewSite) {
+        Site.A = Solver.newVar();
+        Site.Slots.resize(Sig.Inputs.size());
+      }
       for (size_t J = 0; J < Sig.Inputs.size(); ++J) {
         const Type *Pattern = RenIn[Kk][J];
         for (int X = 0; X < K + I; ++X) {
           for (const Type *Ty : VarTypes[static_cast<size_t>(X)]) {
+            if (!NewSite && !isNewType(X, Ty))
+              continue; // Candidate already encoded.
             if (Sig.Builtin != BuiltinKind::None && Ty->isRef())
               continue; // Builtins act on non-reference values.
             if (Opts.SemanticAware &&
@@ -196,16 +290,20 @@ void Encoding::buildContextConstraints() {
   int K = static_cast<int>(Inputs.size());
 
   // Template availability at line 0 plus V-propagation for all variables.
-  for (int X = 0; X < K; ++X)
-    Solver.addClause(mkLit(getV(X, Inputs[static_cast<size_t>(X)].Ty, 0)));
+  // Both are per-(var, type) facts: emitted once, when the pair appears.
   for (int X = 0; X < K; ++X) {
     const Type *Ty = Inputs[static_cast<size_t>(X)].Ty;
+    if (!isNewType(X, Ty))
+      continue;
+    Solver.addClause(mkLit(getV(X, Ty, 0)));
     for (int I = 1; I <= NumLines; ++I)
       Solver.addClause(mkLit(getV(X, Ty, I), true),
                        mkLit(getV(X, Ty, I - 1)));
   }
   for (int J = 0; J < NumLines; ++J) {
     for (const Type *Ty : VarTypes[static_cast<size_t>(K + J)]) {
+      if (!isNewType(K + J, Ty))
+        continue;
       for (int I = J + 2; I <= NumLines; ++I)
         Solver.addClause(mkLit(getV(K + J, Ty, I), true),
                          mkLit(getV(K + J, Ty, I - 1)));
@@ -215,40 +313,57 @@ void Encoding::buildContextConstraints() {
   for (int I = 0; I < NumLines; ++I) {
     std::vector<CallSite> &LineSites = Sites[static_cast<size_t>(I)];
 
-    // Exactly one API per line.
+    // Exactly one API per line. The at-most half is monotone (re-emit on
+    // growth; the superseded smaller card is implied by the larger); the
+    // at-least half is closure-sensitive and rides the generation guard.
     std::vector<Lit> ALits;
     for (CallSite &Site : LineSites)
       ALits.push_back(mkLit(Site.A));
-    Solver.addExactly(ALits, 1);
+    if (Active.size() > PrevActive)
+      Solver.addAtMost(ALits, 1);
+    addGuarded(ALits);
 
     // Use-variable wiring.
     for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
       CallSite &Site = LineSites[Kk];
       for (size_t J = 0; J < Site.Slots.size(); ++J) {
         std::vector<Candidate> &Slot = Site.Slots[J];
+        size_t Prev = prevSlotCount(I, Kk, J);
         if (Slot.empty()) {
-          // An input cannot be filled: the API is unusable on this line.
-          Solver.addClause(mkLit(Site.A, true));
+          // An input cannot be filled: the API is unusable on this line
+          // (until a later refinement adds a candidate - hence guarded).
+          addGuarded({mkLit(Site.A, true)});
           continue;
         }
         std::vector<Lit> AtLeast{mkLit(Site.A, true)};
         std::vector<Lit> ULits;
-        for (Candidate &C : Slot) {
-          Solver.addClause(mkLit(C.U, true), mkLit(Site.A)); // U => A
-          Solver.addClause(mkLit(C.U, true),
-                           mkLit(getV(C.Var, C.Ty, I))); // U => V
+        for (size_t Ci = 0; Ci < Slot.size(); ++Ci) {
+          Candidate &C = Slot[Ci];
+          if (Ci >= Prev) {
+            Solver.addClause(mkLit(C.U, true), mkLit(Site.A)); // U => A
+            Solver.addClause(mkLit(C.U, true),
+                             mkLit(getV(C.Var, C.Ty, I))); // U => V
+          }
           AtLeast.push_back(mkLit(C.U));
           ULits.push_back(mkLit(C.U));
         }
-        Solver.addClause(AtLeast);      // A => some candidate used.
-        Solver.addAtMost(ULits, 1);     // At most one per slot.
+        addGuarded(AtLeast);            // A => some candidate used.
+        if (Slot.size() > Prev)
+          Solver.addAtMost(ULits, 1);   // At most one per slot.
       }
 
       // Pairwise compatibility across slots (Definition 2(3) + Rule 4).
+      // Additive: only pairs involving a candidate new this sync.
       for (size_t J1 = 0; J1 < Site.Slots.size(); ++J1) {
         for (size_t J2 = J1 + 1; J2 < Site.Slots.size(); ++J2) {
-          for (Candidate &C1 : Site.Slots[J1]) {
-            for (Candidate &C2 : Site.Slots[J2]) {
+          size_t P1 = prevSlotCount(I, Kk, J1);
+          size_t P2 = prevSlotCount(I, Kk, J2);
+          for (size_t I1 = 0; I1 < Site.Slots[J1].size(); ++I1) {
+            for (size_t I2 = 0; I2 < Site.Slots[J2].size(); ++I2) {
+              if (I1 < P1 && I2 < P2)
+                continue;
+              Candidate &C1 = Site.Slots[J1][I1];
+              Candidate &C2 = Site.Slots[J2][I2];
               bool Compatible = true;
               if (C1.Var == C2.Var && !C1.Ty->isPrim() &&
                   !C1.Ty->isSharedRef()) {
@@ -267,18 +382,27 @@ void Encoding::buildContextConstraints() {
       }
     }
 
-    // Output creation: V(o_i, tau, i+1) <=> OR(triggers).
+    // Output creation: V(o_i, tau, i+1) <=> OR(triggers). The forward
+    // trigger=>V implications are additive; the V=>triggers closure is
+    // guarded (a later sync can add triggers for this type).
     VarId Out = K + I;
     for (const Type *Ty : VarTypes[static_cast<size_t>(Out)]) {
       std::vector<Lit> Triggers;
+      std::vector<Lit> NewTriggers;
       for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
         const ApiSig &Sig = Db.get(Active[Kk]);
         if (Sig.Builtin == BuiltinKind::None) {
-          if (RenOut[Kk] == Ty)
+          if (RenOut[Kk] == Ty) {
             Triggers.push_back(mkLit(LineSites[Kk].A));
+            if (Kk >= PrevActive)
+              NewTriggers.push_back(mkLit(LineSites[Kk].A));
+          }
           continue;
         }
-        for (Candidate &C : LineSites[Kk].Slots[0]) {
+        size_t Prev = prevSlotCount(I, Kk, 0);
+        std::vector<Candidate> &Slot = LineSites[Kk].Slots[0];
+        for (size_t Ci = 0; Ci < Slot.size(); ++Ci) {
+          Candidate &C = Slot[Ci];
           const Type *Derived = nullptr;
           switch (Sig.Builtin) {
           case BuiltinKind::LetMut:
@@ -293,21 +417,24 @@ void Encoding::buildContextConstraints() {
           case BuiltinKind::None:
             break;
           }
-          if (Derived == Ty)
+          if (Derived == Ty) {
             Triggers.push_back(mkLit(C.U));
+            if (Ci >= Prev)
+              NewTriggers.push_back(mkLit(C.U));
+          }
         }
       }
       sat::Var V = getV(Out, Ty, I + 1);
       if (Triggers.empty()) {
-        Solver.addClause(mkLit(V, true));
+        addGuarded({mkLit(V, true)});
         continue;
       }
-      std::vector<Lit> VImplies{mkLit(V, true)};
-      for (Lit T : Triggers) {
-        VImplies.push_back(T);
+      for (Lit T : NewTriggers)
         Solver.addClause(~T, mkLit(V)); // trigger => V
-      }
-      Solver.addClause(VImplies); // V => some trigger.
+      std::vector<Lit> VImplies{mkLit(V, true)};
+      for (Lit T : Triggers)
+        VImplies.push_back(T);
+      addGuarded(VImplies); // V => some trigger.
     }
   }
 }
@@ -320,36 +447,52 @@ void Encoding::buildSemanticConstraints() {
   for (int X = 0; X < NumVars; ++X) {
     int FirstLine = X < K ? 0 : X - K + 1;
     for (const Type *Ty : VarTypes[static_cast<size_t>(X)]) {
+      bool PairNew = isNewType(X, Ty);
       bool OwnedNonCopy = isOwnedNonCopy(Ty);
       bool TieHandled = Ty->isRef() && X >= K; // Output refs get ties.
       for (int I = FirstLine; I < NumLines; ++I) {
-        // Consuming uses of (X, Ty) on line I.
+        // Consuming uses of (X, Ty) on line I, counting how many were
+        // already present before this sync.
         std::vector<Lit> Consuming;
+        size_t OldConsuming = 0;
         for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
           const ApiSig &Sig = Db.get(Active[Kk]);
           if (Sig.Builtin == BuiltinKind::Borrow ||
               Sig.Builtin == BuiltinKind::BorrowMut)
             continue;
-          for (auto &Slot : Sites[static_cast<size_t>(I)][Kk].Slots)
-            for (Candidate &C : Slot)
-              if (C.Var == X && C.Ty == Ty)
+          CallSite &Site = Sites[static_cast<size_t>(I)][Kk];
+          for (size_t J = 0; J < Site.Slots.size(); ++J) {
+            size_t Prev = prevSlotCount(I, Kk, J);
+            for (size_t Ci = 0; Ci < Site.Slots[J].size(); ++Ci) {
+              Candidate &C = Site.Slots[J][Ci];
+              if (C.Var == X && C.Ty == Ty) {
                 Consuming.push_back(mkLit(C.U));
+                if (Kk < PrevActive && Ci < Prev)
+                  ++OldConsuming;
+              }
+            }
+          }
         }
-        sat::Var VNow = getV(X, Ty, I);
-        sat::Var VNext = getV(X, Ty, I + 1);
         if (OwnedNonCopy) {
+          sat::Var VNow = getV(X, Ty, I);
+          sat::Var VNext = getV(X, Ty, I + 1);
           // Consumption kills (Rule 5): uses + persistence <= 1.
-          std::vector<Lit> Card = Consuming;
-          Card.push_back(mkLit(VNext));
-          Solver.addAtMost(Card, 1);
-          // Nothing else kills: V_i => V_{i+1} OR consumed.
+          // Monotone: re-emit when the consuming set grew.
+          if (PairNew || Consuming.size() > OldConsuming) {
+            std::vector<Lit> Card = Consuming;
+            Card.push_back(mkLit(VNext));
+            Solver.addAtMost(Card, 1);
+          }
+          // Nothing else kills: V_i => V_{i+1} OR consumed. The
+          // consumed-by list is closure-sensitive, so guarded.
           std::vector<Lit> Persist{mkLit(VNow, true), mkLit(VNext)};
           for (Lit C : Consuming)
             Persist.push_back(C);
-          Solver.addClause(Persist);
-        } else if (!TieHandled) {
+          addGuarded(Persist);
+        } else if (!TieHandled && PairNew) {
           // Copy values and template references persist.
-          Solver.addClause(mkLit(VNow, true), mkLit(VNext));
+          Solver.addClause(mkLit(getV(X, Ty, I), true),
+                           mkLit(getV(X, Ty, I + 1)));
         }
       }
     }
@@ -361,11 +504,15 @@ void Encoding::buildSemanticConstraints() {
     for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
       const ApiSig &Sig = Db.get(Active[Kk]);
       CallSite &Site = LineSites[Kk];
+      size_t PrevFirstSlot =
+          Site.Slots.empty() ? 0 : prevSlotCount(I, Kk, 0);
 
       // Mutable borrows require a `let mut` binding (Section 6.2's
       // assignment-to-mutable builtin exists exactly to enable this).
+      // Additive: only new candidates.
       if (Sig.Builtin == BuiltinKind::BorrowMut) {
-        for (Candidate &C : Site.Slots[0]) {
+        for (size_t Ci = PrevFirstSlot; Ci < Site.Slots[0].size(); ++Ci) {
+          Candidate &C = Site.Slots[0][Ci];
           if (C.Var < K)
             continue; // Filtered at candidate creation.
           int DefLine = C.Var - K;
@@ -381,7 +528,7 @@ void Encoding::buildSemanticConstraints() {
       }
 
       // Rule 6 ties: borrow-created references live exactly while their
-      // source lives.
+      // source lives. Additive per candidate.
       auto AddTie = [&](Candidate &C, const Type *RefTy) {
         for (int M = I + 2; M <= NumLines; ++M) {
           sat::Var VRef = getV(Out, RefTy, M);
@@ -397,22 +544,28 @@ void Encoding::buildSemanticConstraints() {
       if (Sig.Builtin == BuiltinKind::Borrow ||
           Sig.Builtin == BuiltinKind::BorrowMut) {
         bool Mut = Sig.Builtin == BuiltinKind::BorrowMut;
-        for (Candidate &C : Site.Slots[0])
+        for (size_t Ci = PrevFirstSlot; Ci < Site.Slots[0].size(); ++Ci) {
+          Candidate &C = Site.Slots[0][Ci];
           AddTie(C, Arena.ref(C.Ty, Mut));
+        }
       } else if (!Sig.PropagatesFrom.empty() && RenOut[Kk]->isRef()) {
         for (int J : Sig.PropagatesFrom) {
           if (J < 0 || static_cast<size_t>(J) >= Site.Slots.size())
             continue;
-          for (Candidate &C : Site.Slots[static_cast<size_t>(J)])
-            if (C.Ty->isRef())
-              AddTie(C, RenOut[Kk]);
+          size_t Prev = prevSlotCount(I, Kk, static_cast<size_t>(J));
+          std::vector<Candidate> &Slot =
+              Site.Slots[static_cast<size_t>(J)];
+          for (size_t Ci = Prev; Ci < Slot.size(); ++Ci)
+            if (Slot[Ci].Ty->isRef())
+              AddTie(Slot[Ci], RenOut[Kk]);
         }
       }
     }
   }
 
   // Rules 8/9: borrow exclusivity. For each (owner, type): a live &mut
-  // forbids later borrows; a live & forbids later &mut.
+  // forbids later borrows; a live & forbids later &mut. Additive per
+  // (first, second) borrow pair: emit when either end is new.
   int NumVarsAll = K + NumLines;
   for (int X = 0; X < NumVarsAll; ++X) {
     for (const Type *Ty : VarTypes[static_cast<size_t>(X)]) {
@@ -423,6 +576,7 @@ void Encoding::buildSemanticConstraints() {
         int Line;
         sat::Var U;
         bool Mut;
+        bool New;
       };
       std::vector<BorrowUse> Borrows;
       for (int I = 0; I < NumLines; ++I) {
@@ -432,9 +586,13 @@ void Encoding::buildSemanticConstraints() {
               Sig.Builtin != BuiltinKind::BorrowMut)
             continue;
           bool Mut = Sig.Builtin == BuiltinKind::BorrowMut;
-          for (Candidate &C : Sites[static_cast<size_t>(I)][Kk].Slots[0])
-            if (C.Var == X && C.Ty == Ty)
-              Borrows.push_back(BorrowUse{I, C.U, Mut});
+          size_t Prev = prevSlotCount(I, Kk, 0);
+          std::vector<Candidate> &Slot =
+              Sites[static_cast<size_t>(I)][Kk].Slots[0];
+          for (size_t Ci = 0; Ci < Slot.size(); ++Ci)
+            if (Slot[Ci].Var == X && Slot[Ci].Ty == Ty)
+              Borrows.push_back(BorrowUse{
+                  I, Slot[Ci].U, Mut, Kk >= PrevActive || Ci >= Prev});
         }
       }
       for (const BorrowUse &First : Borrows) {
@@ -445,6 +603,8 @@ void Encoding::buildSemanticConstraints() {
           // Rule 8 (mut blocks all) / Rule 9 (shared blocks mut).
           if (!First.Mut && !Second.Mut)
             continue; // Shared borrows coexist.
+          if (!First.New && !Second.New)
+            continue; // Pair already constrained.
           sat::Var RefAlive =
               getV(K + First.Line, RefTy, Second.Line + 1);
           Solver.addClause(std::vector<Lit>{
@@ -470,12 +630,15 @@ void Encoding::buildRedundancyConstraints() {
       BorrowIdxs.push_back(Kk);
   }
 
-  // (1) No move-to-mutable of an already-mutable variable.
+  // (1) No move-to-mutable of an already-mutable variable. Additive.
   if (LetMutIdx >= 0) {
     for (int I = 0; I < NumLines; ++I) {
-      for (Candidate &C :
-           Sites[static_cast<size_t>(I)][static_cast<size_t>(LetMutIdx)]
-               .Slots[0]) {
+      size_t Prev = prevSlotCount(I, static_cast<size_t>(LetMutIdx), 0);
+      std::vector<Candidate> &Slot =
+          Sites[static_cast<size_t>(I)][static_cast<size_t>(LetMutIdx)]
+              .Slots[0];
+      for (size_t Ci = Prev; Ci < Slot.size(); ++Ci) {
+        Candidate &C = Slot[Ci];
         if (C.Var < K)
           continue;
         int DefLine = C.Var - K;
@@ -490,25 +653,34 @@ void Encoding::buildRedundancyConstraints() {
   }
 
   // (2) At most one mutable borrow of any variable, program-wide.
+  // Monotone: re-emit when the list grew past one.
   int NumVarsAll = K + NumLines;
   for (int X = 0; X < NumVarsAll; ++X) {
     for (const Type *Ty : VarTypes[static_cast<size_t>(X)]) {
       std::vector<Lit> MutBorrows;
+      size_t OldCount = 0;
       for (int I = 0; I < NumLines; ++I) {
         for (size_t Kk : BorrowIdxs) {
           if (Db.get(Active[Kk]).Builtin != BuiltinKind::BorrowMut)
             continue;
-          for (Candidate &C : Sites[static_cast<size_t>(I)][Kk].Slots[0])
-            if (C.Var == X && C.Ty == Ty)
-              MutBorrows.push_back(mkLit(C.U));
+          size_t Prev = prevSlotCount(I, Kk, 0);
+          std::vector<Candidate> &Slot =
+              Sites[static_cast<size_t>(I)][Kk].Slots[0];
+          for (size_t Ci = 0; Ci < Slot.size(); ++Ci)
+            if (Slot[Ci].Var == X && Slot[Ci].Ty == Ty) {
+              MutBorrows.push_back(mkLit(Slot[Ci].U));
+              if (Kk < PrevActive && Ci < Prev)
+                ++OldCount;
+            }
         }
       }
-      if (MutBorrows.size() > 1)
+      if (MutBorrows.size() > 1 && MutBorrows.size() > OldCount)
         Solver.addAtMost(MutBorrows, 1);
     }
   }
 
-  // (3) Every created reference must be used at least once.
+  // (3) Every created reference must be used at least once. The use list
+  // is closure-sensitive (later refinements add consumers): guarded.
   for (int I = 0; I < NumLines; ++I) {
     for (size_t Kk : BorrowIdxs) {
       std::vector<Lit> Clause{
@@ -522,7 +694,7 @@ void Encoding::buildRedundancyConstraints() {
                 Clause.push_back(mkLit(C.U));
         }
       }
-      Solver.addClause(Clause);
+      addGuarded(Clause);
     }
   }
 }
@@ -530,8 +702,6 @@ void Encoding::buildRedundancyConstraints() {
 void Encoding::buildBlockedCombos() {
   for (int I = 0; I < NumLines; ++I) {
     for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
-      const ApiSig &Sig = Db.get(Active[Kk]);
-      (void)Sig;
       CallSite &Site = Sites[static_cast<size_t>(I)][Kk];
       // Collect the combos blocked for this API.
       // (Iterate via probe: ApiDatabase exposes membership tests only, so
@@ -549,7 +719,6 @@ void Encoding::buildBlockedCombos() {
             SlotTypes[J].push_back(C.Ty); // Insertion order.
       }
       // Enumerate type tuples (bounded: used only for small slot counts).
-      std::vector<size_t> Idx(Site.Slots.size(), 0);
       size_t Total = 1;
       for (auto &Ts : SlotTypes)
         Total *= std::max<size_t>(Ts.size(), 1);
@@ -569,8 +738,23 @@ void Encoding::buildBlockedCombos() {
         }
         if (!Valid || !Db.isComboBlocked(Active[Kk], Combo))
           continue;
+        auto Key = std::make_tuple(I, Active[Kk], Combo);
+        auto Existing = ComboAux.find(Key);
+        if (Existing != ComboAux.end()) {
+          // Already blocked: wire candidates new this sync into the
+          // existing aux vars so the block stays complete as slots grow.
+          for (size_t J = 0; J < Site.Slots.size(); ++J) {
+            size_t Prev = prevSlotCount(I, Kk, J);
+            for (size_t Ci = Prev; Ci < Site.Slots[J].size(); ++Ci)
+              if (Site.Slots[J][Ci].Ty == Combo[J])
+                Solver.addClause(mkLit(Site.Slots[J][Ci].U, true),
+                                 mkLit(Existing->second[J]));
+          }
+          continue;
+        }
         // Block: not all slots may simultaneously use these types.
         std::vector<Lit> Clause{mkLit(Site.A, true)};
+        std::vector<sat::Var> Aux;
         for (size_t J = 0; J < SlotTypes.size(); ++J) {
           // Aux var S: some candidate of slot J with type Combo[J] used.
           sat::Var S = Solver.newVar();
@@ -578,8 +762,10 @@ void Encoding::buildBlockedCombos() {
             if (C.Ty == Combo[J])
               Solver.addClause(mkLit(C.U, true), mkLit(S));
           Clause.push_back(mkLit(S, true));
+          Aux.push_back(S);
         }
         Solver.addClause(Clause);
+        ComboAux.emplace(std::move(Key), std::move(Aux));
       }
     }
   }
@@ -589,12 +775,38 @@ bool Encoding::nextModel() {
   if (HasModel)
     blockCurrent();
   Solver.setConflictBudget(Opts.SolveConflictBudget);
-  HasModel = Solver.solve() == SolveResult::Sat;
+  if (Gen != sat::VarUndef)
+    HasModel = Solver.solve({mkLit(Gen)}) == SolveResult::Sat;
+  else
+    HasModel = Solver.solve() == SolveResult::Sat;
   return HasModel;
+}
+
+void Encoding::recordCurrentSig() {
+  ModelSig Sig;
+  Sig.Lines.resize(static_cast<size_t>(NumLines));
+  for (size_t I = 0; I < Sites.size(); ++I) {
+    for (size_t Kk = 0; Kk < Sites[I].size(); ++Kk) {
+      CallSite &Site = Sites[I][Kk];
+      if (Solver.modelValue(Site.A) != Value::True)
+        continue;
+      Sig.Lines[I].Api = Active[Kk];
+      for (auto &Slot : Site.Slots)
+        for (Candidate &C : Slot)
+          if (Solver.modelValue(C.U) == Value::True) {
+            Sig.Lines[I].Uses.emplace_back(C.Var, C.Ty);
+            break;
+          }
+      break;
+    }
+  }
+  BlockedSigs.push_back(std::move(Sig));
 }
 
 void Encoding::blockCurrent() {
   assert(HasModel && "no model to block");
+  if (Opts.IncrementalRefinement)
+    recordCurrentSig();
   std::vector<Lit> Blocking;
   for (auto &LineSites : Sites) {
     for (CallSite &Site : LineSites) {
@@ -608,6 +820,63 @@ void Encoding::blockCurrent() {
   }
   Solver.addClause(std::move(Blocking));
   HasModel = false;
+}
+
+size_t Encoding::seedBlockedModels(const std::vector<ModelSig> &Sigs) {
+  size_t Count = 0;
+  for (const ModelSig &Sig : Sigs) {
+    if (static_cast<int>(Sig.Lines.size()) != NumLines)
+      continue;
+    std::vector<Lit> Blocking;
+    bool Mapped = true;
+    for (int I = 0; I < NumLines && Mapped; ++I) {
+      const ModelSig::LinePick &Pick =
+          Sig.Lines[static_cast<size_t>(I)];
+      auto It = ActiveIndex.find(Pick.Api);
+      if (It == ActiveIndex.end()) {
+        Mapped = false;
+        break;
+      }
+      CallSite &Site = Sites[static_cast<size_t>(I)][It->second];
+      if (Pick.Uses.size() != Site.Slots.size()) {
+        Mapped = false;
+        break;
+      }
+      Blocking.push_back(mkLit(Site.A, true));
+      for (size_t J = 0; J < Site.Slots.size(); ++J) {
+        sat::Var U = sat::VarUndef;
+        for (Candidate &C : Site.Slots[J])
+          if (C.Var == Pick.Uses[J].first &&
+              C.Ty == Pick.Uses[J].second) {
+            U = C.U;
+            break;
+          }
+        if (U == sat::VarUndef) {
+          Mapped = false;
+          break;
+        }
+        Blocking.push_back(mkLit(U, true));
+      }
+    }
+    if (!Mapped)
+      continue;
+    // The U=>A and per-slot exactly-one structure make this clause
+    // semantically identical to the blockCurrent() clause of the
+    // original model: it excludes exactly that program.
+    Solver.addClause(std::move(Blocking));
+    BlockedSigs.push_back(Sig);
+    ++Count;
+  }
+  return Count;
+}
+
+std::vector<Encoding::ModelSig> Encoding::takeBlockedModels() {
+  if (HasModel) {
+    if (Opts.IncrementalRefinement)
+      recordCurrentSig();
+    HasModel = false;
+  }
+  return std::move(BlockedSigs);
 }
 
 Program Encoding::decode() const {

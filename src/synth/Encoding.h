@@ -27,6 +27,20 @@
 /// U-variables uniquely determine a program, so blocking the conjunction
 /// of those (a ~20-literal clause) blocks exactly that program.
 ///
+/// Incremental refinement (update(phi, A) without rebuild-the-world):
+/// when the database only grows, extendForDatabaseChange() adds the new
+/// call-site variables and clauses to the *live* solver instead of
+/// recreating it, so learned clauses and every emitted-model blocking
+/// clause survive. Constraints whose clause sets are closure-sensitive
+/// ("A implies some candidate", "V implies some trigger", exactly-one's
+/// at-least half, owned-value persistence, created-refs-must-be-used) are
+/// guarded by a per-generation selector variable: each sync retires the
+/// previous generation with a unit clause and re-emits those constraints
+/// over the grown sets under a fresh guard, and solving assumes the
+/// current guard. Destructive changes (bans) still rebuild, but the
+/// synthesizer replays blocked-model signatures (ModelSig) into the fresh
+/// solver so enumeration never re-walks emitted programs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SYRUST_SYNTH_ENCODING_H
@@ -40,6 +54,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 namespace syrust::synth {
@@ -54,6 +69,12 @@ struct SynthOptions {
   /// next, round-robin across all lengths so deep call chains are
   /// reached early. Off reproduces Algorithm 1's strict length order.
   bool InterleaveLengths = false;
+  /// Additive database refinements extend the live encoding in place
+  /// (generation-guarded clauses + assumption solving) and blocked
+  /// models persist across full rebuilds. Off = the historical
+  /// rebuild-the-world path, kept selectable for A/B comparisons; it
+  /// emits bit-identical formulas to the pre-incremental encoder.
+  bool IncrementalRefinement = true;
   /// Conflict budget per solve (0 = unlimited).
   uint64_t SolveConflictBudget = 200000;
   uint64_t SolverSeed = 1;
@@ -62,6 +83,19 @@ struct SynthOptions {
 /// SAT encoding for one (API database snapshot, program length) pair.
 class Encoding {
 public:
+  /// A solver-independent signature of one blocked model: per line, the
+  /// chosen API and the (variable, encoder-type) pair used in each input
+  /// slot. Types are interned in the TypeArena and ApiIds are stable, so
+  /// a signature maps onto any later encoding of the same length whose
+  /// database still contains the participating APIs and candidates.
+  struct ModelSig {
+    struct LinePick {
+      api::ApiId Api = api::ApiIdInvalid;
+      std::vector<std::pair<program::VarId, const types::Type *>> Uses;
+    };
+    std::vector<LinePick> Lines;
+  };
+
   Encoding(types::TypeArena &Arena, const types::TraitEnv &Traits,
            const api::ApiDatabase &Db,
            const std::vector<program::TemplateInput> &Inputs, int NumLines,
@@ -82,6 +116,25 @@ public:
   /// Blocks the current model's program so enumeration advances.
   void blockCurrent();
 
+  /// Grows the encoding in place after a database refinement that only
+  /// *added* API instances (the active set is a prefix of the new one).
+  /// Returns false - leaving the encoding untouched - when the change was
+  /// destructive or incremental refinement is disabled; the caller must
+  /// then rebuild from scratch.
+  bool extendForDatabaseChange();
+
+  /// Replays blocked-model signatures (from a retired encoding of the
+  /// same length) as blocking clauses. Signatures that no longer map -
+  /// their API was banned or a candidate disappeared - are dropped; such
+  /// programs can never be synthesized again anyway. Returns how many
+  /// were re-blocked.
+  size_t seedBlockedModels(const std::vector<ModelSig> &Sigs);
+
+  /// Hands over every blocked model (including a still-pending current
+  /// model) for replay into a successor encoding. Leaves this encoding
+  /// without a current model; only call when retiring it.
+  std::vector<ModelSig> takeBlockedModels();
+
   /// Rule 7 path check, run as post-processing (Section 4.4.3): verifies
   /// no variable is used after a root owner on its lifetime path has been
   /// consumed. Exposed statically so tests can target it directly.
@@ -92,6 +145,7 @@ public:
   int numLines() const { return NumLines; }
   size_t numSatVars() const { return VarCount; }
   size_t numCandidates() const { return TotalCandidates; }
+  const sat::SolverStats &solverStats() const { return Solver.stats(); }
 
 private:
   /// One (variable, encoder-type) candidate for an input slot.
@@ -114,7 +168,19 @@ private:
   const types::Type *renamedOutput(api::ApiId F) const;
   bool isOwnedNonCopy(const types::Type *Ty) const;
 
-  void build();
+  /// True when (X, Ty) entered VarTypes[X] during the current sync.
+  bool isNewType(program::VarId X, const types::Type *Ty) const;
+  /// Candidate count of (line, site, slot) before the current sync.
+  size_t prevSlotCount(int Line, size_t Kk, size_t J) const;
+  /// Adds a closure-sensitive clause under the current generation guard
+  /// (plain clause when guards are off).
+  void addGuarded(std::vector<sat::Lit> Lits);
+  void recordCurrentSig();
+
+  /// Unified build/extend: the initial build is a sync against empty
+  /// previous state; extendForDatabaseChange() is a sync against the
+  /// snapshots taken last time.
+  void sync();
   void buildTypeUniverse();
   void buildCallSites();
   void buildContextConstraints();
@@ -130,6 +196,8 @@ private:
   SynthOptions Opts;
 
   std::vector<api::ApiId> Active;
+  /// Position in Active per active ApiId.
+  std::map<api::ApiId, size_t> ActiveIndex;
   /// Renamed signatures indexed by position in Active.
   std::vector<std::vector<const types::Type *>> RenIn;
   std::vector<const types::Type *> RenOut;
@@ -144,6 +212,28 @@ private:
   /// V variables keyed by (var, type, line).
   std::map<std::tuple<program::VarId, const types::Type *, int>, sat::Var>
       VMap;
+
+  /// Pre-sync snapshots, consulted while syncing to emit only what is
+  /// new. Type sets per variable (NOT prefix counts: builtin-derived
+  /// output types interleave into VarTypes as the availability list
+  /// grows) and candidate counts per slot (slots only ever append).
+  std::vector<std::set<const types::Type *>> PrevTypes;
+  std::vector<std::vector<std::vector<size_t>>> PrevSlots;
+  size_t PrevActive = 0;
+
+  /// Generation guard: closure-sensitive clauses carry ~Gen, solving
+  /// assumes Gen. VarUndef when incremental refinement is off.
+  sat::Var Gen = sat::VarUndef;
+
+  /// Aux vars of already-emitted blocked-combo clauses, keyed by (line,
+  /// api, type tuple), so extensions can wire new candidates into the
+  /// existing clause instead of under-blocking.
+  std::map<std::tuple<int, api::ApiId, std::vector<const types::Type *>>,
+           std::vector<sat::Var>>
+      ComboAux;
+
+  /// Signatures of every model blocked so far (incremental mode only).
+  std::vector<ModelSig> BlockedSigs;
 
   mutable sat::Solver Solver;
   size_t VarCount = 0;

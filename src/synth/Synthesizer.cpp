@@ -6,9 +6,19 @@
 
 #include "synth/Synthesizer.h"
 
+#include <chrono>
+
 using namespace syrust;
 using namespace syrust::program;
 using namespace syrust::synth;
+
+namespace {
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       T0)
+      .count();
+}
+} // namespace
 
 Synthesizer::Synthesizer(types::TypeArena &Arena,
                          const types::TraitEnv &Traits,
@@ -18,31 +28,130 @@ Synthesizer::Synthesizer(types::TypeArena &Arena,
     : Arena(Arena), Traits(Traits), Db(Db), Inputs(std::move(Inputs)),
       MaxLines(MaxLines), Opts(Opts) {
   Stats.CurrentLength = 1;
-  rebuild();
+  if (Opts.InterleaveLengths) {
+    LengthEncs.resize(static_cast<size_t>(MaxLines));
+    LengthLive.assign(static_cast<size_t>(MaxLines), 1);
+    for (int L = 1; L <= MaxLines; ++L)
+      LengthEncs[static_cast<size_t>(L - 1)] = makeEncoding(L);
+  } else {
+    Enc = makeEncoding(1);
+  }
+  snapshotDb();
 }
 
-void Synthesizer::rebuild() {
-  if (Opts.InterleaveLengths) {
-    // Rebuild every still-live length. On first call, build all lengths.
-    bool First = LengthEncs.empty();
-    LengthEncs.resize(static_cast<size_t>(MaxLines));
-    for (int L = 1; L <= MaxLines; ++L) {
-      auto &Slot = LengthEncs[static_cast<size_t>(L - 1)];
-      if (First || Slot)
-        Slot = std::make_unique<Encoding>(Arena, Traits, Db, Inputs, L,
-                                          Opts);
-    }
-    ++Stats.Rebuilds;
-    return;
-  }
-  Enc = std::make_unique<Encoding>(Arena, Traits, Db, Inputs,
-                                   Stats.CurrentLength, Opts);
+void Synthesizer::snapshotDb() {
+  ActiveSnapshot = Db.activeIds();
+  DbSizeSnapshot = Db.size();
+}
+
+std::unique_ptr<Encoding> Synthesizer::makeEncoding(int Length) {
+  auto T0 = std::chrono::steady_clock::now();
+  auto E =
+      std::make_unique<Encoding>(Arena, Traits, Db, Inputs, Length, Opts);
   ++Stats.Rebuilds;
+  if (Opts.IncrementalRefinement) {
+    auto It = RetiredSigs.find(Length);
+    if (It != RetiredSigs.end())
+      Stats.ModelsReblocked += E->seedBlockedModels(It->second);
+  }
+  Stats.BuildSeconds += secondsSince(T0);
+  return E;
+}
+
+void Synthesizer::retireEncoding(std::unique_ptr<Encoding> &E) {
+  if (!E)
+    return;
+  RetiredConflicts += E->solverStats().Conflicts;
+  RetiredPropagations += E->solverStats().Propagations;
+  if (Opts.IncrementalRefinement) {
+    // Successor encodings replay these; signatures that stop mapping
+    // (their API got banned) are unreachable and dropped on replay.
+    RetiredSigs[E->numLines()] = E->takeBlockedModels();
+  }
+  E.reset();
+}
+
+void Synthesizer::refreshSolverStats() {
+  uint64_t Conflicts = RetiredConflicts;
+  uint64_t Propagations = RetiredPropagations;
+  if (Enc) {
+    Conflicts += Enc->solverStats().Conflicts;
+    Propagations += Enc->solverStats().Propagations;
+  }
+  for (const auto &E : LengthEncs)
+    if (E) {
+      Conflicts += E->solverStats().Conflicts;
+      Propagations += E->solverStats().Propagations;
+    }
+  Stats.SolverConflicts = Conflicts;
+  Stats.SolverPropagations = Propagations;
+}
+
+bool Synthesizer::solveNext(Encoding &E) {
+  auto T0 = std::chrono::steady_clock::now();
+  bool Sat = E.nextModel();
+  Stats.SolveSeconds += secondsSince(T0);
+  ++Stats.SolveCalls;
+  refreshSolverStats();
+  return Sat;
 }
 
 void Synthesizer::notifyDatabaseChanged() {
-  if (!Done)
-    rebuild();
+  std::vector<api::ApiId> NewActive = Db.activeIds();
+  // Adding instances appends to the database with stable ids, so an
+  // add-only change leaves the previous active list as a prefix.
+  bool AddOnly = NewActive.size() >= ActiveSnapshot.size() &&
+                 std::equal(ActiveSnapshot.begin(), ActiveSnapshot.end(),
+                            NewActive.begin());
+  bool Additions = Db.size() > DbSizeSnapshot;
+
+  if (!Opts.InterleaveLengths) {
+    // Sequential mode follows Algorithm 1: once every length is proven
+    // exhausted the run is over; lengths already walked are not revisited.
+    if (!Done && Enc) {
+      bool Extended = false;
+      if (AddOnly) {
+        auto T0 = std::chrono::steady_clock::now();
+        Extended = Enc->extendForDatabaseChange();
+        Stats.BuildSeconds += secondsSince(T0);
+      }
+      if (Extended) {
+        ++Stats.IncrementalExtends;
+      } else {
+        retireEncoding(Enc);
+        Enc = makeEncoding(Stats.CurrentLength);
+      }
+    }
+    snapshotDb();
+    return;
+  }
+
+  for (size_t Idx = 0; Idx < LengthEncs.size(); ++Idx) {
+    bool Live = LengthLive[Idx] != 0;
+    // A dead length stays dead unless the database actually grew: bans
+    // and combo blocks only shrink the space, so an UNSAT proof stands.
+    if (!Live && !Additions)
+      continue;
+    auto &Slot = LengthEncs[Idx];
+    bool Extended = false;
+    if (Slot && AddOnly) {
+      auto T0 = std::chrono::steady_clock::now();
+      Extended = Slot->extendForDatabaseChange();
+      Stats.BuildSeconds += secondsSince(T0);
+    }
+    if (Extended) {
+      ++Stats.IncrementalExtends;
+    } else {
+      retireEncoding(Slot);
+      Slot = makeEncoding(static_cast<int>(Idx) + 1);
+    }
+    if (!Live) {
+      LengthLive[Idx] = 1;
+      ++Stats.DeadLengthRevivals;
+      Done = false;
+    }
+  }
+  snapshotDb();
 }
 
 bool Synthesizer::advanceLength() {
@@ -50,8 +159,9 @@ bool Synthesizer::advanceLength() {
     Done = true;
     return false;
   }
+  retireEncoding(Enc);
   ++Stats.CurrentLength;
-  rebuild();
+  Enc = makeEncoding(Stats.CurrentLength);
   return true;
 }
 
@@ -70,7 +180,7 @@ bool Synthesizer::acceptProgram(Program &P) {
 
 std::optional<Program> Synthesizer::nextSequential() {
   while (!Done) {
-    if (!Enc->nextModel()) {
+    if (!solveNext(*Enc)) {
       if (Enc->budgetExhausted())
         BudgetStop = true;
       if (!advanceLength())
@@ -85,13 +195,14 @@ std::optional<Program> Synthesizer::nextSequential() {
 }
 
 std::optional<Program> Synthesizer::nextInterleaved() {
-  // Round-robin across live lengths; a length that proves UNSAT is
-  // dropped. The rotation pointer persists across calls, so each call
+  // Round-robin across live lengths; a length that proves UNSAT goes
+  // dormant but keeps its encoding, so a later database addition can
+  // revive it. The rotation pointer persists across calls, so each call
   // samples the "next" length.
   while (!Done) {
     size_t Live = 0;
-    for (const auto &E : LengthEncs)
-      Live += E ? 1 : 0;
+    for (char L : LengthLive)
+      Live += L ? 1 : 0;
     if (Live == 0) {
       Done = true;
       return std::nullopt;
@@ -99,13 +210,13 @@ std::optional<Program> Synthesizer::nextInterleaved() {
     for (size_t Tried = 0; Tried < LengthEncs.size(); ++Tried) {
       size_t Idx = Rotation % LengthEncs.size();
       ++Rotation;
-      Encoding *E = LengthEncs[Idx].get();
-      if (!E)
+      if (!LengthLive[Idx])
         continue;
-      if (!E->nextModel()) {
+      Encoding *E = LengthEncs[Idx].get();
+      if (!solveNext(*E)) {
         if (E->budgetExhausted())
           BudgetStop = true;
-        LengthEncs[Idx].reset();
+        LengthLive[Idx] = 0;
         continue;
       }
       Stats.CurrentLength = E->numLines();

@@ -11,9 +11,18 @@
 ///
 ///   * model blocking (phi := phi AND NOT sigma) - done with small
 ///     projected blocking clauses;
-///   * API-database refinement (update(phi, A)) - the encoding is rebuilt
-///     on notifyDatabaseChanged(), and previously emitted programs are
-///     skipped via a structural-hash set so no test case repeats.
+///   * API-database refinement (update(phi, A)) - classified on
+///     notifyDatabaseChanged(): additive changes (the common eager/lazy
+///     concretization case) extend the live encodings in place, keeping
+///     learned clauses and every blocking clause; destructive changes
+///     (bans) rebuild, replaying blocked-model signatures into the fresh
+///     solver. Either way the solver never re-walks an emitted program,
+///     with the structural-hash set kept as a last-resort safety net.
+///
+/// Interleaved mode keeps exhausted lengths around: a refinement that
+/// *adds* API instances can make a previously UNSAT length satisfiable
+/// again, so additions revive dead lengths (extend or rebuild) instead of
+/// abandoning them forever.
 ///
 /// Models failing the Rule 7 path post-check are blocked and counted but
 /// never emitted.
@@ -25,6 +34,7 @@
 
 #include "synth/Encoding.h"
 
+#include <map>
 #include <memory>
 #include <set>
 
@@ -34,8 +44,25 @@ namespace syrust::synth {
 struct SynthStats {
   uint64_t Emitted = 0;
   uint64_t PathFiltered = 0;
+  /// Programs re-emitted by the solver and dropped via the hash set. With
+  /// incremental refinement this should stay ~0: blocking persists.
   uint64_t DuplicatesSkipped = 0;
+  /// Full encoding constructions (one per length per rebuild).
   uint64_t Rebuilds = 0;
+  /// Database changes absorbed by extending a live encoding in place.
+  uint64_t IncrementalExtends = 0;
+  /// Blocking clauses replayed into fresh encodings after rebuilds.
+  uint64_t ModelsReblocked = 0;
+  /// Exhausted lengths brought back by database additions.
+  uint64_t DeadLengthRevivals = 0;
+  /// nextModel() calls and the solver work they cost, summed over all
+  /// encodings this synthesizer ever owned.
+  uint64_t SolveCalls = 0;
+  uint64_t SolverConflicts = 0;
+  uint64_t SolverPropagations = 0;
+  /// Wall-clock spent constructing/extending encodings vs. solving.
+  double BuildSeconds = 0;
+  double SolveSeconds = 0;
   int CurrentLength = 0;
 };
 
@@ -50,8 +77,10 @@ public:
   /// Produces the next program, or nullopt when all lengths are exhausted.
   std::optional<program::Program> next();
 
-  /// Signals that the API database was refined; the encoding for the
-  /// current length is rebuilt against the new database.
+  /// Signals that the API database was refined. Add-only changes extend
+  /// the live encodings in place; destructive changes rebuild them and
+  /// replay the blocked models. Additions also revive exhausted lengths
+  /// (interleaved mode), since new instances can unlock them.
   void notifyDatabaseChanged();
 
   const SynthStats &stats() const { return Stats; }
@@ -62,7 +91,11 @@ public:
 
 private:
   bool advanceLength();
-  void rebuild();
+  std::unique_ptr<Encoding> makeEncoding(int Length);
+  void retireEncoding(std::unique_ptr<Encoding> &E);
+  bool solveNext(Encoding &E);
+  void snapshotDb();
+  void refreshSolverStats();
   std::optional<program::Program> nextSequential();
   std::optional<program::Program> nextInterleaved();
   bool acceptProgram(program::Program &P);
@@ -75,10 +108,26 @@ private:
   SynthOptions Opts;
 
   std::unique_ptr<Encoding> Enc;
-  /// Interleaved mode: one live encoding per length (null = exhausted).
+  /// Interleaved mode: one encoding per length. Exhausted lengths keep
+  /// their encoding (marked dead in LengthLive) so additions can revive
+  /// them in place.
   std::vector<std::unique_ptr<Encoding>> LengthEncs;
+  std::vector<char> LengthLive;
   size_t Rotation = 0;
   std::set<uint64_t> SeenHashes;
+
+  /// Blocked models harvested from retired encodings, per length,
+  /// replayed into their replacements after destructive rebuilds.
+  std::map<int, std::vector<Encoding::ModelSig>> RetiredSigs;
+  /// Database state at the last (re)build/extend, for classifying the
+  /// next change: old activeIds being a prefix of the new ones means
+  /// add-only; a grown database means additions are present.
+  std::vector<api::ApiId> ActiveSnapshot;
+  size_t DbSizeSnapshot = 0;
+  /// Solver-stat totals of encodings retired so far.
+  uint64_t RetiredConflicts = 0;
+  uint64_t RetiredPropagations = 0;
+
   SynthStats Stats;
   bool BudgetStop = false;
   bool Done = false;

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/SyRustDriver.h"
+#include "types/TypeParser.h"
 
 #include <gtest/gtest.h>
 
@@ -121,6 +122,45 @@ TEST(DriverTest, CoverageAccumulates) {
   EXPECT_GT(R.Coverage.ComponentBranch, 0.0);
   EXPECT_LE(R.Coverage.LibraryLine, R.Coverage.ComponentLine);
   EXPECT_FALSE(R.CoverageSnaps.empty());
+}
+
+TEST(DriverTest, ApiSubsetSelectionClampsAndDedupes) {
+  types::TypeArena Arena;
+  types::TypeParser Parser{Arena, {}};
+  api::ApiDatabase Db;
+  std::vector<api::ApiId> Builtins = api::addBuiltinApis(Db, Arena);
+  std::vector<api::ApiId> Lib;
+  for (int I = 0; I < 6; ++I) {
+    api::ApiSig Sig;
+    Sig.Name = "api" + std::to_string(I);
+    Sig.Inputs.push_back(Parser.parse("String"));
+    Sig.Output = Parser.parse("usize");
+    Lib.push_back(Db.add(std::move(Sig)));
+  }
+
+  // An oversized pinned list with duplicates and a builtin: duplicates
+  // collapse, the builtin is skipped, and the result is clamped to the
+  // NumApis budget instead of overflowing it.
+  Rng R1(7);
+  std::vector<api::ApiId> Pinned = {Lib[2], Lib[2],  Builtins[0],
+                                    Lib[0], Lib[4], Lib[5]};
+  std::vector<api::ApiId> Sel = selectApiSubset(Db, Pinned, 3, R1);
+  ASSERT_EQ(Sel.size(), 3u);
+  EXPECT_EQ(Sel[0], Lib[2]);
+  EXPECT_EQ(Sel[1], Lib[0]);
+  EXPECT_EQ(Sel[2], Lib[4]);
+  std::set<api::ApiId> Unique(Sel.begin(), Sel.end());
+  EXPECT_EQ(Unique.size(), Sel.size());
+
+  // A budget larger than the library: every API once, still no
+  // duplicates and no builtins.
+  Rng R2(7);
+  std::vector<api::ApiId> All = selectApiSubset(Db, Pinned, 50, R2);
+  EXPECT_EQ(All.size(), Lib.size());
+  std::set<api::ApiId> AllUnique(All.begin(), All.end());
+  EXPECT_EQ(AllUnique.size(), All.size());
+  for (api::ApiId Id : Builtins)
+    EXPECT_EQ(AllUnique.count(Id), 0u);
 }
 
 TEST(DriverTest, CurveIsMonotone) {

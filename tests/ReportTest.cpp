@@ -4,10 +4,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/SyRustDriver.h"
 #include "report/Table.h"
 
 #include <gtest/gtest.h>
 
+using namespace syrust::core;
+using namespace syrust::crates;
 using namespace syrust::report;
 
 namespace {
@@ -44,6 +47,33 @@ TEST(TableTest, ShortRowsPadAndTrailingSpacesTrimmed) {
 TEST(TableTest, EmptyTableRendersHeaderOnly) {
   Table T({"Only"});
   EXPECT_EQ(T.render(), "Only\n----\n");
+}
+
+TEST(CurveSamplingTest, StrictlyMonotoneWithOneTerminalPoint) {
+  // Unit costs put the simulated clock exactly on every sample boundary
+  // AND on the budget end: each iteration advances by 1.0s, the 10s
+  // budget with 5 samples has boundaries at 2,4,6,8,10. The historical
+  // epilogue then duplicated the t=10 point; the fixed sampler must emit
+  // a strictly monotone curve with exactly one terminal point.
+  RunConfig C;
+  C.BudgetSeconds = 10;
+  C.CurveSamples = 5;
+  C.SolveCost = 1.0;
+  C.CompileCost = 0.0;
+  C.ExecCost = 0.0;
+  RunResult R = SyRustDriver(*findCrate("base16"), C).run();
+  ASSERT_FALSE(R.Curve.empty());
+  for (size_t I = 1; I < R.Curve.size(); ++I)
+    EXPECT_GT(R.Curve[I].AtSeconds, R.Curve[I - 1].AtSeconds)
+        << "duplicate/regressing sample at index " << I;
+  int Terminal = 0;
+  for (const CurvePoint &P : R.Curve)
+    if (P.AtSeconds == R.ElapsedSeconds)
+      ++Terminal;
+  EXPECT_EQ(Terminal, 1);
+  // The final in-budget boundary sample must not be dropped.
+  EXPECT_EQ(R.Curve.back().AtSeconds, 10.0);
+  EXPECT_EQ(R.Curve.size(), 5u);
 }
 
 TEST(FormatterTest, PercentFormatting) {

@@ -318,21 +318,116 @@ TEST_F(SynthFixture, PathCheckRejectsUseAfterRootDeath) {
 // Refinement interplay
 //===----------------------------------------------------------------------===//
 
-TEST_F(SynthFixture, RebuildAfterDatabaseChangeSkipsDuplicates) {
+TEST_F(SynthFixture, AdditiveDatabaseChangeExtendsInPlace) {
   addApi("f", {"String"}, "usize");
   Synthesizer Synth(Arena, Traits, Db, vecTemplate(), 1);
   auto P1 = Synth.next();
   ASSERT_TRUE(P1.has_value());
-  // Refinement adds a new API; the encoding is rebuilt.
+  // Refinement adds a new API; the live encoding is extended in place,
+  // so the solver never revisits f(s) and nothing is rebuilt.
   addApi("g", {"Vec<String>"}, "usize");
   Synth.notifyDatabaseChanged();
   std::vector<std::string> Names;
   while (auto P = Synth.next())
     Names.push_back(Db.get(P->Stmts[0].Api).Name);
-  // Only g remains; f(s) must not repeat.
+  ASSERT_EQ(Names.size(), 1u);
+  EXPECT_EQ(Names[0], "g");
+  EXPECT_EQ(Synth.stats().DuplicatesSkipped, 0u);
+  EXPECT_GE(Synth.stats().IncrementalExtends, 1u);
+  EXPECT_EQ(Synth.stats().Rebuilds, 1u); // The initial construction only.
+}
+
+TEST_F(SynthFixture, RebuildPathStillSkipsDuplicatesViaHashes) {
+  // The historical rebuild-the-world path (IncrementalRefinement off):
+  // the fresh solver re-emits f(s) and the hash set has to drop it.
+  addApi("f", {"String"}, "usize");
+  SynthOptions Opts;
+  Opts.IncrementalRefinement = false;
+  Synthesizer Synth(Arena, Traits, Db, vecTemplate(), 1, Opts);
+  auto P1 = Synth.next();
+  ASSERT_TRUE(P1.has_value());
+  addApi("g", {"Vec<String>"}, "usize");
+  Synth.notifyDatabaseChanged();
+  std::vector<std::string> Names;
+  while (auto P = Synth.next())
+    Names.push_back(Db.get(P->Stmts[0].Api).Name);
   ASSERT_EQ(Names.size(), 1u);
   EXPECT_EQ(Names[0], "g");
   EXPECT_GT(Synth.stats().DuplicatesSkipped, 0u);
+  EXPECT_GE(Synth.stats().Rebuilds, 2u);
+}
+
+TEST_F(SynthFixture, DestructiveChangeRebuildsAndReplaysBlockedModels) {
+  // A ban is destructive: the encoding must be rebuilt. Blocked-model
+  // signatures are replayed into the fresh solver, so programs emitted
+  // before the ban still never come back from the solver.
+  ApiId F = addApi("f", {"String"}, "usize");
+  addApi("g", {"Vec<String>"}, "usize");
+  ApiId H = addApi("h", {"String"}, "isize");
+  (void)F;
+  Synthesizer Synth(Arena, Traits, Db, vecTemplate(), 1);
+  auto P1 = Synth.next();
+  ASSERT_TRUE(P1.has_value());
+  Db.ban(H);
+  Synth.notifyDatabaseChanged();
+  std::vector<std::string> Names;
+  while (auto P = Synth.next())
+    Names.push_back(Db.get(P->Stmts[0].Api).Name);
+  for (const std::string &N : Names) {
+    EXPECT_NE(N, "h");
+    EXPECT_NE(N, Db.get(P1->Stmts[0].Api).Name);
+  }
+  EXPECT_GE(Synth.stats().Rebuilds, 2u);
+  EXPECT_EQ(Synth.stats().DuplicatesSkipped, 0u);
+  // At least the pre-ban emission was replayed (unless it used h).
+  if (P1->Stmts[0].Api != H)
+    EXPECT_GE(Synth.stats().ModelsReblocked, 1u);
+}
+
+TEST_F(SynthFixture, DeadLengthRevivedByDatabaseAddition) {
+  // Interleaved mode, MaxLines=3. Initially length 3 is UNSAT (mk; eat;
+  // then nothing can use a usize), so its slot goes dormant. A refinement
+  // step then adds gulp: usize -> u8, which makes a 3-statement program
+  // reachable - the dead length must come back to life.
+  addApi("mk", {"String"}, "Token");
+  addApi("eat", {"Token"}, "usize");
+  SynthOptions Opts;
+  Opts.InterleaveLengths = true;
+  Synthesizer Synth(Arena, Traits, Db, vecTemplate(), 3, Opts);
+  size_t MaxLen = 0;
+  while (auto P = Synth.next())
+    MaxLen = std::max(MaxLen, P->Stmts.size());
+  EXPECT_LT(MaxLen, 3u);
+  // The space is exhausted; without revival the synthesizer would stay
+  // done forever.
+  addApi("gulp", {"usize"}, "u8");
+  Synth.notifyDatabaseChanged();
+  bool SawLen3 = false;
+  while (auto P = Synth.next())
+    SawLen3 |= P->Stmts.size() == 3;
+  EXPECT_TRUE(SawLen3);
+  EXPECT_GE(Synth.stats().DeadLengthRevivals, 1u);
+}
+
+TEST_F(SynthFixture, DeadLengthRevivedOnRebuildPathToo) {
+  // The revival fix is independent of incremental refinement: with the
+  // historical rebuild path the dormant length must also be rebuilt and
+  // re-enumerated after an addition.
+  addApi("mk", {"String"}, "Token");
+  addApi("eat", {"Token"}, "usize");
+  SynthOptions Opts;
+  Opts.InterleaveLengths = true;
+  Opts.IncrementalRefinement = false;
+  Synthesizer Synth(Arena, Traits, Db, vecTemplate(), 3, Opts);
+  while (Synth.next().has_value())
+    ;
+  addApi("gulp", {"usize"}, "u8");
+  Synth.notifyDatabaseChanged();
+  bool SawLen3 = false;
+  while (auto P = Synth.next())
+    SawLen3 |= P->Stmts.size() == 3;
+  EXPECT_TRUE(SawLen3);
+  EXPECT_GE(Synth.stats().DeadLengthRevivals, 1u);
 }
 
 TEST_F(SynthFixture, BlockedComboSuppressed) {
@@ -359,6 +454,87 @@ TEST_F(SynthFixture, BannedApiNeverUsed) {
     EXPECT_NE(P->Stmts[0].Api, F);
   }
   EXPECT_EQ(Count, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental-refinement determinism properties
+//===----------------------------------------------------------------------===//
+
+struct ScriptedRun {
+  std::vector<uint64_t> Hashes;
+  uint64_t DuplicatesSkipped = 0;
+  uint64_t IncrementalExtends = 0;
+};
+
+/// A refinement-heavy scripted workload: four rounds of "emit up to 25
+/// programs, then the database gains an API", then drain to exhaustion.
+/// Self-contained so one test can compare several independent runs.
+ScriptedRun runScriptedRefinement(bool Incremental) {
+  TypeArena Arena;
+  TypeParser Parser{Arena, {}};
+  TraitEnv Traits{Arena};
+  ApiDatabase Db;
+  addBuiltinApis(Db, Arena);
+  auto Add = [&](const std::string &Name, std::vector<std::string> Ins,
+                 const std::string &Out) {
+    ApiSig Sig;
+    Sig.Name = Name;
+    for (const auto &I : Ins)
+      Sig.Inputs.push_back(Parser.parse(I));
+    Sig.Output = Parser.parse(Out);
+    Db.add(std::move(Sig));
+  };
+  Add("f", {"String"}, "Token");
+  Add("g", {"Token"}, "usize");
+  Add("h", {"Vec<String>"}, "usize");
+  std::vector<TemplateInput> Inputs = {{"s", Parser.parse("String")},
+                                       {"v", Parser.parse("Vec<String>")}};
+  SynthOptions Opts;
+  Opts.IncrementalRefinement = Incremental;
+  Synthesizer Synth(Arena, Traits, Db, Inputs, /*MaxLines=*/3, Opts);
+  ScriptedRun Run;
+  for (int Round = 0; Round < 4; ++Round) {
+    for (int K = 0; K < 25; ++K) {
+      auto P = Synth.next();
+      if (!P.has_value())
+        break;
+      Run.Hashes.push_back(P->hash());
+    }
+    Add("r" + std::to_string(Round), {"usize"},
+        "Out" + std::to_string(Round));
+    Synth.notifyDatabaseChanged();
+  }
+  while (auto P = Synth.next())
+    Run.Hashes.push_back(P->hash());
+  Run.DuplicatesSkipped = Synth.stats().DuplicatesSkipped;
+  Run.IncrementalExtends = Synth.stats().IncrementalExtends;
+  return Run;
+}
+
+TEST(SynthDeterminism, IncrementalPathIsDeterministicAcrossRuns) {
+  ScriptedRun A = runScriptedRefinement(true);
+  ScriptedRun B = runScriptedRefinement(true);
+  ASSERT_FALSE(A.Hashes.empty());
+  // Same config, same seed: the emitted hash sequences are identical.
+  EXPECT_EQ(A.Hashes, B.Hashes);
+  EXPECT_GE(A.IncrementalExtends, 1u);
+  EXPECT_EQ(A.DuplicatesSkipped, 0u);
+}
+
+TEST(SynthDeterminism, IncrementalMatchesRebuildEmittedSet) {
+  ScriptedRun Inc = runScriptedRefinement(true);
+  ScriptedRun Reb = runScriptedRefinement(false);
+  ASSERT_FALSE(Inc.Hashes.empty());
+  // Enumeration order may differ between the paths, but the emitted
+  // program set must be identical - and duplicates must vanish on the
+  // incremental path while the rebuild path leans on the hash set.
+  std::set<uint64_t> IncSet(Inc.Hashes.begin(), Inc.Hashes.end());
+  std::set<uint64_t> RebSet(Reb.Hashes.begin(), Reb.Hashes.end());
+  EXPECT_EQ(IncSet.size(), Inc.Hashes.size());
+  EXPECT_EQ(RebSet.size(), Reb.Hashes.size());
+  EXPECT_EQ(IncSet, RebSet);
+  EXPECT_EQ(Inc.DuplicatesSkipped, 0u);
+  EXPECT_GT(Reb.DuplicatesSkipped, 0u);
 }
 
 TEST_F(SynthFixture, NoDuplicateProgramsAcrossFullEnumeration) {

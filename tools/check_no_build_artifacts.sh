@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# CI gate: fail if build artifacts are tracked or staged.
+#
+# The build tree once lived in version control (831 files); this keeps it
+# from coming back. Run from anywhere inside the repository.
+set -eu
+
+cd "$(git rev-parse --show-toplevel)"
+
+# Everything git knows about (index + staged adds), filtered down to
+# build trees and object/binary droppings.
+BAD=$(git ls-files --cached --full-name |
+  grep -E '(^|/)(build|build-[^/]*|cmake-build-[^/]*)/|\.(o|obj|a|so|dylib|exe)$' ||
+  true)
+
+if [ -n "$BAD" ]; then
+  echo "error: build artifacts are tracked or staged:" >&2
+  echo "$BAD" | head -20 >&2
+  COUNT=$(echo "$BAD" | wc -l)
+  if [ "$COUNT" -gt 20 ]; then
+    echo "... and $((COUNT - 20)) more" >&2
+  fi
+  echo "hint: git rm -r --cached <path> and check .gitignore" >&2
+  exit 1
+fi
+
+echo "ok: no build artifacts tracked or staged"

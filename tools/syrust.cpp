@@ -20,6 +20,8 @@
 ///   --lazy                   purely lazy refinement (H+-style)
 ///   --interleave             round-robin program lengths (7.4.3)
 ///   --mutate-inputs          perturb template inputs (7.4.2)
+///   --no-incremental         rebuild encodings from scratch on every
+///                            database refinement (historical behavior)
 ///   --stop-on-bug            stop at the first UB
 ///   --minimize               delta-debug the bug-inducing program
 ///   --max-tests <n>          hard cap on synthesized test cases
@@ -52,7 +54,8 @@ int usage() {
                "       syrust run <crate> [--budget N] [--seed N] "
                "[--apis N]\n"
                "                  [--no-semantic] [--eager] [--lazy]\n"
-               "                  [--interleave] [--mutate-inputs]\n"
+               "                  [--interleave] [--mutate-inputs] "
+               "[--no-incremental]\n"
                "                  [--stop-on-bug] [--minimize] "
                "[--max-tests N]\n"
                "                  [--log-tests N] [--json-errors] "
@@ -113,6 +116,8 @@ int cmdRun(int Argc, char **Argv) {
       Config.InterleaveLengths = true;
     else if (!std::strcmp(Argv[I], "--mutate-inputs"))
       Config.MutateInputs = true;
+    else if (!std::strcmp(Argv[I], "--no-incremental"))
+      Config.IncrementalRefinement = false;
     else if (!std::strcmp(Argv[I], "--stop-on-bug"))
       Config.StopOnFirstBug = true;
     else if (!std::strcmp(Argv[I], "--minimize"))
@@ -157,6 +162,23 @@ int cmdRun(int Argc, char **Argv) {
               fmtShare(R.categoryPercent(ErrorCategory::Misc)).c_str());
   std::printf("executed         %llu\n",
               static_cast<unsigned long long>(R.Executed));
+  std::printf("synthesis        %llu rebuilds, %llu incremental extends, "
+              "%llu models re-blocked\n",
+              static_cast<unsigned long long>(R.Synth.Rebuilds),
+              static_cast<unsigned long long>(R.Synth.IncrementalExtends),
+              static_cast<unsigned long long>(R.Synth.ModelsReblocked));
+  std::printf("                 %llu duplicates skipped, %llu dead-length "
+              "revivals\n",
+              static_cast<unsigned long long>(R.Synth.DuplicatesSkipped),
+              static_cast<unsigned long long>(R.Synth.DeadLengthRevivals));
+  std::printf("solver           %llu solve calls, %llu conflicts, "
+              "%llu propagations\n",
+              static_cast<unsigned long long>(R.Synth.SolveCalls),
+              static_cast<unsigned long long>(R.Synth.SolverConflicts),
+              static_cast<unsigned long long>(R.Synth.SolverPropagations));
+  std::printf("                 %.3fs building encodings, %.3fs solving "
+              "(wall)\n",
+              R.Synth.BuildSeconds, R.Synth.SolveSeconds);
   std::printf("coverage         component %.2f%% line / %.2f%% branch; "
               "library %.2f%% / %.2f%%\n",
               R.Coverage.ComponentLine, R.Coverage.ComponentBranch,
