@@ -15,6 +15,11 @@ using namespace syrust::rustsim;
 
 json::Value syrust::core::resultToJson(const RunResult &R) {
   Value Root = Value::object();
+  // Bumped whenever a key is renamed/removed so downstream plotting tools
+  // can detect format changes. 2: build_seconds/solve_seconds became
+  // build_wall_seconds/solve_wall_seconds (they measure host wall time,
+  // not simulated time - see DESIGN.md "Wall time vs simulated time").
+  Root.set("schema_version", Value::integer(2));
   Root.set("crate", Value::string(R.Crate));
   Root.set("supported", Value::boolean(R.Supported));
   Root.set("synthesized", Value::integer(static_cast<int64_t>(R.Synthesized)));
@@ -108,8 +113,8 @@ json::Value syrust::core::resultToJson(const RunResult &R) {
   Synth.set("solver_propagations",
             Value::integer(
                 static_cast<int64_t>(R.Synth.SolverPropagations)));
-  Synth.set("build_seconds", Value::number(R.Synth.BuildSeconds));
-  Synth.set("solve_seconds", Value::number(R.Synth.SolveSeconds));
+  Synth.set("build_wall_seconds", Value::number(R.Synth.BuildSeconds));
+  Synth.set("solve_wall_seconds", Value::number(R.Synth.SolveSeconds));
   Root.set("synthesis", std::move(Synth));
 
   Value Refine = Value::object();

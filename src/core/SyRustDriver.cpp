@@ -99,8 +99,20 @@ RunResult SyRustDriver::run() {
   Rng R(Config.Seed ^ std::hash<std::string>{}(Spec.Info.Name));
   selectApis(*Inst, R);
 
+  obs::Recorder *Obs = Config.Obs;
+  SimClock Clock;
+  if (Obs) {
+    Obs->bindClock(&Clock);
+    Obs->begin("run", "driver",
+               obs::ArgList()
+                   .add("crate", Spec.Info.Name)
+                   .add("seed", Config.Seed)
+                   .add("budget_seconds", Config.BudgetSeconds));
+  }
+
   RefinementEngine Refine(Inst->Arena, Inst->Db, Config.Mode);
   Refine.setEagerCap(Config.EagerCap);
+  Refine.setRecorder(Obs);
   Refine.initialize(Inst->Inputs);
 
   SynthOptions Opts;
@@ -108,6 +120,7 @@ RunResult SyRustDriver::run() {
   Opts.InterleaveLengths = Config.InterleaveLengths;
   Opts.IncrementalRefinement = Config.IncrementalRefinement;
   Opts.SolverSeed = Config.Seed;
+  Opts.Obs = Obs;
   Synthesizer Synth(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs,
                     Inst->MaxLen, Opts);
   Checker Check(Inst->Arena, Inst->Traits);
@@ -139,7 +152,9 @@ RunResult SyRustDriver::run() {
   Interpreter Interp(Inst->Db, Inst->Traits, Inst->Registry, Init, &Cov,
                      Config.Seed + 7);
 
-  SimClock Clock;
+  Check.setRecorder(Obs);
+  Interp.setRecorder(Obs);
+
   double NextSnapshot = Config.SnapshotInterval;
   double CurveStep =
       Config.BudgetSeconds / std::max(Config.CurveSamples, 1);
@@ -165,8 +180,16 @@ RunResult SyRustDriver::run() {
   while (!Clock.exhausted(Config.BudgetSeconds)) {
     if (Config.MaxTests != 0 && Result.Synthesized >= Config.MaxTests)
       break;
+    double CandStart = Clock.now();
+    uint64_t CandId = Result.Synthesized;
     std::optional<Program> P = Synth.next();
     Clock.charge(Config.SolveCost);
+    if (Obs)
+      Obs->complete("stage.synthesize", "driver", CandStart,
+                    Config.SolveCost,
+                    obs::ArgList()
+                        .add("candidate", CandId)
+                        .add("produced", P.has_value()));
     if (!P.has_value()) {
       Result.SpaceExhausted = true;
       break;
@@ -174,10 +197,21 @@ RunResult SyRustDriver::run() {
     Result.MaxLenReached =
         std::max(Result.MaxLenReached, static_cast<int>(P->Stmts.size()));
     ++Result.Synthesized;
+    if (Obs)
+      Obs->count("driver.synthesized");
 
     // Test executor stage 1: compile.
+    double CompileStart = Clock.now();
     CompileResult Compiled = Check.check(*P, Inst->Db);
     Clock.charge(Config.CompileCost);
+    if (Obs)
+      Obs->complete("stage.compile", "driver", CompileStart,
+                    Config.CompileCost,
+                    obs::ArgList()
+                        .add("candidate", CandId)
+                        .add("ok", Compiled.Success));
+    const char *CandVerdict = "rejected";
+    bool StopNow = false;
     bool DbChanged = false;
     auto Record = [&](TestVerdict Verdict, ErrorDetail Detail,
                       miri::UbKind Ub, const std::string &Message) {
@@ -195,6 +229,8 @@ RunResult SyRustDriver::run() {
     };
     if (!Compiled.Success) {
       ++Result.Rejected;
+      if (Obs)
+        Obs->count("driver.rejected");
       ++Result.ByCategory[Compiled.Diag.Category];
       ++Result.ByDetail[Compiled.Diag.Detail];
       if (Config.JsonErrorChannel) {
@@ -217,13 +253,25 @@ RunResult SyRustDriver::run() {
     } else {
       DbChanged = Refine.onSuccess(*P);
       // Test executor stage 2: run under the miri substitute.
+      double ExecStart = Clock.now();
       ExecResult Exec = Interp.run(*P);
       Clock.charge(Config.ExecCost * Inst->MiriCostFactor);
       ++Result.Executed;
+      if (Obs) {
+        Obs->complete("stage.execute", "driver", ExecStart,
+                      Config.ExecCost * Inst->MiriCostFactor,
+                      obs::ArgList()
+                          .add("candidate", CandId)
+                          .add("ub", Exec.UbFound));
+        Obs->count("driver.executed");
+      }
+      CandVerdict = Exec.UbFound ? "ub" : "passed";
       Record(Exec.UbFound ? TestVerdict::Ub : TestVerdict::Passed,
              ErrorDetail::None, Exec.Report.Kind, Exec.Report.Message);
       if (Exec.UbFound) {
         ++Result.UbCount;
+        if (Obs)
+          Obs->count("driver.ub");
         if (!Result.BugFound) {
           Result.BugFound = true;
           Result.FirstBug = Exec.Report;
@@ -238,11 +286,21 @@ RunResult SyRustDriver::run() {
           }
         }
         if (Config.StopOnFirstBug)
-          break;
+          StopNow = true;
       }
     }
     if (DbChanged)
       Synth.notifyDatabaseChanged();
+    if (Obs)
+      Obs->complete("candidate", "driver", CandStart,
+                    Clock.now() - CandStart,
+                    obs::ArgList()
+                        .add("candidate", CandId)
+                        .add("verdict", CandVerdict)
+                        .add("lines", static_cast<int>(P->Stmts.size()))
+                        .add("refined", DbChanged));
+    if (StopNow)
+      break;
 
     // Index-based boundaries: accumulating NextCurve += CurveStep drifts
     // in floating point and could drop the final in-budget sample.
@@ -254,6 +312,8 @@ RunResult SyRustDriver::run() {
     while (Clock.now() >= NextSnapshot &&
            NextSnapshot <= Config.BudgetSeconds) {
       Cov.snapshot(NextSnapshot);
+      if (Obs)
+        Obs->snapshotMetrics(NextSnapshot);
       NextSnapshot += Config.SnapshotInterval;
     }
   }
@@ -266,5 +326,17 @@ RunResult SyRustDriver::run() {
   Result.Synth = Synth.stats();
   Result.Refine = Refine.stats();
   Result.ElapsedSeconds = Clock.now();
+  if (Obs) {
+    Obs->snapshotMetrics(Clock.now()); // Terminal metrics snapshot.
+    Obs->end("run", "driver",
+             obs::ArgList()
+                 .add("synthesized", Result.Synthesized)
+                 .add("rejected", Result.Rejected)
+                 .add("executed", Result.Executed)
+                 .add("ub", Result.UbCount));
+    // The SimClock dies with this frame; detach so late events (there
+    // should be none) cannot read freed memory.
+    Obs->bindClock(nullptr);
+  }
   return Result;
 }

@@ -20,6 +20,7 @@
 #include "core/ResultDatabase.h"
 #include "coverage/CoverageMap.h"
 #include "crates/CrateRegistry.h"
+#include "obs/Recorder.h"
 #include "refine/RefinementEngine.h"
 #include "rustsim/Diagnostic.h"
 #include "support/SimClock.h"
@@ -100,6 +101,14 @@ struct RunConfig {
   /// Retain up to this many per-test records in RunResult::Db (Algorithm
   /// 1's "DB <- DB u R"); 0 keeps counters only.
   size_t RecordTests = 0;
+
+  /// Flight recorder (non-owning). When set, the driver binds it to the
+  /// run's SimClock, threads it through every pipeline layer (solver,
+  /// synthesizer, refinement, checker, interpreter), emits a span per
+  /// candidate tying the whole lifecycle together via a candidate id,
+  /// and snapshots the metrics registry on the SnapshotInterval cadence.
+  /// Null (the default) disables all instrumentation.
+  obs::Recorder *Obs = nullptr;
 };
 
 /// A point of the cumulative error-rate curves (Figures 9/10 top rows).

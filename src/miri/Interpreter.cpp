@@ -6,6 +6,7 @@
 
 #include "miri/Interpreter.h"
 
+#include "obs/Recorder.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
@@ -166,5 +167,17 @@ ExecResult Interpreter::run(const Program &P) {
   ExecResult R;
   R.UbFound = Heap.hasUb();
   R.Report = Heap.ub();
+  if (Obs) {
+    obs::ArgList Args;
+    Args.add("ub", R.UbFound);
+    if (R.UbFound) {
+      Args.add("kind", ubKindName(R.Report.Kind));
+      Args.add("line", R.Report.Line);
+    }
+    Obs->instant("exec.verdict", "miri", std::move(Args));
+    Obs->count("exec.runs");
+    if (R.UbFound)
+      Obs->count("exec.ub");
+  }
   return R;
 }

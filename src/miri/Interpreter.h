@@ -29,6 +29,10 @@
 #include <map>
 #include <string>
 
+namespace syrust::obs {
+class Recorder;
+} // namespace syrust::obs
+
 namespace syrust::miri {
 
 class Interpreter;
@@ -151,6 +155,11 @@ public:
   /// and the leak check.
   ExecResult run(const program::Program &P);
 
+  /// Attaches the flight recorder; every run() then emits an
+  /// `exec.verdict` trace event (with the UB kind on failure) and bumps
+  /// the `exec.*` counters.
+  void setRecorder(obs::Recorder *R) { Obs = R; }
+
 private:
   void dropValue(InterpCtx &Ctx, Value &V);
 
@@ -160,6 +169,7 @@ private:
   TemplateInit Init;
   coverage::CoverageMap *Cov;
   syrust::Rng Rand;
+  obs::Recorder *Obs = nullptr;
 };
 
 } // namespace syrust::miri

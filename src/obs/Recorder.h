@@ -1,0 +1,262 @@
+//===--- Recorder.h - Deterministic flight recorder ------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run-wide "flight recorder": a Tracer that records begin/end spans,
+/// complete spans, and instant events stamped with the deterministic
+/// SimClock, exported as Chrome trace-event / Perfetto-compatible JSON;
+/// and a MetricsRegistry of named counters, gauges, and fixed-log-bucket
+/// histograms with periodic JSONL snapshots.
+///
+/// Because every timestamp comes from the simulated clock, a trace is
+/// byte-identical across machines for a fixed seed, which makes the whole
+/// layer golden-testable. Real wall-clock can be attached as an optional
+/// second timestamp (`wall_us` arg on every event) for profiling; it is
+/// off by default precisely because it breaks that determinism.
+///
+/// Zero cost when disabled: pipeline components hold a `Recorder *` that
+/// is null by default, so the uninstrumented path pays one pointer check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_OBS_RECORDER_H
+#define SYRUST_OBS_RECORDER_H
+
+#include "support/Json.h"
+#include "support/SimClock.h"
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace syrust::obs {
+
+/// Ordered key/value list attached to a trace event. Values are stored as
+/// rendered JSON tokens so the writer emits them verbatim, in insertion
+/// order (deterministic output needs a stable arg order, not map order).
+class ArgList {
+public:
+  ArgList &add(std::string Key, const std::string &V);
+  ArgList &add(std::string Key, const char *V);
+  ArgList &add(std::string Key, int64_t V);
+  ArgList &add(std::string Key, uint64_t V);
+  ArgList &add(std::string Key, int V) {
+    return add(std::move(Key), static_cast<int64_t>(V));
+  }
+  ArgList &add(std::string Key, double V);
+  ArgList &add(std::string Key, bool V);
+
+  bool empty() const { return Items.empty(); }
+  const std::vector<std::pair<std::string, std::string>> &items() const {
+    return Items;
+  }
+
+private:
+  std::vector<std::pair<std::string, std::string>> Items;
+};
+
+/// Records trace events against the simulated clock and renders them in
+/// the Chrome trace-event format (loadable in Perfetto / chrome://tracing).
+class Tracer {
+public:
+  explicit Tracer(bool CaptureWall = false)
+      : CaptureWall(CaptureWall),
+        WallStart(std::chrono::steady_clock::now()) {}
+
+  /// Points the tracer at the clock all timestamps come from. The driver
+  /// binds its run-local SimClock at run start and unbinds (nullptr) at
+  /// run end; events recorded while unbound are stamped at the last bound
+  /// clock's final reading (0 before any bind).
+  void bindClock(const SimClock *C);
+
+  /// Current simulated time in seconds.
+  double now() const { return Clock ? Clock->now() : LastSeconds; }
+
+  /// Begin/end span pair ("B"/"E" phases). Nest freely; Chrome matches
+  /// them per thread by order.
+  void begin(const char *Name, const char *Cat, ArgList Args = {});
+  void end(const char *Name, const char *Cat, ArgList Args = {});
+
+  /// Complete span ("X" phase) with an explicit start and duration in
+  /// simulated seconds — the natural shape for pipeline stages whose cost
+  /// is a known SimClock charge.
+  void complete(const char *Name, const char *Cat, double StartSeconds,
+                double DurSeconds, ArgList Args = {});
+
+  /// Instant event ("i" phase) at the current simulated time.
+  void instant(const char *Name, const char *Cat, ArgList Args = {});
+
+  size_t numEvents() const { return Events.size(); }
+
+  /// Renders the whole trace as one Chrome trace-event JSON document:
+  /// `{"displayTimeUnit":"ms","traceEvents":[...]}` with `ts`/`dur` in
+  /// microseconds of simulated time.
+  std::string chromeJson() const;
+
+  bool wallEnabled() const { return CaptureWall; }
+
+private:
+  void push(const char *Name, const char *Cat, char Phase,
+            double TsSeconds, double DurSeconds, const ArgList &Args);
+  double wallSeconds() const;
+
+  const SimClock *Clock = nullptr;
+  double LastSeconds = 0;
+  bool CaptureWall = false;
+  std::chrono::steady_clock::time_point WallStart;
+  /// Each event pre-rendered as one JSON object.
+  std::vector<std::string> Events;
+};
+
+/// Monotone saturating counter (sticks at UINT64_MAX instead of wrapping,
+/// so an overflowed metric reads as "huge", not "tiny").
+class Counter {
+public:
+  void inc(uint64_t N = 1) {
+    V = (V + N < V) ? UINT64_MAX : V + N;
+  }
+  uint64_t value() const { return V; }
+
+private:
+  uint64_t V = 0;
+};
+
+/// Last-write-wins numeric gauge.
+class Gauge {
+public:
+  void set(double X) { V = X; }
+  double value() const { return V; }
+
+private:
+  double V = 0;
+};
+
+/// Fixed logarithmic-bucket histogram: bucket I covers values up to
+/// FirstEdge * Factor^I (inclusive); one extra bucket counts overflow.
+class Histogram {
+public:
+  Histogram(double FirstEdge, double Factor, size_t NumEdges);
+
+  void observe(double X);
+
+  size_t numEdges() const { return Edges.size(); }
+  double upperEdge(size_t I) const { return Edges[I]; }
+  /// I in [0, numEdges()]: the last slot is the overflow bucket.
+  uint64_t bucketCount(size_t I) const { return Counts[I]; }
+  uint64_t count() const { return Total; }
+  double sum() const { return Sum; }
+
+private:
+  std::vector<double> Edges;
+  std::vector<uint64_t> Counts; ///< Edges.size() + 1 (overflow last).
+  uint64_t Total = 0;
+  double Sum = 0;
+};
+
+/// Named metrics with periodic snapshots. Lookup creates on first use;
+/// references stay valid for the registry's lifetime, so hot paths can
+/// cache them. Names are emitted in sorted order (deterministic output).
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  /// Creation parameters apply on first use only.
+  Histogram &histogram(const std::string &Name, double FirstEdge = 1.0,
+                       double Factor = 2.0, size_t NumEdges = 24);
+
+  /// Appends one snapshot line capturing every metric at simulated time
+  /// \p AtSeconds.
+  void snapshot(double AtSeconds);
+  size_t numSnapshots() const { return Lines.size(); }
+
+  /// One snapshot as a JSON value (what each JSONL line contains).
+  json::Value snapshotValue(double AtSeconds) const;
+
+  /// All snapshots so far, one JSON object per line.
+  std::string jsonl() const;
+
+private:
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  std::vector<std::string> Lines;
+};
+
+/// The flight recorder handed through the pipeline: tracing + metrics
+/// behind one pointer, each independently enableable. All convenience
+/// methods no-op when the corresponding half is off.
+class Recorder {
+public:
+  struct Options {
+    bool Trace = true;
+    bool Metrics = true;
+    /// Attach real wall-clock (`wall_us`) to every trace event. Breaks
+    /// byte-identical traces across runs; for local profiling only.
+    bool WallClock = false;
+  };
+
+  Recorder() : TraceOn(true), MetricsOn(true), Trace(false) {}
+  explicit Recorder(Options O)
+      : TraceOn(O.Trace), MetricsOn(O.Metrics), Trace(O.WallClock) {}
+
+  void bindClock(const SimClock *C) { Trace.bindClock(C); }
+
+  bool tracing() const { return TraceOn; }
+  bool metricsOn() const { return MetricsOn; }
+  Tracer &tracer() { return Trace; }
+  MetricsRegistry &metrics() { return Metrics; }
+
+  void begin(const char *Name, const char *Cat, ArgList Args = {}) {
+    if (TraceOn)
+      Trace.begin(Name, Cat, std::move(Args));
+  }
+  void end(const char *Name, const char *Cat, ArgList Args = {}) {
+    if (TraceOn)
+      Trace.end(Name, Cat, std::move(Args));
+  }
+  void complete(const char *Name, const char *Cat, double StartSeconds,
+                double DurSeconds, ArgList Args = {}) {
+    if (TraceOn)
+      Trace.complete(Name, Cat, StartSeconds, DurSeconds,
+                     std::move(Args));
+  }
+  void instant(const char *Name, const char *Cat, ArgList Args = {}) {
+    if (TraceOn)
+      Trace.instant(Name, Cat, std::move(Args));
+  }
+  double now() const { return Trace.now(); }
+
+  void count(const std::string &Name, uint64_t N = 1) {
+    if (MetricsOn)
+      Metrics.counter(Name).inc(N);
+  }
+  void gaugeSet(const std::string &Name, double V) {
+    if (MetricsOn)
+      Metrics.gauge(Name).set(V);
+  }
+  void observe(const std::string &Name, double V) {
+    if (MetricsOn)
+      Metrics.histogram(Name).observe(V);
+  }
+  void snapshotMetrics(double AtSeconds) {
+    if (MetricsOn)
+      Metrics.snapshot(AtSeconds);
+  }
+
+private:
+  bool TraceOn;
+  bool MetricsOn;
+  Tracer Trace;
+  MetricsRegistry Metrics;
+};
+
+} // namespace syrust::obs
+
+#endif // SYRUST_OBS_RECORDER_H

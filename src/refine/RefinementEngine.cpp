@@ -6,6 +6,8 @@
 
 #include "refine/RefinementEngine.h"
 
+#include "obs/Recorder.h"
+
 #include <algorithm>
 #include <set>
 
@@ -94,6 +96,21 @@ void RefinementEngine::initialize(
   }
 }
 
+void RefinementEngine::note(const char *Action,
+                            const Diagnostic *Diag) {
+  if (!Obs)
+    return;
+  obs::ArgList Args;
+  Args.add("action", Action);
+  if (Diag) {
+    Args.add("detail", detailName(Diag->Detail));
+    Args.add("api", static_cast<int64_t>(Diag->Api));
+    Args.add("line", Diag->Line);
+  }
+  Obs->instant("refine.action", "refine", std::move(Args));
+  Obs->count(std::string("refine.") + Action);
+}
+
 void RefinementEngine::eagerlyConcretize(ApiId Id, bool AllVars) {
   (void)AllVars;
   const ApiSig Orig = Db.get(Id); // Copy: Db mutates below.
@@ -177,6 +194,7 @@ bool RefinementEngine::onDiagnostic(const Diagnostic &Diag) {
       // it outright (Section 5.1).
       Db.ban(Diag.Api);
       ++Stats.TraitRemovals;
+      note("trait_removal", &Diag);
       return true;
     }
     // Polymorphic original (Section 5.2): never match this combination
@@ -184,6 +202,7 @@ bool RefinementEngine::onDiagnostic(const Diagnostic &Diag) {
     if (!Diag.ActualInputs.empty()) {
       Db.blockCombo(Diag.Api, Diag.ActualInputs);
       ++Stats.ComboBlocks;
+      note("combo_block", &Diag);
       return true;
     }
     return false;
@@ -195,6 +214,7 @@ bool RefinementEngine::onDiagnostic(const Diagnostic &Diag) {
       if (duplicateWithConcreteTypes(Diag.Api, Diag.ActualInputs,
                                      Diag.ExpectedOutput)) {
         ++Stats.DirectFixes;
+        note("direct_fix", &Diag);
         return true;
       }
       return false;
@@ -210,11 +230,13 @@ bool RefinementEngine::onDiagnostic(const Diagnostic &Diag) {
       eagerlyConcretize(Diag.Api, /*AllVars=*/true);
       Db.ban(Diag.Api);
       ++Stats.Bans;
+      note("eager_concretize", &Diag);
       return true;
     }
     if (!Diag.ActualInputs.empty()) {
       Db.blockCombo(Diag.Api, Diag.ActualInputs);
       ++Stats.ComboBlocks;
+      note("combo_block", &Diag);
       return true;
     }
     return false;
@@ -223,6 +245,7 @@ bool RefinementEngine::onDiagnostic(const Diagnostic &Diag) {
     if (!Diag.ActualInputs.empty()) {
       Db.blockCombo(Diag.Api, Diag.ActualInputs);
       ++Stats.ComboBlocks;
+      note("combo_block", &Diag);
       return true;
     }
     return false;
@@ -233,6 +256,7 @@ bool RefinementEngine::onDiagnostic(const Diagnostic &Diag) {
     if (++ArityStrikes[Diag.Api] >= 3) {
       Db.ban(Diag.Api);
       ++Stats.Bans;
+      note("ban", &Diag);
       return true;
     }
     return false;
@@ -244,6 +268,7 @@ bool RefinementEngine::onDiagnostic(const Diagnostic &Diag) {
     if (++ArityStrikes[Diag.Api] >= 10) {
       Db.ban(Diag.Api);
       ++Stats.Bans;
+      note("ban", &Diag);
       return true;
     }
     return false;
@@ -290,7 +315,10 @@ bool RefinementEngine::onSuccess(const Program &P) {
     }
     if (!AllConcrete || !S.DeclType || !S.DeclType->isConcrete())
       continue;
-    Changed |= duplicateWithConcreteTypes(S.Api, Actuals, S.DeclType);
+    if (duplicateWithConcreteTypes(S.Api, Actuals, S.DeclType)) {
+      Changed = true;
+      note("output_duplication", nullptr);
+    }
   }
   return Changed;
 }

@@ -39,6 +39,10 @@
 #include <map>
 #include <vector>
 
+namespace syrust::obs {
+class Recorder;
+} // namespace syrust::obs
+
 namespace syrust::refine {
 
 /// Instantiation strategy.
@@ -88,7 +92,14 @@ public:
   /// Maximum instantiations generated per API during eager passes.
   void setEagerCap(size_t Cap) { EagerCap = Cap; }
 
+  /// Attaches the flight recorder; every database-mutating refinement
+  /// action then emits a `refine.action` trace event carrying the
+  /// triggering diagnostic and bumps a `refine.<action>` counter.
+  void setRecorder(obs::Recorder *R) { Obs = R; }
+
 private:
+  /// Records one refinement action (null recorder: no-op).
+  void note(const char *Action, const rustsim::Diagnostic *Diag);
   void eagerlyConcretize(api::ApiId Id, bool AllVars);
   bool duplicateWithConcreteTypes(api::ApiId Orig,
                                   std::vector<const types::Type *> Inputs,
@@ -101,6 +112,7 @@ private:
   std::vector<const types::Type *> Harvested;
   std::map<api::ApiId, int> ArityStrikes;
   size_t EagerCap = 64;
+  obs::Recorder *Obs = nullptr;
 };
 
 } // namespace syrust::refine

@@ -1,0 +1,113 @@
+//===--- TraceReport.cpp - Per-stage trace breakdown ----------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/TraceReport.h"
+
+#include "report/Table.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace syrust;
+using namespace syrust::report;
+
+bool syrust::report::summarizeTrace(const std::string &TraceJson,
+                                    TraceSummary &Out, std::string &Err) {
+  json::ParseResult P = json::parse(TraceJson);
+  if (!P.Ok) {
+    Err = "not valid JSON: " + P.Error;
+    return false;
+  }
+  if (P.Val.kind() != json::Value::Kind::Object ||
+      !P.Val.has("traceEvents")) {
+    Err = "not a trace: missing top-level \"traceEvents\" array";
+    return false;
+  }
+  const json::Value &Events = P.Val.get("traceEvents");
+  if (Events.kind() != json::Value::Kind::Array) {
+    Err = "not a trace: \"traceEvents\" is not an array";
+    return false;
+  }
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const json::Value &E = Events.at(I);
+    if (E.kind() != json::Value::Kind::Object)
+      continue;
+    ++Out.NumEvents;
+    const std::string &Name = E.get("name").asString();
+    const std::string &Ph = E.get("ph").asString();
+    double TsSeconds = E.get("ts").asDouble() / 1e6;
+    if (Ph == "X") {
+      double DurSeconds = E.get("dur").asDouble() / 1e6;
+      SpanStats &S = Out.Spans[Name];
+      if (S.Count == 0) {
+        S.MinSeconds = DurSeconds;
+        S.MaxSeconds = DurSeconds;
+      } else {
+        S.MinSeconds = std::min(S.MinSeconds, DurSeconds);
+        S.MaxSeconds = std::max(S.MaxSeconds, DurSeconds);
+      }
+      ++S.Count;
+      S.TotalSeconds += DurSeconds;
+      Out.EndSeconds = std::max(Out.EndSeconds, TsSeconds + DurSeconds);
+    } else {
+      if (Ph == "i")
+        ++Out.Instants[Name];
+      Out.EndSeconds = std::max(Out.EndSeconds, TsSeconds);
+    }
+  }
+  return true;
+}
+
+static std::string fmtSeconds(double S) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", S);
+  return Buf;
+}
+
+static std::string fmtRate(double PerSecond) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", PerSecond);
+  return Buf;
+}
+
+std::string syrust::report::renderTraceSummary(const TraceSummary &S) {
+  std::string Out;
+  Out += "Trace summary: " + std::to_string(S.NumEvents) +
+         " events over " + fmtSeconds(S.EndSeconds) +
+         " simulated seconds\n\n";
+
+  if (!S.Spans.empty()) {
+    Table Stages({"stage", "count", "total s", "mean s", "min s", "max s",
+                  "per sim-s"});
+    for (const auto &[Name, St] : S.Spans) {
+      double Rate = S.EndSeconds > 0
+                        ? static_cast<double>(St.Count) / S.EndSeconds
+                        : 0.0;
+      Stages.addRow({Name, fmtCount(St.Count),
+                     fmtSeconds(St.TotalSeconds),
+                     fmtSeconds(St.meanSeconds()),
+                     fmtSeconds(St.MinSeconds), fmtSeconds(St.MaxSeconds),
+                     fmtRate(Rate)});
+    }
+    Out += "Per-stage latency (complete spans):\n";
+    Out += Stages.render();
+    Out += "\n";
+  }
+
+  if (!S.Instants.empty()) {
+    Table Events({"event", "count", "per sim-s"});
+    for (const auto &[Name, N] : S.Instants) {
+      double Rate = S.EndSeconds > 0
+                        ? static_cast<double>(N) / S.EndSeconds
+                        : 0.0;
+      Events.addRow({Name, fmtCount(N), fmtRate(Rate)});
+    }
+    Out += "Instant events:\n";
+    Out += Events.render();
+  }
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===--- TraceReport.h - Per-stage trace breakdown -------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline analysis of a flight-recorder trace (the Chrome trace-event
+/// JSON written by `--trace-out`): aggregates complete spans per event
+/// name into latency/throughput statistics and counts instant events, so
+/// `syrust report <trace>` can print a per-stage breakdown without any
+/// external tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_REPORT_TRACEREPORT_H
+#define SYRUST_REPORT_TRACEREPORT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace syrust::report {
+
+/// Aggregate over all complete ("X") spans sharing one event name.
+struct SpanStats {
+  uint64_t Count = 0;
+  double TotalSeconds = 0;
+  double MinSeconds = 0;
+  double MaxSeconds = 0;
+
+  double meanSeconds() const {
+    return Count == 0 ? 0.0 : TotalSeconds / static_cast<double>(Count);
+  }
+};
+
+/// Everything `syrust report` extracts from one trace file.
+struct TraceSummary {
+  /// Complete-span aggregates keyed by event name (sorted by std::map,
+  /// so rendering is deterministic).
+  std::map<std::string, SpanStats> Spans;
+  /// Instant-event ("i") occurrence counts keyed by event name.
+  std::map<std::string, uint64_t> Instants;
+  /// Total simulated time covered: the largest ts + dur seen (seconds).
+  double EndSeconds = 0;
+  uint64_t NumEvents = 0;
+};
+
+/// Parses a Chrome trace-event JSON document (the `--trace-out` format)
+/// and aggregates it. Returns false and fills \p Err when \p TraceJson is
+/// not a valid trace.
+bool summarizeTrace(const std::string &TraceJson, TraceSummary &Out,
+                    std::string &Err);
+
+/// Renders the per-stage latency/throughput breakdown tables.
+std::string renderTraceSummary(const TraceSummary &S);
+
+} // namespace syrust::report
+
+#endif // SYRUST_REPORT_TRACEREPORT_H

@@ -6,6 +6,7 @@
 
 #include "rustsim/Checker.h"
 
+#include "obs/Recorder.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
@@ -117,7 +118,30 @@ Diagnostic makeDiag(ErrorDetail Detail, int Line, ApiId Api,
 
 } // namespace
 
-CompileResult Checker::check(const Program &P, const ApiDatabase &Db) const {
+CompileResult Checker::check(const Program &P,
+                             const ApiDatabase &Db) const {
+  CompileResult R = checkImpl(P, Db);
+  if (Obs) {
+    obs::ArgList Args;
+    Args.add("ok", R.Success);
+    if (!R.Success) {
+      Args.add("category", categoryName(R.Diag.Category));
+      Args.add("detail", detailName(R.Diag.Detail));
+      Args.add("line", R.Diag.Line);
+    }
+    Obs->instant("compile.verdict", "rustsim", std::move(Args));
+    Obs->count("compile.checks");
+    if (!R.Success) {
+      Obs->count("compile.rejected");
+      Obs->count(std::string("compile.rejected.") +
+                 categoryName(R.Diag.Category));
+    }
+  }
+  return R;
+}
+
+CompileResult Checker::checkImpl(const Program &P,
+                                 const ApiDatabase &Db) const {
   std::vector<CheckState> Vars(static_cast<size_t>(P.numVars()));
   for (size_t I = 0; I < P.Inputs.size(); ++I) {
     Vars[I].Base.Ty = P.Inputs[I].Ty;

@@ -35,6 +35,10 @@
 #include "types/Subtyping.h"
 #include "types/TraitEnv.h"
 
+namespace syrust::obs {
+class Recorder;
+} // namespace syrust::obs
+
 namespace syrust::rustsim {
 
 /// Per-variable checker state; exposed for white-box tests.
@@ -63,9 +67,18 @@ public:
   CompileResult check(const program::Program &P,
                       const api::ApiDatabase &Db) const;
 
+  /// Attaches the flight recorder; every check() then emits a
+  /// `compile.verdict` trace event (with the rejection category/detail)
+  /// and bumps the `compile.*` counters.
+  void setRecorder(obs::Recorder *R) { Obs = R; }
+
 private:
+  CompileResult checkImpl(const program::Program &P,
+                          const api::ApiDatabase &Db) const;
+
   types::TypeArena &Arena;
   const types::TraitEnv &Traits;
+  obs::Recorder *Obs = nullptr;
 };
 
 } // namespace syrust::rustsim

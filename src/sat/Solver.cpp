@@ -6,6 +6,8 @@
 
 #include "sat/Solver.h"
 
+#include "obs/Recorder.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -757,6 +759,33 @@ SolveResult Solver::search() {
 SolveResult Solver::solve() { return solve({}); }
 
 SolveResult Solver::solve(const std::vector<Lit> &Assumps) {
+  uint64_t Conflicts0 = Stats.Conflicts;
+  uint64_t Propagations0 = Stats.Propagations;
+  uint64_t Restarts0 = Stats.Restarts;
+  SolveResult Result = solveInner(Assumps);
+  if (Obs) {
+    uint64_t Conflicts = Stats.Conflicts - Conflicts0;
+    uint64_t Propagations = Stats.Propagations - Propagations0;
+    uint64_t Restarts = Stats.Restarts - Restarts0;
+    Obs->instant("sat.solve", "sat",
+                 obs::ArgList()
+                     .add("result",
+                          Result == SolveResult::Sat ? "sat" : "unsat")
+                     .add("conflicts", Conflicts)
+                     .add("propagations", Propagations)
+                     .add("restarts", Restarts)
+                     .add("budget_hit", BudgetHit));
+    Obs->count("sat.solve_calls");
+    Obs->count("sat.conflicts", Conflicts);
+    Obs->count("sat.propagations", Propagations);
+    Obs->count("sat.restarts", Restarts);
+    Obs->observe("sat.conflicts_per_solve",
+                 static_cast<double>(Conflicts));
+  }
+  return Result;
+}
+
+SolveResult Solver::solveInner(const std::vector<Lit> &Assumps) {
   BudgetHit = false;
   if (!Ok)
     return SolveResult::Unsat;

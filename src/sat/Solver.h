@@ -27,6 +27,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace syrust::obs {
+class Recorder;
+} // namespace syrust::obs
+
 namespace syrust::sat {
 
 /// Aggregate search statistics, exposed for the micro benchmarks.
@@ -113,6 +117,11 @@ public:
   /// Seeds the random tie-breaking used for a small fraction of decisions.
   void setRandomSeed(uint64_t Seed);
 
+  /// Attaches the flight recorder; every solve() then emits a `sat.solve`
+  /// trace event with its conflict/propagation/restart deltas and bumps
+  /// the `sat.*` counters. Null (the default) disables instrumentation.
+  void setRecorder(obs::Recorder *R) { Obs = R; }
+
 private:
   // Clause storage: clauses live in a flat arena; a ClauseRef is an offset.
   using ClauseRef = uint32_t;
@@ -194,6 +203,7 @@ private:
   void heapPercolateDown(int Pos);
 
   // --- top-level search ------------------------------------------------------
+  SolveResult solveInner(const std::vector<Lit> &Assumps);
   SolveResult search();
   void reduceDB();
   void attachClause(ClauseRef Ref);
@@ -230,6 +240,7 @@ private:
   bool BudgetHit = false;
   double MaxLearned = 0;
   uint64_t RandomState = 0x9e3779b97f4a7c15ULL;
+  obs::Recorder *Obs = nullptr;
 
   SolverStats Stats;
 };

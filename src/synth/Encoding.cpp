@@ -62,6 +62,7 @@ Encoding::Encoding(TypeArena &Arena, const TraitEnv &Traits,
     : Arena(Arena), Traits(Traits), Db(Db), Inputs(Inputs),
       NumLines(NumLines), Opts(Opts) {
   Solver.setRandomSeed(Opts.SolverSeed);
+  Solver.setRecorder(Opts.Obs);
   sync();
 }
 
@@ -183,6 +184,15 @@ void Encoding::sync() {
   }
   buildBlockedCombos();
   VarCount = static_cast<size_t>(Solver.numVars());
+  if (Opts.Obs)
+    Opts.Obs->instant("synth.sync", "synth",
+                      obs::ArgList()
+                          .add("length", NumLines)
+                          .add("active_apis",
+                               static_cast<uint64_t>(Active.size()))
+                          .add("sat_vars", static_cast<uint64_t>(VarCount))
+                          .add("candidates",
+                               static_cast<uint64_t>(TotalCandidates)));
 }
 
 void Encoding::buildTypeUniverse() {

@@ -47,6 +47,7 @@
 #define SYRUST_SYNTH_ENCODING_H
 
 #include "api/ApiDatabase.h"
+#include "obs/Recorder.h"
 #include "program/Program.h"
 #include "sat/Solver.h"
 #include "types/Subtyping.h"
@@ -78,6 +79,9 @@ struct SynthOptions {
   /// Conflict budget per solve (0 = unlimited).
   uint64_t SolveConflictBudget = 200000;
   uint64_t SolverSeed = 1;
+  /// Flight recorder for trace events and metrics; null (the default)
+  /// disables instrumentation at the cost of one pointer check.
+  obs::Recorder *Obs = nullptr;
 };
 
 /// SAT encoding for one (API database snapshot, program length) pair.

@@ -46,15 +46,26 @@ void Synthesizer::snapshotDb() {
 
 std::unique_ptr<Encoding> Synthesizer::makeEncoding(int Length) {
   auto T0 = std::chrono::steady_clock::now();
+  size_t Reblocked = 0;
   auto E =
       std::make_unique<Encoding>(Arena, Traits, Db, Inputs, Length, Opts);
   ++Stats.Rebuilds;
   if (Opts.IncrementalRefinement) {
     auto It = RetiredSigs.find(Length);
-    if (It != RetiredSigs.end())
-      Stats.ModelsReblocked += E->seedBlockedModels(It->second);
+    if (It != RetiredSigs.end()) {
+      Reblocked = E->seedBlockedModels(It->second);
+      Stats.ModelsReblocked += Reblocked;
+    }
   }
   Stats.BuildSeconds += secondsSince(T0);
+  if (Opts.Obs) {
+    Opts.Obs->instant("synth.build", "synth",
+                      obs::ArgList()
+                          .add("length", Length)
+                          .add("reblocked",
+                               static_cast<uint64_t>(Reblocked)));
+    Opts.Obs->count("synth.builds");
+  }
   return E;
 }
 
@@ -117,6 +128,12 @@ void Synthesizer::notifyDatabaseChanged() {
       }
       if (Extended) {
         ++Stats.IncrementalExtends;
+        if (Opts.Obs) {
+          Opts.Obs->instant("synth.extend", "synth",
+                            obs::ArgList().add("length",
+                                               Stats.CurrentLength));
+          Opts.Obs->count("synth.extends");
+        }
       } else {
         retireEncoding(Enc);
         Enc = makeEncoding(Stats.CurrentLength);
@@ -141,6 +158,12 @@ void Synthesizer::notifyDatabaseChanged() {
     }
     if (Extended) {
       ++Stats.IncrementalExtends;
+      if (Opts.Obs) {
+        Opts.Obs->instant("synth.extend", "synth",
+                          obs::ArgList().add("length",
+                                             static_cast<int>(Idx) + 1));
+        Opts.Obs->count("synth.extends");
+      }
     } else {
       retireEncoding(Slot);
       Slot = makeEncoding(static_cast<int>(Idx) + 1);
@@ -149,6 +172,12 @@ void Synthesizer::notifyDatabaseChanged() {
       LengthLive[Idx] = 1;
       ++Stats.DeadLengthRevivals;
       Done = false;
+      if (Opts.Obs) {
+        Opts.Obs->instant("synth.revive", "synth",
+                          obs::ArgList().add("length",
+                                             static_cast<int>(Idx) + 1));
+        Opts.Obs->count("synth.revivals");
+      }
     }
   }
   snapshotDb();
@@ -168,13 +197,25 @@ bool Synthesizer::advanceLength() {
 bool Synthesizer::acceptProgram(Program &P) {
   if (Opts.SemanticAware && !Encoding::pathCheckOk(P, Db, Traits)) {
     ++Stats.PathFiltered;
+    if (Opts.Obs)
+      Opts.Obs->count("synth.path_filtered");
     return false; // Model auto-blocked on the next nextModel() call.
   }
   if (!SeenHashes.insert(P.hash()).second) {
     ++Stats.DuplicatesSkipped;
+    if (Opts.Obs)
+      Opts.Obs->count("synth.duplicates_skipped");
     return false; // Re-emitted after a rebuild; skip.
   }
   ++Stats.Emitted;
+  if (Opts.Obs) {
+    Opts.Obs->instant("synth.emit", "synth",
+                      obs::ArgList().add(
+                          "length",
+                          static_cast<uint64_t>(P.Stmts.size())));
+    Opts.Obs->count("synth.emitted");
+    Opts.Obs->gaugeSet("synth.current_length", Stats.CurrentLength);
+  }
   return true;
 }
 

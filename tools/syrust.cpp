@@ -10,6 +10,9 @@
 ///       Print the library inventory (Figure 12).
 ///   syrust run <crate> [options]
 ///       Run the full pipeline against one library model.
+///   syrust report <trace.json>
+///       Print a per-stage latency/throughput breakdown of a trace
+///       previously written with `--trace-out`.
 ///
 /// Options for `run`:
 ///   --budget <sim-seconds>   simulated budget (default 600)
@@ -28,17 +31,26 @@
 ///   --log-tests <n>          retain + print the first n test records
 ///   --json-errors            route diagnostics via the JSON channel
 ///   --json                   print the full result as JSON
+///   --trace-out <file>       write a Chrome trace-event JSON trace
+///   --metrics-out <file>     write JSONL metrics snapshots
+///   --trace-wall             attach real wall-clock to trace events
+///                            (breaks byte-identical traces; profiling
+///                            only; requires --trace-out)
+///
+/// Unknown or malformed flags are rejected with a specific error.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/ResultJson.h"
 #include "core/SyRustDriver.h"
 #include "report/Table.h"
+#include "report/TraceReport.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 using namespace syrust;
 using namespace syrust::core;
@@ -59,8 +71,34 @@ int usage() {
                "                  [--stop-on-bug] [--minimize] "
                "[--max-tests N]\n"
                "                  [--log-tests N] [--json-errors] "
-               "[--json]\n");
+               "[--json]\n"
+               "                  [--trace-out FILE] [--metrics-out FILE] "
+               "[--trace-wall]\n"
+               "       syrust report <trace.json>\n");
   return 2;
+}
+
+bool writeFile(const char *Path, const std::string &Data) {
+  std::FILE *F = std::fopen(Path, "wb");
+  if (!F)
+    return false;
+  bool Ok =
+      std::fwrite(Data.data(), 1, Data.size(), F) == Data.size();
+  Ok = (std::fclose(F) == 0) && Ok;
+  return Ok;
+}
+
+bool readFile(const char *Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  return Ok;
 }
 
 int cmdList() {
@@ -79,8 +117,10 @@ int cmdList() {
 }
 
 int cmdRun(int Argc, char **Argv) {
-  if (Argc < 1)
+  if (Argc < 1) {
+    std::fprintf(stderr, "syrust run: missing <crate> argument\n");
     return usage();
+  }
   const CrateSpec *Spec = findCrate(Argv[0]);
   if (!Spec) {
     std::fprintf(stderr, "unknown crate '%s'; try `syrust list`\n",
@@ -90,49 +130,121 @@ int cmdRun(int Argc, char **Argv) {
 
   RunConfig Config;
   bool Json = false;
-  for (int I = 1; I < Argc; ++I) {
+  const char *TraceOut = nullptr;
+  const char *MetricsOut = nullptr;
+  bool TraceWall = false;
+  bool ParseOk = true;
+  for (int I = 1; I < Argc && ParseOk; ++I) {
+    const char *Arg = Argv[I];
+    // Strict value parsing: a flag that takes a value fails loudly when
+    // the value is missing or not a number, instead of atof-ing garbage
+    // to 0 and silently running with the wrong configuration.
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "syrust run: missing value for %s\n", Arg);
+        ParseOk = false;
+        return nullptr;
+      }
+      return Argv[++I];
+    };
     auto NextNum = [&](double &Out) {
-      if (I + 1 >= Argc)
+      const char *V = NextValue();
+      if (!V)
         return false;
-      Out = std::atof(Argv[++I]);
+      char *End = nullptr;
+      Out = std::strtod(V, &End);
+      if (End == V || *End != '\0') {
+        std::fprintf(stderr,
+                     "syrust run: malformed number '%s' for %s\n", V,
+                     Arg);
+        ParseOk = false;
+        return false;
+      }
+      if (Out < 0) {
+        std::fprintf(stderr,
+                     "syrust run: %s must be non-negative, got '%s'\n",
+                     Arg, V);
+        ParseOk = false;
+        return false;
+      }
       return true;
     };
     double Num = 0;
-    if (!std::strcmp(Argv[I], "--budget") && NextNum(Num))
-      Config.BudgetSeconds = Num;
-    else if (!std::strcmp(Argv[I], "--seed") && NextNum(Num))
-      Config.Seed = static_cast<uint64_t>(Num);
-    else if (!std::strcmp(Argv[I], "--apis") && NextNum(Num))
-      Config.NumApis = static_cast<int>(Num);
-    else if (!std::strcmp(Argv[I], "--max-tests") && NextNum(Num))
-      Config.MaxTests = static_cast<uint64_t>(Num);
-    else if (!std::strcmp(Argv[I], "--no-semantic"))
+    if (!std::strcmp(Arg, "--budget")) {
+      if (NextNum(Num))
+        Config.BudgetSeconds = Num;
+    } else if (!std::strcmp(Arg, "--seed")) {
+      if (NextNum(Num))
+        Config.Seed = static_cast<uint64_t>(Num);
+    } else if (!std::strcmp(Arg, "--apis")) {
+      if (NextNum(Num))
+        Config.NumApis = static_cast<int>(Num);
+    } else if (!std::strcmp(Arg, "--max-tests")) {
+      if (NextNum(Num))
+        Config.MaxTests = static_cast<uint64_t>(Num);
+    } else if (!std::strcmp(Arg, "--log-tests")) {
+      if (NextNum(Num))
+        Config.RecordTests = static_cast<size_t>(Num);
+    } else if (!std::strcmp(Arg, "--trace-out")) {
+      TraceOut = NextValue();
+    } else if (!std::strcmp(Arg, "--metrics-out")) {
+      MetricsOut = NextValue();
+    } else if (!std::strcmp(Arg, "--trace-wall")) {
+      TraceWall = true;
+    } else if (!std::strcmp(Arg, "--no-semantic")) {
       Config.SemanticAware = false;
-    else if (!std::strcmp(Argv[I], "--eager"))
+    } else if (!std::strcmp(Arg, "--eager")) {
       Config.Mode = refine::RefinementMode::PurelyEager;
-    else if (!std::strcmp(Argv[I], "--lazy"))
+    } else if (!std::strcmp(Arg, "--lazy")) {
       Config.Mode = refine::RefinementMode::PurelyLazy;
-    else if (!std::strcmp(Argv[I], "--interleave"))
+    } else if (!std::strcmp(Arg, "--interleave")) {
       Config.InterleaveLengths = true;
-    else if (!std::strcmp(Argv[I], "--mutate-inputs"))
+    } else if (!std::strcmp(Arg, "--mutate-inputs")) {
       Config.MutateInputs = true;
-    else if (!std::strcmp(Argv[I], "--no-incremental"))
+    } else if (!std::strcmp(Arg, "--no-incremental")) {
       Config.IncrementalRefinement = false;
-    else if (!std::strcmp(Argv[I], "--stop-on-bug"))
+    } else if (!std::strcmp(Arg, "--stop-on-bug")) {
       Config.StopOnFirstBug = true;
-    else if (!std::strcmp(Argv[I], "--minimize"))
+    } else if (!std::strcmp(Arg, "--minimize")) {
       Config.MinimizeBugs = true;
-    else if (!std::strcmp(Argv[I], "--json"))
+    } else if (!std::strcmp(Arg, "--json")) {
       Json = true;
-    else if (!std::strcmp(Argv[I], "--log-tests") && NextNum(Num))
-      Config.RecordTests = static_cast<size_t>(Num);
-    else if (!std::strcmp(Argv[I], "--json-errors"))
+    } else if (!std::strcmp(Arg, "--json-errors")) {
       Config.JsonErrorChannel = true;
-    else
+    } else {
+      std::fprintf(stderr, "syrust run: unknown flag '%s'\n", Arg);
       return usage();
+    }
+  }
+  if (!ParseOk)
+    return usage();
+  if (TraceWall && !TraceOut) {
+    std::fprintf(stderr,
+                 "syrust run: --trace-wall requires --trace-out\n");
+    return usage();
   }
 
+  obs::Recorder::Options ObsOpts;
+  ObsOpts.Trace = TraceOut != nullptr;
+  ObsOpts.Metrics = MetricsOut != nullptr;
+  ObsOpts.WallClock = TraceWall;
+  obs::Recorder Recorder(ObsOpts);
+  if (TraceOut || MetricsOut)
+    Config.Obs = &Recorder;
+
   RunResult R = SyRustDriver(*Spec, Config).run();
+
+  if (TraceOut && !writeFile(TraceOut, Recorder.tracer().chromeJson())) {
+    std::fprintf(stderr, "syrust run: cannot write trace to '%s'\n",
+                 TraceOut);
+    return 1;
+  }
+  if (MetricsOut && !writeFile(MetricsOut, Recorder.metrics().jsonl())) {
+    std::fprintf(stderr, "syrust run: cannot write metrics to '%s'\n",
+                 MetricsOut);
+    return 1;
+  }
+
   if (Json) {
     std::printf("%s\n", resultToJson(R).dump().c_str());
     return 0;
@@ -210,6 +322,28 @@ int cmdRun(int Argc, char **Argv) {
   return 0;
 }
 
+int cmdReport(int Argc, char **Argv) {
+  if (Argc != 1) {
+    std::fprintf(stderr,
+                 "syrust report: expected exactly one trace file\n");
+    return usage();
+  }
+  std::string Data;
+  if (!readFile(Argv[0], Data)) {
+    std::fprintf(stderr, "syrust report: cannot read '%s'\n", Argv[0]);
+    return 1;
+  }
+  TraceSummary Summary;
+  std::string Err;
+  if (!summarizeTrace(Data, Summary, Err)) {
+    std::fprintf(stderr, "syrust report: %s: %s\n", Argv[0],
+                 Err.c_str());
+    return 1;
+  }
+  std::printf("%s", renderTraceSummary(Summary).c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -219,5 +353,8 @@ int main(int Argc, char **Argv) {
     return cmdList();
   if (!std::strcmp(Argv[1], "run"))
     return cmdRun(Argc - 2, Argv + 2);
+  if (!std::strcmp(Argv[1], "report"))
+    return cmdReport(Argc - 2, Argv + 2);
+  std::fprintf(stderr, "syrust: unknown command '%s'\n", Argv[1]);
   return usage();
 }
