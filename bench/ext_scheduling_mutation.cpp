@@ -22,7 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "core/SyRustDriver.h"
+#include "core/Session.h"
 #include "report/Table.h"
 #include "support/StringUtils.h"
 
@@ -33,6 +33,7 @@ using namespace syrust::crates;
 using namespace syrust::report;
 
 int main() {
+  core::Session S;
   double Budget = envBudget("SYRUST_BUDGET", 8000.0);
   banner("Extensions", "scheduling (7.4.3) and input mutation (7.4.2)");
 
@@ -45,8 +46,8 @@ int main() {
     Plain.StopOnFirstBug = true;
     RunConfig Inter = Plain;
     Inter.InterleaveLengths = true;
-    RunResult RPlain = SyRustDriver(*Spec, Plain).run();
-    RunResult RInter = SyRustDriver(*Spec, Inter).run();
+    RunResult RPlain = S.runOne(*Spec, Plain);
+    RunResult RInter = S.runOne(*Spec, Inter);
     auto Time = [](const RunResult &R) {
       return R.BugFound ? format("%.1f", R.TimeToBug)
                         : std::string("not found");
@@ -70,8 +71,8 @@ int main() {
     Fixed.BudgetSeconds = Budget / 2;
     RunConfig Mutated = Fixed;
     Mutated.MutateInputs = true;
-    RunResult RFixed = SyRustDriver(*Spec, Fixed).run();
-    RunResult RMut = SyRustDriver(*Spec, Mutated).run();
+    RunResult RFixed = S.runOne(*Spec, Fixed);
+    RunResult RMut = S.runOne(*Spec, Mutated);
     Cov.addRow({Name,
                 format("%.2f %%", RFixed.Coverage.ComponentBranch),
                 format("%.2f %%", RMut.Coverage.ComponentBranch),
@@ -92,7 +93,7 @@ int main() {
     C.BudgetSeconds = 300;
     C.Mode = Mode;
     RunResult R =
-        SyRustDriver(*findCrate("crossbeam-queue"), C).run();
+        S.runOne(*findCrate("crossbeam-queue"), C);
     Lazy.addRow({"crossbeam-queue",
                  Mode == refine::RefinementMode::Hybrid ? "hybrid"
                                                         : "purely lazy",

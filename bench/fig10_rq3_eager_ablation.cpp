@@ -13,7 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "core/SyRustDriver.h"
+#include "core/Session.h"
 #include "report/Table.h"
 #include "support/StringUtils.h"
 
@@ -25,6 +25,7 @@ using namespace syrust::report;
 using namespace syrust::rustsim;
 
 int main() {
+  core::Session S;
   // The eager variant synthesizes (and rejects) an order of magnitude
   // more test cases per simulated second, so the default budget is
   // smaller than Figure 7/9's; the explosion is visible immediately.
@@ -44,8 +45,8 @@ int main() {
     Eager.Mode = refine::RefinementMode::PurelyEager;
     Eager.EagerCap = 24;
 
-    RunResult RBase = SyRustDriver(*Spec, Base).run();
-    RunResult REager = SyRustDriver(*Spec, Eager).run();
+    RunResult RBase = S.runOne(*Spec, Base);
+    RunResult REager = S.runOne(*Spec, Eager);
 
     auto Det = [](const RunResult &R, ErrorDetail D) {
       auto It = R.ByDetail.find(D);

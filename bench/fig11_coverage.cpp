@@ -18,7 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "core/SyRustDriver.h"
+#include "core/Session.h"
 #include "report/Table.h"
 #include "support/StringUtils.h"
 
@@ -29,6 +29,7 @@ using namespace syrust::crates;
 using namespace syrust::report;
 
 int main() {
+  core::Session S;
   double Budget = envBudget("SYRUST_BUDGET", 6000.0);
   banner("Figure 11", "library and component coverage (BV/CB x RQ1-3)");
 
@@ -58,7 +59,7 @@ int main() {
       if (V.Mode == refine::RefinementMode::PurelyEager)
         Config.EagerCap = 24;
       Config.SnapshotInterval = Budget / 40;
-      RunResult R = SyRustDriver(*Spec, Config).run();
+      RunResult R = S.runOne(*Spec, Config);
       T.addRow({std::string(Tag) + " " + V.Tag,
                 format("%.2f %%", R.Coverage.ComponentLine),
                 format("%.2f %%", R.Coverage.ComponentBranch),

@@ -18,7 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "core/SyRustDriver.h"
+#include "core/Session.h"
 #include "report/Table.h"
 
 using namespace syrust;
@@ -29,6 +29,7 @@ using namespace syrust::report;
 using namespace syrust::rustsim;
 
 int main() {
+  core::Session S;
   double Budget = envBudget("SYRUST_BUDGET", 600.0);
   banner("Figure 6", "rejection rates and error breakdown per library");
   std::printf("budget: %.0f simulated seconds per library "
@@ -43,7 +44,7 @@ int main() {
       continue; // cookie-factory / jsonrpc-client-core (Section 7.1).
     RunConfig Config;
     Config.BudgetSeconds = Budget;
-    RunResult R = SyRustDriver(Spec, Config).run();
+    RunResult R = S.runOne(Spec, Config);
     std::string Name = Spec.Info.Name + (R.BugFound ? " *" : "");
     T.addRow({Name, fmtCount(static_cast<uint64_t>(R.MaxLenReached)),
               fmtCount(R.Synthesized),

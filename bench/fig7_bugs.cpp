@@ -15,7 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "core/SyRustDriver.h"
+#include "core/Session.h"
 #include "miri/Heap.h"
 #include "report/Table.h"
 #include "support/StringUtils.h"
@@ -27,6 +27,7 @@ using namespace syrust::crates;
 using namespace syrust::report;
 
 int main() {
+  core::Session S;
   double Budget = envBudget("SYRUST_BUDGET", 36000.0);
   banner("Figure 7", "bugs caught by SyRust");
 
@@ -40,7 +41,7 @@ int main() {
     Config.BudgetSeconds = Budget;
     Config.StopOnFirstBug = true;
     Config.MinimizeBugs = true;
-    RunResult R = SyRustDriver(*Spec, Config).run();
+    RunResult R = S.runOne(*Spec, Config);
     if (!R.BugFound) {
       T.addRow({Spec->Bug->Label, Spec->Info.Name, Spec->Bug->BugType,
                 fmtCount(static_cast<uint64_t>(Spec->Bug->MinLines)),

@@ -14,7 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "core/SyRustDriver.h"
+#include "core/Session.h"
 #include "report/Table.h"
 #include "support/StringUtils.h"
 
@@ -59,6 +59,7 @@ void printCurves(const char *Title, const RunResult &Base,
 } // namespace
 
 int main() {
+  core::Session S;
   double Budget = envBudget("SYRUST_BUDGET", 36000.0);
   banner("Figure 9",
          "RQ2 - semantic awareness (Section 4.4) turned off");
@@ -74,8 +75,8 @@ int main() {
     RunConfig Ablation = Base;
     Ablation.SemanticAware = false;
 
-    RunResult RBase = SyRustDriver(*Spec, Base).run();
-    RunResult RAbl = SyRustDriver(*Spec, Ablation).run();
+    RunResult RBase = S.runOne(*Spec, Base);
+    RunResult RAbl = S.runOne(*Spec, Ablation);
 
     auto Cat = [](const RunResult &R, ErrorCategory C) {
       auto It = R.ByCategory.find(C);

@@ -1,0 +1,208 @@
+//===--- Campaign.cpp - Multi-run campaign specification ------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Campaign.h"
+
+#include "core/ResultJson.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace syrust;
+using namespace syrust::campaign;
+using namespace syrust::core;
+using namespace syrust::json;
+
+bool syrust::campaign::applyVariant(const std::string &Name,
+                                    RunConfig &Config) {
+  if (Name == "base")
+    return true;
+  if (Name == "no-semantic") {
+    Config.SemanticAware = false; // RQ2 (Section 4.4 off).
+    return true;
+  }
+  if (Name == "eager") {
+    Config.Mode = refine::RefinementMode::PurelyEager; // RQ3.
+    return true;
+  }
+  if (Name == "lazy") {
+    Config.Mode = refine::RefinementMode::PurelyLazy;
+    return true;
+  }
+  if (Name == "interleave") {
+    Config.InterleaveLengths = true; // Section 7.4.3.
+    return true;
+  }
+  if (Name == "mutate-inputs") {
+    Config.MutateInputs = true; // Section 7.4.2.
+    return true;
+  }
+  if (Name == "no-incremental") {
+    Config.IncrementalRefinement = false;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string>
+CampaignSpec::validate(const Session &S) const {
+  std::vector<std::string> Errors;
+  if (Crates.empty())
+    Errors.push_back("CampaignSpec.Crates must name at least one crate");
+  std::set<std::string> Seen;
+  for (const std::string &Name : Crates) {
+    if (!Seen.insert(Name).second)
+      Errors.push_back("CampaignSpec.Crates lists '" + Name +
+                       "' more than once");
+    else if (!S.find(Name))
+      Errors.push_back("CampaignSpec.Crates names unknown crate '" +
+                       Name + "'; try `syrust list`");
+  }
+  if (SeedEnd < SeedBegin)
+    Errors.push_back("CampaignSpec seed range is empty: SeedEnd " +
+                     std::to_string(SeedEnd) + " < SeedBegin " +
+                     std::to_string(SeedBegin));
+  if (Variants.empty())
+    Errors.push_back(
+        "CampaignSpec.Variants must name at least one variant");
+  for (const std::string &V : Variants) {
+    RunConfig Probe;
+    if (!applyVariant(V, Probe))
+      Errors.push_back("CampaignSpec.Variants names unknown variant '" +
+                       V +
+                       "'; known: base, no-semantic, eager, lazy, "
+                       "interleave, mutate-inputs, no-incremental");
+  }
+  if (Jobs < 1)
+    Errors.push_back("CampaignSpec.Jobs must be at least 1, got " +
+                     std::to_string(Jobs));
+  std::vector<std::string> BaseErrors = Base.validate();
+  Errors.insert(Errors.end(), BaseErrors.begin(), BaseErrors.end());
+  return Errors;
+}
+
+std::vector<CampaignJob>
+syrust::campaign::expandMatrix(const CampaignSpec &Spec) {
+  std::vector<CampaignJob> Jobs;
+  size_t Index = 0;
+  for (const std::string &Crate : Spec.Crates) {
+    for (uint64_t Seed = Spec.SeedBegin; Seed <= Spec.SeedEnd; ++Seed) {
+      for (const std::string &Variant : Spec.Variants) {
+        CampaignJob Job;
+        Job.Index = Index++;
+        Job.Crate = Crate;
+        Job.Seed = Seed;
+        Job.Variant = Variant;
+        Job.Config = Spec.Base;
+        Job.Config.Seed = Seed;
+        applyVariant(Variant, Job.Config);
+        Jobs.push_back(std::move(Job));
+      }
+      if (Seed == UINT64_MAX)
+        break; // Seed + 1 would wrap.
+    }
+  }
+  return Jobs;
+}
+
+json::Value syrust::campaign::campaignToJson(const CampaignSpec &Spec,
+                                             const CampaignResult &R) {
+  Value Root = Value::object();
+  // The single-run document (ResultJson.cpp) is schema_version 2; the
+  // campaign aggregate is the version-3 addition. Nothing in this
+  // document may depend on scheduling (worker ids, pool width, wall
+  // time): byte-identical output for any --jobs count is the contract.
+  Root.set("schema_version", Value::integer(3));
+  Root.set("kind", Value::string("campaign"));
+
+  Value Matrix = Value::object();
+  Value CrateList = Value::array();
+  for (const std::string &Name : Spec.Crates)
+    CrateList.push(Value::string(Name));
+  Matrix.set("crates", std::move(CrateList));
+  Matrix.set("seed_begin",
+             Value::integer(static_cast<int64_t>(Spec.SeedBegin)));
+  Matrix.set("seed_end",
+             Value::integer(static_cast<int64_t>(Spec.SeedEnd)));
+  Value VariantList = Value::array();
+  for (const std::string &V : Spec.Variants)
+    VariantList.push(Value::string(V));
+  Matrix.set("variants", std::move(VariantList));
+  Matrix.set("jobs_total",
+             Value::integer(static_cast<int64_t>(R.Jobs.size())));
+  Root.set("matrix", std::move(Matrix));
+
+  Value Jobs = Value::array();
+  for (const CampaignJobResult &JR : R.Jobs) {
+    Value Job = Value::object();
+    Job.set("crate", Value::string(JR.Job.Crate));
+    Job.set("seed", Value::integer(static_cast<int64_t>(JR.Job.Seed)));
+    Job.set("variant", Value::string(JR.Job.Variant));
+    // Host wall-time fields vary with machine load and worker scheduling;
+    // the aggregate excludes them so the document is byte-identical for
+    // any pool width (per-job files written by the CLI keep them).
+    core::ResultJsonOptions JobOpts;
+    JobOpts.HostWallTime = false;
+    Job.set("result", resultToJson(JR.Result, JobOpts));
+    Jobs.push(std::move(Job));
+  }
+  Root.set("jobs", std::move(Jobs));
+
+  Value Totals = Value::object();
+  Totals.set("synthesized",
+             Value::integer(static_cast<int64_t>(R.Totals.Synthesized)));
+  Totals.set("rejected",
+             Value::integer(static_cast<int64_t>(R.Totals.Rejected)));
+  Totals.set("executed",
+             Value::integer(static_cast<int64_t>(R.Totals.Executed)));
+  Totals.set("ub", Value::integer(static_cast<int64_t>(R.Totals.UbCount)));
+  Totals.set("bugs_found",
+             Value::integer(static_cast<int64_t>(R.Totals.BugsFound)));
+  Totals.set("sim_seconds", Value::number(R.Totals.SimSeconds));
+  Value ByCategory = Value::object();
+  for (const auto &[Cat, N] : R.Totals.ByCategory)
+    ByCategory.set(rustsim::categoryName(Cat),
+                   Value::integer(static_cast<int64_t>(N)));
+  Totals.set("by_category", std::move(ByCategory));
+  Root.set("totals", std::move(Totals));
+
+  // Per-stage totals from the pool's merged metric counters (std::map:
+  // sorted, deterministic).
+  Value Metrics = Value::object();
+  for (const auto &[Name, N] : R.MergedCounters)
+    Metrics.set(Name, Value::integer(static_cast<int64_t>(N)));
+  Root.set("metrics", std::move(Metrics));
+  return Root;
+}
+
+std::string syrust::campaign::mergeWorkerTraces(
+    const std::vector<const obs::Tracer *> &Lanes) {
+  std::string Out;
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  auto Emit = [&](const std::string &Event) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '\n';
+    Out += Event;
+  };
+  // Lane-name metadata first, then each worker's events in worker-id
+  // order (each lane is internally in recording order).
+  for (const obs::Tracer *T : Lanes) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%d,\"args\":{\"name\":\"worker-%d\"}}",
+                  T->lane(), T->lane());
+    Emit(Buf);
+  }
+  for (const obs::Tracer *T : Lanes)
+    for (const std::string &Event : T->events())
+      Emit(Event);
+  Out += "\n]}\n";
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===--- CampaignRunner.h - Work-stealing campaign pool --------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fans a campaign's job matrix across a work-stealing thread pool and
+/// merges the results deterministically.
+///
+/// Scheduling: jobs are dealt round-robin onto per-worker deques; a
+/// worker pops its own deque from the back (LIFO, cache-warm) and, when
+/// empty, steals from other workers' fronts (FIFO, the oldest — and
+/// typically largest remaining — work). No new jobs appear after start,
+/// so a worker that finds every deque empty can retire.
+///
+/// Determinism: scheduling affects only *when* a job runs, never what it
+/// computes — each job owns its CrateInstance, Rng, and SimClock, and
+/// workers share nothing mutable. Results land in a pre-sized slot per
+/// job index and every merge (totals, counters, aggregate JSON) walks
+/// them in matrix order, so output is byte-identical for any pool width,
+/// including Jobs = 1 (which runs the same worker loop inline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_CAMPAIGN_CAMPAIGNRUNNER_H
+#define SYRUST_CAMPAIGN_CAMPAIGNRUNNER_H
+
+#include "campaign/Campaign.h"
+
+#include <functional>
+
+namespace syrust::campaign {
+
+/// Runs one campaign. See file comment for the scheduling and
+/// determinism contract.
+class CampaignRunner {
+public:
+  /// \p S must outlive the runner. Precondition: Spec.validate(S) is
+  /// empty (the CLI and benches check before constructing).
+  CampaignRunner(const core::Session &S, CampaignSpec Spec);
+
+  /// Optional progress callback, fired from worker threads after each
+  /// finished job (guarded by an internal mutex, so the callback itself
+  /// need not be thread-safe). For CLI progress lines; keep it cheap.
+  void onJobDone(std::function<void(const CampaignJobResult &)> Fn);
+
+  /// Expands the matrix, runs every job, merges in matrix order.
+  CampaignResult run();
+
+private:
+  const core::Session &S;
+  CampaignSpec Spec;
+  std::function<void(const CampaignJobResult &)> JobDone;
+};
+
+} // namespace syrust::campaign
+
+#endif // SYRUST_CAMPAIGN_CAMPAIGNRUNNER_H

@@ -13,7 +13,8 @@ using namespace syrust::core;
 using namespace syrust::json;
 using namespace syrust::rustsim;
 
-json::Value syrust::core::resultToJson(const RunResult &R) {
+json::Value syrust::core::resultToJson(const RunResult &R,
+                                       const ResultJsonOptions &Opts) {
   Value Root = Value::object();
   // Bumped whenever a key is renamed/removed so downstream plotting tools
   // can detect format changes. 2: build_seconds/solve_seconds became
@@ -113,8 +114,10 @@ json::Value syrust::core::resultToJson(const RunResult &R) {
   Synth.set("solver_propagations",
             Value::integer(
                 static_cast<int64_t>(R.Synth.SolverPropagations)));
-  Synth.set("build_wall_seconds", Value::number(R.Synth.BuildSeconds));
-  Synth.set("solve_wall_seconds", Value::number(R.Synth.SolveSeconds));
+  if (Opts.HostWallTime) {
+    Synth.set("build_wall_seconds", Value::number(R.Synth.BuildSeconds));
+    Synth.set("solve_wall_seconds", Value::number(R.Synth.SolveSeconds));
+  }
   Root.set("synthesis", std::move(Synth));
 
   Value Refine = Value::object();

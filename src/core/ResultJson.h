@@ -19,9 +19,19 @@
 
 namespace syrust::core {
 
+/// Controls which fields resultToJson emits.
+struct ResultJsonOptions {
+  /// Emit the host wall-time measurements (build_wall_seconds,
+  /// solve_wall_seconds). They depend on machine load and scheduling, so
+  /// campaign aggregates exclude them to stay byte-identical for any
+  /// pool width; the single-run document keeps them as diagnostics.
+  bool HostWallTime = true;
+};
+
 /// Full structured dump: counters, per-category/per-detail breakdowns,
 /// the error-rate curve, coverage snapshots, and the bug report.
-json::Value resultToJson(const RunResult &R);
+json::Value resultToJson(const RunResult &R,
+                         const ResultJsonOptions &Opts = ResultJsonOptions());
 
 } // namespace syrust::core
 

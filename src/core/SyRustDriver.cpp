@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include <algorithm>
+#include <string>
 
 using namespace syrust;
 using namespace syrust::api;
@@ -26,9 +27,49 @@ using namespace syrust::refine;
 using namespace syrust::rustsim;
 using namespace syrust::synth;
 
+namespace {
+
+std::string numField(const char *Field, double Got, const char *Rule) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "RunConfig.%s must be %s, got %g",
+                Field, Rule, Got);
+  return Buf;
+}
+
+} // namespace
+
+std::vector<std::string> RunConfig::validate() const {
+  std::vector<std::string> Errors;
+  if (BudgetSeconds < 0)
+    Errors.push_back(
+        numField("BudgetSeconds", BudgetSeconds, "non-negative"));
+  if (NumApis < 1)
+    Errors.push_back(numField("NumApis", NumApis, "at least 1"));
+  if (EagerCap == 0)
+    Errors.push_back("RunConfig.EagerCap must be nonzero (a zero cap "
+                     "would forbid every eager instantiation)");
+  if (SolveCost < 0)
+    Errors.push_back(numField("SolveCost", SolveCost, "non-negative"));
+  if (CompileCost < 0)
+    Errors.push_back(
+        numField("CompileCost", CompileCost, "non-negative"));
+  if (ExecCost < 0)
+    Errors.push_back(numField("ExecCost", ExecCost, "non-negative"));
+  if (SnapshotInterval <= 0)
+    Errors.push_back(numField("SnapshotInterval", SnapshotInterval,
+                              "positive (zero would loop forever in the "
+                              "snapshot cadence)"));
+  if (CurveSamples < 2)
+    Errors.push_back(numField("CurveSamples", CurveSamples,
+                              "at least 2 (a curve needs a start and an "
+                              "end point)"));
+  return Errors;
+}
+
 std::vector<ApiId> syrust::core::selectApiSubset(
-    const ApiDatabase &Db, const std::vector<ApiId> &Pinned, int NumApis,
-    Rng &R) {
+    const ApiDatabase &Db, const ApiSelectionOptions &Opts, Rng &R) {
+  const std::vector<ApiId> &Pinned = Opts.Pinned;
+  const int NumApis = Opts.NumApis;
   // Section 6.2: 15 APIs per library - pinned picks first, the rest by
   // weighted random selection where unsafe-containing APIs get 50% more
   // weight.
@@ -74,8 +115,10 @@ std::vector<ApiId> syrust::core::selectApiSubset(
 }
 
 void SyRustDriver::selectApis(CrateInstance &Inst, Rng &R) const {
-  std::vector<ApiId> Selected =
-      selectApiSubset(Inst.Db, Inst.Pinned, Config.NumApis, R);
+  ApiSelectionOptions Opts;
+  Opts.Pinned = Inst.Pinned;
+  Opts.NumApis = Config.NumApis;
+  std::vector<ApiId> Selected = selectApiSubset(Inst.Db, Opts, R);
   // Unselected APIs are disabled for this run (builtins always stay).
   for (size_t I = 0; I < Inst.Db.size(); ++I) {
     ApiId Id = static_cast<ApiId>(I);
@@ -87,25 +130,26 @@ void SyRustDriver::selectApis(CrateInstance &Inst, Rng &R) const {
 }
 
 RunResult SyRustDriver::run() {
+  assert(Config.validate().empty() &&
+         "invalid RunConfig; Session::runOne() rejects these");
   RunResult Result;
-  Result.Crate = Spec.Info.Name;
+  Result.Crate = Spec->Info.Name;
   Result.Db = ResultDatabase(Config.RecordTests);
-  if (!Spec.Info.SupportsSynthesis) {
+  if (!Spec->Info.SupportsSynthesis) {
     Result.Supported = false;
     return Result;
   }
 
-  auto Inst = Spec.instantiate();
-  Rng R(Config.Seed ^ std::hash<std::string>{}(Spec.Info.Name));
+  auto Inst = Spec->instantiate();
+  Rng R(Config.Seed ^ std::hash<std::string>{}(Spec->Info.Name));
   selectApis(*Inst, R);
 
-  obs::Recorder *Obs = Config.Obs;
   SimClock Clock;
   if (Obs) {
     Obs->bindClock(&Clock);
     Obs->begin("run", "driver",
                obs::ArgList()
-                   .add("crate", Spec.Info.Name)
+                   .add("crate", Spec->Info.Name)
                    .add("seed", Config.Seed)
                    .add("budget_seconds", Config.BudgetSeconds));
   }

@@ -28,6 +28,8 @@
 
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace syrust::core {
 
@@ -102,13 +104,13 @@ struct RunConfig {
   /// 1's "DB <- DB u R"); 0 keeps counters only.
   size_t RecordTests = 0;
 
-  /// Flight recorder (non-owning). When set, the driver binds it to the
-  /// run's SimClock, threads it through every pipeline layer (solver,
-  /// synthesizer, refinement, checker, interpreter), emits a span per
-  /// candidate tying the whole lifecycle together via a candidate id,
-  /// and snapshots the metrics registry on the SnapshotInterval cadence.
-  /// Null (the default) disables all instrumentation.
-  obs::Recorder *Obs = nullptr;
+  /// Checks every field against its domain. Returns one specific message
+  /// per invalid field ("RunConfig.CurveSamples must be at least 2, got
+  /// 1"), empty when the configuration is runnable. The CLI and
+  /// Session::runOne() both call this, so a bad configuration fails
+  /// loudly instead of silently misbehaving (a zero SnapshotInterval,
+  /// for example, would loop forever in the snapshot cadence).
+  std::vector<std::string> validate() const;
 };
 
 /// A point of the cumulative error-rate curves (Figures 9/10 top rows).
@@ -177,28 +179,59 @@ struct RunResult {
   }
 };
 
+/// Options for selectApiSubset. An options struct rather than positional
+/// arguments so call sites read as what they configure and new knobs can
+/// be added without breaking every caller.
+struct ApiSelectionOptions {
+  /// APIs always included (the paper allows two manual picks per
+  /// library, Section 6.2). Deduplicated, restricted to real library
+  /// APIs, clamped to NumApis.
+  std::vector<api::ApiId> Pinned;
+  /// Selection budget (Section 6.2 uses 15 per library).
+  int NumApis = 15;
+};
+
 /// Section 6.2's API-subset selection: pinned picks first (deduplicated,
 /// restricted to synthesizable APIs, clamped to the budget), then a
 /// weighted random fill where unsafe-containing APIs get 50% more weight.
-/// Never returns more than NumApis entries or a duplicate. Exposed as a
-/// free function so tests can drive it directly.
+/// Never returns more than Opts.NumApis entries or a duplicate. Exposed
+/// as a free function so tests can drive it directly.
 std::vector<api::ApiId> selectApiSubset(const api::ApiDatabase &Db,
-                                        const std::vector<api::ApiId> &Pinned,
-                                        int NumApis, Rng &R);
+                                        const ApiSelectionOptions &Opts,
+                                        Rng &R);
 
 /// Runs the full pipeline for one library model.
+///
+/// Movable and self-contained: the driver references the (immutable)
+/// CrateSpec, owns its configuration, and holds the optional flight
+/// recorder as an explicit constructor argument rather than a field
+/// smuggled through RunConfig — so a worker thread can own driver and
+/// recorder together and nothing aliases across threads.
+///
+/// Prefer Session::runOne() (Session.h) as the entry point; constructing
+/// a driver directly is kept for tests that need the raw object.
 class SyRustDriver {
 public:
-  SyRustDriver(const crates::CrateSpec &Spec, RunConfig Config)
-      : Spec(Spec), Config(Config) {}
+  SyRustDriver(const crates::CrateSpec &Spec, RunConfig Config,
+               obs::Recorder *Obs = nullptr)
+      : Spec(&Spec), Config(std::move(Config)), Obs(Obs) {}
 
+  SyRustDriver(SyRustDriver &&) = default;
+  SyRustDriver &operator=(SyRustDriver &&) = default;
+
+  /// Precondition: Config.validate() is empty (Session enforces this).
   RunResult run();
 
 private:
   void selectApis(crates::CrateInstance &Inst, Rng &R) const;
 
-  const crates::CrateSpec &Spec;
+  const crates::CrateSpec *Spec;
   RunConfig Config;
+  /// When set, bound to the run's SimClock and threaded through every
+  /// pipeline layer (solver, synthesizer, refinement, checker,
+  /// interpreter); a span per candidate ties the lifecycle together and
+  /// the metrics registry snapshots on the SnapshotInterval cadence.
+  obs::Recorder *Obs = nullptr;
 };
 
 } // namespace syrust::core

@@ -102,7 +102,8 @@ void Tracer::push(const char *Name, const char *Cat, char Phase,
   }
   if (Phase == 'i')
     E += ",\"s\":\"t\""; // thread-scoped instant
-  E += ",\"pid\":0,\"tid\":0";
+  E += ",\"pid\":0,\"tid\":";
+  E += numToken(Lane);
   if (!Args.empty() || CaptureWall) {
     E += ",\"args\":{";
     bool First = true;

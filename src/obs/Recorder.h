@@ -66,8 +66,12 @@ private:
 /// the Chrome trace-event format (loadable in Perfetto / chrome://tracing).
 class Tracer {
 public:
-  explicit Tracer(bool CaptureWall = false)
-      : CaptureWall(CaptureWall),
+  /// \p Lane becomes the `tid` of every event this tracer records. A
+  /// single-run trace uses lane 0 (the historical value); a campaign
+  /// gives each pool worker its own lane so the merged trace shows one
+  /// named track per worker.
+  explicit Tracer(bool CaptureWall = false, int Lane = 0)
+      : CaptureWall(CaptureWall), Lane(Lane),
         WallStart(std::chrono::steady_clock::now()) {}
 
   /// Points the tracer at the clock all timestamps come from. The driver
@@ -94,6 +98,11 @@ public:
   void instant(const char *Name, const char *Cat, ArgList Args = {});
 
   size_t numEvents() const { return Events.size(); }
+  int lane() const { return Lane; }
+
+  /// The recorded events, each pre-rendered as one JSON object — what a
+  /// multi-tracer merge (campaign worker lanes) concatenates.
+  const std::vector<std::string> &events() const { return Events; }
 
   /// Renders the whole trace as one Chrome trace-event JSON document:
   /// `{"displayTimeUnit":"ms","traceEvents":[...]}` with `ts`/`dur` in
@@ -110,6 +119,7 @@ private:
   const SimClock *Clock = nullptr;
   double LastSeconds = 0;
   bool CaptureWall = false;
+  int Lane = 0;
   std::chrono::steady_clock::time_point WallStart;
   /// Each event pre-rendered as one JSON object.
   std::vector<std::string> Events;
@@ -182,6 +192,12 @@ public:
   /// All snapshots so far, one JSON object per line.
   std::string jsonl() const;
 
+  /// Every counter by name (sorted). Campaign merging sums these across
+  /// workers into the aggregate's per-stage totals.
+  const std::map<std::string, std::unique_ptr<Counter>> &counters() const {
+    return Counters;
+  }
+
 private:
   std::map<std::string, std::unique_ptr<Counter>> Counters;
   std::map<std::string, std::unique_ptr<Gauge>> Gauges;
@@ -200,11 +216,15 @@ public:
     /// Attach real wall-clock (`wall_us`) to every trace event. Breaks
     /// byte-identical traces across runs; for local profiling only.
     bool WallClock = false;
+    /// Trace lane (`tid`) for every event; campaign workers get their
+    /// worker id here so merged traces show one track per worker.
+    int Lane = 0;
   };
 
   Recorder() : TraceOn(true), MetricsOn(true), Trace(false) {}
   explicit Recorder(Options O)
-      : TraceOn(O.Trace), MetricsOn(O.Metrics), Trace(O.WallClock) {}
+      : TraceOn(O.Trace), MetricsOn(O.Metrics),
+        Trace(O.WallClock, O.Lane) {}
 
   void bindClock(const SimClock *C) { Trace.bindClock(C); }
 

@@ -1,0 +1,419 @@
+//===--- CampaignTest.cpp - Campaign engine tests -------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign engine's contract: a `(crate, seed, variant)` matrix
+/// fanned across a work-stealing pool must merge deterministically — the
+/// aggregate JSON and the per-stage metric totals are byte-identical for
+/// any pool width — and both RunConfig::validate() and
+/// CampaignSpec::validate() must reject each bad field with a specific
+/// message.
+///
+//===----------------------------------------------------------------------===//
+
+#include "campaign/CampaignRunner.h"
+#include "core/ResultJson.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace syrust;
+using namespace syrust::campaign;
+using namespace syrust::core;
+
+namespace {
+
+/// A small but non-trivial budget: enough simulated time for every stage
+/// of the pipeline to run while keeping the whole matrix fast.
+RunConfig quickBase() {
+  RunConfig C;
+  C.BudgetSeconds = 30;
+  C.SnapshotInterval = 10;
+  return C;
+}
+
+CampaignSpec quadSpec() {
+  CampaignSpec Spec;
+  Spec.Crates = {"slab", "base16", "bytes", "smallvec"};
+  Spec.SeedBegin = 2021;
+  Spec.SeedEnd = 2022;
+  Spec.Base = quickBase();
+  return Spec;
+}
+
+bool contains(const std::vector<std::string> &Errors,
+              const std::string &Needle) {
+  for (const std::string &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// RunConfig::validate - one specific message per rejected field.
+//===----------------------------------------------------------------------===//
+
+TEST(RunConfigValidateTest, DefaultConfigIsValid) {
+  EXPECT_TRUE(RunConfig().validate().empty());
+}
+
+TEST(RunConfigValidateTest, RejectsNegativeBudget) {
+  RunConfig C;
+  C.BudgetSeconds = -1;
+  std::vector<std::string> E = C.validate();
+  ASSERT_EQ(E.size(), 1u);
+  EXPECT_EQ(E[0], "RunConfig.BudgetSeconds must be non-negative, got -1");
+}
+
+TEST(RunConfigValidateTest, RejectsZeroApis) {
+  RunConfig C;
+  C.NumApis = 0;
+  std::vector<std::string> E = C.validate();
+  ASSERT_EQ(E.size(), 1u);
+  EXPECT_EQ(E[0], "RunConfig.NumApis must be at least 1, got 0");
+}
+
+TEST(RunConfigValidateTest, RejectsZeroEagerCap) {
+  RunConfig C;
+  C.EagerCap = 0;
+  std::vector<std::string> E = C.validate();
+  ASSERT_EQ(E.size(), 1u);
+  EXPECT_EQ(E[0], "RunConfig.EagerCap must be nonzero (a zero cap would "
+                  "forbid every eager instantiation)");
+}
+
+TEST(RunConfigValidateTest, RejectsNegativeStageCosts) {
+  RunConfig C;
+  C.SolveCost = -0.5;
+  C.CompileCost = -1;
+  C.ExecCost = -2;
+  std::vector<std::string> E = C.validate();
+  ASSERT_EQ(E.size(), 3u);
+  EXPECT_TRUE(contains(E, "RunConfig.SolveCost must be non-negative"));
+  EXPECT_TRUE(contains(E, "RunConfig.CompileCost must be non-negative"));
+  EXPECT_TRUE(contains(E, "RunConfig.ExecCost must be non-negative"));
+}
+
+TEST(RunConfigValidateTest, RejectsNonPositiveSnapshotInterval) {
+  RunConfig C;
+  C.SnapshotInterval = 0;
+  std::vector<std::string> E = C.validate();
+  ASSERT_EQ(E.size(), 1u);
+  EXPECT_TRUE(contains(E, "RunConfig.SnapshotInterval must be positive"));
+}
+
+TEST(RunConfigValidateTest, RejectsDegenerateCurve) {
+  RunConfig C;
+  C.CurveSamples = 1;
+  std::vector<std::string> E = C.validate();
+  ASSERT_EQ(E.size(), 1u);
+  EXPECT_TRUE(contains(E, "RunConfig.CurveSamples must be at least 2"));
+}
+
+TEST(RunConfigValidateTest, ReportsEveryProblemAtOnce) {
+  RunConfig C;
+  C.BudgetSeconds = -1;
+  C.NumApis = -3;
+  C.CurveSamples = 0;
+  EXPECT_EQ(C.validate().size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// CampaignSpec::validate.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignSpecValidateTest, QuadSpecIsValid) {
+  Session S;
+  EXPECT_TRUE(quadSpec().validate(S).empty());
+}
+
+TEST(CampaignSpecValidateTest, RejectsEmptyCrateList) {
+  Session S;
+  CampaignSpec Spec = quadSpec();
+  Spec.Crates.clear();
+  EXPECT_TRUE(contains(Spec.validate(S),
+                       "CampaignSpec.Crates must name at least one"));
+}
+
+TEST(CampaignSpecValidateTest, RejectsUnknownAndDuplicateCrates) {
+  Session S;
+  CampaignSpec Spec = quadSpec();
+  Spec.Crates = {"slab", "slab", "no-such-crate"};
+  std::vector<std::string> E = Spec.validate(S);
+  EXPECT_TRUE(contains(E, "lists 'slab' more than once"));
+  EXPECT_TRUE(contains(E, "unknown crate 'no-such-crate'"));
+}
+
+TEST(CampaignSpecValidateTest, RejectsEmptySeedRange) {
+  Session S;
+  CampaignSpec Spec = quadSpec();
+  Spec.SeedBegin = 5;
+  Spec.SeedEnd = 4;
+  EXPECT_TRUE(contains(Spec.validate(S), "seed range is empty"));
+}
+
+TEST(CampaignSpecValidateTest, RejectsUnknownVariant) {
+  Session S;
+  CampaignSpec Spec = quadSpec();
+  Spec.Variants = {"base", "turbo"};
+  std::vector<std::string> E = Spec.validate(S);
+  EXPECT_TRUE(contains(E, "unknown variant 'turbo'"));
+  EXPECT_TRUE(contains(E, "known: base, no-semantic, eager"));
+}
+
+TEST(CampaignSpecValidateTest, RejectsNonPositiveJobs) {
+  Session S;
+  CampaignSpec Spec = quadSpec();
+  Spec.Jobs = 0;
+  EXPECT_TRUE(
+      contains(Spec.validate(S), "CampaignSpec.Jobs must be at least 1"));
+}
+
+TEST(CampaignSpecValidateTest, SurfacesBaseConfigErrors) {
+  Session S;
+  CampaignSpec Spec = quadSpec();
+  Spec.Base.BudgetSeconds = -10;
+  EXPECT_TRUE(contains(Spec.validate(S), "RunConfig.BudgetSeconds"));
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix expansion and variants.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, MatrixOrderIsCratesThenSeedsThenVariants) {
+  CampaignSpec Spec;
+  Spec.Crates = {"slab", "bytes"};
+  Spec.SeedBegin = 1;
+  Spec.SeedEnd = 2;
+  Spec.Variants = {"base", "no-semantic"};
+  std::vector<CampaignJob> Jobs = expandMatrix(Spec);
+  ASSERT_EQ(Jobs.size(), 8u);
+  EXPECT_EQ(Jobs[0].Crate, "slab");
+  EXPECT_EQ(Jobs[0].Seed, 1u);
+  EXPECT_EQ(Jobs[0].Variant, "base");
+  EXPECT_EQ(Jobs[1].Variant, "no-semantic");
+  EXPECT_EQ(Jobs[2].Seed, 2u);
+  EXPECT_EQ(Jobs[4].Crate, "bytes");
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    EXPECT_EQ(Jobs[I].Index, I);
+    EXPECT_EQ(Jobs[I].Config.Seed, Jobs[I].Seed);
+  }
+  EXPECT_FALSE(Jobs[1].Config.SemanticAware);
+  EXPECT_TRUE(Jobs[0].Config.SemanticAware);
+}
+
+TEST(CampaignTest, ApplyVariantCoversTheVocabulary) {
+  RunConfig C;
+  EXPECT_TRUE(applyVariant("base", C));
+  EXPECT_TRUE(applyVariant("eager", C));
+  EXPECT_EQ(C.Mode, refine::RefinementMode::PurelyEager);
+  EXPECT_TRUE(applyVariant("lazy", C));
+  EXPECT_EQ(C.Mode, refine::RefinementMode::PurelyLazy);
+  EXPECT_TRUE(applyVariant("interleave", C));
+  EXPECT_TRUE(C.InterleaveLengths);
+  EXPECT_TRUE(applyVariant("mutate-inputs", C));
+  EXPECT_TRUE(C.MutateInputs);
+  EXPECT_TRUE(applyVariant("no-incremental", C));
+  EXPECT_FALSE(C.IncrementalRefinement);
+  EXPECT_FALSE(applyVariant("turbo", C));
+}
+
+//===----------------------------------------------------------------------===//
+// The determinism contract (satellite: pool-width independence).
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, AggregateIsByteIdenticalForAnyPoolWidth) {
+  Session S;
+  CampaignSpec One = quadSpec();
+  One.Jobs = 1;
+  CampaignSpec Four = quadSpec();
+  Four.Jobs = 4;
+  CampaignResult A = CampaignRunner(S, One).run();
+  CampaignResult B = CampaignRunner(S, Four).run();
+  ASSERT_EQ(A.Jobs.size(), 8u);
+  ASSERT_EQ(B.Jobs.size(), 8u);
+  // The aggregate document: byte-identical, scheduling scrubbed.
+  EXPECT_EQ(campaignToJson(One, A).dump(), campaignToJson(Four, B).dump());
+  // The merged per-stage metric totals: identical map, key for key.
+  EXPECT_FALSE(A.MergedCounters.empty());
+  EXPECT_EQ(A.MergedCounters, B.MergedCounters);
+  // And the totals themselves.
+  EXPECT_EQ(A.Totals.Synthesized, B.Totals.Synthesized);
+  EXPECT_EQ(A.Totals.Rejected, B.Totals.Rejected);
+  EXPECT_EQ(A.Totals.Executed, B.Totals.Executed);
+  EXPECT_EQ(A.Totals.ByCategory, B.Totals.ByCategory);
+  EXPECT_EQ(A.Workers, 1);
+  EXPECT_EQ(B.Workers, 4);
+}
+
+TEST(CampaignTest, ResultsLandInMatrixOrderOnEveryWorker) {
+  Session S;
+  CampaignSpec Spec = quadSpec();
+  Spec.Jobs = 3; // Deliberately not a divisor of the 8-job matrix.
+  CampaignResult R = CampaignRunner(S, Spec).run();
+  std::vector<CampaignJob> Expected = expandMatrix(Spec);
+  ASSERT_EQ(R.Jobs.size(), Expected.size());
+  for (size_t I = 0; I < R.Jobs.size(); ++I) {
+    EXPECT_EQ(R.Jobs[I].Job.Index, I);
+    EXPECT_EQ(R.Jobs[I].Job.Crate, Expected[I].Crate);
+    EXPECT_EQ(R.Jobs[I].Job.Seed, Expected[I].Seed);
+    EXPECT_GE(R.Jobs[I].Worker, 0);
+    EXPECT_LT(R.Jobs[I].Worker, 3);
+    EXPECT_TRUE(R.Jobs[I].Result.Supported);
+  }
+}
+
+TEST(CampaignTest, PoolClampsToMatrixSize) {
+  Session S;
+  CampaignSpec Spec;
+  Spec.Crates = {"slab"};
+  Spec.Base = quickBase();
+  Spec.Jobs = 16; // One job: fifteen workers would have nothing to do.
+  CampaignResult R = CampaignRunner(S, Spec).run();
+  ASSERT_EQ(R.Jobs.size(), 1u);
+  EXPECT_EQ(R.Workers, 1);
+}
+
+TEST(CampaignTest, ProgressCallbackFiresOncePerJob) {
+  Session S;
+  CampaignSpec Spec = quadSpec();
+  Spec.Jobs = 4;
+  CampaignRunner Runner(S, Spec);
+  std::atomic<int> Fired{0};
+  Runner.onJobDone([&](const CampaignJobResult &JR) {
+    EXPECT_FALSE(JR.Job.Crate.empty());
+    ++Fired;
+  });
+  CampaignResult R = Runner.run();
+  EXPECT_EQ(Fired.load(), static_cast<int>(R.Jobs.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// The aggregate document (schema_version 3).
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, AggregateDocumentShape) {
+  Session S;
+  CampaignSpec Spec = quadSpec();
+  Spec.Jobs = 2;
+  CampaignResult R = CampaignRunner(S, Spec).run();
+  json::ParseResult P = json::parse(campaignToJson(Spec, R).dump());
+  ASSERT_TRUE(P.Ok) << P.Error;
+  EXPECT_EQ(P.Val.get("schema_version").asInt(), 3);
+  EXPECT_EQ(P.Val.get("kind").asString(), "campaign");
+  EXPECT_EQ(P.Val.get("matrix").get("jobs_total").asInt(), 8);
+  const json::Value &Jobs = P.Val.get("jobs");
+  ASSERT_EQ(Jobs.kind(), json::Value::Kind::Array);
+  ASSERT_EQ(Jobs.size(), 8u);
+  // Per-job entries carry the matrix cell and the embedded result, but
+  // nothing scheduling-dependent: no worker ids, no host wall time.
+  const json::Value &First = Jobs.at(0);
+  EXPECT_EQ(First.get("crate").asString(), "slab");
+  EXPECT_FALSE(First.has("worker"));
+  const json::Value &Synth = First.get("result").get("synthesis");
+  EXPECT_TRUE(Synth.has("solve_calls"));
+  EXPECT_FALSE(Synth.has("solve_wall_seconds"));
+  EXPECT_FALSE(Synth.has("build_wall_seconds"));
+  EXPECT_GT(P.Val.get("totals").get("synthesized").asInt(), 0);
+  EXPECT_TRUE(P.Val.has("metrics"));
+}
+
+TEST(CampaignTest, SingleRunDocumentKeepsWallTimeByDefault) {
+  Session S;
+  RunResult R = S.runOne("slab", quickBase());
+  json::Value Doc = resultToJson(R);
+  EXPECT_EQ(Doc.get("schema_version").asInt(), 2);
+  EXPECT_TRUE(Doc.get("synthesis").has("solve_wall_seconds"));
+  ResultJsonOptions NoWall;
+  NoWall.HostWallTime = false;
+  EXPECT_FALSE(
+      resultToJson(R, NoWall).get("synthesis").has("solve_wall_seconds"));
+}
+
+//===----------------------------------------------------------------------===//
+// Session facade.
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, RunOneMatchesDirectDriver) {
+  Session S;
+  RunConfig C = quickBase();
+  RunResult A = S.runOne("slab", C);
+  RunResult B = SyRustDriver(*S.find("slab"), C).run();
+  EXPECT_EQ(A.Synthesized, B.Synthesized);
+  EXPECT_EQ(A.Rejected, B.Rejected);
+  EXPECT_EQ(A.Executed, B.Executed);
+  EXPECT_EQ(resultToJson(A, {false}).dump(), resultToJson(B, {false}).dump());
+}
+
+TEST(SessionTest, RunOneRejectsInvalidConfigAndUnknownCrate) {
+  Session S;
+  RunConfig Bad = quickBase();
+  Bad.CurveSamples = 0;
+  EXPECT_FALSE(S.runOne("slab", Bad).Supported);
+  EXPECT_FALSE(S.runOne("no-such-crate", quickBase()).Supported);
+  EXPECT_EQ(S.find("no-such-crate"), nullptr);
+}
+
+TEST(SessionTest, SupportedCratesMatchRegistry) {
+  Session S;
+  std::vector<std::string> Names = S.supportedCrates();
+  EXPECT_FALSE(Names.empty());
+  std::set<std::string> Unique(Names.begin(), Names.end());
+  EXPECT_EQ(Unique.size(), Names.size());
+  for (const std::string &Name : Names) {
+    const crates::CrateSpec *Spec = S.find(Name);
+    ASSERT_NE(Spec, nullptr) << Name;
+    EXPECT_TRUE(Spec->Info.SupportsSynthesis) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Merged multi-lane traces.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, MergedTraceHasOneNamedLanePerWorker) {
+  Session S;
+  CampaignSpec Spec;
+  Spec.Crates = {"slab", "base16"};
+  Spec.SeedBegin = 2021;
+  Spec.SeedEnd = 2022;
+  Spec.Base = quickBase();
+  Spec.Jobs = 2;
+  Spec.Trace = true;
+  CampaignResult R = CampaignRunner(S, Spec).run();
+  ASSERT_FALSE(R.MergedTraceJson.empty());
+  json::ParseResult P = json::parse(R.MergedTraceJson);
+  ASSERT_TRUE(P.Ok) << P.Error;
+  const json::Value &Events = P.Val.get("traceEvents");
+  ASSERT_EQ(Events.kind(), json::Value::Kind::Array);
+  std::set<int64_t> Lanes;
+  std::set<std::string> LaneNames;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const json::Value &E = Events.at(I);
+    Lanes.insert(E.get("tid").asInt());
+    if (E.get("ph").asString() == "M" &&
+        E.get("name").asString() == "thread_name")
+      LaneNames.insert(E.get("args").get("name").asString());
+  }
+  EXPECT_EQ(Lanes, (std::set<int64_t>{0, 1}));
+  EXPECT_EQ(LaneNames,
+            (std::set<std::string>{"worker-0", "worker-1"}));
+}
+
+TEST(CampaignTest, TraceOffLeavesMergedTraceEmpty) {
+  Session S;
+  CampaignSpec Spec;
+  Spec.Crates = {"slab"};
+  Spec.Base = quickBase();
+  CampaignResult R = CampaignRunner(S, Spec).run();
+  EXPECT_TRUE(R.MergedTraceJson.empty());
+}
+
+} // namespace

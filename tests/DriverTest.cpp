@@ -142,9 +142,10 @@ TEST(DriverTest, ApiSubsetSelectionClampsAndDedupes) {
   // collapse, the builtin is skipped, and the result is clamped to the
   // NumApis budget instead of overflowing it.
   Rng R1(7);
-  std::vector<api::ApiId> Pinned = {Lib[2], Lib[2],  Builtins[0],
-                                    Lib[0], Lib[4], Lib[5]};
-  std::vector<api::ApiId> Sel = selectApiSubset(Db, Pinned, 3, R1);
+  ApiSelectionOptions Opts;
+  Opts.Pinned = {Lib[2], Lib[2], Builtins[0], Lib[0], Lib[4], Lib[5]};
+  Opts.NumApis = 3;
+  std::vector<api::ApiId> Sel = selectApiSubset(Db, Opts, R1);
   ASSERT_EQ(Sel.size(), 3u);
   EXPECT_EQ(Sel[0], Lib[2]);
   EXPECT_EQ(Sel[1], Lib[0]);
@@ -155,7 +156,8 @@ TEST(DriverTest, ApiSubsetSelectionClampsAndDedupes) {
   // A budget larger than the library: every API once, still no
   // duplicates and no builtins.
   Rng R2(7);
-  std::vector<api::ApiId> All = selectApiSubset(Db, Pinned, 50, R2);
+  Opts.NumApis = 50;
+  std::vector<api::ApiId> All = selectApiSubset(Db, Opts, R2);
   EXPECT_EQ(All.size(), Lib.size());
   std::set<api::ApiId> AllUnique(All.begin(), All.end());
   EXPECT_EQ(AllUnique.size(), All.size());

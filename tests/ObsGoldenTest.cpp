@@ -43,10 +43,8 @@ struct Traced {
 
 Traced runTraced(const char *Crate) {
   obs::Recorder Rec;
-  RunConfig C = tracedConfig();
-  C.Obs = &Rec;
   Traced T;
-  T.Result = SyRustDriver(*findCrate(Crate), C).run();
+  T.Result = SyRustDriver(*findCrate(Crate), tracedConfig(), &Rec).run();
   T.TraceJson = Rec.tracer().chromeJson();
   T.MetricsJsonl = Rec.metrics().jsonl();
   return T;

@@ -10,6 +10,11 @@
 ///       Print the library inventory (Figure 12).
 ///   syrust run <crate> [options]
 ///       Run the full pipeline against one library model.
+///   syrust campaign [options]
+///       Fan a (crate, seed, variant) job matrix across a work-stealing
+///       thread pool and merge the results deterministically — the
+///       paper's 64-container cluster campaign (Section 6.2) at
+///       one-machine scale (docs/CAMPAIGNS.md).
 ///   syrust report <trace.json>
 ///       Print a per-stage latency/throughput breakdown of a trace
 ///       previously written with `--trace-out`.
@@ -37,20 +42,43 @@
 ///                            (breaks byte-identical traces; profiling
 ///                            only; requires --trace-out)
 ///
-/// Unknown or malformed flags are rejected with a specific error.
+/// Options for `campaign`:
+///   --crates all|a,b,c       job matrix crates (default all supported)
+///   --seeds N[..M]           inclusive seed range (default 2021)
+///   --variants v1,v2         named config variants (default base);
+///                            known: base, no-semantic, eager, lazy,
+///                            interleave, mutate-inputs, no-incremental
+///   --jobs <n>               pool workers (default 1)
+///   --budget <sim-seconds>   simulated budget per job (default 600)
+///   --apis <n>               APIs to select per job (default 15)
+///   --max-tests <n>          hard cap on test cases per job
+///   --out <dir>              write aggregate.json + per-job JSON here
+///                            (created if missing); default: aggregate
+///                            JSON to stdout
+///   --trace                  merge per-worker flight-recorder traces
+///                            into <dir>/trace.json (requires --out)
+///
+/// Unknown or malformed flags are rejected with a specific error, and
+/// an invalid configuration is rejected field by field before anything
+/// runs.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "campaign/CampaignRunner.h"
 #include "core/ResultJson.h"
-#include "core/SyRustDriver.h"
+#include "core/Session.h"
 #include "report/Table.h"
 #include "report/TraceReport.h"
 #include "support/StringUtils.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace syrust;
 using namespace syrust::core;
@@ -74,6 +102,12 @@ int usage() {
                "[--json]\n"
                "                  [--trace-out FILE] [--metrics-out FILE] "
                "[--trace-wall]\n"
+               "       syrust campaign [--crates all|a,b,c] "
+               "[--seeds N[..M]]\n"
+               "                  [--variants v1,v2] [--jobs N] "
+               "[--budget N]\n"
+               "                  [--apis N] [--max-tests N] [--out DIR] "
+               "[--trace]\n"
                "       syrust report <trace.json>\n");
   return 2;
 }
@@ -121,7 +155,8 @@ int cmdRun(int Argc, char **Argv) {
     std::fprintf(stderr, "syrust run: missing <crate> argument\n");
     return usage();
   }
-  const CrateSpec *Spec = findCrate(Argv[0]);
+  Session S;
+  const CrateSpec *Spec = S.find(Argv[0]);
   if (!Spec) {
     std::fprintf(stderr, "unknown crate '%s'; try `syrust list`\n",
                  Argv[0]);
@@ -223,16 +258,22 @@ int cmdRun(int Argc, char **Argv) {
                  "syrust run: --trace-wall requires --trace-out\n");
     return usage();
   }
+  std::vector<std::string> Errors = Config.validate();
+  if (!Errors.empty()) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "syrust run: %s\n", E.c_str());
+    return 2;
+  }
 
   obs::Recorder::Options ObsOpts;
   ObsOpts.Trace = TraceOut != nullptr;
   ObsOpts.Metrics = MetricsOut != nullptr;
   ObsOpts.WallClock = TraceWall;
   obs::Recorder Recorder(ObsOpts);
-  if (TraceOut || MetricsOut)
-    Config.Obs = &Recorder;
+  obs::Recorder *Obs =
+      (TraceOut || MetricsOut) ? &Recorder : nullptr;
 
-  RunResult R = SyRustDriver(*Spec, Config).run();
+  RunResult R = S.runOne(*Spec, Config, Obs);
 
   if (TraceOut && !writeFile(TraceOut, Recorder.tracer().chromeJson())) {
     std::fprintf(stderr, "syrust run: cannot write trace to '%s'\n",
@@ -322,6 +363,189 @@ int cmdRun(int Argc, char **Argv) {
   return 0;
 }
 
+/// Parses `N` or `N..M` into an inclusive seed range.
+bool parseSeedRange(const char *Text, uint64_t &Begin, uint64_t &End) {
+  const char *Dots = std::strstr(Text, "..");
+  char *EndPtr = nullptr;
+  Begin = std::strtoull(Text, &EndPtr, 10);
+  if (EndPtr == Text)
+    return false;
+  if (!Dots) {
+    End = Begin;
+    return *EndPtr == '\0';
+  }
+  if (EndPtr != Dots)
+    return false;
+  const char *Second = Dots + 2;
+  End = std::strtoull(Second, &EndPtr, 10);
+  return EndPtr != Second && *EndPtr == '\0';
+}
+
+int cmdCampaign(int Argc, char **Argv) {
+  Session S;
+  campaign::CampaignSpec Spec;
+  Spec.Crates = S.supportedCrates();
+  const char *OutDir = nullptr;
+  bool ParseOk = true;
+  for (int I = 0; I < Argc && ParseOk; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "syrust campaign: missing value for %s\n",
+                     Arg);
+        ParseOk = false;
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    auto NextNum = [&](double &Out) {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      char *End = nullptr;
+      Out = std::strtod(V, &End);
+      if (End == V || *End != '\0') {
+        std::fprintf(stderr,
+                     "syrust campaign: malformed number '%s' for %s\n",
+                     V, Arg);
+        ParseOk = false;
+        return false;
+      }
+      return true;
+    };
+    double Num = 0;
+    if (!std::strcmp(Arg, "--crates")) {
+      const char *V = NextValue();
+      if (!V)
+        break;
+      if (std::strcmp(V, "all"))
+        Spec.Crates = split(V, ',');
+    } else if (!std::strcmp(Arg, "--seeds")) {
+      const char *V = NextValue();
+      if (!V)
+        break;
+      if (!parseSeedRange(V, Spec.SeedBegin, Spec.SeedEnd)) {
+        std::fprintf(stderr,
+                     "syrust campaign: malformed seed range '%s' for "
+                     "--seeds (want N or N..M)\n",
+                     V);
+        ParseOk = false;
+      }
+    } else if (!std::strcmp(Arg, "--variants")) {
+      const char *V = NextValue();
+      if (V)
+        Spec.Variants = split(V, ',');
+    } else if (!std::strcmp(Arg, "--jobs")) {
+      if (NextNum(Num))
+        Spec.Jobs = static_cast<int>(Num);
+    } else if (!std::strcmp(Arg, "--budget")) {
+      if (NextNum(Num))
+        Spec.Base.BudgetSeconds = Num;
+    } else if (!std::strcmp(Arg, "--apis")) {
+      if (NextNum(Num))
+        Spec.Base.NumApis = static_cast<int>(Num);
+    } else if (!std::strcmp(Arg, "--max-tests")) {
+      if (NextNum(Num))
+        Spec.Base.MaxTests = static_cast<uint64_t>(Num);
+    } else if (!std::strcmp(Arg, "--out")) {
+      OutDir = NextValue();
+    } else if (!std::strcmp(Arg, "--trace")) {
+      Spec.Trace = true;
+    } else {
+      std::fprintf(stderr, "syrust campaign: unknown flag '%s'\n", Arg);
+      return usage();
+    }
+  }
+  if (!ParseOk)
+    return usage();
+  if (Spec.Trace && !OutDir) {
+    std::fprintf(stderr, "syrust campaign: --trace requires --out\n");
+    return usage();
+  }
+  std::vector<std::string> Errors = Spec.validate(S);
+  if (!Errors.empty()) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "syrust campaign: %s\n", E.c_str());
+    return 2;
+  }
+
+  campaign::CampaignRunner Runner(S, Spec);
+  size_t Total = campaign::expandMatrix(Spec).size();
+  size_t Done = 0;
+  // Progress to stderr: stdout carries only the deterministic summary
+  // (or the aggregate document itself).
+  Runner.onJobDone([&](const campaign::CampaignJobResult &JR) {
+    ++Done;
+    std::fprintf(stderr, "[%zu/%zu] %s seed=%llu %s: %llu synthesized\n",
+                 Done, Total, JR.Job.Crate.c_str(),
+                 static_cast<unsigned long long>(JR.Job.Seed),
+                 JR.Job.Variant.c_str(),
+                 static_cast<unsigned long long>(JR.Result.Synthesized));
+  });
+  campaign::CampaignResult R = Runner.run();
+  std::string Aggregate = campaign::campaignToJson(Spec, R).dump();
+
+  if (!OutDir) {
+    std::printf("%s\n", Aggregate.c_str());
+    return 0;
+  }
+
+  if (::mkdir(OutDir, 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "syrust campaign: cannot create '%s'\n",
+                 OutDir);
+    return 1;
+  }
+  std::string Dir = OutDir;
+  if (!Dir.empty() && Dir.back() != '/')
+    Dir += '/';
+  if (!writeFile((Dir + "aggregate.json").c_str(), Aggregate + "\n")) {
+    std::fprintf(stderr, "syrust campaign: cannot write '%s'\n",
+                 (Dir + "aggregate.json").c_str());
+    return 1;
+  }
+  for (const campaign::CampaignJobResult &JR : R.Jobs) {
+    std::string Name =
+        format("job-%03zu-%s-s%llu-%s.json", JR.Job.Index,
+               JR.Job.Crate.c_str(),
+               static_cast<unsigned long long>(JR.Job.Seed),
+               JR.Job.Variant.c_str());
+    if (!writeFile((Dir + Name).c_str(),
+                   resultToJson(JR.Result).dump() + "\n")) {
+      std::fprintf(stderr, "syrust campaign: cannot write '%s'\n",
+                   (Dir + Name).c_str());
+      return 1;
+    }
+  }
+  if (Spec.Trace &&
+      !writeFile((Dir + "trace.json").c_str(), R.MergedTraceJson)) {
+    std::fprintf(stderr, "syrust campaign: cannot write '%s'\n",
+                 (Dir + "trace.json").c_str());
+    return 1;
+  }
+
+  Table T({"Crate", "Seed", "Variant", "# Synthesized", "# Rejected (%)",
+           "# Executed", "Bug"});
+  for (const campaign::CampaignJobResult &JR : R.Jobs) {
+    const RunResult &Res = JR.Result;
+    T.addRow({JR.Job.Crate, std::to_string(JR.Job.Seed), JR.Job.Variant,
+              fmtCount(Res.Synthesized),
+              fmtCount(Res.Rejected) + " (" +
+                  fmtPercent(Res.rejectedPercent()) + ")",
+              fmtCount(Res.Executed), Res.BugFound ? "yes" : "-"});
+  }
+  std::printf("%s", T.render().c_str());
+  std::printf("\ntotals: %llu synthesized, %llu rejected, %llu executed, "
+              "%llu UB events, %llu jobs with a bug\n",
+              static_cast<unsigned long long>(R.Totals.Synthesized),
+              static_cast<unsigned long long>(R.Totals.Rejected),
+              static_cast<unsigned long long>(R.Totals.Executed),
+              static_cast<unsigned long long>(R.Totals.UbCount),
+              static_cast<unsigned long long>(R.Totals.BugsFound));
+  std::printf("wrote %s and %zu per-job documents\n",
+              (Dir + "aggregate.json").c_str(), R.Jobs.size());
+  return 0;
+}
+
 int cmdReport(int Argc, char **Argv) {
   if (Argc != 1) {
     std::fprintf(stderr,
@@ -353,6 +577,8 @@ int main(int Argc, char **Argv) {
     return cmdList();
   if (!std::strcmp(Argv[1], "run"))
     return cmdRun(Argc - 2, Argv + 2);
+  if (!std::strcmp(Argv[1], "campaign"))
+    return cmdCampaign(Argc - 2, Argv + 2);
   if (!std::strcmp(Argv[1], "report"))
     return cmdReport(Argc - 2, Argv + 2);
   std::fprintf(stderr, "syrust: unknown command '%s'\n", Argv[1]);
