@@ -1,0 +1,66 @@
+//===--- MicroMain.h - JSON-emitting main for the microbenches -*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drop-in replacement for BENCHMARK_MAIN() that additionally writes the
+/// run's results to `BENCH_<name>.json` (google-benchmark's JSON format)
+/// in the working directory, so CI and scripts get machine-readable
+/// numbers without remembering reporter flags. Any explicit
+/// --benchmark_out on the command line wins over the default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_BENCH_MICROMAIN_H
+#define SYRUST_BENCH_MICROMAIN_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace syrust::bench {
+
+/// BENCHMARK_MAIN()'s body with a default `--benchmark_out=BENCH_<name>
+/// .json --benchmark_out_format=json` appended unless the caller passed
+/// their own --benchmark_out.
+inline int microMain(const char *Name, int Argc, char **Argv) {
+  char Arg0Default[] = "benchmark";
+  char *ArgsDefault = Arg0Default;
+  if (!Argv) {
+    Argc = 1;
+    Argv = &ArgsDefault;
+  }
+  std::vector<char *> Args(Argv, Argv + Argc);
+  bool HasOut = false;
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strncmp(Argv[I], "--benchmark_out=", 16))
+      HasOut = true;
+  std::string OutFlag =
+      std::string("--benchmark_out=BENCH_") + Name + ".json";
+  std::string FmtFlag = "--benchmark_out_format=json";
+  if (!HasOut) {
+    Args.push_back(OutFlag.data());
+    Args.push_back(FmtFlag.data());
+  }
+  int N = static_cast<int>(Args.size());
+  ::benchmark::Initialize(&N, Args.data());
+  if (::benchmark::ReportUnrecognizedArguments(N, Args.data()))
+    return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace syrust::bench
+
+/// Use instead of BENCHMARK_MAIN(); \p NAME becomes BENCH_<NAME>.json.
+#define SYRUST_BENCHMARK_MAIN(NAME)                                      \
+  int main(int argc, char **argv) {                                      \
+    return syrust::bench::microMain(NAME, argc, argv);                   \
+  }
+
+#endif // SYRUST_BENCH_MICROMAIN_H

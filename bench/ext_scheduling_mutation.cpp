@@ -37,6 +37,9 @@ int main() {
   double Budget = envBudget("SYRUST_BUDGET", 8000.0);
   banner("Extensions", "scheduling (7.4.3) and input mutation (7.4.2)");
 
+  BenchJson J("ext_scheduling_mutation");
+  J.meta("budget_sim_seconds", json::Value::number(Budget));
+
   // --- 7.4.3: time-to-bug with and without length interleaving. --------
   Table Sched({"Bug", "Library", "Algorithm 1 (s)", "Interleaved (s)",
                "Speedup"});
@@ -46,8 +49,12 @@ int main() {
     Plain.StopOnFirstBug = true;
     RunConfig Inter = Plain;
     Inter.InterleaveLengths = true;
+    WallTimer WPlain;
     RunResult RPlain = S.runOne(*Spec, Plain);
+    J.addRun(Spec->Info.Name + "/plain", RPlain, WPlain.seconds());
+    WallTimer WInter;
     RunResult RInter = S.runOne(*Spec, Inter);
+    J.addRun(Spec->Info.Name + "/interleaved", RInter, WInter.seconds());
     auto Time = [](const RunResult &R) {
       return R.BugFound ? format("%.1f", R.TimeToBug)
                         : std::string("not found");
@@ -71,8 +78,14 @@ int main() {
     Fixed.BudgetSeconds = Budget / 2;
     RunConfig Mutated = Fixed;
     Mutated.MutateInputs = true;
+    WallTimer WFixed;
     RunResult RFixed = S.runOne(*Spec, Fixed);
+    J.addRun(std::string(Name) + "/fixed-inputs", RFixed,
+             WFixed.seconds());
+    WallTimer WMut;
     RunResult RMut = S.runOne(*Spec, Mutated);
+    J.addRun(std::string(Name) + "/mutated-inputs", RMut,
+             WMut.seconds());
     Cov.addRow({Name,
                 format("%.2f %%", RFixed.Coverage.ComponentBranch),
                 format("%.2f %%", RMut.Coverage.ComponentBranch),
@@ -102,5 +115,6 @@ int main() {
   }
   std::printf("Purely lazy refinement (Section 5.1's failure mode)\n%s\n",
               Lazy.render().c_str());
+  J.write();
   return 0;
 }

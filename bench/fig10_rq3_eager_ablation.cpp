@@ -36,6 +36,8 @@ int main() {
   Table Summary({"Bug", "Found?", "Increase in # Errors",
                  "Increase in # Type Errors", "Trait Errors",
                  "Polymorphism Errors", "Misc. Errors"});
+  BenchJson J("fig10_rq3_eager_ablation");
+  J.meta("budget_sim_seconds", json::Value::number(Budget));
 
   for (const char *Name : {"crossbeam", "bitvec"}) {
     const CrateSpec *Spec = findCrate(Name);
@@ -45,8 +47,12 @@ int main() {
     Eager.Mode = refine::RefinementMode::PurelyEager;
     Eager.EagerCap = 24;
 
+    WallTimer WBase;
     RunResult RBase = S.runOne(*Spec, Base);
+    J.addRun(std::string(Name) + "/base", RBase, WBase.seconds());
+    WallTimer WEager;
     RunResult REager = S.runOne(*Spec, Eager);
+    J.addRun(std::string(Name) + "/eager", REager, WEager.seconds());
 
     auto Det = [](const RunResult &R, ErrorDetail D) {
       auto It = R.ByDetail.find(D);
@@ -106,5 +112,6 @@ int main() {
   }
 
   std::printf("%s\n", Summary.render().c_str());
+  J.write();
   return 0;
 }

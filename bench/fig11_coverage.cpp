@@ -46,6 +46,8 @@ int main() {
       {"RQ2", false, refine::RefinementMode::Hybrid},
       {"RQ3", true, refine::RefinementMode::PurelyEager},
   };
+  BenchJson J("fig11_coverage");
+  J.meta("budget_sim_seconds", json::Value::number(Budget));
 
   for (const auto &[Name, Tag] :
        {std::pair<const char *, const char *>{"bitvec", "BV"},
@@ -59,7 +61,9 @@ int main() {
       if (V.Mode == refine::RefinementMode::PurelyEager)
         Config.EagerCap = 24;
       Config.SnapshotInterval = Budget / 40;
+      WallTimer W;
       RunResult R = S.runOne(*Spec, Config);
+      J.addRun(std::string(Name) + "/" + V.Tag, R, W.seconds());
       T.addRow({std::string(Tag) + " " + V.Tag,
                 format("%.2f %%", R.Coverage.ComponentLine),
                 format("%.2f %%", R.Coverage.ComponentBranch),
@@ -74,5 +78,6 @@ int main() {
               "coverage improvement (snapshots every %.0f s; the paper "
               "used 900 s intervals).\n",
               Budget / 40);
+  J.write();
   return 0;
 }

@@ -49,10 +49,17 @@ int main() {
     std::fprintf(stderr, "fig12: %s\n", E.c_str());
   if (!Errors.empty())
     return 1;
+  bench::BenchJson J("fig12_library_table");
+  J.meta("budget_sim_seconds", json::Value::number(Budget));
+  J.meta("jobs", json::Value::integer(Jobs));
+  bench::WallTimer Campaign;
   CampaignResult R = CampaignRunner(S, Spec).run();
+  J.meta("campaign_wall_seconds", json::Value::number(Campaign.seconds()));
   std::map<std::string, const RunResult *> ByCrate;
-  for (const CampaignJobResult &JR : R.Jobs)
+  for (const CampaignJobResult &JR : R.Jobs) {
     ByCrate[JR.Job.Crate] = &JR.Result;
+    J.addRun(JR.Job.Crate, JR.Result, 0.0);
+  }
 
   Table T({"Library Name", "Cat.", "Total Downloads", "Polymorphism",
            "Subcomponent", "Rev. Hash", "# Synthesized", "Bug"});
@@ -82,5 +89,6 @@ int main() {
     First = false;
   }
   std::printf("\n");
+  J.write();
   return 0;
 }

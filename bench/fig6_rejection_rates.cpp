@@ -38,13 +38,17 @@ int main() {
 
   Table T({"Library", "Max Len", "# Synthesized", "# Rejected (%)",
            "Type (%)", "Lifetime&Ownership (%)", "Misc (%)"});
+  BenchJson J("fig6_rejection_rates");
+  J.meta("budget_sim_seconds", json::Value::number(Budget));
 
   for (const CrateSpec &Spec : allCrates()) {
     if (!Spec.Info.SupportsSynthesis)
       continue; // cookie-factory / jsonrpc-client-core (Section 7.1).
     RunConfig Config;
     Config.BudgetSeconds = Budget;
+    WallTimer W;
     RunResult R = S.runOne(Spec, Config);
+    J.addRun(Spec.Info.Name, R, W.seconds());
     std::string Name = Spec.Info.Name + (R.BugFound ? " *" : "");
     T.addRow({Name, fmtCount(static_cast<uint64_t>(R.MaxLenReached)),
               fmtCount(R.Synthesized),
@@ -60,5 +64,6 @@ int main() {
   std::printf("* = library flagged as buggy by this run (see Figure 7 "
               "bench).\nExcluded as in the paper: cookie-factory, "
               "jsonrpc-client-core (closure-based APIs).\n");
+  J.write();
   return 0;
 }

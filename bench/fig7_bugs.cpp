@@ -35,13 +35,17 @@ int main() {
            "Lines Found", "Minimized", "Time to Discovery (s)",
            "Detected As"});
   std::vector<std::pair<std::string, std::string>> Programs;
+  BenchJson J("fig7_bugs");
+  J.meta("budget_sim_seconds", json::Value::number(Budget));
 
   for (const CrateSpec *Spec : buggyCrates()) {
     RunConfig Config;
     Config.BudgetSeconds = Budget;
     Config.StopOnFirstBug = true;
     Config.MinimizeBugs = true;
+    WallTimer W;
     RunResult R = S.runOne(*Spec, Config);
+    J.addRun(Spec->Bug->Label, R, W.seconds());
     if (!R.BugFound) {
       T.addRow({Spec->Bug->Label, Spec->Info.Name, Spec->Bug->BugType,
                 fmtCount(static_cast<uint64_t>(Spec->Bug->MinLines)),
@@ -64,5 +68,6 @@ int main() {
   std::printf("Bug-inducing test cases (cf. paper Figures 8 and 13):\n\n");
   for (const auto &[Title, Source] : Programs)
     std::printf("--- %s\n%s\n", Title.c_str(), Source.c_str());
+  J.write();
   return 0;
 }

@@ -67,6 +67,8 @@ int main() {
   Table Summary({"Bug", "Lines Found", "Time to Discovery (s)",
                  "Increase in # Errors", "Increase in # L&O Errors",
                  "Ownership Errors", "Borrowing Errors"});
+  BenchJson J("fig9_rq2_semantic_ablation");
+  J.meta("budget_sim_seconds", json::Value::number(Budget));
 
   for (const char *Name : {"crossbeam", "bitvec"}) {
     const CrateSpec *Spec = findCrate(Name);
@@ -75,8 +77,12 @@ int main() {
     RunConfig Ablation = Base;
     Ablation.SemanticAware = false;
 
+    WallTimer WBase;
     RunResult RBase = S.runOne(*Spec, Base);
+    J.addRun(std::string(Name) + "/base", RBase, WBase.seconds());
+    WallTimer WAbl;
     RunResult RAbl = S.runOne(*Spec, Ablation);
+    J.addRun(std::string(Name) + "/no-semantic", RAbl, WAbl.seconds());
 
     auto Cat = [](const RunResult &R, ErrorCategory C) {
       auto It = R.ByCategory.find(C);
@@ -133,5 +139,6 @@ int main() {
 
   std::printf("%s\n", Summary.render().c_str());
   std::printf("Baseline = fully featured SyRust on the same budget.\n");
+  J.write();
   return 0;
 }

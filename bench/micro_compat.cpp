@@ -1,0 +1,273 @@
+//===--- micro_compat.cpp - Compat kernel A/B microbench ------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// A/B benchmark for the memoized compatibility kernel, in two parts.
+///
+/// Part 1 (the headline number) is a refinement-heavy stress model built
+/// for the probe workload the cache targets: deeply nested polymorphic
+/// signatures (depth-kDepth generic spines), consumers whose slots share
+/// a type variable (so every pairwise probe of Definition 2(3) walks the
+/// full spine under a joint substitution), and rounds of database growth
+/// under the rebuild-the-world refinement path - each rebuild re-asks the
+/// complete probe workload over interned types, which is exactly what the
+/// memo answers in O(1) after the first computation. Both sides run the
+/// identical configuration; the only difference is SynthOptions::Compat.
+///
+/// Part 2 runs the real library models through core::Session with the
+/// --no-compat-cache escape hatch as the off side. Shallow real-model
+/// types make direct unification nearly free, so no speedup is claimed
+/// here; this part exists to verify end-to-end stream identity (the cache
+/// must change throughput, never results) and to report production hit
+/// rates.
+///
+/// Writes BENCH_compat.json. Scale part 2 with SYRUST_BUDGET (simulated
+/// seconds per run, default 120) and SYRUST_SEEDS (default 3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "core/Session.h"
+#include "report/Table.h"
+#include "support/StringUtils.h"
+#include "synth/Synthesizer.h"
+#include "types/TypeParser.h"
+
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+using namespace syrust;
+using namespace syrust::bench;
+using namespace syrust::core;
+using namespace syrust::report;
+using namespace syrust::synth;
+
+namespace {
+
+// Stress-model shape. Each layer nests the payload under three sibling
+// generic branches, so a direct unification walks ~3^kDepth nodes (the
+// interned type DAG stays small - interning shares subtrees - but the
+// match recurses the tree) while a memo hit stays one pointer-pair hash.
+// Nesting depth is ~4 levels per layer; keep kDepth*4 below unifyImpl's
+// depth-32 defensive bound.
+constexpr int kDepth = 6;
+constexpr int kProducers = 20;
+constexpr int kConsumers = 10;
+constexpr int kRounds = 8;
+constexpr int kPerRound = 8;
+constexpr int kMaxLines = 3;
+
+struct StressResult {
+  double BuildSeconds = 0;
+  uint64_t Emitted = 0;
+  uint64_t Rebuilds = 0;
+  std::vector<uint64_t> Hashes;
+  types::CompatCache::Stats Cache;
+};
+
+std::string deep(std::string Core) {
+  for (int D = 0; D < kDepth; ++D)
+    Core = "Vec<(HashMap<String, Option<" + Core + ">>, Vec<" + Core +
+           ">, Option<(" + Core + ", usize)>)>";
+  return Core;
+}
+
+StressResult runStress(bool WithCache) {
+  types::TypeArena Arena;
+  types::TypeParser Parser(Arena, {"T"});
+  types::TraitEnv Traits(Arena);
+  api::ApiDatabase Db;
+  auto Add = [&](const std::string &Name, std::vector<std::string> Ins,
+                 const std::string &Out) {
+    api::ApiSig Sig;
+    Sig.Name = Name;
+    for (const auto &I : Ins)
+      Sig.Inputs.push_back(Parser.parse(I));
+    Sig.Output = Parser.parse(Out);
+    Db.add(std::move(Sig));
+  };
+  // Producers mint distinct deep concrete types from a Copy seed (a
+  // consumable seed would die on the first call and cap programs at one
+  // line); consumers take two of them under one shared variable, so each
+  // candidate pair costs a joint full-spine unification when computed
+  // directly.
+  for (int I = 0; I < kProducers; ++I)
+    Add("mk" + std::to_string(I), {"usize"},
+        deep("Item" + std::to_string(I)));
+  for (int I = 0; I < kConsumers; ++I)
+    Add("use" + std::to_string(I), {deep("T"), deep("T")}, "usize");
+  std::vector<program::TemplateInput> Inputs = {
+      {"n", Parser.parse("usize")}};
+
+  types::CompatCache Cache;
+  SynthOptions Opts;
+  // The rebuild-the-world refinement path: every database change tears
+  // the encodings down and re-asks the whole probe workload. Interleaved
+  // lengths keep one live encoding per length, so each round rebuilds
+  // all of them, not just the shortest unexhausted one.
+  Opts.IncrementalRefinement = false;
+  Opts.InterleaveLengths = true;
+  if (WithCache)
+    Opts.Compat = &Cache;
+  Synthesizer Synth(Arena, Traits, Db, Inputs, kMaxLines, Opts);
+
+  StressResult R;
+  for (int Round = 0; Round < kRounds; ++Round) {
+    for (int K = 0; K < kPerRound; ++K) {
+      auto P = Synth.next();
+      if (!P.has_value())
+        break;
+      R.Hashes.push_back(P->hash());
+    }
+    Add("mk_r" + std::to_string(Round), {"usize"},
+        deep("Round" + std::to_string(Round)));
+    Synth.notifyDatabaseChanged();
+  }
+  R.BuildSeconds = Synth.stats().BuildSeconds;
+  R.Emitted = Synth.stats().Emitted;
+  R.Rebuilds = Synth.stats().Rebuilds;
+  R.Cache = Cache.stats();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  Session S;
+  double Budget = envBudget("SYRUST_BUDGET", 120.0);
+  int Seeds = static_cast<int>(envBudget("SYRUST_SEEDS", 3));
+  banner("micro_compat",
+         "memoized compatibility kernel: cache on vs --no-compat-cache");
+
+  BenchJson J("compat");
+  bool StreamsIdentical = true;
+
+  // --- Part 1: refinement-heavy deep-polymorphic stress (headline). -----
+  std::printf("deep-polymorphic refinement stress: depth %d, %d producers, "
+              "%d consumers, %d rounds\n\n",
+              kDepth, kProducers, kConsumers, kRounds);
+  StressResult On = runStress(true);
+  StressResult Off = runStress(false);
+  if (On.Hashes != Off.Hashes) {
+    StreamsIdentical = false;
+    std::fprintf(stderr, "FAIL: stress program stream diverged with the "
+                         "cache on\n");
+  }
+  double StressSpeedup =
+      On.BuildSeconds > 0 ? Off.BuildSeconds / On.BuildSeconds : 0;
+  uint64_t StressHits = On.Cache.Hits + On.Cache.BaseHits;
+  uint64_t StressProbes = StressHits + On.Cache.Misses;
+  Table TS({"Workload", "Build s (cache)", "Build s (no cache)", "Speedup",
+            "Hit Rate", "Rebuilds", "Programs"});
+  TS.addRow({"deep-poly stress", format("%.4f", On.BuildSeconds),
+             format("%.4f", Off.BuildSeconds),
+             format("x%.2f", StressSpeedup),
+             StressProbes > 0
+                 ? format("%.1f %%", 100.0 * static_cast<double>(StressHits) /
+                                         static_cast<double>(StressProbes))
+                 : "-",
+             format("%" PRIu64, On.Rebuilds),
+             format("%" PRIu64, On.Emitted)});
+  std::printf("%s\n", TS.render().c_str());
+
+  J.meta("stress_depth", json::Value::integer(kDepth));
+  J.meta("stress_rounds", json::Value::integer(kRounds));
+  J.meta("stress_probes", json::Value::integer(
+                              static_cast<int64_t>(StressProbes)));
+  J.meta("stress_cache_hits",
+         json::Value::integer(static_cast<int64_t>(StressHits)));
+  J.meta("encoding_build_wall_seconds_cache_on",
+         json::Value::number(On.BuildSeconds));
+  J.meta("encoding_build_wall_seconds_cache_off",
+         json::Value::number(Off.BuildSeconds));
+  J.meta("encoding_build_speedup", json::Value::number(StressSpeedup));
+
+  // --- Part 2: real library models through the escape hatch. ------------
+  std::printf("library models: %.0f simulated seconds per run, %d seeds "
+              "per crate\n\n",
+              Budget, Seeds);
+  const char *Crates[] = {"smallvec", "bitvec", "crossbeam", "hashbrown"};
+  J.meta("budget_sim_seconds", json::Value::number(Budget));
+  J.meta("seeds_per_crate", json::Value::integer(Seeds));
+
+  Table T({"Library", "Seed", "Build s (cache)", "Build s (no cache)",
+           "Speedup", "Hit Rate", "Programs"});
+  double OnBuild = 0, OffBuild = 0, OnWall = 0, OffWall = 0;
+
+  for (const char *Crate : Crates) {
+    for (int I = 0; I < Seeds; ++I) {
+      RunConfig OnC;
+      OnC.BudgetSeconds = Budget;
+      OnC.Seed = 2021 + static_cast<uint64_t>(I);
+      RunConfig OffC = OnC;
+      OffC.UseCompatCache = false;
+
+      WallTimer WOn;
+      RunResult ROn = S.runOne(Crate, OnC);
+      double HostOn = WOn.seconds();
+      WallTimer WOff;
+      RunResult ROff = S.runOne(Crate, OffC);
+      double HostOff = WOff.seconds();
+
+      if (ROn.Synthesized != ROff.Synthesized ||
+          ROn.Rejected != ROff.Rejected ||
+          ROn.Executed != ROff.Executed) {
+        StreamsIdentical = false;
+        std::fprintf(stderr,
+                     "FAIL: %s seed %d diverged with the cache on\n",
+                     Crate, I);
+      }
+
+      std::string Label =
+          std::string(Crate) + "/seed" + std::to_string(2021 + I);
+      J.addRun(Label + "/cache-on", ROn, HostOn);
+      J.addRun(Label + "/no-cache", ROff, HostOff);
+      OnBuild += ROn.Synth.BuildSeconds;
+      OffBuild += ROff.Synth.BuildSeconds;
+      OnWall += HostOn;
+      OffWall += HostOff;
+
+      uint64_t Hits = ROn.Synth.CompatHits + ROn.Synth.CompatBaseHits;
+      uint64_t Probes = Hits + ROn.Synth.CompatMisses;
+      T.addRow({Crate, std::to_string(2021 + I),
+                format("%.4f", ROn.Synth.BuildSeconds),
+                format("%.4f", ROff.Synth.BuildSeconds),
+                ROn.Synth.BuildSeconds > 0
+                    ? format("x%.2f", ROff.Synth.BuildSeconds /
+                                          ROn.Synth.BuildSeconds)
+                    : "-",
+                Probes > 0 ? format("%.1f %%", 100.0 *
+                                                   static_cast<double>(
+                                                       Hits) /
+                                                   static_cast<double>(
+                                                       Probes))
+                           : "-",
+                format("%" PRIu64, ROn.Synthesized)});
+    }
+  }
+
+  double LibSpeedup = OnBuild > 0 ? OffBuild / OnBuild : 0;
+  J.meta("library_build_wall_seconds_cache_on",
+         json::Value::number(OnBuild));
+  J.meta("library_build_wall_seconds_cache_off",
+         json::Value::number(OffBuild));
+  J.meta("library_build_speedup", json::Value::number(LibSpeedup));
+  J.meta("host_wall_seconds_cache_on", json::Value::number(OnWall));
+  J.meta("host_wall_seconds_cache_off", json::Value::number(OffWall));
+  J.meta("streams_identical", json::Value::boolean(StreamsIdentical));
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("stress encoding-build wall time: %.4f s with cache, %.4f s "
+              "without -> x%.2f speedup\n",
+              On.BuildSeconds, Off.BuildSeconds, StressSpeedup);
+  std::printf("library encoding-build wall time: %.4f s with cache, "
+              "%.4f s without -> x%.2f\n",
+              OnBuild, OffBuild, LibSpeedup);
+  std::printf("program streams identical: %s\n",
+              StreamsIdentical ? "yes" : "NO - BUG");
+  J.write();
+  return StreamsIdentical ? 0 : 1;
+}

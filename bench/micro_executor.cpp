@@ -16,6 +16,8 @@
 #include "rustsim/Checker.h"
 #include "synth/Synthesizer.h"
 
+#include "MicroMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace syrust;
@@ -97,4 +99,4 @@ BENCHMARK(BM_FullExecutorStage);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SYRUST_BENCHMARK_MAIN("micro_executor")

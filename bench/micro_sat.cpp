@@ -14,6 +14,8 @@
 #include "sat/Solver.h"
 #include "support/Rng.h"
 
+#include "MicroMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace syrust;
@@ -145,4 +147,4 @@ BENCHMARK(BM_IncrementalBlocking);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SYRUST_BENCHMARK_MAIN("micro_sat")

@@ -15,6 +15,8 @@
 #include "synth/Synthesizer.h"
 #include "types/TypeParser.h"
 
+#include "MicroMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace syrust;
@@ -143,4 +145,4 @@ BENCHMARK(BM_RefinementHeavySynthesis)
 
 } // namespace
 
-BENCHMARK_MAIN();
+SYRUST_BENCHMARK_MAIN("micro_synth")

@@ -44,6 +44,10 @@ bool syrust::campaign::applyVariant(const std::string &Name,
     Config.IncrementalRefinement = false;
     return true;
   }
+  if (Name == "no-compat-cache") {
+    Config.UseCompatCache = false; // A/B against the memoized kernel.
+    return true;
+  }
   return false;
 }
 
@@ -74,7 +78,8 @@ CampaignSpec::validate(const Session &S) const {
       Errors.push_back("CampaignSpec.Variants names unknown variant '" +
                        V +
                        "'; known: base, no-semantic, eager, lazy, "
-                       "interleave, mutate-inputs, no-incremental");
+                       "interleave, mutate-inputs, no-incremental, "
+                       "no-compat-cache");
   }
   if (Jobs < 1)
     Errors.push_back("CampaignSpec.Jobs must be at least 1, got " +

@@ -114,6 +114,13 @@ json::Value syrust::core::resultToJson(const RunResult &R,
   Synth.set("solver_propagations",
             Value::integer(
                 static_cast<int64_t>(R.Synth.SolverPropagations)));
+  Synth.set("compat_cache_hits",
+            Value::integer(static_cast<int64_t>(R.Synth.CompatHits)));
+  Synth.set("compat_cache_base_hits",
+            Value::integer(
+                static_cast<int64_t>(R.Synth.CompatBaseHits)));
+  Synth.set("compat_cache_misses",
+            Value::integer(static_cast<int64_t>(R.Synth.CompatMisses)));
   if (Opts.HostWallTime) {
     Synth.set("build_wall_seconds", Value::number(R.Synth.BuildSeconds));
     Synth.set("solve_wall_seconds", Value::number(R.Synth.SolveSeconds));

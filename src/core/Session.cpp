@@ -30,6 +30,18 @@ std::vector<std::string> Session::supportedCrates() const {
   return Names;
 }
 
+std::shared_ptr<const CrateAnalysis>
+Session::analysisFor(const CrateSpec &Spec) const {
+  // Built under the lock: the first toucher pays the instantiation +
+  // matrix precompute once, concurrent workers for the same crate wait
+  // and then share the result instead of duplicating the work.
+  std::lock_guard<std::mutex> Lock(AnalysesMu);
+  std::shared_ptr<const CrateAnalysis> &Slot = Analyses[&Spec];
+  if (!Slot)
+    Slot = std::make_shared<const CrateAnalysis>(Spec);
+  return Slot;
+}
+
 RunResult Session::runOne(const CrateSpec &Spec, RunConfig Config,
                           obs::Recorder *Obs) const {
   std::vector<std::string> Errors = Config.validate();
@@ -42,7 +54,11 @@ RunResult Session::runOne(const CrateSpec &Spec, RunConfig Config,
     R.Supported = false;
     return R;
   }
-  return SyRustDriver(Spec, std::move(Config), Obs).run();
+  std::shared_ptr<const CrateAnalysis> Analysis;
+  if (Config.UseCompatCache && Spec.Info.SupportsSynthesis)
+    Analysis = analysisFor(Spec);
+  return SyRustDriver(Spec, std::move(Config), Obs, std::move(Analysis))
+      .run();
 }
 
 RunResult Session::runOne(const std::string &CrateName, RunConfig Config,

@@ -18,6 +18,13 @@
 /// safe to share across threads: every method is const and all mutable
 /// run state lives inside the per-call SyRustDriver.
 ///
+/// The Session additionally owns the lazily-built shared per-crate
+/// analyses (one immutable instantiation + precomputed compatibility
+/// matrix per crate, see CrateAnalysis.h): the first run against a crate
+/// builds its analysis under a lock, every later run - including all
+/// campaign workers, which share one Session - reuses it read-only
+/// through a copy-on-write overlay instance.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SYRUST_CORE_SESSION_H
@@ -26,6 +33,9 @@
 #include "core/SyRustDriver.h"
 #include "crates/CrateRegistry.h"
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,8 +71,23 @@ public:
   RunResult runOne(const std::string &CrateName, RunConfig Config,
                    obs::Recorder *Obs = nullptr) const;
 
+  /// The shared analysis for \p Spec, built on first request (thread
+  /// safe; later requests reuse it). runOne() calls this for every
+  /// cache-enabled run; exposed so tests and benches can inspect the
+  /// shared state directly.
+  std::shared_ptr<const CrateAnalysis>
+  analysisFor(const crates::CrateSpec &Spec) const;
+
 private:
   const std::vector<crates::CrateSpec> *Crates;
+  /// Lazily-built per-crate analyses, keyed by spec identity (the
+  /// registry is process-global and immutable, so spec pointers are
+  /// stable). Guarded by AnalysesMu; the analyses themselves are
+  /// immutable once constructed and shared read-only.
+  mutable std::mutex AnalysesMu;
+  mutable std::map<const crates::CrateSpec *,
+                   std::shared_ptr<const CrateAnalysis>>
+      Analyses;
 };
 
 } // namespace syrust::core

@@ -140,7 +140,18 @@ RunResult SyRustDriver::run() {
     return Result;
   }
 
-  auto Inst = Spec->instantiate();
+  // With a shared analysis, work on a copy-on-write overlay of the
+  // frozen base instance instead of re-instantiating the whole model;
+  // either way the run owns its instance outright. The compatibility
+  // cache is per-run (per campaign job) and chains onto the shared
+  // precomputed matrix when one exists, so probe counts depend only on
+  // this run's own work - never on scheduling.
+  std::unique_ptr<CrateInstance> Inst =
+      Analysis ? Analysis->makeWorkerInstance() : Spec->instantiate();
+  std::unique_ptr<types::CompatCache> Compat;
+  if (Config.UseCompatCache)
+    Compat = std::make_unique<types::CompatCache>(
+        Analysis ? &Analysis->baseCache() : nullptr);
   Rng R(Config.Seed ^ std::hash<std::string>{}(Spec->Info.Name));
   selectApis(*Inst, R);
 
@@ -165,6 +176,7 @@ RunResult SyRustDriver::run() {
   Opts.IncrementalRefinement = Config.IncrementalRefinement;
   Opts.SolverSeed = Config.Seed;
   Opts.Obs = Obs;
+  Opts.Compat = Compat.get();
   Synthesizer Synth(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs,
                     Inst->MaxLen, Opts);
   Checker Check(Inst->Arena, Inst->Traits);
@@ -368,6 +380,17 @@ RunResult SyRustDriver::run() {
   Result.CoverageSnaps = Cov.snapshots();
   Result.CoverageSaturation = Cov.saturationTime();
   Result.Synth = Synth.stats();
+  if (Compat) {
+    const types::CompatCache::Stats &CS = Compat->stats();
+    Result.Synth.CompatHits = CS.Hits;
+    Result.Synth.CompatBaseHits = CS.BaseHits;
+    Result.Synth.CompatMisses = CS.Misses;
+    if (Obs) {
+      Obs->count("compat.cache.hits", CS.Hits);
+      Obs->count("compat.cache.base_hits", CS.BaseHits);
+      Obs->count("compat.cache.misses", CS.Misses);
+    }
+  }
   Result.Refine = Refine.stats();
   Result.ElapsedSeconds = Clock.now();
   if (Obs) {

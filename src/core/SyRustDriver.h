@@ -17,6 +17,7 @@
 #ifndef SYRUST_CORE_SYRUSTDRIVER_H
 #define SYRUST_CORE_SYRUSTDRIVER_H
 
+#include "core/CrateAnalysis.h"
 #include "core/ResultDatabase.h"
 #include "coverage/CoverageMap.h"
 #include "crates/CrateRegistry.h"
@@ -27,6 +28,7 @@
 #include "synth/Synthesizer.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -93,6 +95,15 @@ struct RunConfig {
   /// Delta-debug the first bug-inducing program down to its minimal form
   /// (fills RunResult::MinimizedLines / MinimizedProgram).
   bool MinimizeBugs = false;
+
+  /// Memoized compatibility kernel + shared per-crate analysis. On, the
+  /// encoder answers repeated unifiability probes from a memo table and
+  /// Session-routed runs share one immutable instantiation per crate
+  /// (with private copy-on-write overlays); off - the --no-compat-cache
+  /// escape hatch - every run re-instantiates and recomputes every
+  /// probe. Emitted programs and all results are byte-identical either
+  /// way; only throughput (and the compat.cache.* counters) change.
+  bool UseCompatCache = true;
 
   /// Route compiler diagnostics through the cargo-style JSON channel
   /// (serialize, then parse back) before handing them to refinement -
@@ -212,9 +223,16 @@ std::vector<api::ApiId> selectApiSubset(const api::ApiDatabase &Db,
 /// a driver directly is kept for tests that need the raw object.
 class SyRustDriver {
 public:
+  /// \p Analysis, when set, is the crate's shared immutable analysis
+  /// (Session::runOne supplies it): the run works on a copy-on-write
+  /// overlay instance instead of a fresh instantiation, and its
+  /// compatibility cache chains onto the precomputed matrix. Null falls
+  /// back to a private instantiate() - results are identical.
   SyRustDriver(const crates::CrateSpec &Spec, RunConfig Config,
-               obs::Recorder *Obs = nullptr)
-      : Spec(&Spec), Config(std::move(Config)), Obs(Obs) {}
+               obs::Recorder *Obs = nullptr,
+               std::shared_ptr<const CrateAnalysis> Analysis = nullptr)
+      : Spec(&Spec), Config(std::move(Config)), Obs(Obs),
+        Analysis(std::move(Analysis)) {}
 
   SyRustDriver(SyRustDriver &&) = default;
   SyRustDriver &operator=(SyRustDriver &&) = default;
@@ -232,6 +250,8 @@ private:
   /// interpreter); a span per candidate ties the lifecycle together and
   /// the metrics registry snapshots on the SnapshotInterval cadence.
   obs::Recorder *Obs = nullptr;
+  /// Shared per-crate analysis; see the constructor comment.
+  std::shared_ptr<const CrateAnalysis> Analysis;
 };
 
 } // namespace syrust::core

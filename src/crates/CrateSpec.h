@@ -59,6 +59,24 @@ struct CrateInstance {
   CrateInstance(const CrateInstance &) = delete;
   CrateInstance &operator=(const CrateInstance &) = delete;
 
+  /// Copy-on-write overlay over a shared immutable \p Base instance
+  /// (core::CrateAnalysis hands these to campaign workers). The arena
+  /// chains to the base arena, so base types keep their pointer identity
+  /// while refinement-added types intern privately; everything a run
+  /// mutates (the API database via bans/refinement, the trait rules) or
+  /// calls through (semantics, template init - both capture by value) is
+  /// copied. \p Base must outlive this overlay and stay immutable while
+  /// it exists.
+  CrateInstance(const CrateInstance &Base, types::OverlayTag)
+      : Arena(Base.Arena, types::Overlay), Traits(Base.Traits, Arena),
+        Db(Base.Db), Builtins(Base.Builtins), Pinned(Base.Pinned),
+        Inputs(Base.Inputs), Registry(Base.Registry), Init(Base.Init),
+        ComponentLines(Base.ComponentLines),
+        LibraryLines(Base.LibraryLines),
+        ComponentBranches(Base.ComponentBranches),
+        LibraryBranches(Base.LibraryBranches), MaxLen(Base.MaxLen),
+        MiriCostFactor(Base.MiriCostFactor) {}
+
   types::TypeArena Arena;
   types::TraitEnv Traits;
   api::ApiDatabase Db;

@@ -126,7 +126,7 @@ void RefinementEngine::eagerlyConcretize(ApiId Id, bool AllVars) {
     Substitution Subst;
     size_t Rem = N;
     for (const std::string &V : Vars) {
-      Subst.bind(V, Harvested[Rem % Harvested.size()]);
+      Subst.bind(Arena.typeVar(V), Harvested[Rem % Harvested.size()]);
       Rem /= Harvested.size();
     }
     ApiSig Inst = Orig;

@@ -280,8 +280,14 @@ void Encoding::buildCallSites() {
             if (Opts.SemanticAware &&
                 Sig.Builtin == BuiltinKind::BorrowMut && X < K)
               continue; // Template bindings are immutable (no `mut`).
-            Substitution Probe;
-            if (!unifiable(Ty, Pattern, Probe))
+            bool Feeds;
+            if (Opts.Compat) {
+              Feeds = Opts.Compat->unifiable2(Ty, Pattern);
+            } else {
+              Substitution Probe;
+              Feeds = unifiable(Ty, Pattern, Probe);
+            }
+            if (!Feeds)
               continue;
             Candidate C;
             C.Var = X;
@@ -378,6 +384,9 @@ void Encoding::buildContextConstraints() {
               if (C1.Var == C2.Var && !C1.Ty->isPrim() &&
                   !C1.Ty->isSharedRef()) {
                 Compatible = false; // Rule 4: no owned/mut aliasing.
+              } else if (Opts.Compat) {
+                Compatible = Opts.Compat->unifiableJoint(
+                    C1.Ty, RenIn[Kk][J1], C2.Ty, RenIn[Kk][J2]);
               } else {
                 Substitution Joint;
                 Compatible =

@@ -50,6 +50,7 @@
 #include "obs/Recorder.h"
 #include "program/Program.h"
 #include "sat/Solver.h"
+#include "types/CompatCache.h"
 #include "types/Subtyping.h"
 #include "types/TraitEnv.h"
 
@@ -82,6 +83,13 @@ struct SynthOptions {
   /// Flight recorder for trace events and metrics; null (the default)
   /// disables instrumentation at the cost of one pointer check.
   obs::Recorder *Obs = nullptr;
+  /// Memoized compatibility kernel consulted for the encoder's
+  /// unifiability probes; null computes every probe directly (the
+  /// --no-compat-cache escape hatch). Campaign runs chain a per-job
+  /// cache onto the crate's shared precomputed matrix
+  /// (core::CrateAnalysis). Cached and direct answers are identical by
+  /// construction, so enumeration order does not depend on this setting.
+  types::CompatCache *Compat = nullptr;
 };
 
 /// SAT encoding for one (API database snapshot, program length) pair.

@@ -27,6 +27,10 @@ Synthesizer::Synthesizer(types::TypeArena &Arena,
                          SynthOptions Opts)
     : Arena(Arena), Traits(Traits), Db(Db), Inputs(std::move(Inputs)),
       MaxLines(MaxLines), Opts(Opts) {
+  // Long runs push hundreds of thousands of hashes through the duplicate
+  // net; reserving up front keeps the hot insert path rehash-free until
+  // well past typical run sizes.
+  SeenHashes.reserve(1 << 16);
   Stats.CurrentLength = 1;
   if (Opts.InterleaveLengths) {
     LengthEncs.resize(static_cast<size_t>(MaxLines));

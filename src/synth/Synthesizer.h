@@ -34,9 +34,9 @@
 
 #include "synth/Encoding.h"
 
-#include <map>
 #include <memory>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace syrust::synth {
 
@@ -64,6 +64,14 @@ struct SynthStats {
   double BuildSeconds = 0;
   double SolveSeconds = 0;
   int CurrentLength = 0;
+  /// Compatibility-kernel memo outcome (all zero when the cache is off).
+  /// Hits answered from the run's own cache, BaseHits from the shared
+  /// per-crate matrix, Misses computed fresh. Filled by the driver, which
+  /// owns the cache; the synthesizer only consumes it through
+  /// SynthOptions::Compat.
+  uint64_t CompatHits = 0;
+  uint64_t CompatBaseHits = 0;
+  uint64_t CompatMisses = 0;
 };
 
 /// Enumerates candidate programs of increasing length.
@@ -114,11 +122,15 @@ private:
   std::vector<std::unique_ptr<Encoding>> LengthEncs;
   std::vector<char> LengthLive;
   size_t Rotation = 0;
-  std::set<uint64_t> SeenHashes;
+  /// Emitted-program hashes, the last-resort duplicate net. Unordered on
+  /// purpose: membership is all that is ever asked (never iterated), and
+  /// long runs insert hundreds of thousands of hashes.
+  std::unordered_set<uint64_t> SeenHashes;
 
   /// Blocked models harvested from retired encodings, per length,
   /// replayed into their replacements after destructive rebuilds.
-  std::map<int, std::vector<Encoding::ModelSig>> RetiredSigs;
+  /// Accessed only by find/operator[], so ordering is not load-bearing.
+  std::unordered_map<int, std::vector<Encoding::ModelSig>> RetiredSigs;
   /// Database state at the last (re)build/extend, for classifying the
   /// next change: old activeIds being a prefix of the new ones means
   /// add-only; a grown database means additions are present.

@@ -24,7 +24,7 @@ bool matchImpl(const Type *Actual, const Type *Pattern, Substitution &Subst,
   // A pattern variable matches anything (∀τ. τ ⊑ T), subject to consistency
   // with previous bindings of the same variable.
   if (Pattern->isVar())
-    return Subst.bind(Pattern->name(), Actual);
+    return Subst.bind(Pattern, Actual);
 
   if (Actual->kind() != Pattern->kind())
     return false;
@@ -101,16 +101,16 @@ bool unifyImpl(const Type *A, const Type *B, Substitution &Subst,
     return true;
   // Resolve already-bound variables first.
   if (A->isVar()) {
-    if (const Type *Bound = Subst.lookup(A->name()))
+    if (const Type *Bound = Subst.lookup(A))
       return Bound == A ||
              unifyImpl(Bound, B, Subst, AllowCoercion, Depth + 1);
-    return Subst.bind(A->name(), B);
+    return Subst.bind(A, B);
   }
   if (B->isVar()) {
-    if (const Type *Bound = Subst.lookup(B->name()))
+    if (const Type *Bound = Subst.lookup(B))
       return Bound == B ||
              unifyImpl(A, Bound, Subst, AllowCoercion, Depth + 1);
-    return Subst.bind(B->name(), A);
+    return Subst.bind(B, A);
   }
   if (A->kind() != B->kind())
     return false;
@@ -195,7 +195,7 @@ const Type *syrust::types::applySubst(TypeArena &Arena, const Type *T,
   case TypeKind::Prim:
     return T;
   case TypeKind::Var: {
-    const Type *Bound = Subst.lookup(T->name());
+    const Type *Bound = Subst.lookup(T);
     return Bound ? Bound : T;
   }
   case TypeKind::Named: {

@@ -23,35 +23,71 @@
 
 #include "types/Type.h"
 
-#include <map>
+#include <cassert>
 #include <string>
 #include <vector>
 
 namespace syrust::types {
 
-/// A binding of type-variable names to types.
+/// A binding of type variables to types. Stored as a small flat vector
+/// keyed by the variables' dense per-arena indices (Type::varIndex()):
+/// signatures bind a handful of variables at most, so a linear scan over
+/// ints beats the name-keyed std::map this used to be - no tree walk, no
+/// string hashing, no node allocation in the encoder's unifiability
+/// probes, which run once per (candidate, slot) pair per encoding build.
 class Substitution {
 public:
-  /// Returns the binding of \p Name, or nullptr when unbound.
+  struct Entry {
+    int Idx = -1;              ///< Var->varIndex(), the scan key.
+    const Type *Var = nullptr; ///< The variable itself, for name lookups.
+    const Type *Bound = nullptr;
+  };
+
+  /// Returns the binding of the interned variable \p Var, or nullptr when
+  /// unbound. \p Var must come from the same arena chain as every other
+  /// variable bound through this substitution.
+  const Type *lookup(const Type *Var) const {
+    assert(Var->isVar() && "substitution lookup on a non-variable");
+    int Idx = Var->varIndex();
+    for (const Entry &E : Entries)
+      if (E.Idx == Idx)
+        return E.Bound;
+    return nullptr;
+  }
+
+  /// Name-keyed lookup for callers that only have the variable's spelling
+  /// (trait-bound resolution, diagnostics). Cold path.
   const Type *lookup(const std::string &Name) const {
-    auto It = Map.find(Name);
-    return It == Map.end() ? nullptr : It->second;
+    for (const Entry &E : Entries)
+      if (E.Var->name() == Name)
+        return E.Bound;
+    return nullptr;
   }
 
-  /// Binds \p Name to \p T. Returns false if \p Name is already bound to a
-  /// different type.
-  bool bind(const std::string &Name, const Type *T) {
-    auto [It, Inserted] = Map.emplace(Name, T);
-    return Inserted || It->second == T;
+  /// Binds \p Var to \p T. Returns false - leaving the substitution
+  /// unchanged - if \p Var is already bound to a different type. Bindings
+  /// made before a failing bind always survive: isSubtype/unifiable extend
+  /// one substitution across many slots and rely on this
+  /// partial-extension-on-failure contract (callers copy when they need
+  /// rollback).
+  bool bind(const Type *Var, const Type *T) {
+    assert(Var->isVar() && "substitution bind on a non-variable");
+    int Idx = Var->varIndex();
+    for (const Entry &E : Entries)
+      if (E.Idx == Idx)
+        return E.Bound == T;
+    Entries.push_back(Entry{Idx, Var, T});
+    return true;
   }
 
-  bool empty() const { return Map.empty(); }
-  size_t size() const { return Map.size(); }
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
 
-  const std::map<std::string, const Type *> &bindings() const { return Map; }
+  /// The bindings in first-bound order.
+  const std::vector<Entry> &entries() const { return Entries; }
 
 private:
-  std::map<std::string, const Type *> Map;
+  std::vector<Entry> Entries;
 };
 
 /// Checks Actual ⊑ Pattern, extending \p Subst with any type-variable

@@ -39,6 +39,14 @@ class TraitEnv {
 public:
   explicit TraitEnv(TypeArena &Arena) : Arena(Arena) {}
 
+  /// Rebinding copy: the same impl rules, but interning through
+  /// \p NewArena. Used when a worker's copy-on-write instance overlays a
+  /// shared base instance: the rules' Type pointers stay valid (they live
+  /// in the base arena the overlay chains to), while implements() interns
+  /// any instantiated obligations into the worker's own arena.
+  TraitEnv(const TraitEnv &Other, TypeArena &NewArena)
+      : Arena(NewArena), Rules(Other.Rules) {}
+
   /// Registers an unconditional impl for a concrete or generic pattern.
   void addImpl(const std::string &Trait, const Type *Pattern) {
     Rules.push_back(ImplRule{Trait, Pattern, {}});

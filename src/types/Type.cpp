@@ -23,6 +23,18 @@ void Type::collectVars(std::vector<std::string> &Out) const {
 
 TypeArena::TypeArena() { Unit = prim("()"); }
 
+TypeArena::TypeArena(const TypeArena &BaseArena, OverlayTag)
+    : Base(&BaseArena), NextVarIdx(BaseArena.NextVarIdx) {
+  Unit = prim("()"); // Resolves to the base arena's unit.
+}
+
+const Type *TypeArena::findKey(const std::string &Key) const {
+  auto It = Pool.find(Key);
+  if (It != Pool.end())
+    return It->second.get();
+  return Base ? Base->findKey(Key) : nullptr;
+}
+
 bool TypeArena::isPrimName(const std::string &Name) {
   static const char *Prims[] = {"i8",   "i16",  "i32",  "i64",  "i128",
                                 "u8",   "u16",  "u32",  "u64",  "u128",
@@ -82,9 +94,10 @@ const Type *TypeArena::intern(Type Proto) {
     Proto.Key += ',';
   }
   Proto.Key += ')';
-  auto It = Pool.find(Proto.Key);
-  if (It != Pool.end())
-    return It->second.get();
+  if (const Type *Existing = findKey(Proto.Key))
+    return Existing;
+  if (Proto.Kind == TypeKind::Var)
+    Proto.VarIdx = NextVarIdx++;
   std::string Key = Proto.Key;
   auto Owned = std::make_unique<Type>(std::move(Proto));
   const Type *Raw = Owned.get();

@@ -61,6 +61,13 @@ public:
   /// True when no type variable occurs anywhere in the type.
   bool isConcrete() const { return Concrete; }
 
+  /// Dense per-arena index of a Var type, assigned in first-intern order;
+  /// -1 for every other kind. Substitution keys its flat entry vector on
+  /// this, so the unifiability hot loop compares small ints instead of
+  /// hashing variable names. Overlay arenas continue their base arena's
+  /// sequence, keeping indices unique across a base/overlay chain.
+  int varIndex() const { return VarIdx; }
+
   /// Canonical Rust-syntax rendering ("&mut Vec<String>").
   const std::string &str() const { return Rendered; }
 
@@ -77,15 +84,38 @@ private:
   std::vector<const Type *> Args;
   bool MutRef = false;
   bool Concrete = true;
+  int VarIdx = -1;
   std::string Rendered;
   std::string Key; ///< Kind-disambiguated structural intern key.
 };
 
+/// Tag selecting TypeArena's overlay constructor (and CrateInstance's
+/// copy-on-write constructor, which is built on it).
+struct OverlayTag {
+  explicit OverlayTag() = default;
+};
+inline constexpr OverlayTag Overlay{};
+
 /// Owns and interns Type instances. All types compared with each other must
-/// come from the same arena.
+/// come from the same arena - or from the same base/overlay chain: an
+/// overlay arena resolves every intern against its (frozen) base first, so
+/// types present in the base keep their pointer identity in the overlay.
 class TypeArena {
 public:
   TypeArena();
+
+  /// Builds an overlay over \p Base: interning consults the base pool
+  /// (read-only) before the local one, so base types resolve to the same
+  /// pointers and only genuinely new types are owned locally. The shared
+  /// per-crate analysis uses this to give every campaign worker a private
+  /// copy-on-write arena over one immutable instantiation. \p Base must
+  /// outlive the overlay and must not grow while overlays exist (the
+  /// overlay continues the base's variable-index sequence and skips the
+  /// base pool's synchronization entirely).
+  TypeArena(const TypeArena &Base, OverlayTag);
+
+  TypeArena(const TypeArena &) = delete;
+  TypeArena &operator=(const TypeArena &) = delete;
 
   /// Interns a primitive type. \p Name must be one of the recognized
   /// primitive spellings (see isPrimName) or "()".
@@ -111,15 +141,24 @@ public:
   /// True if \p Name spells a Rust primitive scalar type.
   static bool isPrimName(const std::string &Name);
 
-  /// Number of distinct interned types (for tests).
-  size_t size() const { return Pool.size(); }
+  /// Number of distinct interned types, including the base chain's.
+  size_t size() const {
+    return Pool.size() + (Base ? Base->size() : 0);
+  }
+
+  /// Types owned by this arena alone (excludes the base chain).
+  size_t localSize() const { return Pool.size(); }
 
 private:
   const Type *intern(Type Proto);
+  const Type *findKey(const std::string &Key) const;
   static std::string render(const Type &T);
 
   std::unordered_map<std::string, std::unique_ptr<Type>> Pool;
   const Type *Unit = nullptr;
+  const TypeArena *Base = nullptr;
+  /// Next Type::varIndex() to hand out; overlays resume the base's count.
+  int NextVarIdx = 0;
 };
 
 } // namespace syrust::types

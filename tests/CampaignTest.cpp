@@ -345,11 +345,26 @@ TEST(SessionTest, RunOneMatchesDirectDriver) {
   Session S;
   RunConfig C = quickBase();
   RunResult A = S.runOne("slab", C);
-  RunResult B = SyRustDriver(*S.find("slab"), C).run();
+  const crates::CrateSpec &Spec = *S.find("slab");
+  // Same shared analysis as the Session route, so even the compat cache
+  // hit/miss split matches byte for byte.
+  RunResult B = SyRustDriver(Spec, C, nullptr, S.analysisFor(Spec)).run();
   EXPECT_EQ(A.Synthesized, B.Synthesized);
   EXPECT_EQ(A.Rejected, B.Rejected);
   EXPECT_EQ(A.Executed, B.Executed);
   EXPECT_EQ(resultToJson(A, {false}).dump(), resultToJson(B, {false}).dump());
+
+  // A bare driver (no shared analysis) computes every probe locally:
+  // identical programs and results, only the counter split moves from
+  // base_hits to local hits/misses.
+  RunResult D = SyRustDriver(Spec, C).run();
+  EXPECT_EQ(A.Synthesized, D.Synthesized);
+  EXPECT_EQ(A.Rejected, D.Rejected);
+  EXPECT_EQ(A.Executed, D.Executed);
+  EXPECT_EQ(A.Synth.CompatHits + A.Synth.CompatBaseHits +
+                A.Synth.CompatMisses,
+            D.Synth.CompatHits + D.Synth.CompatMisses);
+  EXPECT_EQ(D.Synth.CompatBaseHits, 0u);
 }
 
 TEST(SessionTest, RunOneRejectsInvalidConfigAndUnknownCrate) {

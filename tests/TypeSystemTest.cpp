@@ -209,6 +209,87 @@ TEST_F(TypeFixture, PolymorphicActualBindsIntoPattern) {
   EXPECT_EQ(S.lookup("U"), parse("Vec<T>"));
 }
 
+TEST_F(TypeFixture, MutCoercionIsTopLevelOnly) {
+  // &mut T ⊑ &T holds at the top of a type only; one level down the
+  // reference is a generic argument and invariance applies — for
+  // subtyping and for the encoder's optimistic unifiable alike.
+  EXPECT_TRUE(isSubtype(parse("&mut String"), parse("&String")));
+  EXPECT_FALSE(isSubtype(parse("&&mut String"), parse("&&String")));
+  EXPECT_FALSE(
+      isSubtype(parse("&mut &mut String"), parse("&mut &String")));
+  EXPECT_FALSE(
+      isSubtype(parse("Option<&mut String>"), parse("Option<&String>")));
+
+  Substitution S1;
+  EXPECT_TRUE(unifiable(parse("&mut Vec<T>"), parse("&Vec<String>"), S1));
+  Substitution S2;
+  EXPECT_FALSE(
+      unifiable(parse("Vec<&mut String>"), parse("Vec<&String>"), S2));
+  Substitution S3;
+  EXPECT_FALSE(
+      unifiable(parse("(&mut String, i32)"), parse("(&String, i32)"), S3));
+}
+
+TEST_F(TypeFixture, JointSubstitutionConflictsAcrossSlots) {
+  // Two slots of one signature share the substitution: a binding made
+  // while matching slot 1 must constrain slot 2 (Definition 2's joint
+  // compatibleTypes condition), in both probe directions.
+  Substitution S;
+  EXPECT_TRUE(unifiable(parse("Vec<String>"), parse("Vec<T>"), S));
+  EXPECT_FALSE(unifiable(parse("i32"), parse("T"), S));
+  EXPECT_TRUE(unifiable(parse("String"), parse("T"), S));
+
+  // Same conflict through matchCall on a two-slot signature where the
+  // variable appears at different nesting depths.
+  Substitution S2;
+  EXPECT_FALSE(matchCall({parse("HashMap<String, i32>"), parse("&u8")},
+                         {parse("HashMap<K, V>"), parse("&K")}, S2));
+
+  // And with the variable on the actual side, as renamed signature
+  // outputs feed later slots during encoding builds.
+  Substitution S3;
+  EXPECT_TRUE(unifiable(parse("T"), parse("String"), S3));
+  EXPECT_FALSE(unifiable(parse("Vec<T>"), parse("Vec<i32>"), S3));
+}
+
+TEST_F(TypeFixture, BindRejectsConflictAndKeepsSubstitutionIntact) {
+  // Substitution::bind is first-bind-wins: a conflicting rebind fails
+  // without disturbing any existing entry, while an identical rebind is
+  // an idempotent success.
+  Substitution S;
+  const Type *T = Arena.typeVar("T");
+  const Type *U = Arena.typeVar("U");
+  EXPECT_TRUE(S.bind(T, Arena.named("String")));
+  EXPECT_TRUE(S.bind(U, Arena.prim("i32")));
+  EXPECT_EQ(S.size(), 2u);
+
+  EXPECT_FALSE(S.bind(T, Arena.prim("u8")));
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_EQ(S.lookup(T), Arena.named("String"));
+  EXPECT_EQ(S.lookup(U), Arena.prim("i32"));
+
+  EXPECT_TRUE(S.bind(T, Arena.named("String")));
+  EXPECT_EQ(S.size(), 2u);
+
+  // Pointer-keyed and name-keyed lookup agree.
+  EXPECT_EQ(S.lookup("T"), S.lookup(T));
+  EXPECT_EQ(S.lookup("missing"), nullptr);
+}
+
+TEST_F(TypeFixture, FailedMatchMayPartiallyExtend) {
+  // The documented contract: on failure the substitution may be
+  // partially extended (callers copy when rollback matters). A tuple
+  // match that binds T from the first element before failing on the
+  // second keeps the T binding.
+  Substitution S;
+  EXPECT_FALSE(isSubtype(parse("(String, i32)"), parse("(T, String)"), S));
+  EXPECT_EQ(S.lookup("T"), Arena.named("String"));
+  // The encoder's copy-then-probe pattern restores cleanly.
+  Substitution Clean;
+  EXPECT_TRUE(isSubtype(parse("(String, i32)"), parse("(T, U)"), Clean));
+  EXPECT_EQ(Clean.size(), 2u);
+}
+
 //===----------------------------------------------------------------------===//
 // Trait environment
 //===----------------------------------------------------------------------===//

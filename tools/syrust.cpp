@@ -30,6 +30,9 @@
 ///   --mutate-inputs          perturb template inputs (7.4.2)
 ///   --no-incremental         rebuild encodings from scratch on every
 ///                            database refinement (historical behavior)
+///   --no-compat-cache        disable the memoized compatibility kernel
+///                            and shared per-crate analysis (identical
+///                            results, slower encoding builds)
 ///   --stop-on-bug            stop at the first UB
 ///   --minimize               delta-debug the bug-inducing program
 ///   --max-tests <n>          hard cap on synthesized test cases
@@ -47,8 +50,13 @@
 ///   --seeds N[..M]           inclusive seed range (default 2021)
 ///   --variants v1,v2         named config variants (default base);
 ///                            known: base, no-semantic, eager, lazy,
-///                            interleave, mutate-inputs, no-incremental
+///                            interleave, mutate-inputs, no-incremental,
+///                            no-compat-cache
 ///   --jobs <n>               pool workers (default 1)
+///   --no-compat-cache        disable the memoized compatibility kernel
+///                            for every job (same as listing the
+///                            no-compat-cache variant, but composes with
+///                            other variants)
 ///   --budget <sim-seconds>   simulated budget per job (default 600)
 ///   --apis <n>               APIs to select per job (default 15)
 ///   --max-tests <n>          hard cap on test cases per job
@@ -96,7 +104,8 @@ int usage() {
                "                  [--no-semantic] [--eager] [--lazy]\n"
                "                  [--interleave] [--mutate-inputs] "
                "[--no-incremental]\n"
-               "                  [--stop-on-bug] [--minimize] "
+               "                  [--no-compat-cache] "
+               "[--stop-on-bug] [--minimize] "
                "[--max-tests N]\n"
                "                  [--log-tests N] [--json-errors] "
                "[--json]\n"
@@ -106,8 +115,9 @@ int usage() {
                "[--seeds N[..M]]\n"
                "                  [--variants v1,v2] [--jobs N] "
                "[--budget N]\n"
-               "                  [--apis N] [--max-tests N] [--out DIR] "
-               "[--trace]\n"
+               "                  [--apis N] [--max-tests N] "
+               "[--no-compat-cache]\n"
+               "                  [--out DIR] [--trace]\n"
                "       syrust report <trace.json>\n");
   return 2;
 }
@@ -238,6 +248,8 @@ int cmdRun(int Argc, char **Argv) {
       Config.MutateInputs = true;
     } else if (!std::strcmp(Arg, "--no-incremental")) {
       Config.IncrementalRefinement = false;
+    } else if (!std::strcmp(Arg, "--no-compat-cache")) {
+      Config.UseCompatCache = false;
     } else if (!std::strcmp(Arg, "--stop-on-bug")) {
       Config.StopOnFirstBug = true;
     } else if (!std::strcmp(Arg, "--minimize")) {
@@ -447,6 +459,8 @@ int cmdCampaign(int Argc, char **Argv) {
     } else if (!std::strcmp(Arg, "--max-tests")) {
       if (NextNum(Num))
         Spec.Base.MaxTests = static_cast<uint64_t>(Num);
+    } else if (!std::strcmp(Arg, "--no-compat-cache")) {
+      Spec.Base.UseCompatCache = false;
     } else if (!std::strcmp(Arg, "--out")) {
       OutDir = NextValue();
     } else if (!std::strcmp(Arg, "--trace")) {
