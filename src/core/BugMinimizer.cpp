@@ -15,34 +15,6 @@ using namespace syrust::crates;
 using namespace syrust::miri;
 using namespace syrust::program;
 
-namespace {
-
-/// Builds \p P without statement \p Drop, renumbering later output
-/// variables. Returns false when a later statement uses the dropped
-/// output (removal impossible).
-bool removeStatement(const Program &P, size_t Drop, Program &Out) {
-  VarId Removed = P.Stmts[Drop].Out;
-  Out.Inputs = P.Inputs;
-  Out.Stmts.clear();
-  for (size_t I = 0; I < P.Stmts.size(); ++I) {
-    if (I == Drop)
-      continue;
-    Stmt S = P.Stmts[I];
-    for (VarId &A : S.Args) {
-      if (A == Removed)
-        return false;
-      if (A > Removed)
-        --A;
-    }
-    if (S.Out > Removed)
-      --S.Out;
-    Out.Stmts.push_back(std::move(S));
-  }
-  return true;
-}
-
-} // namespace
-
 MinimizedBug syrust::core::minimizeBugProgram(CrateInstance &Inst,
                                               const Program &P,
                                               UbKind Kind,

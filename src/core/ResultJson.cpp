@@ -97,6 +97,8 @@ json::Value syrust::core::resultToJson(const RunResult &R,
             Value::integer(static_cast<int64_t>(R.Synth.PathFiltered)));
   Synth.set("duplicates_skipped",
             Value::integer(static_cast<int64_t>(R.Synth.DuplicatesSkipped)));
+  Synth.set("hash_collisions",
+            Value::integer(static_cast<int64_t>(R.Synth.HashCollisions)));
   Synth.set("rebuilds",
             Value::integer(static_cast<int64_t>(R.Synth.Rebuilds)));
   Synth.set("incremental_extends",

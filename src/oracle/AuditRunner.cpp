@@ -1,0 +1,299 @@
+//===--- AuditRunner.cpp - Campaign-style audit fan-out -------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/AuditRunner.h"
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <utility>
+
+using namespace syrust;
+using namespace syrust::core;
+using namespace syrust::json;
+using namespace syrust::oracle;
+using namespace syrust::rustsim;
+
+std::vector<std::string> AuditSpec::validate(const Session &S) const {
+  std::vector<std::string> Errors;
+  if (Crates.empty())
+    Errors.push_back("AuditSpec.Crates must name at least one crate");
+  std::set<std::string> Seen;
+  for (const std::string &Name : Crates) {
+    if (!Seen.insert(Name).second)
+      Errors.push_back("AuditSpec.Crates lists '" + Name +
+                       "' more than once");
+    else if (!S.find(Name))
+      Errors.push_back("AuditSpec.Crates names unknown crate '" + Name +
+                       "'; try `syrust list`");
+  }
+  if (SeedEnd < SeedBegin)
+    Errors.push_back("AuditSpec seed range is empty: SeedEnd " +
+                     std::to_string(SeedEnd) + " < SeedBegin " +
+                     std::to_string(SeedBegin));
+  if (Jobs < 1)
+    Errors.push_back("AuditSpec.Jobs must be at least 1, got " +
+                     std::to_string(Jobs));
+  std::vector<std::string> BaseErrors = Base.validate();
+  Errors.insert(Errors.end(), BaseErrors.begin(), BaseErrors.end());
+  return Errors;
+}
+
+std::vector<AuditJob>
+syrust::oracle::expandAuditMatrix(const AuditSpec &Spec) {
+  std::vector<AuditJob> Jobs;
+  size_t Index = 0;
+  for (const std::string &Crate : Spec.Crates) {
+    for (uint64_t Seed = Spec.SeedBegin; Seed <= Spec.SeedEnd; ++Seed) {
+      AuditJob Job;
+      Job.Index = Index++;
+      Job.Crate = Crate;
+      Job.Seed = Seed;
+      Job.Config = Spec.Base;
+      Job.Config.Seed = Seed;
+      Jobs.push_back(std::move(Job));
+      if (Seed == UINT64_MAX)
+        break; // Seed + 1 would wrap.
+    }
+  }
+  return Jobs;
+}
+
+namespace {
+
+/// One worker's job queue; the campaign pool's mutex-guarded deque
+/// (CampaignRunner.cpp), for the same reason: audits run for
+/// milliseconds to seconds, so queue operations are nowhere near the
+/// critical path and this version is trivially ThreadSanitizer-clean.
+struct WorkerQueue {
+  std::mutex Mu;
+  std::deque<size_t> Q;
+
+  void push(size_t Job) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Q.push_back(Job);
+  }
+  /// Owner end: newest first.
+  std::optional<size_t> popBack() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Q.empty())
+      return std::nullopt;
+    size_t Job = Q.back();
+    Q.pop_back();
+    return Job;
+  }
+  /// Thief end: oldest first.
+  std::optional<size_t> stealFront() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Q.empty())
+      return std::nullopt;
+    size_t Job = Q.front();
+    Q.pop_front();
+    return Job;
+  }
+};
+
+} // namespace
+
+AuditRunResult syrust::oracle::runAudit(
+    const Session &S, const AuditSpec &Spec,
+    std::function<void(const AuditJobResult &)> OnJobDone) {
+  assert(Spec.validate(S).empty() &&
+         "invalid AuditSpec; validate() before running");
+  std::vector<AuditJob> Jobs = expandAuditMatrix(Spec);
+
+  AuditRunResult Result;
+  Result.Jobs.resize(Jobs.size());
+  int Workers = Spec.Jobs;
+  if (static_cast<size_t>(Workers) > Jobs.size())
+    Workers = static_cast<int>(Jobs.size() ? Jobs.size() : 1);
+  Result.Workers = Workers;
+
+  std::vector<WorkerQueue> Queues(Workers);
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    Queues[I % Workers].push(I);
+
+  // One metrics-only recorder per worker; the merged counters are
+  // integer sums, identical for any pool width.
+  std::vector<obs::Recorder> Recorders;
+  Recorders.reserve(Workers);
+  for (int W = 0; W < Workers; ++W) {
+    obs::Recorder::Options Opts;
+    Opts.Metrics = true;
+    Opts.Lane = W;
+    Recorders.emplace_back(Opts);
+  }
+
+  std::mutex JobDoneMu;
+  auto WorkerLoop = [&](int Me) {
+    obs::Recorder &Rec = Recorders[Me];
+    for (;;) {
+      std::optional<size_t> JobIdx = Queues[Me].popBack();
+      for (int Off = 1; !JobIdx && Off < Workers; ++Off)
+        JobIdx = Queues[(Me + Off) % Workers].stealFront();
+      if (!JobIdx)
+        return; // Every deque empty: no work will ever appear again.
+      const AuditJob &Job = Jobs[*JobIdx];
+      AuditJobResult &Slot = Result.Jobs[*JobIdx];
+      Slot.Job = Job;
+      Slot.Worker = Me;
+      Slot.Result = auditOne(S, Job.Crate, Job.Config, &Rec);
+      if (OnJobDone) {
+        std::lock_guard<std::mutex> Lock(JobDoneMu);
+        OnJobDone(Slot);
+      }
+    }
+  };
+
+  if (Workers <= 1) {
+    WorkerLoop(0); // Same code path, no thread: --jobs 1 is the oracle.
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (int W = 0; W < Workers; ++W)
+      Pool.emplace_back(WorkerLoop, W);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Merge in matrix order - completion order must never leak into the
+  // aggregate.
+  for (const AuditJobResult &JR : Result.Jobs) {
+    const AuditResult &R = JR.Result;
+    Result.Totals.ModelsReplayed += R.ModelsReplayed;
+    Result.Totals.AgreePass += R.AgreePass;
+    Result.Totals.AgreeReject += R.AgreeReject;
+    Result.Totals.ExpectedTotal += R.ExpectedTotal;
+    Result.Totals.UnexpectedTotal += R.UnexpectedTotal;
+    Result.Totals.FilteredCompilable += R.FilteredCompilable;
+    Result.Totals.MinimizerSteps += R.MinimizerSteps;
+    for (const auto &[Det, N] : R.Expected)
+      Result.Totals.Expected[Det] += N;
+  }
+  for (obs::Recorder &Rec : Recorders)
+    for (const auto &[Name, C] : Rec.metrics().counters())
+      Result.MergedCounters[Name] += C->value();
+  return Result;
+}
+
+namespace {
+
+json::Value auditResultToJson(const AuditResult &R) {
+  Value Doc = Value::object();
+  Doc.set("supported", Value::boolean(R.Supported));
+  Doc.set("models_replayed",
+          Value::integer(static_cast<int64_t>(R.ModelsReplayed)));
+  Doc.set("agree_pass",
+          Value::integer(static_cast<int64_t>(R.AgreePass)));
+  Doc.set("agree_reject",
+          Value::integer(static_cast<int64_t>(R.AgreeReject)));
+  Doc.set("expected_total",
+          Value::integer(static_cast<int64_t>(R.ExpectedTotal)));
+  Doc.set("unexpected_total",
+          Value::integer(static_cast<int64_t>(R.UnexpectedTotal)));
+  Doc.set("filtered_compilable",
+          Value::integer(static_cast<int64_t>(R.FilteredCompilable)));
+  Doc.set("minimizer_steps",
+          Value::integer(static_cast<int64_t>(R.MinimizerSteps)));
+  Value Expected = Value::object();
+  for (const auto &[Det, N] : R.Expected)
+    Expected.set(detailName(Det),
+                 Value::integer(static_cast<int64_t>(N)));
+  Doc.set("expected_by_detail", std::move(Expected));
+  Value Unexpected = Value::array();
+  for (const Disagreement &D : R.Unexpected) {
+    Value Repro = Value::object();
+    Repro.set("detail", Value::string(detailName(D.Detail)));
+    Repro.set("message", Value::string(D.Message));
+    Repro.set("lines", Value::integer(D.Lines));
+    Repro.set("source", Value::string(D.Source));
+    Repro.set("minimized_lines", Value::integer(D.MinimizedLines));
+    Repro.set("minimized_source", Value::string(D.MinimizedSource));
+    Repro.set("minimizer_steps",
+              Value::integer(static_cast<int64_t>(D.MinimizerSteps)));
+    Unexpected.push(std::move(Repro));
+  }
+  Doc.set("unexpected", std::move(Unexpected));
+  return Doc;
+}
+
+} // namespace
+
+json::Value syrust::oracle::auditToJson(const AuditSpec &Spec,
+                                        const AuditRunResult &R) {
+  Value Root = Value::object();
+  // Single-run documents are schema_version 2 and campaign aggregates 3;
+  // the audit document is the version-4 addition. Nothing in it may
+  // depend on scheduling (worker ids, pool width, wall time):
+  // byte-identical output for any --jobs count is the contract.
+  Root.set("schema_version", Value::integer(4));
+  Root.set("kind", Value::string("audit"));
+  Root.set("clean", Value::boolean(R.clean()));
+
+  Value Matrix = Value::object();
+  Value CrateList = Value::array();
+  for (const std::string &Name : Spec.Crates)
+    CrateList.push(Value::string(Name));
+  Matrix.set("crates", std::move(CrateList));
+  Matrix.set("seed_begin",
+             Value::integer(static_cast<int64_t>(Spec.SeedBegin)));
+  Matrix.set("seed_end",
+             Value::integer(static_cast<int64_t>(Spec.SeedEnd)));
+  Matrix.set("max_models",
+             Value::integer(static_cast<int64_t>(Spec.Base.MaxModels)));
+  Matrix.set("max_lines", Value::integer(Spec.Base.MaxLines));
+  Matrix.set("num_apis", Value::integer(Spec.Base.NumApis));
+  Matrix.set("jobs_total",
+             Value::integer(static_cast<int64_t>(R.Jobs.size())));
+  Root.set("matrix", std::move(Matrix));
+
+  Value Jobs = Value::array();
+  for (const AuditJobResult &JR : R.Jobs) {
+    Value Job = Value::object();
+    Job.set("crate", Value::string(JR.Job.Crate));
+    Job.set("seed", Value::integer(static_cast<int64_t>(JR.Job.Seed)));
+    Job.set("result", auditResultToJson(JR.Result));
+    Jobs.push(std::move(Job));
+  }
+  Root.set("jobs", std::move(Jobs));
+
+  Value Totals = Value::object();
+  Totals.set("models_replayed",
+             Value::integer(
+                 static_cast<int64_t>(R.Totals.ModelsReplayed)));
+  Totals.set("agree_pass",
+             Value::integer(static_cast<int64_t>(R.Totals.AgreePass)));
+  Totals.set("agree_reject",
+             Value::integer(static_cast<int64_t>(R.Totals.AgreeReject)));
+  Totals.set("expected_total",
+             Value::integer(
+                 static_cast<int64_t>(R.Totals.ExpectedTotal)));
+  Totals.set("unexpected_total",
+             Value::integer(
+                 static_cast<int64_t>(R.Totals.UnexpectedTotal)));
+  Totals.set("filtered_compilable",
+             Value::integer(
+                 static_cast<int64_t>(R.Totals.FilteredCompilable)));
+  Totals.set("minimizer_steps",
+             Value::integer(
+                 static_cast<int64_t>(R.Totals.MinimizerSteps)));
+  Value Expected = Value::object();
+  for (const auto &[Det, N] : R.Totals.Expected)
+    Expected.set(detailName(Det),
+                 Value::integer(static_cast<int64_t>(N)));
+  Totals.set("expected_by_detail", std::move(Expected));
+  Root.set("totals", std::move(Totals));
+
+  // Merged pool counters (std::map: sorted, deterministic).
+  Value Metrics = Value::object();
+  for (const auto &[Name, N] : R.MergedCounters)
+    Metrics.set(Name, Value::integer(static_cast<int64_t>(N)));
+  Root.set("metrics", std::move(Metrics));
+  return Root;
+}

@@ -1,0 +1,124 @@
+//===--- AuditRunner.h - Campaign-style audit fan-out ----------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fans an agreement-oracle matrix - every named crate × every seed in
+/// an inclusive range - across a work-stealing thread pool, exactly the
+/// campaign engine's shape (campaign/CampaignRunner.h): jobs are dealt
+/// round-robin, stolen when durations diverge, and merged strictly in
+/// matrix order, so the aggregate audit document is byte-identical for
+/// any `--jobs` count. The document (schema_version 4, kind "audit")
+/// carries per-job classification counts, every minimized repro, and
+/// the pool's merged `oracle.*` counters - and deliberately nothing
+/// scheduling-dependent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_ORACLE_AUDITRUNNER_H
+#define SYRUST_ORACLE_AUDITRUNNER_H
+
+#include "oracle/Oracle.h"
+#include "support/Json.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace syrust::oracle {
+
+/// The audit matrix: every named crate × every seed in [SeedBegin,
+/// SeedEnd], all sharing one base OracleConfig (each job overrides
+/// Seed).
+struct AuditSpec {
+  /// Crate names (the CLI's `--crates`; Session::supportedCrates() is
+  /// the `all` expansion).
+  std::vector<std::string> Crates;
+
+  /// Inclusive seed range (`--seeds N..M`; a single seed is N..N).
+  uint64_t SeedBegin = 2021;
+  uint64_t SeedEnd = 2021;
+
+  /// Configuration every job starts from.
+  OracleConfig Base;
+
+  /// Pool width (`--jobs`). 1 runs the whole matrix on the calling
+  /// thread - through the same code path, so results are identical.
+  int Jobs = 1;
+
+  /// Checks the matrix against \p S and the base config against its
+  /// domains. Returns one specific message per problem; empty =
+  /// runnable.
+  std::vector<std::string> validate(const core::Session &S) const;
+};
+
+/// One cell of the matrix, fully resolved.
+struct AuditJob {
+  size_t Index = 0; ///< Position in matrix order (the merge key).
+  std::string Crate;
+  uint64_t Seed = 0;
+  OracleConfig Config;
+};
+
+/// A finished cell.
+struct AuditJobResult {
+  AuditJob Job;
+  AuditResult Result;
+  /// Which pool worker ran it. Diagnostic only - never serialized into
+  /// the aggregate document, which must not depend on scheduling.
+  int Worker = -1;
+};
+
+/// Audit-wide sums, accumulated in matrix order.
+struct AuditTotals {
+  uint64_t ModelsReplayed = 0;
+  uint64_t AgreePass = 0;
+  uint64_t AgreeReject = 0;
+  uint64_t ExpectedTotal = 0;
+  uint64_t UnexpectedTotal = 0;
+  uint64_t FilteredCompilable = 0;
+  uint64_t MinimizerSteps = 0;
+  std::map<rustsim::ErrorDetail, uint64_t> Expected;
+};
+
+/// Everything an audit run produces.
+struct AuditRunResult {
+  std::vector<AuditJobResult> Jobs; ///< Matrix order.
+  AuditTotals Totals;
+  /// Final per-worker metric counters summed across the pool. Integer
+  /// sums commute, so these totals are identical for any worker count.
+  std::map<std::string, uint64_t> MergedCounters;
+  /// Workers the pool actually spawned (diagnostic only).
+  int Workers = 0;
+
+  /// The audit's pass/fail verdict: any unexpected disagreement
+  /// anywhere in the matrix fails (`syrust audit` exits nonzero).
+  bool clean() const { return Totals.UnexpectedTotal == 0; }
+};
+
+/// Lays out the matrix in deterministic order: crates outermost (in the
+/// given order), then seeds ascending.
+std::vector<AuditJob> expandAuditMatrix(const AuditSpec &Spec);
+
+/// Runs the matrix across \p Spec.Jobs workers. \p OnJobDone, when set,
+/// fires under a lock as each job finishes (progress reporting; the
+/// callback order is scheduling-dependent, the returned result is not).
+/// Precondition: Spec.validate(S) is empty.
+AuditRunResult
+runAudit(const core::Session &S, const AuditSpec &Spec,
+         std::function<void(const AuditJobResult &)> OnJobDone = nullptr);
+
+/// The aggregate audit document (schema_version 4, kind "audit";
+/// versions 1-2 are the single-run document, 3 the campaign aggregate).
+/// Matrix, per-job classification counts and minimized repros in matrix
+/// order, totals, and the merged `oracle.*` counters - and nothing
+/// scheduling-dependent, so the document is byte-identical for any
+/// worker count.
+json::Value auditToJson(const AuditSpec &Spec, const AuditRunResult &R);
+
+} // namespace syrust::oracle
+
+#endif // SYRUST_ORACLE_AUDITRUNNER_H

@@ -1,0 +1,279 @@
+//===--- Oracle.cpp - Encoder/checker agreement oracle --------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Oracle.h"
+
+#include "core/CrateAnalysis.h"
+#include "rustsim/Checker.h"
+#include "synth/Synthesizer.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::core;
+using namespace syrust::crates;
+using namespace syrust::oracle;
+using namespace syrust::program;
+using namespace syrust::rustsim;
+using namespace syrust::synth;
+
+std::vector<std::string> OracleConfig::validate() const {
+  std::vector<std::string> Errors;
+  if (NumApis < 1)
+    Errors.push_back("OracleConfig.NumApis must be at least 1, got " +
+                     std::to_string(NumApis));
+  if (MaxLines < 0)
+    Errors.push_back("OracleConfig.MaxLines must be non-negative, got " +
+                     std::to_string(MaxLines));
+  if (MaxModels == 0)
+    Errors.push_back("OracleConfig.MaxModels must be nonzero (a zero cap "
+                     "would audit nothing and report vacuous agreement)");
+  if (EagerCap == 0)
+    Errors.push_back("OracleConfig.EagerCap must be nonzero (a zero cap "
+                     "would forbid every eager instantiation)");
+  return Errors;
+}
+
+bool syrust::oracle::isExpectedDetail(ErrorDetail Detail) {
+  switch (Detail) {
+  case ErrorDetail::TraitBound:
+  case ErrorDetail::Polymorphism:
+  case ErrorDetail::DefaultTypeParam:
+  case ErrorDetail::AnonLifetime:
+  case ErrorDetail::Arity:
+  case ErrorDetail::MethodNotFound:
+    // The checker is deliberately stricter here (Checker.h file comment):
+    // these rejections are the refinement loop's feedback, not encoder
+    // bugs.
+    return true;
+  case ErrorDetail::None:
+  case ErrorDetail::TypeMismatch:
+  case ErrorDetail::Ownership:
+  case ErrorDetail::Borrowing:
+    // Rules 1-9 claim to encode concrete typing, moves, and borrows
+    // exactly; an emitted program rejected here is a soundness bug.
+    return false;
+  }
+  return false;
+}
+
+namespace {
+
+/// Declared type of \p V in \p P: the template input type or the
+/// synthesizer-predicted output type of its defining line.
+const types::Type *declaredType(const Program &P, VarId V) {
+  size_t Idx = static_cast<size_t>(V);
+  if (Idx < P.Inputs.size())
+    return P.Inputs[Idx].Ty;
+  return P.Stmts[Idx - P.Inputs.size()].DeclType;
+}
+
+} // namespace
+
+MinimizedDisagreement syrust::oracle::minimizeDisagreement(
+    types::TypeArena &Arena, const types::TraitEnv &Traits,
+    const ApiDatabase &Db, const Program &P, ErrorDetail Detail) {
+  Checker Check(Arena, Traits);
+  MinimizedDisagreement Min;
+  Min.Program = P;
+
+  auto StillFails = [&](const Program &Candidate) {
+    ++Min.Steps;
+    CompileResult R = Check.check(Candidate, Db);
+    return !R.Success && R.Diag.Detail == Detail;
+  };
+
+  // Greedy fixpoint. Each accepted move strictly shrinks the program
+  // (fewer lines, or a lexicographically smaller argument vector), so
+  // the restart loop terminates.
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    // Move 1: drop a statement, back to front (later lines are the
+    // likeliest padding; removeStatement refuses when the output is
+    // still used).
+    for (size_t I = Min.Program.Stmts.size(); I-- > 0;) {
+      Program Smaller;
+      if (!removeStatement(Min.Program, I, Smaller))
+        continue;
+      if (StillFails(Smaller)) {
+        Min.Program = std::move(Smaller);
+        Progress = true;
+        break;
+      }
+    }
+    if (Progress)
+      continue;
+    // Move 2: rewire an argument to an earlier variable of the same
+    // declared type. This unpins dependency chains so a later drop pass
+    // can remove the now-unused producer line.
+    for (size_t I = 0; I < Min.Program.Stmts.size() && !Progress; ++I) {
+      Stmt &S = Min.Program.Stmts[I];
+      for (size_t J = 0; J < S.Args.size() && !Progress; ++J) {
+        const types::Type *Want = declaredType(Min.Program, S.Args[J]);
+        for (VarId B = 0; B < S.Args[J]; ++B) {
+          if (declaredType(Min.Program, B) != Want)
+            continue;
+          Program Rewired = Min.Program;
+          Rewired.Stmts[I].Args[J] = B;
+          if (StillFails(Rewired)) {
+            Min.Program = std::move(Rewired);
+            Progress = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return Min;
+}
+
+AuditResult syrust::oracle::auditOne(const Session &S,
+                                     const std::string &CrateName,
+                                     const OracleConfig &Config,
+                                     obs::Recorder *Obs) {
+  AuditResult Result;
+  Result.Crate = CrateName;
+  Result.Seed = Config.Seed;
+  const CrateSpec *Spec = S.find(CrateName);
+  if (!Spec || !Spec->Info.SupportsSynthesis ||
+      !Config.validate().empty()) {
+    Result.Supported = false;
+    return Result;
+  }
+
+  // Exactly the driver's instantiation path (SyRustDriver::run), so the
+  // enumeration the oracle audits is the enumeration real runs emit.
+  std::shared_ptr<const CrateAnalysis> Analysis;
+  if (Config.UseCompatCache)
+    Analysis = S.analysisFor(*Spec);
+  std::unique_ptr<CrateInstance> Inst =
+      Analysis ? Analysis->makeWorkerInstance() : Spec->instantiate();
+  std::unique_ptr<types::CompatCache> Compat;
+  if (Config.UseCompatCache)
+    Compat = std::make_unique<types::CompatCache>(
+        Analysis ? &Analysis->baseCache() : nullptr);
+  Rng R(Config.Seed ^ std::hash<std::string>{}(Spec->Info.Name));
+  {
+    ApiSelectionOptions SelOpts;
+    SelOpts.Pinned = Inst->Pinned;
+    SelOpts.NumApis = Config.NumApis;
+    std::vector<ApiId> Selected = selectApiSubset(Inst->Db, SelOpts, R);
+    for (size_t I = 0; I < Inst->Db.size(); ++I) {
+      ApiId Id = static_cast<ApiId>(I);
+      if (Inst->Db.get(Id).Builtin != BuiltinKind::None)
+        continue;
+      if (std::find(Selected.begin(), Selected.end(), Id) ==
+          Selected.end())
+        Inst->Db.ban(Id);
+    }
+  }
+
+  refine::RefinementEngine Refine(Inst->Arena, Inst->Db, Config.Mode);
+  Refine.setEagerCap(Config.EagerCap);
+  Refine.setRecorder(Obs);
+  Refine.initialize(Inst->Inputs);
+
+  SynthOptions Opts;
+  Opts.SemanticAware = true;
+  Opts.IncrementalRefinement = true;
+  Opts.SolverSeed = Config.Seed;
+  Opts.Obs = Obs;
+  Opts.Compat = Compat.get();
+  Opts.WeakenConsumptionKills = Config.WeakenConsumptionKills;
+  // The differential tap: every model the Rule-7 path filter swallows is
+  // captured here and replayed through the checker alongside the
+  // emitted stream.
+  std::vector<Program> Filtered;
+  Opts.OnPathFiltered = [&Filtered](const Program &P) {
+    Filtered.push_back(P);
+  };
+
+  int MaxLines = Config.MaxLines > 0
+                     ? std::min(Config.MaxLines, Inst->MaxLen)
+                     : Inst->MaxLen;
+  Synthesizer Synth(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs,
+                    MaxLines, Opts);
+  Checker Check(Inst->Arena, Inst->Traits);
+  Check.setRecorder(Obs);
+
+  auto Count = [&Obs](const char *Name) {
+    if (Obs)
+      Obs->count(Name);
+  };
+
+  while (Result.ModelsReplayed < Config.MaxModels) {
+    std::optional<Program> P = Synth.next();
+    // Replay whatever the path filter rejected while producing this
+    // model (or proving exhaustion). Order is enumeration order, so the
+    // replayed stream - and the report - is deterministic.
+    for (const Program &F : Filtered) {
+      ++Result.ModelsReplayed;
+      Count("oracle.models_replayed");
+      CompileResult C = Check.check(F, Inst->Db);
+      if (!C.Success) {
+        ++Result.AgreeReject;
+        Count("oracle.agree_reject");
+      } else {
+        // Filter stricter than the checker: lost coverage, not
+        // unsoundness. Counted, surfaced, never fatal.
+        ++Result.FilteredCompilable;
+        Count("oracle.filtered_compilable");
+      }
+    }
+    Filtered.clear();
+    if (!P.has_value())
+      break;
+
+    ++Result.ModelsReplayed;
+    Count("oracle.models_replayed");
+    CompileResult C = Check.check(*P, Inst->Db);
+    bool DbChanged = false;
+    if (C.Success) {
+      ++Result.AgreePass;
+      Count("oracle.agree_pass");
+      DbChanged = Refine.onSuccess(*P);
+    } else {
+      if (isExpectedDetail(C.Diag.Detail)) {
+        ++Result.Expected[C.Diag.Detail];
+        ++Result.ExpectedTotal;
+        Count("oracle.expected");
+      } else {
+        ++Result.UnexpectedTotal;
+        Count("oracle.unexpected");
+        Disagreement D;
+        D.Detail = C.Diag.Detail;
+        D.Message = C.Diag.Message;
+        D.Lines = static_cast<int>(P->Stmts.size());
+        D.Source = P->render(Inst->Db);
+        MinimizedDisagreement Min = minimizeDisagreement(
+            Inst->Arena, Inst->Traits, Inst->Db, *P, C.Diag.Detail);
+        D.MinimizedLines = static_cast<int>(Min.Program.Stmts.size());
+        D.MinimizedSource = Min.Program.render(Inst->Db);
+        D.MinimizerSteps = Min.Steps;
+        Result.MinimizerSteps += Min.Steps;
+        if (Obs) {
+          Obs->count("oracle.minimizer_steps", Min.Steps);
+          Obs->instant("oracle.disagreement", "oracle",
+                       obs::ArgList()
+                           .add("detail", detailName(D.Detail))
+                           .add("lines", D.Lines)
+                           .add("minimized_lines", D.MinimizedLines));
+        }
+        Result.Unexpected.push_back(std::move(D));
+      }
+      // Feed the diagnostic back exactly as the driver would: the
+      // refined database steers what the encoder enumerates next, and
+      // the oracle must audit that steered stream too.
+      DbChanged = Refine.onDiagnostic(C.Diag);
+    }
+    if (DbChanged)
+      Synth.notifyDatabaseChanged();
+  }
+  return Result;
+}

@@ -69,3 +69,25 @@ uint64_t Program::hash() const {
   Mix(Stmts.size());
   return H;
 }
+
+bool syrust::program::removeStatement(const Program &P, size_t Drop,
+                                      Program &Out) {
+  VarId Removed = P.Stmts[Drop].Out;
+  Out.Inputs = P.Inputs;
+  Out.Stmts.clear();
+  for (size_t I = 0; I < P.Stmts.size(); ++I) {
+    if (I == Drop)
+      continue;
+    Stmt S = P.Stmts[I];
+    for (VarId &A : S.Args) {
+      if (A == Removed)
+        return false;
+      if (A > Removed)
+        --A;
+    }
+    if (S.Out > Removed)
+      --S.Out;
+    Out.Stmts.push_back(std::move(S));
+  }
+  return true;
+}

@@ -69,6 +69,12 @@ struct Program {
   uint64_t hash() const;
 };
 
+/// Builds \p P without statement \p Drop into \p Out, renumbering later
+/// output variables. Returns false when a later statement uses the
+/// dropped output (removal impossible). Shared by the delta-debugging
+/// minimizers (core::BugMinimizer, oracle::minimizeDisagreement).
+bool removeStatement(const Program &P, size_t Drop, Program &Out);
+
 } // namespace syrust::program
 
 #endif // SYRUST_PROGRAM_PROGRAM_H

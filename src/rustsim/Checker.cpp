@@ -379,12 +379,15 @@ CompileResult Checker::checkImpl(const Program &P,
     }
 
     // --- Effects: moves and lifetime propagation. -------------------------
+    // A reference is only reborrowed when the parameter it feeds is itself
+    // declared as a reference; `&mut T` passed by value (e.g. to a bare
+    // type-variable parameter) moves, because `&mut T` is not Copy.
     std::set<VarId> Consumed;
     for (size_t I = 0; I < S.Args.size(); ++I) {
       VarId A = S.Args[I];
       const Type *ArgTy = Vars[static_cast<size_t>(A)].Base.Ty;
-      if (ArgTy->isRef() || Traits.isCopy(ArgTy))
-        continue; // References reborrow; Copy types copy.
+      if (!movesOnUse(ArgTy, Sig.Inputs[I], Traits))
+        continue;
       if (!Consumed.insert(A).second)
         continue;
       Vars[static_cast<size_t>(A)].Base.MovedOut = true;
@@ -396,16 +399,25 @@ CompileResult Checker::checkImpl(const Program &P,
     Out.Base.Live = true;
     Out.Base.FromLibraryApi = true;
     Out.Base.AnonLifetime = Sig.Quirks.AnonLifetime;
+    // Roots are deduplicated: diamond-shaped borrow chains (two refs into
+    // one owner rejoined by a propagating API) would otherwise accumulate
+    // duplicate roots, growing state quadratically along ref chains.
+    auto AddRoot = [&Out](VarId R) {
+      for (VarId Existing : Out.Base.BorrowRoots)
+        if (Existing == R)
+          return;
+      Out.Base.BorrowRoots.push_back(R);
+    };
     for (int J : Sig.PropagatesFrom) {
       if (J < 0 || static_cast<size_t>(J) >= S.Args.size())
         continue;
       VarId A = S.Args[static_cast<size_t>(J)];
       const CheckState &ArgState = Vars[static_cast<size_t>(A)];
       if (ArgState.Base.BorrowRoots.empty()) {
-        Out.Base.BorrowRoots.push_back(A);
+        AddRoot(A);
       } else {
         for (VarId R : ArgState.Base.BorrowRoots)
-          Out.Base.BorrowRoots.push_back(R);
+          AddRoot(R);
       }
       Out.Base.BorrowIsMut =
           Out.Base.BorrowIsMut || ArgState.Base.BorrowIsMut;

@@ -85,11 +85,18 @@ std::string syrust::json::escape(std::string_view S) {
     case '\r':
       Out += "\\r";
       break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20)
-        Out += format("\\u%04x", C);
+    default: {
+      // Escape remaining control characters AND every non-ASCII byte as
+      // per-byte \u00XX (the parser's \u path is byte-exact), so hostile
+      // type names and messages round-trip losslessly and the emitted
+      // document is pure ASCII. The unsigned cast matters: a plain char
+      // sign-extends bytes >= 0x80 into garbage escapes.
+      unsigned char U = static_cast<unsigned char>(C);
+      if (U < 0x20 || U >= 0x7f)
+        Out += format("\\u%04x", U);
       else
         Out += C;
+    }
     }
   }
   return Out;

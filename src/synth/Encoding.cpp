@@ -462,54 +462,82 @@ void Encoding::buildSemanticConstraints() {
   int K = static_cast<int>(Inputs.size());
   int NumVars = K + NumLines;
 
+  // Per-line consuming uses of every mutable-reference (var, type) pair,
+  // shared with the Rule 6 ties below: a &mut moved into a by-value
+  // parameter stops persisting, exactly as the checker kills the binding.
+  std::map<std::pair<VarId, const Type *>,
+           std::vector<std::vector<Lit>>>
+      MutConsuming;
+
   // Classify each (var, type) pair and collect its use variables per line.
   for (int X = 0; X < NumVars; ++X) {
     int FirstLine = X < K ? 0 : X - K + 1;
     for (const Type *Ty : VarTypes[static_cast<size_t>(X)]) {
       bool PairNew = isNewType(X, Ty);
       bool OwnedNonCopy = isOwnedNonCopy(Ty);
+      // `&mut T` is not Copy: like owned non-Copy values it moves when
+      // passed by value (a non-ref parameter pattern, e.g. a bare type
+      // variable). Uses feeding ref-typed parameters reborrow instead.
+      bool Consumable = OwnedNonCopy || Ty->isMutRef();
       bool TieHandled = Ty->isRef() && X >= K; // Output refs get ties.
       for (int I = FirstLine; I < NumLines; ++I) {
         // Consuming uses of (X, Ty) on line I, counting how many were
         // already present before this sync.
         std::vector<Lit> Consuming;
         size_t OldConsuming = 0;
-        for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
-          const ApiSig &Sig = Db.get(Active[Kk]);
-          if (Sig.Builtin == BuiltinKind::Borrow ||
-              Sig.Builtin == BuiltinKind::BorrowMut)
-            continue;
-          CallSite &Site = Sites[static_cast<size_t>(I)][Kk];
-          for (size_t J = 0; J < Site.Slots.size(); ++J) {
-            size_t Prev = prevSlotCount(I, Kk, J);
-            for (size_t Ci = 0; Ci < Site.Slots[J].size(); ++Ci) {
-              Candidate &C = Site.Slots[J][Ci];
-              if (C.Var == X && C.Ty == Ty) {
-                Consuming.push_back(mkLit(C.U));
-                if (Kk < PrevActive && Ci < Prev)
-                  ++OldConsuming;
+        if (Consumable) {
+          for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
+            const ApiSig &Sig = Db.get(Active[Kk]);
+            if (Sig.Builtin == BuiltinKind::Borrow ||
+                Sig.Builtin == BuiltinKind::BorrowMut)
+              continue;
+            CallSite &Site = Sites[static_cast<size_t>(I)][Kk];
+            for (size_t J = 0; J < Site.Slots.size(); ++J) {
+              if (!movesOnUse(Ty, RenIn[Kk][J], Traits))
+                continue; // Ref-typed parameter: reborrow, not a move.
+              size_t Prev = prevSlotCount(I, Kk, J);
+              for (size_t Ci = 0; Ci < Site.Slots[J].size(); ++Ci) {
+                Candidate &C = Site.Slots[J][Ci];
+                if (C.Var == X && C.Ty == Ty) {
+                  Consuming.push_back(mkLit(C.U));
+                  if (Kk < PrevActive && Ci < Prev)
+                    ++OldConsuming;
+                }
               }
             }
           }
         }
-        if (OwnedNonCopy) {
+        if (Consumable) {
           sat::Var VNow = getV(X, Ty, I);
           sat::Var VNext = getV(X, Ty, I + 1);
           // Consumption kills (Rule 5): uses + persistence <= 1.
           // Monotone: re-emit when the consuming set grew.
-          if (PairNew || Consuming.size() > OldConsuming) {
+          // WeakenConsumptionKills is the oracle's injected-bug canary
+          // hook (tests only): dropping this cardinality lets consumed
+          // values stay available, so the encoder emits use-after-move
+          // programs the checker rejects with Ownership errors.
+          if (!Opts.WeakenConsumptionKills && !Consuming.empty() &&
+              (PairNew || Consuming.size() > OldConsuming)) {
             std::vector<Lit> Card = Consuming;
             Card.push_back(mkLit(VNext));
             Solver.addAtMost(Card, 1);
           }
-          // Nothing else kills: V_i => V_{i+1} OR consumed. The
-          // consumed-by list is closure-sensitive, so guarded.
-          std::vector<Lit> Persist{mkLit(VNow, true), mkLit(VNext)};
-          for (Lit C : Consuming)
-            Persist.push_back(C);
-          addGuarded(Persist);
+          if (!TieHandled) {
+            // Nothing else kills: V_i => V_{i+1} OR consumed. The
+            // consumed-by list is closure-sensitive, so guarded. Output
+            // refs get the equivalent persistence from their Rule 6 tie.
+            std::vector<Lit> Persist{mkLit(VNow, true), mkLit(VNext)};
+            for (Lit C : Consuming)
+              Persist.push_back(C);
+            addGuarded(Persist);
+          }
+          if (Ty->isMutRef()) {
+            auto &PerLine = MutConsuming[{X, Ty}];
+            PerLine.resize(static_cast<size_t>(NumLines));
+            PerLine[static_cast<size_t>(I)] = Consuming;
+          }
         } else if (!TieHandled && PairNew) {
-          // Copy values and template references persist.
+          // Copy values (including shared refs) persist.
           Solver.addClause(mkLit(getV(X, Ty, I), true),
                            mkLit(getV(X, Ty, I + 1)));
         }
@@ -547,36 +575,64 @@ void Encoding::buildSemanticConstraints() {
       }
 
       // Rule 6 ties: borrow-created references live exactly while their
-      // source lives. Additive per candidate.
-      auto AddTie = [&](Candidate &C, const Type *RefTy) {
+      // source lives. Shared refs get both directions, additive per
+      // candidate. For mutable refs the "source alive => ref alive"
+      // direction only holds until a consuming use moves the &mut out
+      // (it is not Copy); the consuming-use list is closure-sensitive,
+      // so those clauses are guarded and re-emitted over all candidates
+      // each sync.
+      auto AddTie = [&](Candidate &C, const Type *RefTy, bool NewCand) {
+        bool MutRef = RefTy->isMutRef();
+        const std::vector<std::vector<Lit>> *ConsumedBy = nullptr;
+        if (MutRef) {
+          auto It = MutConsuming.find({Out, RefTy});
+          if (It != MutConsuming.end())
+            ConsumedBy = &It->second;
+        }
         for (int M = I + 2; M <= NumLines; ++M) {
           sat::Var VRef = getV(Out, RefTy, M);
           sat::Var VSrc = getV(C.Var, C.Ty, M);
           // U and ref alive => source alive.
-          Solver.addClause(mkLit(C.U, true), mkLit(VRef, true),
-                           mkLit(VSrc));
-          // U and source alive => ref alive (maximal persistence).
-          Solver.addClause(mkLit(C.U, true), mkLit(VSrc, true),
-                           mkLit(VRef));
+          if (NewCand)
+            Solver.addClause(mkLit(C.U, true), mkLit(VRef, true),
+                             mkLit(VSrc));
+          if (!MutRef) {
+            // U and source alive => ref alive (maximal persistence).
+            if (NewCand)
+              Solver.addClause(mkLit(C.U, true), mkLit(VSrc, true),
+                               mkLit(VRef));
+            continue;
+          }
+          // U and source alive => ref alive OR consumed earlier.
+          std::vector<Lit> Persist{mkLit(C.U, true), mkLit(VSrc, true),
+                                   mkLit(VRef)};
+          if (ConsumedBy)
+            for (int L = I + 1; L < M; ++L)
+              for (Lit CL : (*ConsumedBy)[static_cast<size_t>(L)])
+                Persist.push_back(CL);
+          addGuarded(Persist);
         }
       };
       if (Sig.Builtin == BuiltinKind::Borrow ||
           Sig.Builtin == BuiltinKind::BorrowMut) {
         bool Mut = Sig.Builtin == BuiltinKind::BorrowMut;
-        for (size_t Ci = PrevFirstSlot; Ci < Site.Slots[0].size(); ++Ci) {
+        size_t Begin = Mut ? 0 : PrevFirstSlot;
+        for (size_t Ci = Begin; Ci < Site.Slots[0].size(); ++Ci) {
           Candidate &C = Site.Slots[0][Ci];
-          AddTie(C, Arena.ref(C.Ty, Mut));
+          AddTie(C, Arena.ref(C.Ty, Mut), Ci >= PrevFirstSlot);
         }
       } else if (!Sig.PropagatesFrom.empty() && RenOut[Kk]->isRef()) {
+        bool MutOut = RenOut[Kk]->isMutRef();
         for (int J : Sig.PropagatesFrom) {
           if (J < 0 || static_cast<size_t>(J) >= Site.Slots.size())
             continue;
           size_t Prev = prevSlotCount(I, Kk, static_cast<size_t>(J));
           std::vector<Candidate> &Slot =
               Site.Slots[static_cast<size_t>(J)];
-          for (size_t Ci = Prev; Ci < Slot.size(); ++Ci)
+          size_t Begin = MutOut ? 0 : Prev;
+          for (size_t Ci = Begin; Ci < Slot.size(); ++Ci)
             if (Slot[Ci].Ty->isRef())
-              AddTie(Slot[Ci], RenOut[Kk]);
+              AddTie(Slot[Ci], RenOut[Kk], Ci >= Prev);
         }
       }
     }
@@ -986,13 +1042,17 @@ bool Encoding::pathCheckOk(const Program &P, const ApiDatabase &Db,
     bool IsBorrow = Sig.Builtin == BuiltinKind::Borrow ||
                     Sig.Builtin == BuiltinKind::BorrowMut;
     if (!IsBorrow) {
-      for (VarId A : S.Args) {
+      for (size_t J = 0; J < S.Args.size(); ++J) {
+        VarId A = S.Args[J];
         const Type *Ty = nullptr;
         if (A < static_cast<VarId>(P.Inputs.size()))
           Ty = P.Inputs[static_cast<size_t>(A)].Ty;
         else
           Ty = P.Stmts[static_cast<size_t>(A) - P.Inputs.size()].DeclType;
-        if (Ty && !Ty->isRef() && !Traits.isCopy(Ty))
+        // Same move discipline as the checker: owned non-Copy values and
+        // `&mut` passed by value consume; ref-pattern uses reborrow.
+        if (Ty && J < Sig.Inputs.size() &&
+            movesOnUse(Ty, Sig.Inputs[J], Traits))
           Consumed[static_cast<size_t>(A)] = true;
       }
     }
@@ -1005,11 +1065,16 @@ bool Encoding::pathCheckOk(const Program &P, const ApiDatabase &Db,
     if (IsBorrow) {
       Roots[static_cast<size_t>(S.Out)] = RootsOf(S.Args[0]);
     } else {
+      // Dedup: diamond-shaped borrow chains would otherwise accumulate
+      // duplicate roots (mirrors the checker's AddRoot).
+      std::vector<VarId> &OutRoots = Roots[static_cast<size_t>(S.Out)];
       for (int J : Sig.PropagatesFrom) {
         if (J < 0 || static_cast<size_t>(J) >= S.Args.size())
           continue;
         for (VarId R : RootsOf(S.Args[static_cast<size_t>(J)]))
-          Roots[static_cast<size_t>(S.Out)].push_back(R);
+          if (std::find(OutRoots.begin(), OutRoots.end(), R) ==
+              OutRoots.end())
+            OutRoots.push_back(R);
       }
     }
   }

@@ -54,6 +54,7 @@
 #include "types/Subtyping.h"
 #include "types/TraitEnv.h"
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -90,6 +91,16 @@ struct SynthOptions {
   /// (core::CrateAnalysis). Cached and direct answers are identical by
   /// construction, so enumeration order does not depend on this setting.
   types::CompatCache *Compat = nullptr;
+  /// Invoked for every model the Rule 7 path post-check rejects (the
+  /// encoder's final verdict on such programs is "reject"). The oracle
+  /// replays these through the checker to audit the agreement of the
+  /// filter itself; null skips the callback.
+  std::function<void(const program::Program &)> OnPathFiltered;
+  /// TESTING ONLY - the oracle's injected-bug canary: deliberately drop
+  /// the Rule 5 consumption-kill cardinalities so the encoder emits
+  /// use-after-move programs. The agreement oracle must catch and
+  /// minimize the resulting Ownership disagreements.
+  bool WeakenConsumptionKills = false;
 };
 
 /// SAT encoding for one (API database snapshot, program length) pair.

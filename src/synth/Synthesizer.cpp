@@ -30,7 +30,7 @@ Synthesizer::Synthesizer(types::TypeArena &Arena,
   // Long runs push hundreds of thousands of hashes through the duplicate
   // net; reserving up front keeps the hot insert path rehash-free until
   // well past typical run sizes.
-  SeenHashes.reserve(1 << 16);
+  Seen.reserve(1 << 16);
   Stats.CurrentLength = 1;
   if (Opts.InterleaveLengths) {
     LengthEncs.resize(static_cast<size_t>(MaxLines));
@@ -203,13 +203,22 @@ bool Synthesizer::acceptProgram(Program &P) {
     ++Stats.PathFiltered;
     if (Opts.Obs)
       Opts.Obs->count("synth.path_filtered");
+    if (Opts.OnPathFiltered)
+      Opts.OnPathFiltered(P); // Oracle replays the filter's rejects.
     return false; // Model auto-blocked on the next nextModel() call.
   }
-  if (!SeenHashes.insert(P.hash()).second) {
+  SeenOutcome Outcome = Seen.note(P);
+  if (Outcome == SeenOutcome::Duplicate) {
     ++Stats.DuplicatesSkipped;
     if (Opts.Obs)
       Opts.Obs->count("synth.duplicates_skipped");
     return false; // Re-emitted after a rebuild; skip.
+  }
+  if (Outcome == SeenOutcome::Collision) {
+    // A bare hash set would have dropped this distinct program.
+    ++Stats.HashCollisions;
+    if (Opts.Obs)
+      Opts.Obs->count("synth.hash_collisions");
   }
   ++Stats.Emitted;
   if (Opts.Obs) {

@@ -33,10 +33,10 @@
 #define SYRUST_SYNTH_SYNTHESIZER_H
 
 #include "synth/Encoding.h"
+#include "synth/SeenPrograms.h"
 
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
 namespace syrust::synth {
 
@@ -47,6 +47,10 @@ struct SynthStats {
   /// Programs re-emitted by the solver and dropped via the hash set. With
   /// incremental refinement this should stay ~0: blocking persists.
   uint64_t DuplicatesSkipped = 0;
+  /// True 64-bit structural-hash collisions caught by the canonical-key
+  /// verification (SeenPrograms): distinct programs that a bare hash set
+  /// would have silently dropped. Such programs are still emitted.
+  uint64_t HashCollisions = 0;
   /// Full encoding constructions (one per length per rebuild).
   uint64_t Rebuilds = 0;
   /// Database changes absorbed by extending a live encoding in place.
@@ -122,10 +126,10 @@ private:
   std::vector<std::unique_ptr<Encoding>> LengthEncs;
   std::vector<char> LengthLive;
   size_t Rotation = 0;
-  /// Emitted-program hashes, the last-resort duplicate net. Unordered on
-  /// purpose: membership is all that is ever asked (never iterated), and
-  /// long runs insert hundreds of thousands of hashes.
-  std::unordered_set<uint64_t> SeenHashes;
+  /// The last-resort duplicate net: hash lookups verified against stored
+  /// canonical program keys, so a 64-bit collision cannot silently drop
+  /// a distinct program.
+  SeenPrograms Seen;
 
   /// Blocked models harvested from retired encodings, per length,
   /// replayed into their replacements after destructive rebuilds.

@@ -81,6 +81,26 @@ private:
   std::vector<ImplRule> Rules;
 };
 
+/// Whether passing a value of type \p ArgTy to a parameter declared as
+/// \p Pattern consumes (moves) the argument binding. Rust's rules, which
+/// the encoder (synth/Encoding) and the checker (rustsim/Checker) must
+/// agree on:
+///
+///   * Copy values (primitives, shared refs, Copy nominals) never move;
+///   * any reference passed to a parameter whose declared type is itself
+///     a reference is implicitly reborrowed, not moved;
+///   * everything else — owned non-Copy values, and `&mut T` passed to a
+///     by-value parameter such as a bare type variable — moves, killing
+///     the binding (`&mut T` is not Copy).
+inline bool movesOnUse(const Type *ArgTy, const Type *Pattern,
+                       const TraitEnv &Traits) {
+  if (Traits.isCopy(ArgTy))
+    return false;
+  if (ArgTy->isRef() && Pattern && Pattern->isRef())
+    return false; // Implicit reborrow.
+  return true;
+}
+
 } // namespace syrust::types
 
 #endif // SYRUST_TYPES_TRAITENV_H

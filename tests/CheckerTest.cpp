@@ -420,4 +420,72 @@ TEST_F(CheckerFixture, MutRefsReusableAcrossLines) {
   EXPECT_TRUE(check(P).Success);
 }
 
+TEST_F(CheckerFixture, MutRefPassedByValueIsMoved) {
+  // take(T) binds T := &mut Vec<String>: the parameter pattern is not a
+  // reference, so there is no implicit reborrow - the &mut (not Copy) is
+  // moved, and using it afterwards is use-of-moved, not a live borrow.
+  ApiId Take = addApi("take", {"T"}, "usize");
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{BorrowMut, {2}, 3, parse("&mut Vec<String>")});
+  P.Stmts.push_back(Stmt{Take, {3}, 4, parse("usize")});
+  P.Stmts.push_back(Stmt{Pop, {3}, 5, parse("Option<String>")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Ownership);
+  EXPECT_EQ(R.Diag.Line, 3);
+}
+
+TEST_F(CheckerFixture, SharedRefPassedByValueIsCopied) {
+  // &T is Copy: take(T) with T := &Vec<String> copies the reference, so
+  // it stays usable afterwards.
+  ApiId Take = addApi("take", {"T"}, "usize");
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{Borrow, {1}, 2, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{Take, {2}, 3, parse("usize")});
+  P.Stmts.push_back(Stmt{Len, {2}, 4, parse("usize")});
+  EXPECT_TRUE(check(P).Success) << check(P).Diag.Message;
+}
+
+TEST_F(CheckerFixture, ReborrowChainAndDiamondDieWithRoot) {
+  // head propagates its argument's borrow; pair merges two chains that
+  // share one root (a diamond - the root must be tracked once, and the
+  // merged borrow must still die when that root dies).
+  ApiSig Head;
+  Head.Name = "head";
+  Head.Inputs = {parse("&Vec<String>")};
+  Head.Output = parse("&Vec<String>");
+  Head.PropagatesFrom = {0};
+  ApiId HeadId = Db.add(std::move(Head));
+  ApiSig Pair;
+  Pair.Name = "pair";
+  Pair.Inputs = {parse("&Vec<String>"), parse("&Vec<String>")};
+  Pair.Output = parse("&Vec<String>");
+  Pair.PropagatesFrom = {0, 1};
+  ApiId PairId = Db.add(std::move(Pair));
+
+  Program P = makeTemplate();
+  P.Stmts.push_back(Stmt{Borrow, {1}, 2, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{HeadId, {2}, 3, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{HeadId, {3}, 4, parse("&Vec<String>")});
+  P.Stmts.push_back(Stmt{PairId, {4, 3}, 5, parse("&Vec<String>")});
+  P.Stmts.push_back(
+      Stmt{IntoRawParts, {1}, 6, parse("(usize, usize, usize)")});
+  P.Stmts.push_back(Stmt{Len, {5}, 7, parse("usize")});
+  CompileResult R = check(P);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Borrowing);
+
+  // Using the diamond-merged borrow before the owner dies is fine.
+  Program P2 = makeTemplate();
+  P2.Stmts.push_back(Stmt{Borrow, {1}, 2, parse("&Vec<String>")});
+  P2.Stmts.push_back(Stmt{HeadId, {2}, 3, parse("&Vec<String>")});
+  P2.Stmts.push_back(Stmt{HeadId, {3}, 4, parse("&Vec<String>")});
+  P2.Stmts.push_back(Stmt{PairId, {4, 3}, 5, parse("&Vec<String>")});
+  P2.Stmts.push_back(Stmt{Len, {5}, 6, parse("usize")});
+  P2.Stmts.push_back(
+      Stmt{IntoRawParts, {1}, 7, parse("(usize, usize, usize)")});
+  EXPECT_TRUE(check(P2).Success) << check(P2).Diag.Message;
+}
+
 } // namespace

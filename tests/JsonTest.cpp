@@ -64,6 +64,26 @@ TEST(JsonTest, StringEscapesRoundTrip) {
   EXPECT_EQ(R.Val.asString(), "tab\there\nnew\\slash\"quote");
 }
 
+TEST(JsonTest, HostileBytesEscapeToPureAsciiAndRoundTrip) {
+  // Control bytes, DEL, and high (non-ASCII) bytes - e.g. UTF-8 in a
+  // checker message - must all be \uXXXX-escaped byte-for-byte. Signed
+  // char must not sign-extend 0x80..0xff into bogus escapes.
+  const std::string Hostile = std::string("a\x01b\x1f") + "\x7f\x80\xff" +
+                              "caf\xc3\xa9\"\\\n";
+  Value V = Value::string(Hostile);
+  std::string Wire = V.dump();
+  for (char C : Wire) {
+    unsigned char U = static_cast<unsigned char>(C);
+    EXPECT_GE(U, 0x20u);
+    EXPECT_LT(U, 0x7fu);
+  }
+  ParseResult R = parse(Wire);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Val.asString(), Hostile);
+  // dump-parse-dump is a fixpoint even for hostile bytes.
+  EXPECT_EQ(R.Val.dump(), Wire);
+}
+
 TEST(JsonTest, RejectsMalformed) {
   EXPECT_FALSE(parse("{").Ok);
   EXPECT_FALSE(parse("[1,]").Ok);
@@ -177,6 +197,25 @@ TEST_F(DiagJsonFixture, EveryDetailTagRoundTrips) {
     EXPECT_EQ(Out.Detail, Detail);
     EXPECT_EQ(Out.Category, categoryOf(Detail));
   }
+}
+
+TEST_F(DiagJsonFixture, HostileMessageBytesRoundTrip) {
+  // Real compiler messages carry UTF-8 (backticked identifiers can hold
+  // any byte); the wire format must stay pure ASCII yet reproduce the
+  // message byte-for-byte.
+  Diagnostic D;
+  D.Detail = ErrorDetail::Ownership;
+  D.Category = categoryOf(D.Detail);
+  D.Line = 1;
+  D.Api = 3;
+  D.Message = std::string("use of moved value: `caf\xc3\xa9`\x01\x7f");
+  D.BadTypeVar = "\x80T\xff";
+  std::string Wire = diagnosticToJson(D);
+  for (char C : Wire)
+    EXPECT_LT(static_cast<unsigned char>(C), 0x80u);
+  Diagnostic Out = roundTrip(D);
+  EXPECT_EQ(Out.Message, D.Message);
+  EXPECT_EQ(Out.BadTypeVar, D.BadTypeVar);
 }
 
 TEST_F(DiagJsonFixture, RejectsForeignRecords) {

@@ -1,0 +1,241 @@
+//===--- OracleTest.cpp - Tests for the agreement oracle ------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/AuditRunner.h"
+#include "rustsim/Checker.h"
+#include "types/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::core;
+using namespace syrust::oracle;
+using namespace syrust::program;
+using namespace syrust::rustsim;
+using namespace syrust::types;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Disagreement taxonomy
+//===----------------------------------------------------------------------===//
+
+TEST(OracleTaxonomy, ExpectedDetailsAreTheRefinementDiet) {
+  // Checker-stricter-by-design rejections are expected; the dimensions
+  // Rules 1-9 claim to encode are not.
+  EXPECT_TRUE(isExpectedDetail(ErrorDetail::TraitBound));
+  EXPECT_TRUE(isExpectedDetail(ErrorDetail::Polymorphism));
+  EXPECT_TRUE(isExpectedDetail(ErrorDetail::DefaultTypeParam));
+  EXPECT_TRUE(isExpectedDetail(ErrorDetail::AnonLifetime));
+  EXPECT_TRUE(isExpectedDetail(ErrorDetail::Arity));
+  EXPECT_TRUE(isExpectedDetail(ErrorDetail::MethodNotFound));
+  EXPECT_FALSE(isExpectedDetail(ErrorDetail::Ownership));
+  EXPECT_FALSE(isExpectedDetail(ErrorDetail::Borrowing));
+  EXPECT_FALSE(isExpectedDetail(ErrorDetail::TypeMismatch));
+  EXPECT_FALSE(isExpectedDetail(ErrorDetail::None));
+}
+
+//===----------------------------------------------------------------------===//
+// Counterexample minimization
+//===----------------------------------------------------------------------===//
+
+/// Small Vec-like library (the CheckerTest fixture's shape) for driving
+/// the minimizer on hand-built disagreeing programs.
+class MinimizerFixture : public ::testing::Test {
+protected:
+  TypeArena Arena;
+  TypeParser Parser{Arena, {"T"}};
+  TraitEnv Traits{Arena};
+  ApiDatabase Db;
+
+  ApiId LetMut, Borrow, BorrowMut, IntoRawParts;
+
+  const Type *parse(const std::string &S) {
+    const Type *T = Parser.parse(S);
+    EXPECT_NE(T, nullptr) << Parser.error();
+    return T;
+  }
+
+  void SetUp() override {
+    Traits.addDefaultPrimImpls();
+    auto B = addBuiltinApis(Db, Arena);
+    LetMut = B[0];
+    Borrow = B[1];
+    BorrowMut = B[2];
+    ApiSig Sig;
+    Sig.Name = "Vec::into_raw_parts";
+    Sig.Inputs = {parse("Vec<T>")};
+    Sig.Output = parse("(usize, usize, usize)");
+    IntoRawParts = Db.add(std::move(Sig));
+  }
+};
+
+TEST_F(MinimizerFixture, ConvergesToMinimalUseAfterMove) {
+  // A 4-line use-after-move with a junk line and an indirection through
+  // LetMut. The minimizer must both DROP the junk and SUBSTITUTE the
+  // LetMut copy for the original owner (unpinning the producer line),
+  // converging to the 2-line core: consume v twice.
+  Program P;
+  P.Inputs = {{"s", parse("String")}, {"v", parse("Vec<String>")}};
+  P.Stmts.push_back(Stmt{LetMut, {1}, 2, parse("Vec<String>")});
+  P.Stmts.push_back(Stmt{LetMut, {0}, 3, parse("String")}); // Junk.
+  P.Stmts.push_back(
+      Stmt{IntoRawParts, {2}, 4, parse("(usize, usize, usize)")});
+  P.Stmts.push_back(
+      Stmt{IntoRawParts, {2}, 5, parse("(usize, usize, usize)")});
+
+  Checker Check(Arena, Traits);
+  CompileResult Original = Check.check(P, Db);
+  ASSERT_FALSE(Original.Success);
+  ASSERT_EQ(Original.Diag.Detail, ErrorDetail::Ownership);
+
+  MinimizedDisagreement Min =
+      minimizeDisagreement(Arena, Traits, Db, P, ErrorDetail::Ownership);
+  EXPECT_EQ(Min.Program.Stmts.size(), 2u);
+  EXPECT_GT(Min.Steps, 0u);
+  // The repro still fails with exactly the original detail.
+  CompileResult R = Check.check(Min.Program, Db);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.Diag.Detail, ErrorDetail::Ownership);
+}
+
+TEST_F(MinimizerFixture, MinimizationIsIdempotent) {
+  // A fixpoint stays a fixpoint: re-minimizing the minimal repro cannot
+  // shrink it further (convergence, not oscillation).
+  Program P;
+  P.Inputs = {{"v", parse("Vec<String>")}};
+  P.Stmts.push_back(
+      Stmt{IntoRawParts, {0}, 1, parse("(usize, usize, usize)")});
+  P.Stmts.push_back(
+      Stmt{IntoRawParts, {0}, 2, parse("(usize, usize, usize)")});
+  MinimizedDisagreement Min =
+      minimizeDisagreement(Arena, Traits, Db, P, ErrorDetail::Ownership);
+  EXPECT_EQ(Min.Program.Stmts.size(), 2u);
+  MinimizedDisagreement Again = minimizeDisagreement(
+      Arena, Traits, Db, Min.Program, ErrorDetail::Ownership);
+  EXPECT_EQ(Again.Program.Stmts.size(), Min.Program.Stmts.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix expansion and validation
+//===----------------------------------------------------------------------===//
+
+TEST(AuditSpecTest, MatrixOrderIsCratesOuterSeedsInner) {
+  AuditSpec Spec;
+  Spec.Crates = {"b", "a"};
+  Spec.SeedBegin = 5;
+  Spec.SeedEnd = 6;
+  std::vector<AuditJob> Jobs = expandAuditMatrix(Spec);
+  ASSERT_EQ(Jobs.size(), 4u);
+  EXPECT_EQ(Jobs[0].Crate, "b");
+  EXPECT_EQ(Jobs[0].Seed, 5u);
+  EXPECT_EQ(Jobs[1].Crate, "b");
+  EXPECT_EQ(Jobs[1].Seed, 6u);
+  EXPECT_EQ(Jobs[2].Crate, "a");
+  EXPECT_EQ(Jobs[3].Index, 3u);
+  EXPECT_EQ(Jobs[3].Config.Seed, 6u);
+}
+
+TEST(AuditSpecTest, ValidateRejectsEachBadField) {
+  Session S;
+  AuditSpec Spec;
+  Spec.Crates = {"slab", "slab", "no-such-crate"};
+  Spec.SeedBegin = 9;
+  Spec.SeedEnd = 3;
+  Spec.Jobs = 0;
+  Spec.Base.MaxModels = 0;
+  std::vector<std::string> Errors = Spec.validate(S);
+  // Duplicate crate, unknown crate, empty seed range, bad job count,
+  // zero model cap: one specific message each.
+  EXPECT_EQ(Errors.size(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end audits (real crate models)
+//===----------------------------------------------------------------------===//
+
+TEST(OracleAudit, AlignedEncoderIsCleanOnRealCrates) {
+  // The acceptance invariant at test scale: no unexpected-category
+  // disagreement anywhere in the audited streams.
+  Session S;
+  OracleConfig Config;
+  Config.MaxModels = 300;
+  for (const char *Crate : {"slab", "base16"}) {
+    AuditResult R = auditOne(S, Crate, Config);
+    EXPECT_TRUE(R.Supported);
+    EXPECT_EQ(R.ModelsReplayed, 300u) << Crate;
+    EXPECT_EQ(R.UnexpectedTotal, 0u) << Crate;
+    EXPECT_TRUE(R.Unexpected.empty()) << Crate;
+    EXPECT_GT(R.AgreePass, 0u) << Crate;
+  }
+}
+
+TEST(OracleAudit, UnsupportedCrateReportsUnsupported) {
+  Session S;
+  const crates::CrateSpec *Closure = nullptr;
+  for (const crates::CrateSpec &Spec : S.crates())
+    if (!Spec.Info.SupportsSynthesis)
+      Closure = &Spec;
+  ASSERT_NE(Closure, nullptr);
+  AuditResult R = auditOne(S, Closure->Info.Name, OracleConfig{});
+  EXPECT_FALSE(R.Supported);
+  EXPECT_EQ(R.ModelsReplayed, 0u);
+}
+
+TEST(OracleAudit, CanaryWeakenedEncoderIsCaughtAndMinimized) {
+  // The oracle's self-test: seed a real encoder bug (drop the
+  // consumption-kill clauses) and the harness MUST catch it as
+  // unexpected Ownership disagreements, each shrunk to a small repro.
+  Session S;
+  OracleConfig Config;
+  Config.MaxModels = 500;
+  Config.WeakenConsumptionKills = true;
+  AuditResult R = auditOne(S, "slab", Config);
+  ASSERT_GT(R.UnexpectedTotal, 0u)
+      << "a seeded encoder bug escaped the oracle";
+  ASSERT_EQ(R.Unexpected.size(), R.UnexpectedTotal);
+  for (const Disagreement &D : R.Unexpected) {
+    EXPECT_EQ(D.Detail, ErrorDetail::Ownership);
+    EXPECT_GT(D.Lines, 0);
+    EXPECT_GT(D.MinimizedLines, 0);
+    EXPECT_LE(D.MinimizedLines, D.Lines);
+    EXPECT_FALSE(D.MinimizedSource.empty());
+    EXPECT_GT(D.MinimizerSteps, 0u);
+  }
+  EXPECT_GT(R.MinimizerSteps, 0u);
+
+  // Same configuration without the seeded bug: clean.
+  Config.WeakenConsumptionKills = false;
+  AuditResult Clean = auditOne(S, "slab", Config);
+  EXPECT_EQ(Clean.UnexpectedTotal, 0u);
+}
+
+TEST(OracleAudit, ReportIsByteIdenticalForAnyJobCount) {
+  // The campaign determinism contract, inherited: same matrix, any pool
+  // width, byte-identical audit document.
+  Session S;
+  AuditSpec Spec;
+  Spec.Crates = {"slab", "base16"};
+  Spec.SeedBegin = 2021;
+  Spec.SeedEnd = 2022;
+  Spec.Base.MaxModels = 150;
+  ASSERT_TRUE(Spec.validate(S).empty());
+
+  Spec.Jobs = 1;
+  AuditRunResult R1 = runAudit(S, Spec);
+  Spec.Jobs = 4;
+  AuditRunResult R4 = runAudit(S, Spec);
+
+  EXPECT_EQ(auditToJson(Spec, R1).dump(), auditToJson(Spec, R4).dump());
+  EXPECT_EQ(R1.Totals.ModelsReplayed, 4u * 150u);
+  EXPECT_TRUE(R1.clean());
+  // Merged oracle.* counters are integer sums: pool-width independent.
+  EXPECT_EQ(R1.MergedCounters, R4.MergedCounters);
+  EXPECT_EQ(R1.MergedCounters.at("oracle.models_replayed"), 4u * 150u);
+}
+
+} // namespace

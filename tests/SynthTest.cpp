@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "rustsim/Checker.h"
+#include "synth/SeenPrograms.h"
 #include "synth/Synthesizer.h"
 #include "types/TypeParser.h"
 
@@ -554,6 +555,87 @@ TEST_F(SynthFixture, NoDuplicateProgramsAcrossFullEnumeration) {
       break;
   }
   EXPECT_GT(Total, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Collision-checked duplicate net
+//===----------------------------------------------------------------------===//
+
+TEST(SeenProgramsTest, CollisionsAreDistinguishedFromDuplicates) {
+  SeenPrograms Seen;
+  EXPECT_EQ(Seen.noteKeyed(42, "0(1)"), SeenOutcome::Fresh);
+  EXPECT_EQ(Seen.noteKeyed(42, "0(1)"), SeenOutcome::Duplicate);
+  // Same hash, different canonical key: a true 64-bit collision. The
+  // program must be emitted (not silently dropped) and counted.
+  EXPECT_EQ(Seen.noteKeyed(42, "1(2)"), SeenOutcome::Collision);
+  EXPECT_EQ(Seen.noteKeyed(42, "1(2)"), SeenOutcome::Duplicate);
+  // Same key under a different hash is an independent fresh program.
+  EXPECT_EQ(Seen.noteKeyed(7, "1(2)"), SeenOutcome::Fresh);
+}
+
+TEST_F(SynthFixture, ForcedCollidingProgramsBothSurviveTheNet) {
+  // Two genuinely distinct one-line programs forced onto one hash: the
+  // canonical keys differ, so the second is kept as a collision and the
+  // third (a replay of the first) is the only true duplicate.
+  ApiId F = addApi("f", {"String"}, "usize");
+  ApiId G = addApi("g", {"Vec<String>"}, "usize");
+  Program A;
+  A.Inputs = vecTemplate();
+  A.Stmts.push_back(Stmt{F, {0}, 2, parse("usize")});
+  Program B;
+  B.Inputs = vecTemplate();
+  B.Stmts.push_back(Stmt{G, {1}, 2, parse("usize")});
+
+  SeenPrograms Seen;
+  const uint64_t ForcedHash = 99;
+  EXPECT_EQ(Seen.noteKeyed(ForcedHash, SeenPrograms::canonicalKey(A)),
+            SeenOutcome::Fresh);
+  EXPECT_EQ(Seen.noteKeyed(ForcedHash, SeenPrograms::canonicalKey(B)),
+            SeenOutcome::Collision);
+  EXPECT_EQ(Seen.noteKeyed(ForcedHash, SeenPrograms::canonicalKey(A)),
+            SeenOutcome::Duplicate);
+}
+
+//===----------------------------------------------------------------------===//
+// Encoder/checker agreement on &mut-by-value consumption
+//===----------------------------------------------------------------------===//
+
+TEST_F(SynthFixture, MutRefConsumingApisAgreeWithChecker) {
+  // take(T) can bind T := &mut Vec<String> and swallow a BorrowMut
+  // output by value. &mut T is not Copy, so the encoder must kill the
+  // reference exactly like the checker moves it; any emitted
+  // use-after-consumption would surface here as a LifetimeOwnership
+  // rejection.
+  Traits.addDefaultPrimImpls();
+  addBuiltins();
+  addApi("Vec::pop", {"&mut Vec<T>"}, "Option<T>");
+  addApi("take", {"T"}, "usize");
+
+  Checker Check(Arena, Traits);
+  Synthesizer Synth(Arena, Traits, Db, vecTemplate(), 4);
+  int Total = 0, TookMutRef = 0;
+  while (auto P = Synth.next()) {
+    ++Total;
+    CompileResult R = Check.check(*P, Db);
+    if (!R.Success)
+      EXPECT_NE(R.Diag.Category, ErrorCategory::LifetimeOwnership)
+          << P->render(Db) << R.Diag.Message;
+    for (const Stmt &S : P->Stmts) {
+      if (Db.get(S.Api).Name != "take")
+        continue;
+      VarId V = S.Args[0];
+      const Type *ArgTy = V < static_cast<VarId>(P->Inputs.size())
+                              ? P->Inputs[V].Ty
+                              : P->Stmts[V - P->Inputs.size()].DeclType;
+      if (ArgTy && ArgTy->isMutRef())
+        ++TookMutRef;
+    }
+    if (Total > 4000)
+      break;
+  }
+  EXPECT_GT(Total, 10);
+  EXPECT_GT(TookMutRef, 0)
+      << "enumeration never exercised take(&mut _): test is vacuous";
 }
 
 } // namespace

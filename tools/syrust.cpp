@@ -15,6 +15,13 @@
 ///       thread pool and merge the results deterministically — the
 ///       paper's 64-container cluster campaign (Section 6.2) at
 ///       one-machine scale (docs/CAMPAIGNS.md).
+///   syrust audit [options]
+///       Replay enumerated models (emitted and Rule-7 path-filtered)
+///       through the semantic checker and classify every
+///       encoder/checker disagreement; unexpected ones (Ownership,
+///       Borrowing, TypeMismatch - the dimensions Rules 1-9 claim to
+///       encode) are delta-debugged to minimal repros and fail the
+///       audit with exit code 1.
 ///   syrust report <trace.json>
 ///       Print a per-stage latency/throughput breakdown of a trace
 ///       previously written with `--trace-out`.
@@ -66,6 +73,20 @@
 ///   --trace                  merge per-worker flight-recorder traces
 ///                            into <dir>/trace.json (requires --out)
 ///
+/// Options for `audit`:
+///   --crates all|a,b,c       audit matrix crates (default all supported)
+///   --seeds N[..M]           inclusive seed range (default 2021)
+///   --apis <n>               APIs to select per audit (default 15)
+///   --max-lines <n>          cap program length (default: crate's own)
+///   --max-models <n>         models replayed per audit (default 2000)
+///   --jobs <n>               pool workers (default 1)
+///   --no-compat-cache        disable the memoized compatibility kernel
+///   --weaken-kills           canary: drop the encoder's consumption-kill
+///                            clauses; the audit MUST then fail with
+///                            Ownership disagreements (oracle self-test)
+///   --out <dir>              write audit.json here (created if missing)
+///   --json                   print the audit document to stdout
+///
 /// Unknown or malformed flags are rejected with a specific error, and
 /// an invalid configuration is rejected field by field before anything
 /// runs.
@@ -75,6 +96,7 @@
 #include "campaign/CampaignRunner.h"
 #include "core/ResultJson.h"
 #include "core/Session.h"
+#include "oracle/AuditRunner.h"
 #include "report/Table.h"
 #include "report/TraceReport.h"
 #include "support/StringUtils.h"
@@ -118,6 +140,12 @@ int usage() {
                "                  [--apis N] [--max-tests N] "
                "[--no-compat-cache]\n"
                "                  [--out DIR] [--trace]\n"
+               "       syrust audit [--crates all|a,b,c] [--seeds N[..M]]\n"
+               "                  [--apis N] [--max-lines N] "
+               "[--max-models N]\n"
+               "                  [--jobs N] [--no-compat-cache] "
+               "[--weaken-kills]\n"
+               "                  [--out DIR] [--json]\n"
                "       syrust report <trace.json>\n");
   return 2;
 }
@@ -560,6 +588,170 @@ int cmdCampaign(int Argc, char **Argv) {
   return 0;
 }
 
+int cmdAudit(int Argc, char **Argv) {
+  Session S;
+  oracle::AuditSpec Spec;
+  Spec.Crates = S.supportedCrates();
+  const char *OutDir = nullptr;
+  bool Json = false;
+  bool ParseOk = true;
+  for (int I = 0; I < Argc && ParseOk; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "syrust audit: missing value for %s\n",
+                     Arg);
+        ParseOk = false;
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    auto NextNum = [&](double &Out) {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      char *End = nullptr;
+      Out = std::strtod(V, &End);
+      if (End == V || *End != '\0') {
+        std::fprintf(stderr,
+                     "syrust audit: malformed number '%s' for %s\n", V,
+                     Arg);
+        ParseOk = false;
+        return false;
+      }
+      return true;
+    };
+    double Num = 0;
+    if (!std::strcmp(Arg, "--crates")) {
+      const char *V = NextValue();
+      if (!V)
+        break;
+      if (std::strcmp(V, "all"))
+        Spec.Crates = split(V, ',');
+    } else if (!std::strcmp(Arg, "--seeds")) {
+      const char *V = NextValue();
+      if (!V)
+        break;
+      if (!parseSeedRange(V, Spec.SeedBegin, Spec.SeedEnd)) {
+        std::fprintf(stderr,
+                     "syrust audit: malformed seed range '%s' for "
+                     "--seeds (want N or N..M)\n",
+                     V);
+        ParseOk = false;
+      }
+    } else if (!std::strcmp(Arg, "--apis")) {
+      if (NextNum(Num))
+        Spec.Base.NumApis = static_cast<int>(Num);
+    } else if (!std::strcmp(Arg, "--max-lines")) {
+      if (NextNum(Num))
+        Spec.Base.MaxLines = static_cast<int>(Num);
+    } else if (!std::strcmp(Arg, "--max-models")) {
+      if (NextNum(Num))
+        Spec.Base.MaxModels = static_cast<uint64_t>(Num);
+    } else if (!std::strcmp(Arg, "--jobs")) {
+      if (NextNum(Num))
+        Spec.Jobs = static_cast<int>(Num);
+    } else if (!std::strcmp(Arg, "--no-compat-cache")) {
+      Spec.Base.UseCompatCache = false;
+    } else if (!std::strcmp(Arg, "--weaken-kills")) {
+      Spec.Base.WeakenConsumptionKills = true;
+    } else if (!std::strcmp(Arg, "--out")) {
+      OutDir = NextValue();
+    } else if (!std::strcmp(Arg, "--json")) {
+      Json = true;
+    } else {
+      std::fprintf(stderr, "syrust audit: unknown flag '%s'\n", Arg);
+      return usage();
+    }
+  }
+  if (!ParseOk)
+    return usage();
+  std::vector<std::string> Errors = Spec.validate(S);
+  if (!Errors.empty()) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "syrust audit: %s\n", E.c_str());
+    return 2;
+  }
+
+  size_t Total = oracle::expandAuditMatrix(Spec).size();
+  size_t Done = 0;
+  // Progress to stderr: stdout carries only the deterministic summary
+  // (or the audit document itself).
+  oracle::AuditRunResult R = runAudit(
+      S, Spec, [&](const oracle::AuditJobResult &JR) {
+        ++Done;
+        std::fprintf(stderr,
+                     "[%zu/%zu] %s seed=%llu: %llu replayed, "
+                     "%llu unexpected\n",
+                     Done, Total, JR.Job.Crate.c_str(),
+                     static_cast<unsigned long long>(JR.Job.Seed),
+                     static_cast<unsigned long long>(
+                         JR.Result.ModelsReplayed),
+                     static_cast<unsigned long long>(
+                         JR.Result.UnexpectedTotal));
+      });
+  std::string Doc = auditToJson(Spec, R).dump();
+  int Exit = R.clean() ? 0 : 1;
+
+  if (OutDir) {
+    if (::mkdir(OutDir, 0777) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "syrust audit: cannot create '%s'\n", OutDir);
+      return 1;
+    }
+    std::string Path = std::string(OutDir);
+    if (!Path.empty() && Path.back() != '/')
+      Path += '/';
+    Path += "audit.json";
+    if (!writeFile(Path.c_str(), Doc + "\n")) {
+      std::fprintf(stderr, "syrust audit: cannot write '%s'\n",
+                   Path.c_str());
+      return 1;
+    }
+  }
+  if (Json) {
+    std::printf("%s\n", Doc.c_str());
+    return Exit;
+  }
+
+  Table T({"Crate", "Seed", "Replayed", "Pass", "Agree-Reject",
+           "Expected", "UNEXPECTED", "Filtered-OK"});
+  for (const oracle::AuditJobResult &JR : R.Jobs) {
+    const oracle::AuditResult &Res = JR.Result;
+    T.addRow({JR.Job.Crate, std::to_string(JR.Job.Seed),
+              fmtCount(Res.ModelsReplayed), fmtCount(Res.AgreePass),
+              fmtCount(Res.AgreeReject), fmtCount(Res.ExpectedTotal),
+              fmtCount(Res.UnexpectedTotal),
+              fmtCount(Res.FilteredCompilable)});
+  }
+  std::printf("%s", T.render().c_str());
+  std::printf("\ntotals: %llu replayed, %llu agree-pass, %llu "
+              "agree-reject, %llu expected, %llu UNEXPECTED, %llu "
+              "filtered-compilable\n",
+              static_cast<unsigned long long>(R.Totals.ModelsReplayed),
+              static_cast<unsigned long long>(R.Totals.AgreePass),
+              static_cast<unsigned long long>(R.Totals.AgreeReject),
+              static_cast<unsigned long long>(R.Totals.ExpectedTotal),
+              static_cast<unsigned long long>(R.Totals.UnexpectedTotal),
+              static_cast<unsigned long long>(
+                  R.Totals.FilteredCompilable));
+  for (const oracle::AuditJobResult &JR : R.Jobs)
+    for (const oracle::Disagreement &D : JR.Result.Unexpected)
+      std::printf("\nUNEXPECTED %s (%s seed=%llu): %s\noriginal "
+                  "(%d lines):\n%sminimized (%d lines, %llu steps):\n%s",
+                  detailName(D.Detail), JR.Job.Crate.c_str(),
+                  static_cast<unsigned long long>(JR.Job.Seed),
+                  D.Message.c_str(), D.Lines, D.Source.c_str(),
+                  D.MinimizedLines,
+                  static_cast<unsigned long long>(D.MinimizerSteps),
+                  D.MinimizedSource.c_str());
+  if (Exit != 0)
+    std::printf("\naudit FAILED: %llu unexpected disagreement(s) - the "
+                "encoder and checker disagree about Rust\n",
+                static_cast<unsigned long long>(
+                    R.Totals.UnexpectedTotal));
+  return Exit;
+}
+
 int cmdReport(int Argc, char **Argv) {
   if (Argc != 1) {
     std::fprintf(stderr,
@@ -593,6 +785,8 @@ int main(int Argc, char **Argv) {
     return cmdRun(Argc - 2, Argv + 2);
   if (!std::strcmp(Argv[1], "campaign"))
     return cmdCampaign(Argc - 2, Argv + 2);
+  if (!std::strcmp(Argv[1], "audit"))
+    return cmdAudit(Argc - 2, Argv + 2);
   if (!std::strcmp(Argv[1], "report"))
     return cmdReport(Argc - 2, Argv + 2);
   std::fprintf(stderr, "syrust: unknown command '%s'\n", Argv[1]);
