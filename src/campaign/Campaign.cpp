@@ -48,6 +48,10 @@ bool syrust::campaign::applyVariant(const std::string &Name,
     Config.UseCompatCache = false; // A/B against the memoized kernel.
     return true;
   }
+  if (Name == "portfolio") {
+    Config.Portfolio = true; // Strategy racing; streams stay identical.
+    return true;
+  }
   return false;
 }
 
@@ -79,7 +83,7 @@ CampaignSpec::validate(const Session &S) const {
                        V +
                        "'; known: base, no-semantic, eager, lazy, "
                        "interleave, mutate-inputs, no-incremental, "
-                       "no-compat-cache");
+                       "no-compat-cache, portfolio");
   }
   if (Jobs < 1)
     Errors.push_back("CampaignSpec.Jobs must be at least 1, got " +

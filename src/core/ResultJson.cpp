@@ -123,6 +123,14 @@ json::Value syrust::core::resultToJson(const RunResult &R,
                 static_cast<int64_t>(R.Synth.CompatBaseHits)));
   Synth.set("compat_cache_misses",
             Value::integer(static_cast<int64_t>(R.Synth.CompatMisses)));
+  Synth.set("portfolio_races",
+            Value::integer(static_cast<int64_t>(R.Synth.PortfolioRaces)));
+  Synth.set("portfolio_unsat_wins",
+            Value::integer(
+                static_cast<int64_t>(R.Synth.PortfolioUnsatWins)));
+  Synth.set("portfolio_cancels",
+            Value::integer(
+                static_cast<int64_t>(R.Synth.PortfolioCancels)));
   if (Opts.HostWallTime) {
     Synth.set("build_wall_seconds", Value::number(R.Synth.BuildSeconds));
     Synth.set("solve_wall_seconds", Value::number(R.Synth.SolveSeconds));

@@ -10,6 +10,7 @@
 #include "miri/Interpreter.h"
 #include "rustsim/Checker.h"
 #include "rustsim/DiagnosticJson.h"
+#include "sat/SolverStrategy.h"
 
 #include <cassert>
 #include <cstdio>
@@ -63,6 +64,10 @@ std::vector<std::string> RunConfig::validate() const {
     Errors.push_back(numField("CurveSamples", CurveSamples,
                               "at least 2 (a curve needs a start and an "
                               "end point)"));
+  if (!Strategy.empty() && !sat::findStrategy(Strategy))
+    Errors.push_back("RunConfig.Strategy '" + Strategy +
+                     "' is not a known solver strategy (known: " +
+                     sat::knownStrategyNames() + ")");
   return Errors;
 }
 
@@ -174,6 +179,10 @@ RunResult SyRustDriver::run() {
   Opts.SemanticAware = Config.SemanticAware;
   Opts.InterleaveLengths = Config.InterleaveLengths;
   Opts.IncrementalRefinement = Config.IncrementalRefinement;
+  Opts.Portfolio = Config.Portfolio;
+  Opts.Strategy = Config.Strategy;
+  if (Config.SolveConflictBudget != 0)
+    Opts.SolveConflictBudget = Config.SolveConflictBudget;
   Opts.SolverSeed = Config.Seed;
   Opts.Obs = Obs;
   Opts.Compat = Compat.get();
@@ -247,7 +256,10 @@ RunResult SyRustDriver::run() {
                         .add("candidate", CandId)
                         .add("produced", P.has_value()));
     if (!P.has_value()) {
-      Result.SpaceExhausted = true;
+      // A budget-stop run ends on Unknown, not on an exhaustion proof -
+      // claiming SpaceExhausted would launder "gave up" into "proved
+      // UNSAT" in every downstream report.
+      Result.SpaceExhausted = !Synth.sawBudgetStop();
       break;
     }
     Result.MaxLenReached =

@@ -56,6 +56,12 @@ private:
         continue;
       Blocking.push_back(mkLit(V, Val == Value::True));
     }
+    // Every projection variable Undef means the projection admits exactly
+    // one (empty) image: enumeration is exhausted. Adding the empty
+    // clause instead would flip okay() false and permanently poison the
+    // solver for all later (non-enumeration) queries.
+    if (Blocking.empty())
+      return false;
     return S.addClause(std::move(Blocking));
   }
 

@@ -7,6 +7,7 @@
 #include "sat/Solver.h"
 
 #include "obs/Recorder.h"
+#include "sat/SolverStrategy.h"
 
 #include <algorithm>
 #include <cassert>
@@ -15,12 +16,12 @@
 using namespace syrust::sat;
 
 namespace {
-// EVSIDS / clause-activity tuning constants (MiniSat defaults).
+// EVSIDS / clause-activity tuning constants (MiniSat defaults). The
+// restart schedule and random-decision frequency are per-solver knobs
+// (SolverStrategy); their defaults match the historical constants here.
 constexpr double VarDecay = 0.95;
 constexpr double ClaDecay = 0.999;
 constexpr double RescaleLimit = 1e100;
-constexpr uint64_t LubyUnit = 100;
-constexpr double RandomDecisionFreq = 0.02;
 } // namespace
 
 Solver::Solver() = default;
@@ -35,7 +36,7 @@ Var Solver::newVar() {
   Assigns.push_back(Value::Undef);
   VarInfo.push_back(VarData{});
   Activity.push_back(0.0);
-  Polarity.push_back(1); // Default phase: false (matches MiniSat).
+  Polarity.push_back(DefaultPhase); // 1 = false (the MiniSat default).
   HeapPos.push_back(-1);
   Seen.push_back(0);
   Watches.emplace_back();
@@ -541,6 +542,16 @@ void Solver::setRandomSeed(uint64_t Seed) {
   RandomState = Seed | 1; // xorshift state must be nonzero.
 }
 
+void Solver::applyStrategy(const SolverStrategy &S) {
+  RestartMode = S.Restart;
+  RestartUnit = S.RestartUnit;
+  RestartGrowth = S.RestartGrowth;
+  RandomFreq = S.RandomFreq;
+  DefaultPhase = S.PositivePhase ? 0 : 1;
+  for (char &P : Polarity)
+    P = DefaultPhase;
+}
+
 Lit Solver::pickBranchLit() {
   // Occasional random decision for diversification.
   auto NextRandom = [this]() {
@@ -551,7 +562,7 @@ Lit Solver::pickBranchLit() {
   };
   Var Next = VarUndef;
   if (!Heap.empty() &&
-      (NextRandom() % 1000) < static_cast<uint64_t>(RandomDecisionFreq * 1000)) {
+      (NextRandom() % 1000) < static_cast<uint64_t>(RandomFreq * 1000)) {
     Var Candidate = Heap[NextRandom() % Heap.size()];
     if (value(Candidate) == Value::Undef)
       Next = Candidate;
@@ -677,11 +688,24 @@ uint64_t Solver::luby(uint64_t I) {
 SolveResult Solver::search() {
   uint64_t RestartNum = 0;
   uint64_t ConflictsAtStart = Stats.Conflicts;
-  uint64_t ConflictsUntilRestart = luby(++RestartNum) * LubyUnit;
+  auto NextRestartLimit = [this, &RestartNum]() {
+    ++RestartNum;
+    if (RestartMode == RestartPolicy::Luby)
+      return luby(RestartNum) * RestartUnit;
+    double Limit = static_cast<double>(RestartUnit);
+    for (uint64_t I = 1; I < RestartNum; ++I)
+      Limit *= RestartGrowth;
+    return static_cast<uint64_t>(Limit) + 1;
+  };
+  uint64_t ConflictsUntilRestart = NextRestartLimit();
   uint64_t ConflictsThisRestart = 0;
   std::vector<Lit> Learned;
 
   for (;;) {
+    if (Interrupt && Interrupt->load(std::memory_order_relaxed)) {
+      cancelUntil(0);
+      return SolveResult::Unknown;
+    }
     Reason Conflict = propagate();
     if (Conflict.Kind != Reason::None) {
       ++Stats.Conflicts;
@@ -705,18 +729,26 @@ SolveResult Solver::search() {
       }
       varDecayActivity();
       claDecayActivity();
+      if (Hook && !HookFired &&
+          Stats.Conflicts - ConflictsAtStart >= HookThreshold) {
+        HookFired = true;
+        Hook();
+      }
       if (ConflictBudget != 0 &&
           Stats.Conflicts - ConflictsAtStart >= ConflictBudget) {
+        // Out of budget: no verdict. Returning Unsat here would let a
+        // caller that forgets budgetExhausted() treat a timeout as a
+        // proof and retire a still-live part of the search space.
         BudgetHit = true;
         cancelUntil(0);
-        return SolveResult::Unsat;
+        return SolveResult::Unknown;
       }
       continue;
     }
 
     if (ConflictsThisRestart >= ConflictsUntilRestart) {
       ++Stats.Restarts;
-      ConflictsUntilRestart = luby(++RestartNum) * LubyUnit;
+      ConflictsUntilRestart = NextRestartLimit();
       ConflictsThisRestart = 0;
       cancelUntil(0);
       continue;
@@ -769,8 +801,9 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumps) {
     uint64_t Restarts = Stats.Restarts - Restarts0;
     Obs->instant("sat.solve", "sat",
                  obs::ArgList()
-                     .add("result",
-                          Result == SolveResult::Sat ? "sat" : "unsat")
+                     .add("result", Result == SolveResult::Sat ? "sat"
+                          : Result == SolveResult::Unsat ? "unsat"
+                                                         : "unknown")
                      .add("conflicts", Conflicts)
                      .add("propagations", Propagations)
                      .add("restarts", Restarts)
@@ -787,6 +820,7 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumps) {
 
 SolveResult Solver::solveInner(const std::vector<Lit> &Assumps) {
   BudgetHit = false;
+  HookFired = false;
   if (!Ok)
     return SolveResult::Unsat;
   cancelUntil(0);
@@ -804,8 +838,11 @@ SolveResult Solver::solveInner(const std::vector<Lit> &Assumps) {
 }
 
 Value Solver::modelValue(Var V) const {
-  assert(V >= 0 && static_cast<size_t>(V) < Model.size() &&
-         "model query out of range");
+  // Out-of-range queries answer Undef rather than asserting: enumeration
+  // clients may project over variables created after the model was found
+  // (e.g. a fresh generation guard), and those have no recorded value.
+  if (V < 0 || static_cast<size_t>(V) >= Model.size())
+    return Value::Undef;
   return Model[V];
 }
 

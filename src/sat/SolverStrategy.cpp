@@ -1,0 +1,67 @@
+//===--- SolverStrategy.cpp - Pluggable CDCL search configurations --------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/SolverStrategy.h"
+
+using namespace syrust::sat;
+
+const std::vector<SolverStrategy> &syrust::sat::portfolioStrategies() {
+  // Index 0 MUST stay the exact historical defaults: the portfolio's
+  // emitted models always come from member 0, which is what keeps
+  // portfolio-on program streams byte-identical to portfolio-off.
+  static const std::vector<SolverStrategy> Set = [] {
+    std::vector<SolverStrategy> S;
+    S.push_back(SolverStrategy{}); // "baseline"
+
+    SolverStrategy Agile;
+    Agile.Name = "agile";
+    Agile.RestartUnit = 16; // Rapid Luby restarts.
+    Agile.RandomFreq = 0.05;
+    Agile.SeedXor = 0x5851f42d4c957f2dULL;
+    // Helpers only ever launch on episodes that exhausted member 0's
+    // budget, so they are rare enough to afford a far larger one - their
+    // whole purpose is finishing proofs the baseline gave up on.
+    Agile.BudgetFactor = 64;
+    S.push_back(Agile);
+
+    SolverStrategy Geometric;
+    Geometric.Name = "geometric";
+    Geometric.Restart = RestartPolicy::Geometric;
+    Geometric.RestartUnit = 100;
+    Geometric.RestartGrowth = 1.5;
+    Geometric.PositivePhase = true;
+    Geometric.SeedXor = 0x9e3779b97f4a7c15ULL;
+    Geometric.BudgetFactor = 64;
+    S.push_back(Geometric);
+
+    SolverStrategy Cegar;
+    Cegar.Name = "cegar";
+    Cegar.Cegar = true;
+    Cegar.RestartUnit = 32;
+    Cegar.SeedXor = 0xda942042e4dd58b5ULL;
+    Cegar.BudgetFactor = 64;
+    S.push_back(Cegar);
+    return S;
+  }();
+  return Set;
+}
+
+const SolverStrategy *syrust::sat::findStrategy(const std::string &Name) {
+  for (const SolverStrategy &S : portfolioStrategies())
+    if (Name == S.Name)
+      return &S;
+  return nullptr;
+}
+
+std::string syrust::sat::knownStrategyNames() {
+  std::string Out;
+  for (const SolverStrategy &S : portfolioStrategies()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += S.Name;
+  }
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===--- SolverStrategy.h - Pluggable CDCL search configurations -*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SolverStrategy bundles the search knobs a CDCL configuration is made
+/// of - restart schedule, phase initialization, random-decision frequency,
+/// seed perturbation, conflict budget scaling - plus the CEGAR flag that
+/// makes a configuration solve a relaxation with the lazily-tagged
+/// (ownership/borrow) clauses deferred, materializing only the ones a
+/// model violates. The portfolio runner (Portfolio.h) races a fixed set
+/// of these per solve episode.
+///
+/// Strategy 0 of the portfolio is always "baseline": exactly the
+/// solver's historical defaults, so a portfolio run's emitted models are
+/// byte-identical to a plain single-solver run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_SAT_SOLVERSTRATEGY_H
+#define SYRUST_SAT_SOLVERSTRATEGY_H
+
+#include "sat/SatTypes.h"
+
+#include <string>
+#include <vector>
+
+namespace syrust::sat {
+
+/// One named solver configuration.
+struct SolverStrategy {
+  /// Stable name, used by `--strategy` and the `sat.strategy.*` counters.
+  const char *Name = "baseline";
+
+  RestartPolicy Restart = RestartPolicy::Luby;
+  /// Luby unit, or the geometric schedule's initial limit.
+  uint64_t RestartUnit = 100;
+  /// Growth factor of the geometric schedule (ignored under Luby).
+  double RestartGrowth = 1.5;
+  /// Initialize saved phases to true instead of the MiniSat false.
+  bool PositivePhase = false;
+  /// Fraction of decisions made at random (diversification).
+  double RandomFreq = 0.02;
+  /// XORed into the base random seed so racers diverge.
+  uint64_t SeedXor = 0;
+  /// The configuration's conflict budget is the baseline budget times
+  /// this factor (helpers may search longer than the baseline because
+  /// their Unsat proofs rescue episodes the baseline gave up on).
+  uint64_t BudgetFactor = 1;
+  /// CEGAR: start from the relaxation without the lazily-tagged clauses
+  /// and materialize violated ones from counterexample models. An Unsat
+  /// of the relaxation is an Unsat of the full formula.
+  bool Cegar = false;
+};
+
+/// The fixed racing set. Index 0 is the baseline (identical to a plain
+/// Solver's defaults); the others are the helper configurations.
+const std::vector<SolverStrategy> &portfolioStrategies();
+
+/// Looks a strategy up by name; null when unknown.
+const SolverStrategy *findStrategy(const std::string &Name);
+
+/// Comma-separated list of the known strategy names, for strict flag
+/// validation messages.
+std::string knownStrategyNames();
+
+} // namespace syrust::sat
+
+#endif // SYRUST_SAT_SOLVERSTRATEGY_H

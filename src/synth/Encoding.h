@@ -49,6 +49,7 @@
 #include "api/ApiDatabase.h"
 #include "obs/Recorder.h"
 #include "program/Program.h"
+#include "sat/Portfolio.h"
 #include "sat/Solver.h"
 #include "types/CompatCache.h"
 #include "types/Subtyping.h"
@@ -81,6 +82,17 @@ struct SynthOptions {
   /// Conflict budget per solve (0 = unlimited).
   uint64_t SolveConflictBudget = 200000;
   uint64_t SolverSeed = 1;
+  /// Race the fixed strategy portfolio (sat/SolverStrategy.h) on every
+  /// solve episode that proves hard. Emitted programs are byte-identical
+  /// with the portfolio on or off: member 0 is the unmodified baseline
+  /// solver and helper racers only contribute Unsat proofs for episodes
+  /// the baseline abandons at its conflict budget.
+  bool Portfolio = false;
+  /// Run one named solver configuration instead of the baseline (must be
+  /// a name sat::findStrategy knows; validate before constructing the
+  /// encoder). Unlike Portfolio this *does* change the program stream -
+  /// it is an explicit opt-in. Ignored when Portfolio is set.
+  std::string Strategy;
   /// Flight recorder for trace events and metrics; null (the default)
   /// disables instrumentation at the cost of one pointer check.
   obs::Recorder *Obs = nullptr;
@@ -169,6 +181,11 @@ public:
   size_t numSatVars() const { return VarCount; }
   size_t numCandidates() const { return TotalCandidates; }
   const sat::SolverStats &solverStats() const { return Solver.stats(); }
+  /// Deterministic portfolio race counters (all zero when the portfolio
+  /// is off).
+  const sat::PortfolioStats &portfolioStats() const {
+    return Solver.portfolioStats();
+  }
 
 private:
   /// One (variable, encoder-type) candidate for an input slot.
@@ -258,7 +275,7 @@ private:
   /// Signatures of every model blocked so far (incremental mode only).
   std::vector<ModelSig> BlockedSigs;
 
-  mutable sat::Solver Solver;
+  mutable sat::Portfolio Solver;
   size_t VarCount = 0;
   size_t TotalCandidates = 0;
   bool HasModel = false;

@@ -35,6 +35,7 @@ Synthesizer::Synthesizer(types::TypeArena &Arena,
   if (Opts.InterleaveLengths) {
     LengthEncs.resize(static_cast<size_t>(MaxLines));
     LengthLive.assign(static_cast<size_t>(MaxLines), 1);
+    LengthUnknown.assign(static_cast<size_t>(MaxLines), 0);
     for (int L = 1; L <= MaxLines; ++L)
       LengthEncs[static_cast<size_t>(L - 1)] = makeEncoding(L);
   } else {
@@ -78,6 +79,9 @@ void Synthesizer::retireEncoding(std::unique_ptr<Encoding> &E) {
     return;
   RetiredConflicts += E->solverStats().Conflicts;
   RetiredPropagations += E->solverStats().Propagations;
+  RetiredRaces += E->portfolioStats().Races;
+  RetiredUnsatWins += E->portfolioStats().UnsatWins;
+  RetiredCancels += E->portfolioStats().Cancels;
   if (Opts.IncrementalRefinement) {
     // Successor encodings replay these; signatures that stop mapping
     // (their API got banned) are unreachable and dropped on replay.
@@ -89,17 +93,26 @@ void Synthesizer::retireEncoding(std::unique_ptr<Encoding> &E) {
 void Synthesizer::refreshSolverStats() {
   uint64_t Conflicts = RetiredConflicts;
   uint64_t Propagations = RetiredPropagations;
-  if (Enc) {
-    Conflicts += Enc->solverStats().Conflicts;
-    Propagations += Enc->solverStats().Propagations;
-  }
+  uint64_t Races = RetiredRaces;
+  uint64_t UnsatWins = RetiredUnsatWins;
+  uint64_t Cancels = RetiredCancels;
+  auto Absorb = [&](const Encoding &E) {
+    Conflicts += E.solverStats().Conflicts;
+    Propagations += E.solverStats().Propagations;
+    Races += E.portfolioStats().Races;
+    UnsatWins += E.portfolioStats().UnsatWins;
+    Cancels += E.portfolioStats().Cancels;
+  };
+  if (Enc)
+    Absorb(*Enc);
   for (const auto &E : LengthEncs)
-    if (E) {
-      Conflicts += E->solverStats().Conflicts;
-      Propagations += E->solverStats().Propagations;
-    }
+    if (E)
+      Absorb(*E);
   Stats.SolverConflicts = Conflicts;
   Stats.SolverPropagations = Propagations;
+  Stats.PortfolioRaces = Races;
+  Stats.PortfolioUnsatWins = UnsatWins;
+  Stats.PortfolioCancels = Cancels;
 }
 
 bool Synthesizer::solveNext(Encoding &E) {
@@ -149,9 +162,12 @@ void Synthesizer::notifyDatabaseChanged() {
 
   for (size_t Idx = 0; Idx < LengthEncs.size(); ++Idx) {
     bool Live = LengthLive[Idx] != 0;
-    // A dead length stays dead unless the database actually grew: bans
-    // and combo blocks only shrink the space, so an UNSAT proof stands.
-    if (!Live && !Additions)
+    // A length proven UNSAT stays dead unless the database actually grew:
+    // bans and combo blocks only shrink the space, so the proof stands.
+    // A length that went dormant on a budget stop (Unknown) has no such
+    // proof - it must get another chance on *any* change, destructive
+    // ones included.
+    if (!Live && !Additions && !LengthUnknown[Idx])
       continue;
     auto &Slot = LengthEncs[Idx];
     bool Extended = false;
@@ -174,6 +190,7 @@ void Synthesizer::notifyDatabaseChanged() {
     }
     if (!Live) {
       LengthLive[Idx] = 1;
+      LengthUnknown[Idx] = 0;
       ++Stats.DeadLengthRevivals;
       Done = false;
       if (Opts.Obs) {
@@ -268,8 +285,12 @@ std::optional<Program> Synthesizer::nextInterleaved() {
         continue;
       Encoding *E = LengthEncs[Idx].get();
       if (!solveNext(*E)) {
-        if (E->budgetExhausted())
+        // Budget stops (Unknown) are not exhaustion proofs: mark the
+        // dormancy as revivable-on-any-change.
+        if (E->budgetExhausted()) {
           BudgetStop = true;
+          LengthUnknown[Idx] = 1;
+        }
         LengthLive[Idx] = 0;
         continue;
       }

@@ -76,6 +76,15 @@ struct SynthStats {
   uint64_t CompatHits = 0;
   uint64_t CompatBaseHits = 0;
   uint64_t CompatMisses = 0;
+  /// Portfolio race outcomes summed over all encodings (zero with the
+  /// portfolio off). Races counts episodes where helper racers launched;
+  /// UnsatWins counts baseline Unknowns upgraded to real Unsat proofs by
+  /// a helper; Cancels counts cancellation signals sent to losing racers.
+  /// All three are deterministic (functions of the solve-episode
+  /// sequence, not of thread timing).
+  uint64_t PortfolioRaces = 0;
+  uint64_t PortfolioUnsatWins = 0;
+  uint64_t PortfolioCancels = 0;
 };
 
 /// Enumerates candidate programs of increasing length.
@@ -125,6 +134,11 @@ private:
   /// them in place.
   std::vector<std::unique_ptr<Encoding>> LengthEncs;
   std::vector<char> LengthLive;
+  /// Interleaved mode: marks lengths that went dormant on a budget stop
+  /// (Unknown) rather than a real UNSAT proof. Such a length must be
+  /// revived by *any* database change - including destructive ones,
+  /// which only an actual proof would let us skip.
+  std::vector<char> LengthUnknown;
   size_t Rotation = 0;
   /// The last-resort duplicate net: hash lookups verified against stored
   /// canonical program keys, so a 64-bit collision cannot silently drop
@@ -143,6 +157,9 @@ private:
   /// Solver-stat totals of encodings retired so far.
   uint64_t RetiredConflicts = 0;
   uint64_t RetiredPropagations = 0;
+  uint64_t RetiredRaces = 0;
+  uint64_t RetiredUnsatWins = 0;
+  uint64_t RetiredCancels = 0;
 
   SynthStats Stats;
   bool BudgetStop = false;

@@ -431,6 +431,35 @@ TEST_F(SynthFixture, DeadLengthRevivedOnRebuildPathToo) {
   EXPECT_GE(Synth.stats().DeadLengthRevivals, 1u);
 }
 
+TEST_F(SynthFixture, BudgetStoppedLengthRevivedByDestructiveChange) {
+  // A solve stopped by the conflict budget returns Unknown - not an
+  // exhaustion proof - so the dormant length must revive on ANY
+  // database change, including destructive ones that only shrink the
+  // space (a ban). Only an UNSAT-proven length may sleep through those.
+  addBuiltins();
+  ApiId F = addApi("f", {"String"}, "usize");
+  addApi("g", {"Vec<String>"}, "usize");
+  addApi("h", {"usize", "usize"}, "String");
+  SynthOptions Opts;
+  Opts.InterleaveLengths = true;
+  Opts.SolveConflictBudget = 1; // Every nontrivial episode trips.
+  Synthesizer Synth(Arena, Traits, Db, vecTemplate(), 3, Opts);
+  while (Synth.next().has_value())
+    ;
+  ASSERT_TRUE(Synth.sawBudgetStop());
+  uint64_t EmittedBefore = Synth.stats().Emitted;
+  // Bans add no instances, so a length proven UNSAT would stay dead
+  // here; the budget-stopped lengths must come back anyway.
+  Db.ban(F);
+  Synth.notifyDatabaseChanged();
+  EXPECT_GE(Synth.stats().DeadLengthRevivals, 1u);
+  while (auto P = Synth.next()) {
+    for (const Stmt &S : P->Stmts)
+      EXPECT_NE(S.Api, F) << P->render(Db);
+  }
+  EXPECT_GE(Synth.stats().Emitted, EmittedBefore);
+}
+
 TEST_F(SynthFixture, BlockedComboSuppressed) {
   ApiId Pop = addApi("Vec::pop", {"&mut Vec<T>"}, "Option<T>");
   (void)Pop;

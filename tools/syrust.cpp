@@ -40,6 +40,17 @@
 ///   --no-compat-cache        disable the memoized compatibility kernel
 ///                            and shared per-crate analysis (identical
 ///                            results, slower encoding builds)
+///   --portfolio              race the solver-strategy portfolio on hard
+///                            solve episodes (byte-identical program
+///                            stream; budget-stop Unknowns become real
+///                            UNSAT proofs)
+///   --strategy <name>        run one named solver configuration instead
+///                            of the baseline (unknown names are
+///                            rejected with the known-name list; unlike
+///                            --portfolio this changes the stream)
+///   --solve-budget <n>       per-solve conflict budget (0 = encoder
+///                            default; benches lower it so budget
+///                            exhaustion actually occurs)
 ///   --stop-on-bug            stop at the first UB
 ///   --minimize               delta-debug the bug-inducing program
 ///   --max-tests <n>          hard cap on synthesized test cases
@@ -58,12 +69,18 @@
 ///   --variants v1,v2         named config variants (default base);
 ///                            known: base, no-semantic, eager, lazy,
 ///                            interleave, mutate-inputs, no-incremental,
-///                            no-compat-cache
+///                            no-compat-cache, portfolio
 ///   --jobs <n>               pool workers (default 1)
 ///   --no-compat-cache        disable the memoized compatibility kernel
 ///                            for every job (same as listing the
 ///                            no-compat-cache variant, but composes with
 ///                            other variants)
+///   --portfolio              race the solver portfolio in every job
+///                            (same as listing the portfolio variant,
+///                            but composes with other variants)
+///   --strategy <name>        named solver configuration for every job
+///                            (unknown names rejected)
+///   --solve-budget <n>       per-solve conflict budget for every job
 ///   --budget <sim-seconds>   simulated budget per job (default 600)
 ///   --apis <n>               APIs to select per job (default 15)
 ///   --max-tests <n>          hard cap on test cases per job
@@ -81,6 +98,11 @@
 ///   --max-models <n>         models replayed per audit (default 2000)
 ///   --jobs <n>               pool workers (default 1)
 ///   --no-compat-cache        disable the memoized compatibility kernel
+///   --portfolio              race the solver portfolio during the
+///                            audited enumeration (audited stream is
+///                            byte-identical either way)
+///   --strategy <name>        named solver configuration for the audited
+///                            enumeration (unknown names rejected)
 ///   --weaken-kills           canary: drop the encoder's consumption-kill
 ///                            clauses; the audit MUST then fail with
 ///                            Ownership disagreements (oracle self-test)
@@ -126,7 +148,9 @@ int usage() {
                "                  [--no-semantic] [--eager] [--lazy]\n"
                "                  [--interleave] [--mutate-inputs] "
                "[--no-incremental]\n"
-               "                  [--no-compat-cache] "
+               "                  [--no-compat-cache] [--portfolio] "
+               "[--strategy NAME]\n"
+               "                  [--solve-budget N] "
                "[--stop-on-bug] [--minimize] "
                "[--max-tests N]\n"
                "                  [--log-tests N] [--json-errors] "
@@ -139,12 +163,15 @@ int usage() {
                "[--budget N]\n"
                "                  [--apis N] [--max-tests N] "
                "[--no-compat-cache]\n"
+               "                  [--portfolio] [--strategy NAME] "
+               "[--solve-budget N]\n"
                "                  [--out DIR] [--trace]\n"
                "       syrust audit [--crates all|a,b,c] [--seeds N[..M]]\n"
                "                  [--apis N] [--max-lines N] "
                "[--max-models N]\n"
                "                  [--jobs N] [--no-compat-cache] "
                "[--weaken-kills]\n"
+               "                  [--portfolio] [--strategy NAME]\n"
                "                  [--out DIR] [--json]\n"
                "       syrust report <trace.json>\n");
   return 2;
@@ -278,6 +305,15 @@ int cmdRun(int Argc, char **Argv) {
       Config.IncrementalRefinement = false;
     } else if (!std::strcmp(Arg, "--no-compat-cache")) {
       Config.UseCompatCache = false;
+    } else if (!std::strcmp(Arg, "--portfolio")) {
+      Config.Portfolio = true;
+    } else if (!std::strcmp(Arg, "--strategy")) {
+      const char *V = NextValue();
+      if (V)
+        Config.Strategy = V;
+    } else if (!std::strcmp(Arg, "--solve-budget")) {
+      if (NextNum(Num))
+        Config.SolveConflictBudget = static_cast<uint64_t>(Num);
     } else if (!std::strcmp(Arg, "--stop-on-bug")) {
       Config.StopOnFirstBug = true;
     } else if (!std::strcmp(Arg, "--minimize")) {
@@ -489,6 +525,15 @@ int cmdCampaign(int Argc, char **Argv) {
         Spec.Base.MaxTests = static_cast<uint64_t>(Num);
     } else if (!std::strcmp(Arg, "--no-compat-cache")) {
       Spec.Base.UseCompatCache = false;
+    } else if (!std::strcmp(Arg, "--portfolio")) {
+      Spec.Base.Portfolio = true;
+    } else if (!std::strcmp(Arg, "--strategy")) {
+      const char *V = NextValue();
+      if (V)
+        Spec.Base.Strategy = V;
+    } else if (!std::strcmp(Arg, "--solve-budget")) {
+      if (NextNum(Num))
+        Spec.Base.SolveConflictBudget = static_cast<uint64_t>(Num);
     } else if (!std::strcmp(Arg, "--out")) {
       OutDir = NextValue();
     } else if (!std::strcmp(Arg, "--trace")) {
@@ -653,6 +698,12 @@ int cmdAudit(int Argc, char **Argv) {
         Spec.Jobs = static_cast<int>(Num);
     } else if (!std::strcmp(Arg, "--no-compat-cache")) {
       Spec.Base.UseCompatCache = false;
+    } else if (!std::strcmp(Arg, "--portfolio")) {
+      Spec.Base.Portfolio = true;
+    } else if (!std::strcmp(Arg, "--strategy")) {
+      const char *V = NextValue();
+      if (V)
+        Spec.Base.Strategy = V;
     } else if (!std::strcmp(Arg, "--weaken-kills")) {
       Spec.Base.WeakenConsumptionKills = true;
     } else if (!std::strcmp(Arg, "--out")) {
