@@ -1,0 +1,114 @@
+//===--- DependencyGraph.h - Producer/consumer API graph -------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The API dependency graph: nodes are the API signatures of one crate's
+/// database and a directed edge (A, B, j) says "the output of A unifies
+/// into input slot j of B" - the producer/consumer relation RULF uses as
+/// its coverage unit for library fuzzing. The edge set is derived from
+/// exactly the slot-pairwise compatibility probes core::CrateAnalysis
+/// already precomputes (renamed output type vs renamed input pattern
+/// under two-sided unification), so building the graph alongside the
+/// matrix costs zero extra probes.
+///
+/// The graph is frozen per crate: it covers every signature of the base
+/// database (bans and run-local refinement never change it), edges are
+/// sorted by (producer, consumer, slot), and edge truth is a pure
+/// function of interned type pointers - so two builds over the same
+/// database are byte-identical regardless of seed, worker count, or
+/// whether a shared analysis or a private instantiation supplied the
+/// types. coverage::ApiPairCoverage marks bitsets over these nodes and
+/// edges as the synthesizer emits programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_API_DEPENDENCYGRAPH_H
+#define SYRUST_API_DEPENDENCYGRAPH_H
+
+#include "api/ApiDatabase.h"
+#include "types/CompatCache.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace syrust::api {
+
+/// One producer -> consumer edge: the output of \c Producer can feed
+/// input slot \c Slot of \c Consumer.
+struct DependencyEdge {
+  ApiId Producer = ApiIdInvalid;
+  ApiId Consumer = ApiIdInvalid;
+  /// Input-slot index on the consumer (the receiver is slot 0).
+  int Slot = 0;
+  /// The consumer slot takes a reference (&T / &mut T) rather than
+  /// consuming the value.
+  bool ByRef = false;
+  /// The connection involves an uninstantiated type variable on either
+  /// endpoint (producer output or consumer slot pattern), i.e. it only
+  /// exists under some generic instantiation.
+  bool Generic = false;
+};
+
+/// Frozen producer/consumer graph over one API database. See file
+/// comment for the determinism contract.
+class DependencyGraph {
+public:
+  DependencyGraph() = default;
+
+  /// Nodes are ApiIds [0, numNodes()), mirroring the database the graph
+  /// was built from (builtins included).
+  size_t numNodes() const { return NumNodes; }
+  size_t numEdges() const { return Edges.size(); }
+
+  /// Edges sorted by (Producer, Consumer, Slot) - the deterministic
+  /// bitset order coverage tracking and serialization rely on.
+  const std::vector<DependencyEdge> &edges() const { return Edges; }
+
+  /// Dense index of edge (Producer, Consumer, Slot) into edges(), or -1
+  /// when the graph has no such edge.
+  int edgeIndex(ApiId Producer, ApiId Consumer, int Slot) const {
+    auto It = Index.find(packKey(Producer, Consumer, Slot));
+    return It == Index.end() ? -1 : It->second;
+  }
+
+  /// Canonical one-line-per-edge rendering (golden tests): endpoint
+  /// names and types from \p Db plus the edge metadata.
+  std::string describe(const ApiDatabase &Db) const;
+
+private:
+  friend DependencyGraph buildDependencyGraph(const ApiDatabase &Db,
+                                              types::TypeArena &Arena,
+                                              types::CompatCache &Cache);
+
+  static uint64_t packKey(ApiId Producer, ApiId Consumer, int Slot) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(Producer)) << 40) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(Consumer) &
+                                  0xffffff)
+            << 16) |
+           static_cast<uint64_t>(static_cast<uint32_t>(Slot) & 0xffff);
+  }
+
+  size_t NumNodes = 0;
+  std::vector<DependencyEdge> Edges;
+  std::unordered_map<uint64_t, int> Index;
+};
+
+/// Builds the graph over every signature of \p Db. Signatures are
+/// renamed with the same "a<ApiId>" suffix Encoding::sync uses (interned
+/// into \p Arena, so inside core::CrateAnalysis the renames resolve to
+/// the already-interned pointers) and each candidate edge is one
+/// \c unifiable2(renamed output, renamed slot pattern) probe through
+/// \p Cache - the exact probes of the precomputed per-slot matrix, so a
+/// build over a populated base cache adds no new entries.
+DependencyGraph buildDependencyGraph(const ApiDatabase &Db,
+                                     types::TypeArena &Arena,
+                                     types::CompatCache &Cache);
+
+} // namespace syrust::api
+
+#endif // SYRUST_API_DEPENDENCYGRAPH_H

@@ -120,11 +120,12 @@ syrust::campaign::expandMatrix(const CampaignSpec &Spec) {
 json::Value syrust::campaign::campaignToJson(const CampaignSpec &Spec,
                                              const CampaignResult &R) {
   Value Root = Value::object();
-  // The single-run document (ResultJson.cpp) is schema_version 2; the
-  // campaign aggregate is the version-3 addition. Nothing in this
-  // document may depend on scheduling (worker ids, pool width, wall
-  // time): byte-identical output for any --jobs count is the contract.
-  Root.set("schema_version", Value::integer(3));
+  // Version 5 across every document kind (see ResultJson.cpp for the
+  // history): this aggregate gained the per-crate api_coverage section.
+  // Nothing in this document may depend on scheduling (worker ids, pool
+  // width, wall time): byte-identical output for any --jobs count is
+  // the contract.
+  Root.set("schema_version", Value::integer(5));
   Root.set("kind", Value::string("campaign"));
 
   Value Matrix = Value::object();
@@ -177,6 +178,16 @@ json::Value syrust::campaign::campaignToJson(const CampaignSpec &Spec,
                    Value::integer(static_cast<int64_t>(N)));
   Totals.set("by_category", std::move(ByCategory));
   Root.set("totals", std::move(Totals));
+
+  // Per-crate API-pair coverage, already OR-merged in matrix order.
+  Value ApiCov = Value::array();
+  for (const auto &[Crate, Data] : R.ApiCoverage) {
+    Value E = Value::object();
+    E.set("crate", Value::string(Crate));
+    E.set("api_coverage", coverage::apiCoverageToJson(Data));
+    ApiCov.push(std::move(E));
+  }
+  Root.set("api_coverage", std::move(ApiCov));
 
   // Per-stage totals from the pool's merged metric counters (std::map:
   // sorted, deterministic).

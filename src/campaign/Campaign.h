@@ -23,6 +23,7 @@
 #define SYRUST_CAMPAIGN_CAMPAIGN_H
 
 #include "core/Session.h"
+#include "coverage/ApiPairCoverage.h"
 #include "support/Json.h"
 
 #include <cstdint>
@@ -104,6 +105,10 @@ struct CampaignResult {
   /// Multi-lane Chrome trace (one `tid` per worker, lanes named
   /// "worker-N"); empty unless CampaignSpec::Trace.
   std::string MergedTraceJson;
+  /// Per-crate API-pair coverage, OR-merged across the crate's jobs in
+  /// matrix order (bitset OR commutes, so this too is identical for any
+  /// worker count). One entry per CampaignSpec::Crates name, same order.
+  std::vector<std::pair<std::string, coverage::ApiCoverageData>> ApiCoverage;
   /// Workers the pool actually spawned (diagnostic only).
   int Workers = 0;
 };
@@ -118,12 +123,11 @@ bool applyVariant(const std::string &Name, core::RunConfig &Config);
 /// given order), then seeds ascending, then variants in the given order.
 std::vector<CampaignJob> expandMatrix(const CampaignSpec &Spec);
 
-/// The aggregate campaign document (schema_version 3; versions 1-2 are
-/// the single-run document of ResultJson.h, which `syrust run` still
-/// emits unchanged). Contains the matrix, every per-job result in matrix
-/// order, campaign totals, and the merged per-stage metric counters —
-/// and deliberately nothing scheduling-dependent, so the document is
-/// byte-identical for any worker count.
+/// The aggregate campaign document (schema_version 5, kind "campaign").
+/// Contains the matrix, every per-job result in matrix order, campaign
+/// totals, per-crate api_coverage, and the merged per-stage metric
+/// counters — and deliberately nothing scheduling-dependent, so the
+/// document is byte-identical for any worker count.
 json::Value campaignToJson(const CampaignSpec &Spec,
                            const CampaignResult &R);
 

@@ -129,7 +129,11 @@ CampaignResult CampaignRunner::run() {
   }
 
   // Merge in matrix order — completion order must never leak into the
-  // aggregate.
+  // aggregate. Per-crate API coverage ORs together here: one slot per
+  // CampaignSpec::Crates name (matrix order again), fed by that crate's
+  // jobs as they appear.
+  for (const std::string &Crate : Spec.Crates)
+    Result.ApiCoverage.emplace_back(Crate, coverage::ApiCoverageData());
   for (const CampaignJobResult &JR : Result.Jobs) {
     const RunResult &R = JR.Result;
     Result.Totals.Synthesized += R.Synthesized;
@@ -140,6 +144,11 @@ CampaignResult CampaignRunner::run() {
     Result.Totals.SimSeconds += R.ElapsedSeconds;
     for (const auto &[Cat, N] : R.ByCategory)
       Result.Totals.ByCategory[Cat] += N;
+    for (auto &[Crate, Data] : Result.ApiCoverage)
+      if (Crate == JR.Job.Crate) {
+        Data.mergeFrom(R.ApiCoverage);
+        break;
+      }
   }
 
   // Per-stage totals: sum each worker's final counters. Integer sums

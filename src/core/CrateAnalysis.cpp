@@ -78,6 +78,13 @@ CrateAnalysis::CrateAnalysis(const CrateSpec &Spec)
       for (const Type *Ty : Cells)
         BaseCache.unifiable2(Ty, Pattern);
 
+  // Producer/consumer graph over the same renamed signatures. Every
+  // probe it makes is (RenOut, Pattern) - a subset of the per-slot loop
+  // above, so this is pure cache hits: zero extra unification work.
+  // Built before the joint loop so its MaxJointEntries early return
+  // cannot leave the graph empty.
+  Graph = api::buildDependencyGraph(Db, Arena, BaseCache);
+
   // Joint slot-pairwise matrix (Definition 2(3)): for every API with at
   // least two inputs, every slot pair under every cell-type pair. The
   // builtins all take one input, so they never reach this loop.

@@ -39,6 +39,7 @@
 #ifndef SYRUST_CORE_CRATEANALYSIS_H
 #define SYRUST_CORE_CRATEANALYSIS_H
 
+#include "api/DependencyGraph.h"
 #include "crates/CrateSpec.h"
 #include "types/CompatCache.h"
 
@@ -74,9 +75,16 @@ public:
   /// Entries in the precomputed matrix (observability and tests).
   size_t matrixEntries() const { return BaseCache.size(); }
 
+  /// The frozen producer/consumer graph over the base database, derived
+  /// from the per-slot matrix (the probes are pure cache hits - zero
+  /// extra unification work). Shared read-only by every worker's
+  /// coverage::ApiPairCoverage.
+  const api::DependencyGraph &graph() const { return Graph; }
+
 private:
   std::unique_ptr<crates::CrateInstance> Base;
   types::CompatCache BaseCache;
+  api::DependencyGraph Graph;
 };
 
 } // namespace syrust::core

@@ -20,7 +20,10 @@ json::Value syrust::core::resultToJson(const RunResult &R,
   // can detect format changes. 2: build_seconds/solve_seconds became
   // build_wall_seconds/solve_wall_seconds (they measure host wall time,
   // not simulated time - see DESIGN.md "Wall time vs simulated time").
-  Root.set("schema_version", Value::integer(2));
+  // 3 and 4 introduced the campaign and audit document kinds; 5 adds the
+  // api_coverage section to every document kind (the version space is
+  // shared across kinds, so all bumped together).
+  Root.set("schema_version", Value::integer(5));
   Root.set("crate", Value::string(R.Crate));
   Root.set("supported", Value::boolean(R.Supported));
   Root.set("synthesized", Value::integer(static_cast<int64_t>(R.Synthesized)));
@@ -74,6 +77,7 @@ json::Value syrust::core::resultToJson(const RunResult &R,
   }
   Cov.set("snapshots", std::move(Snaps));
   Root.set("coverage", std::move(Cov));
+  Root.set("api_coverage", coverage::apiCoverageToJson(R.ApiCoverage));
 
   Value Bug = Value::object();
   Bug.set("found", Value::boolean(R.BugFound));

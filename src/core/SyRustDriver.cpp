@@ -160,6 +160,24 @@ RunResult SyRustDriver::run() {
   Rng R(Config.Seed ^ std::hash<std::string>{}(Spec->Info.Name));
   selectApis(*Inst, R);
 
+  // API-pair coverage over the crate's frozen dependency graph. With a
+  // shared analysis the graph is precomputed; otherwise build it here
+  // against a scratch cache - never the run's Compat, whose
+  // compat.cache.* counters must reflect only synthesis probes.
+  api::DependencyGraph LocalGraph;
+  std::unique_ptr<coverage::ApiPairCoverage> ApiCov;
+  if (Config.TrackApiCoverage) {
+    const api::DependencyGraph *Graph;
+    if (Analysis) {
+      Graph = &Analysis->graph();
+    } else {
+      types::CompatCache Scratch;
+      LocalGraph = api::buildDependencyGraph(Inst->Db, Inst->Arena, Scratch);
+      Graph = &LocalGraph;
+    }
+    ApiCov = std::make_unique<coverage::ApiPairCoverage>(*Graph);
+  }
+
   SimClock Clock;
   if (Obs) {
     Obs->bindClock(&Clock);
@@ -220,6 +238,23 @@ RunResult SyRustDriver::run() {
   Check.setRecorder(Obs);
   Interp.setRecorder(Obs);
 
+  if (Obs) {
+    // Totals once up front, covered pre-created at zero: every metrics
+    // snapshot row carries the full coverage.api.* set from t=0. The
+    // matrix gauge is observability for the shared analysis; gauges are
+    // not campaign-merged, so per-run it is simply the frozen size.
+    if (ApiCov) {
+      const coverage::ApiCoverageData D0 = ApiCov->data();
+      Obs->count("coverage.api.nodes_total", D0.NodesTotal);
+      Obs->count("coverage.api.edges_total", D0.EdgesTotal);
+      Obs->count("coverage.api.nodes_covered", 0);
+      Obs->count("coverage.api.edges_covered", 0);
+    }
+    if (Analysis)
+      Obs->gaugeSet("compat.matrix.entries",
+                    static_cast<double>(Analysis->matrixEntries()));
+  }
+
   double NextSnapshot = Config.SnapshotInterval;
   double CurveStep =
       Config.BudgetSeconds / std::max(Config.CurveSamples, 1);
@@ -267,6 +302,18 @@ RunResult SyRustDriver::run() {
     ++Result.Synthesized;
     if (Obs)
       Obs->count("driver.synthesized");
+    if (ApiCov) {
+      const coverage::ApiPairCoverage::MarkDelta Delta =
+          ApiCov->markProgram(*P, Inst->Db);
+      if (Obs) {
+        if (Delta.NewNodes)
+          Obs->count("coverage.api.nodes_covered", Delta.NewNodes);
+        if (Delta.NewEdges)
+          Obs->count("coverage.api.edges_covered", Delta.NewEdges);
+        if (Delta.Unmatched)
+          Obs->count("coverage.api.unmatched_edges", Delta.Unmatched);
+      }
+    }
 
     // Test executor stage 1: compile.
     double CompileStart = Clock.now();
@@ -380,6 +427,8 @@ RunResult SyRustDriver::run() {
     while (Clock.now() >= NextSnapshot &&
            NextSnapshot <= Config.BudgetSeconds) {
       Cov.snapshot(NextSnapshot);
+      if (ApiCov)
+        ApiCov->snapshot(NextSnapshot);
       if (Obs)
         Obs->snapshotMetrics(NextSnapshot);
       NextSnapshot += Config.SnapshotInterval;
@@ -387,6 +436,8 @@ RunResult SyRustDriver::run() {
   }
   SampleCurve(); // Terminal point (skipped if this instant was sampled).
   Cov.snapshot(Clock.now());
+  if (ApiCov)
+    ApiCov->snapshot(Clock.now());
 
   Result.Coverage = Cov.numbers();
   Result.CoverageSnaps = Cov.snapshots();
@@ -403,6 +454,8 @@ RunResult SyRustDriver::run() {
       Obs->count("compat.cache.misses", CS.Misses);
     }
   }
+  if (ApiCov)
+    Result.ApiCoverage = ApiCov->data();
   Result.Refine = Refine.stats();
   Result.ElapsedSeconds = Clock.now();
   if (Obs) {

@@ -19,6 +19,7 @@
 
 #include "core/CrateAnalysis.h"
 #include "core/ResultDatabase.h"
+#include "coverage/ApiPairCoverage.h"
 #include "coverage/CoverageMap.h"
 #include "crates/CrateRegistry.h"
 #include "obs/Recorder.h"
@@ -122,6 +123,13 @@ struct RunConfig {
   /// way; only throughput (and the compat.cache.* counters) change.
   bool UseCompatCache = true;
 
+  /// Track API-pair coverage: mark the crate's dependency graph
+  /// (api::DependencyGraph) as programs are emitted and export the
+  /// api_coverage document plus coverage.api.* counters. Cheap (a hash
+  /// lookup per argument wiring) and deterministic; the off switch
+  /// exists for overhead A/B benches.
+  bool TrackApiCoverage = true;
+
   /// Route compiler diagnostics through the cargo-style JSON channel
   /// (serialize, then parse back) before handing them to refinement -
   /// reproducing the paper's `--message-format=json` executor/synthesizer
@@ -183,6 +191,10 @@ struct RunResult {
   coverage::CoverageNumbers Coverage;
   std::vector<coverage::CoverageSnapshot> CoverageSnaps;
   double CoverageSaturation = -1;
+
+  /// API-pair coverage over the crate's dependency graph (empty when
+  /// RunConfig::TrackApiCoverage is off or the crate is unsupported).
+  coverage::ApiCoverageData ApiCoverage;
 
   synth::SynthStats Synth;
   refine::RefinementStats Refine;

@@ -1,0 +1,125 @@
+//===--- ApiPairCoverage.h - API-pair (dependency-edge) coverage -*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The API analogue of a fuzzer's edge coverage: bitsets over the nodes
+/// and edges of a crate's api::DependencyGraph, marked as the
+/// synthesizer emits programs. A node is covered when an emitted
+/// statement calls the API; an edge (A, B, j) is covered when some
+/// emitted statement feeds the output of an earlier call to A into input
+/// slot j of a call to B. Refined APIs (ApiSig::RefinedFrom) canonicalize
+/// to their polymorphic originals, so run-time database growth never
+/// escapes the frozen graph.
+///
+/// The data document is campaign-mergeable: totals plus bitsets OR
+/// together commutatively, so the aggregate is byte-identical for any
+/// worker count - the same contract as every other campaign aggregate.
+/// Timed snapshots reuse the CoverageSnapshot cadence of the simulated
+/// clock and stay per-run (they are scheduling-dependent across runs
+/// only in the sense that each run owns its own clock; they are dropped
+/// on merge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_COVERAGE_APIPAIRCOVERAGE_H
+#define SYRUST_COVERAGE_APIPAIRCOVERAGE_H
+
+#include "api/DependencyGraph.h"
+#include "program/Program.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace syrust::coverage {
+
+/// A timed saturation sample: how many graph nodes and edges were
+/// covered at simulated time \c AtSeconds.
+struct ApiCoverageSnapshot {
+  double AtSeconds = 0;
+  uint64_t NodesCovered = 0;
+  uint64_t EdgesCovered = 0;
+};
+
+/// The serializable per-crate coverage state. Bitsets are LSB-first
+/// bytes (bit i of byte i/8 is graph index i), sized from the totals.
+struct ApiCoverageData {
+  uint64_t NodesTotal = 0;
+  uint64_t EdgesTotal = 0;
+  std::vector<uint8_t> NodeBits;
+  std::vector<uint8_t> EdgeBits;
+  /// Realized edges that were not in the frozen graph (diagnostic; the
+  /// subset property says this stays 0).
+  uint64_t UnmatchedEdges = 0;
+  /// Per-run only; dropped on merge.
+  std::vector<ApiCoverageSnapshot> Snaps;
+  /// Simulated time at which edge coverage stopped improving (same
+  /// semantics as CoverageMap::saturationTime); -1 with no snapshots.
+  double SaturationSeconds = -1;
+
+  uint64_t nodesCovered() const;
+  uint64_t edgesCovered() const;
+  bool empty() const { return NodesTotal == 0 && EdgesTotal == 0; }
+
+  /// ORs \p Other into this. A no-op when \p Other is empty; adopts
+  /// \p Other's totals when this is empty. Totals of two non-empty
+  /// documents for the same crate agree by construction (the graph is
+  /// frozen); on a mismatch the larger document wins wholesale rather
+  /// than corrupting bit offsets. Snapshots and saturation are dropped -
+  /// only commutative state survives, keeping campaign aggregates
+  /// byte-identical for any --jobs.
+  void mergeFrom(const ApiCoverageData &Other);
+};
+
+/// Marks the bitsets as programs are emitted. Construct per run from the
+/// crate's frozen graph.
+class ApiPairCoverage {
+public:
+  explicit ApiPairCoverage(const api::DependencyGraph &Graph);
+
+  /// What one markProgram call newly covered.
+  struct MarkDelta {
+    uint64_t NewNodes = 0;
+    uint64_t NewEdges = 0;
+    uint64_t Unmatched = 0;
+  };
+
+  /// Walks \p P's dataflow: marks the (canonicalized) API of every
+  /// statement as a covered node and every producer->consumer argument
+  /// wiring as a covered edge. \p Db is the run's database (it may hold
+  /// refined APIs beyond the graph; RefinedFrom chains resolve them).
+  MarkDelta markProgram(const program::Program &P, const api::ApiDatabase &Db);
+
+  /// Records a saturation sample at simulated time \p AtSeconds.
+  void snapshot(double AtSeconds);
+
+  /// The accumulated document, saturation computed from the snapshots.
+  ApiCoverageData data() const;
+
+private:
+  const api::DependencyGraph &Graph;
+  ApiCoverageData D;
+};
+
+/// Serializes \p D as the `api_coverage` JSON object (bitsets as
+/// lowercase hex of the LSB-first bytes).
+json::Value apiCoverageToJson(const ApiCoverageData &D);
+
+/// Parses an `api_coverage` object produced by apiCoverageToJson.
+/// Returns false and sets \p Err on malformed input.
+bool apiCoverageFromJson(const json::Value &V, ApiCoverageData &Out,
+                         std::string &Err);
+
+/// The standalone coverage document (kind "coverage"): one entry per
+/// crate, in the given order.
+json::Value coverageDocumentToJson(
+    const std::vector<std::pair<std::string, ApiCoverageData>> &Crates);
+
+} // namespace syrust::coverage
+
+#endif // SYRUST_COVERAGE_APIPAIRCOVERAGE_H

@@ -163,9 +163,17 @@ AuditRunResult syrust::oracle::runAudit(
   }
 
   // Merge in matrix order - completion order must never leak into the
-  // aggregate.
+  // aggregate. Per-crate API coverage ORs into one slot per
+  // AuditSpec::Crates name.
+  for (const std::string &Crate : Spec.Crates)
+    Result.ApiCoverage.emplace_back(Crate, coverage::ApiCoverageData());
   for (const AuditJobResult &JR : Result.Jobs) {
     const AuditResult &R = JR.Result;
+    for (auto &[Crate, Data] : Result.ApiCoverage)
+      if (Crate == JR.Job.Crate) {
+        Data.mergeFrom(R.ApiCoverage);
+        break;
+      }
     Result.Totals.ModelsReplayed += R.ModelsReplayed;
     Result.Totals.AgreePass += R.AgreePass;
     Result.Totals.AgreeReject += R.AgreeReject;
@@ -220,6 +228,7 @@ json::Value auditResultToJson(const AuditResult &R) {
     Unexpected.push(std::move(Repro));
   }
   Doc.set("unexpected", std::move(Unexpected));
+  Doc.set("api_coverage", coverage::apiCoverageToJson(R.ApiCoverage));
   return Doc;
 }
 
@@ -228,11 +237,12 @@ json::Value auditResultToJson(const AuditResult &R) {
 json::Value syrust::oracle::auditToJson(const AuditSpec &Spec,
                                         const AuditRunResult &R) {
   Value Root = Value::object();
-  // Single-run documents are schema_version 2 and campaign aggregates 3;
-  // the audit document is the version-4 addition. Nothing in it may
-  // depend on scheduling (worker ids, pool width, wall time):
-  // byte-identical output for any --jobs count is the contract.
-  Root.set("schema_version", Value::integer(4));
+  // Version 5 across every document kind (see ResultJson.cpp for the
+  // history): this document gained per-job and per-crate api_coverage.
+  // Nothing in it may depend on scheduling (worker ids, pool width,
+  // wall time): byte-identical output for any --jobs count is the
+  // contract.
+  Root.set("schema_version", Value::integer(5));
   Root.set("kind", Value::string("audit"));
   Root.set("clean", Value::boolean(R.clean()));
 
@@ -289,6 +299,16 @@ json::Value syrust::oracle::auditToJson(const AuditSpec &Spec,
                  Value::integer(static_cast<int64_t>(N)));
   Totals.set("expected_by_detail", std::move(Expected));
   Root.set("totals", std::move(Totals));
+
+  // Per-crate API-pair coverage, already OR-merged in matrix order.
+  Value ApiCov = Value::array();
+  for (const auto &[Crate, Data] : R.ApiCoverage) {
+    Value E = Value::object();
+    E.set("crate", Value::string(Crate));
+    E.set("api_coverage", coverage::apiCoverageToJson(Data));
+    ApiCov.push(std::move(E));
+  }
+  Root.set("api_coverage", std::move(ApiCov));
 
   // Merged pool counters (std::map: sorted, deterministic).
   Value Metrics = Value::object();

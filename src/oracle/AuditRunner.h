@@ -10,10 +10,10 @@
 /// campaign engine's shape (campaign/CampaignRunner.h): jobs are dealt
 /// round-robin, stolen when durations diverge, and merged strictly in
 /// matrix order, so the aggregate audit document is byte-identical for
-/// any `--jobs` count. The document (schema_version 4, kind "audit")
-/// carries per-job classification counts, every minimized repro, and
-/// the pool's merged `oracle.*` counters - and deliberately nothing
-/// scheduling-dependent.
+/// any `--jobs` count. The document (schema_version 5, kind "audit")
+/// carries per-job classification counts, every minimized repro,
+/// per-crate api_coverage, and the pool's merged `oracle.*` counters -
+/// and deliberately nothing scheduling-dependent.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -91,6 +91,9 @@ struct AuditRunResult {
   /// Final per-worker metric counters summed across the pool. Integer
   /// sums commute, so these totals are identical for any worker count.
   std::map<std::string, uint64_t> MergedCounters;
+  /// Per-crate API-pair coverage of the audited streams, OR-merged
+  /// across seeds in matrix order. One entry per AuditSpec::Crates name.
+  std::vector<std::pair<std::string, coverage::ApiCoverageData>> ApiCoverage;
   /// Workers the pool actually spawned (diagnostic only).
   int Workers = 0;
 
@@ -111,12 +114,11 @@ AuditRunResult
 runAudit(const core::Session &S, const AuditSpec &Spec,
          std::function<void(const AuditJobResult &)> OnJobDone = nullptr);
 
-/// The aggregate audit document (schema_version 4, kind "audit";
-/// versions 1-2 are the single-run document, 3 the campaign aggregate).
+/// The aggregate audit document (schema_version 5, kind "audit").
 /// Matrix, per-job classification counts and minimized repros in matrix
-/// order, totals, and the merged `oracle.*` counters - and nothing
-/// scheduling-dependent, so the document is byte-identical for any
-/// worker count.
+/// order, totals, per-crate api_coverage, and the merged `oracle.*`
+/// counters - and nothing scheduling-dependent, so the document is
+/// byte-identical for any worker count.
 json::Value auditToJson(const AuditSpec &Spec, const AuditRunResult &R);
 
 } // namespace syrust::oracle

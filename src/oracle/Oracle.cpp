@@ -201,6 +201,20 @@ AuditResult syrust::oracle::auditOne(const Session &S,
     Filtered.push_back(P);
   };
 
+  // API-pair coverage of the audited stream: shared frozen graph when
+  // the analysis exists, otherwise a local build against a scratch
+  // cache (never the audit's Compat - its counters mirror a real run's).
+  api::DependencyGraph LocalGraph;
+  const api::DependencyGraph *Graph;
+  if (Analysis) {
+    Graph = &Analysis->graph();
+  } else {
+    types::CompatCache Scratch;
+    LocalGraph = api::buildDependencyGraph(Inst->Db, Inst->Arena, Scratch);
+    Graph = &LocalGraph;
+  }
+  coverage::ApiPairCoverage ApiCov(*Graph);
+
   int MaxLines = Config.MaxLines > 0
                      ? std::min(Config.MaxLines, Inst->MaxLen)
                      : Inst->MaxLen;
@@ -239,6 +253,18 @@ AuditResult syrust::oracle::auditOne(const Session &S,
 
     ++Result.ModelsReplayed;
     Count("oracle.models_replayed");
+    {
+      const coverage::ApiPairCoverage::MarkDelta Delta =
+          ApiCov.markProgram(*P, Inst->Db);
+      if (Obs) {
+        if (Delta.NewNodes)
+          Obs->count("coverage.api.nodes_covered", Delta.NewNodes);
+        if (Delta.NewEdges)
+          Obs->count("coverage.api.edges_covered", Delta.NewEdges);
+        if (Delta.Unmatched)
+          Obs->count("coverage.api.unmatched_edges", Delta.Unmatched);
+      }
+    }
     CompileResult C = Check.check(*P, Inst->Db);
     bool DbChanged = false;
     if (C.Success) {
@@ -282,5 +308,6 @@ AuditResult syrust::oracle::auditOne(const Session &S,
     if (DbChanged)
       Synth.notifyDatabaseChanged();
   }
+  Result.ApiCoverage = ApiCov.data();
   return Result;
 }

@@ -44,6 +44,7 @@
 #define SYRUST_ORACLE_ORACLE_H
 
 #include "core/Session.h"
+#include "coverage/ApiPairCoverage.h"
 #include "program/Program.h"
 #include "refine/RefinementEngine.h"
 #include "rustsim/Diagnostic.h"
@@ -57,7 +58,9 @@ namespace syrust::oracle {
 
 /// Configuration for one (crate, seed) audit. A deliberate subset of
 /// RunConfig: audits have no simulated clock, no execution stage, and no
-/// coverage - only enumeration and checking.
+/// line/branch coverage - only enumeration and checking (API-pair
+/// coverage over the dependency graph is tracked, since it needs only
+/// the emitted stream).
 struct OracleConfig {
   /// APIs selected per library (Section 6.2; matches RunConfig).
   int NumApis = 15;
@@ -134,6 +137,10 @@ struct AuditResult {
   std::map<rustsim::ErrorDetail, uint64_t> Expected;
   /// Minimized repro per unexpected disagreement, in emission order.
   std::vector<Disagreement> Unexpected;
+  /// API-pair coverage of the audited (emitted) stream over the crate's
+  /// dependency graph. No simulated clock here, so no snapshots and no
+  /// saturation - bitsets and totals only.
+  coverage::ApiCoverageData ApiCoverage;
 };
 
 /// Outcome of shrinking one disagreeing program.

@@ -1,0 +1,165 @@
+//===--- CoverageReport.cpp - API-pair coverage rendering -----------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/CoverageReport.h"
+
+#include "report/Table.h"
+#include "support/StringUtils.h"
+
+using namespace syrust;
+using namespace syrust::api;
+using namespace syrust::coverage;
+using namespace syrust::json;
+using namespace syrust::report;
+
+namespace {
+
+bool parseEntry(const Value &Crate, const Value &Cov,
+                std::vector<ApiCoverageEntry> &Out, std::string &Err) {
+  if (Crate.kind() != Value::Kind::String) {
+    Err = "api_coverage entry has no crate name";
+    return false;
+  }
+  ApiCoverageEntry E;
+  E.Crate = Crate.asString();
+  if (!apiCoverageFromJson(Cov, E.Data, Err)) {
+    Err = "crate '" + E.Crate + "': " + Err;
+    return false;
+  }
+  Out.push_back(std::move(E));
+  return true;
+}
+
+bool bitSet(const std::vector<uint8_t> &Bits, size_t I) {
+  return I / 8 < Bits.size() && (Bits[I / 8] >> (I % 8)) & 1;
+}
+
+std::string fmtRatio(uint64_t Covered, uint64_t Total) {
+  return format("%llu/%llu", static_cast<unsigned long long>(Covered),
+                static_cast<unsigned long long>(Total));
+}
+
+std::string fmtPct(uint64_t Covered, uint64_t Total) {
+  if (Total == 0)
+    return "-";
+  return format("%.1f %%", 100.0 * static_cast<double>(Covered) /
+                               static_cast<double>(Total));
+}
+
+std::string fmtSaturation(double Seconds) {
+  if (Seconds < 0)
+    return "-";
+  return format("%g s", Seconds);
+}
+
+} // namespace
+
+bool syrust::report::collectApiCoverage(const Value &Doc,
+                                        std::vector<ApiCoverageEntry> &Out,
+                                        std::string &Err) {
+  if (Doc.kind() != Value::Kind::Object) {
+    Err = "document is not a JSON object";
+    return false;
+  }
+  const std::string Kind =
+      Doc.has("kind") ? Doc.get("kind").asString() : "";
+  if (Kind == "coverage") {
+    const Value &Crates = Doc.get("crates");
+    for (size_t I = 0; I < Crates.size(); ++I) {
+      const Value &E = Crates.at(I);
+      if (!parseEntry(E.get("crate"), E.get("api_coverage"), Out, Err))
+        return false;
+    }
+    return true;
+  }
+  if (Kind == "campaign" || Kind == "audit") {
+    if (!Doc.has("api_coverage")) {
+      Err = "this " + Kind +
+            " document predates api_coverage (schema_version < 5); "
+            "re-run to regenerate it";
+      return false;
+    }
+    const Value &Arr = Doc.get("api_coverage");
+    for (size_t I = 0; I < Arr.size(); ++I) {
+      const Value &E = Arr.at(I);
+      if (!parseEntry(E.get("crate"), E.get("api_coverage"), Out, Err))
+        return false;
+    }
+    return true;
+  }
+  if (Doc.has("crate") && Doc.has("api_coverage"))
+    return parseEntry(Doc.get("crate"), Doc.get("api_coverage"), Out, Err);
+  Err = "document carries no api_coverage section (expected a run, "
+        "campaign, audit, or coverage document)";
+  return false;
+}
+
+std::string
+syrust::report::renderApiCoverage(const std::vector<ApiCoverageEntry> &Entries,
+                                  const CrateApiResolver &Resolver,
+                                  const CoverageReportOptions &Opts) {
+  std::string Out;
+  Table T({"crate", "nodes", "node %", "edges", "edge %", "unmatched",
+           "saturation"});
+  for (const ApiCoverageEntry &E : Entries) {
+    const ApiCoverageData &D = E.Data;
+    T.addRow({E.Crate, fmtRatio(D.nodesCovered(), D.NodesTotal),
+              fmtPct(D.nodesCovered(), D.NodesTotal),
+              fmtRatio(D.edgesCovered(), D.EdgesTotal),
+              fmtPct(D.edgesCovered(), D.EdgesTotal),
+              fmtCount(D.UnmatchedEdges),
+              fmtSaturation(D.SaturationSeconds)});
+  }
+  Out += "API-pair coverage (dependency-graph nodes and edges)\n";
+  Out += T.render();
+
+  if (Opts.TopNeverCovered <= 0 || !Resolver)
+    return Out;
+  for (const ApiCoverageEntry &E : Entries) {
+    const ApiCoverageData &D = E.Data;
+    if (D.EdgesTotal == 0 || D.edgesCovered() == D.EdgesTotal)
+      continue;
+    CrateApiView View = Resolver(E.Crate);
+    if (!View.Db || !View.Graph)
+      continue;
+    if (View.Graph->numNodes() != D.NodesTotal ||
+        View.Graph->numEdges() != D.EdgesTotal) {
+      Out += format("\n%s: document totals (%llu nodes, %llu edges) do "
+                    "not match the bundled crate model (%zu nodes, %zu "
+                    "edges); skipping edge listing\n",
+                    E.Crate.c_str(),
+                    static_cast<unsigned long long>(D.NodesTotal),
+                    static_cast<unsigned long long>(D.EdgesTotal),
+                    View.Graph->numNodes(), View.Graph->numEdges());
+      continue;
+    }
+    const uint64_t Missing = D.EdgesTotal - D.edgesCovered();
+    Out += format("\n%s: %llu never-covered edge%s", E.Crate.c_str(),
+                  static_cast<unsigned long long>(Missing),
+                  Missing == 1 ? "" : "s");
+    if (static_cast<uint64_t>(Opts.TopNeverCovered) < Missing)
+      Out += format(" (showing first %d)", Opts.TopNeverCovered);
+    Out += "\n";
+    int Shown = 0;
+    const std::vector<DependencyEdge> &Edges = View.Graph->edges();
+    for (size_t I = 0; I < Edges.size() && Shown < Opts.TopNeverCovered;
+         ++I) {
+      if (bitSet(D.EdgeBits, I))
+        continue;
+      const DependencyEdge &Edge = Edges[I];
+      const ApiSig &P = View.Db->get(Edge.Producer);
+      const ApiSig &C = View.Db->get(Edge.Consumer);
+      Out += format("  %s -> %s#%d  [%s => %s%s%s]\n", P.Name.c_str(),
+                    C.Name.c_str(), Edge.Slot,
+                    P.Output ? P.Output->str().c_str() : "()",
+                    C.Inputs[static_cast<size_t>(Edge.Slot)]->str().c_str(),
+                    Edge.ByRef ? ", by-ref" : ", by-value",
+                    Edge.Generic ? ", generic" : "");
+      ++Shown;
+    }
+  }
+  return Out;
+}

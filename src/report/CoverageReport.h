@@ -1,0 +1,76 @@
+//===--- CoverageReport.h - API-pair coverage rendering --------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline analysis behind `syrust coverage <file>`: extracts the
+/// api_coverage sections from any document kind that carries them
+/// (single-run, campaign aggregate, audit, or the standalone coverage
+/// document written by --coverage-out) and renders per-crate coverage
+/// tables plus the never-covered edge listings.
+///
+/// The report library stays free of core: callers supply a resolver
+/// that maps a crate name to its API database and dependency graph (the
+/// CLI builds these from the bundled crate registry), so the listings
+/// can print both endpoint signatures of an uncovered edge. Without a
+/// resolver the per-crate table still renders - only the listings need
+/// the graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_REPORT_COVERAGEREPORT_H
+#define SYRUST_REPORT_COVERAGEREPORT_H
+
+#include "api/DependencyGraph.h"
+#include "coverage/ApiPairCoverage.h"
+#include "support/Json.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace syrust::report {
+
+/// One crate's coverage as extracted from a document.
+struct ApiCoverageEntry {
+  std::string Crate;
+  coverage::ApiCoverageData Data;
+};
+
+/// Extracts api_coverage entries from \p Doc, dispatching on its shape:
+/// kind "coverage" (crates array), kind "campaign" / "audit" (their
+/// api_coverage arrays), or a single-run document (crate +
+/// api_coverage). Returns false and fills \p Err for anything else.
+bool collectApiCoverage(const json::Value &Doc,
+                        std::vector<ApiCoverageEntry> &Out,
+                        std::string &Err);
+
+/// What the renderer needs to describe a crate's graph; either pointer
+/// may be null (the crate is then rendered without edge listings).
+struct CrateApiView {
+  const api::ApiDatabase *Db = nullptr;
+  const api::DependencyGraph *Graph = nullptr;
+};
+
+/// Maps a crate name to its database/graph. The returned pointers must
+/// stay valid for the duration of renderApiCoverage.
+using CrateApiResolver = std::function<CrateApiView(const std::string &)>;
+
+struct CoverageReportOptions {
+  /// Never-covered edges listed per crate (0 disables the listings).
+  int TopNeverCovered = 10;
+};
+
+/// Renders the per-crate coverage table (covered/total nodes and edges,
+/// saturation time) and, when \p Resolver supplies a graph whose totals
+/// match the document, up to TopNeverCovered never-covered edges per
+/// crate with both endpoint signatures.
+std::string renderApiCoverage(const std::vector<ApiCoverageEntry> &Entries,
+                              const CrateApiResolver &Resolver,
+                              const CoverageReportOptions &Opts = {});
+
+} // namespace syrust::report
+
+#endif // SYRUST_REPORT_COVERAGEREPORT_H

@@ -296,7 +296,7 @@ TEST(CampaignTest, ProgressCallbackFiresOncePerJob) {
 }
 
 //===----------------------------------------------------------------------===//
-// The aggregate document (schema_version 3).
+// The aggregate document (schema_version 5).
 //===----------------------------------------------------------------------===//
 
 TEST(CampaignTest, AggregateDocumentShape) {
@@ -306,7 +306,7 @@ TEST(CampaignTest, AggregateDocumentShape) {
   CampaignResult R = CampaignRunner(S, Spec).run();
   json::ParseResult P = json::parse(campaignToJson(Spec, R).dump());
   ASSERT_TRUE(P.Ok) << P.Error;
-  EXPECT_EQ(P.Val.get("schema_version").asInt(), 3);
+  EXPECT_EQ(P.Val.get("schema_version").asInt(), 5);
   EXPECT_EQ(P.Val.get("kind").asString(), "campaign");
   EXPECT_EQ(P.Val.get("matrix").get("jobs_total").asInt(), 8);
   const json::Value &Jobs = P.Val.get("jobs");
@@ -323,13 +323,20 @@ TEST(CampaignTest, AggregateDocumentShape) {
   EXPECT_FALSE(Synth.has("build_wall_seconds"));
   EXPECT_GT(P.Val.get("totals").get("synthesized").asInt(), 0);
   EXPECT_TRUE(P.Val.has("metrics"));
+  // Version 5: the campaign aggregate carries per-crate api_coverage.
+  const json::Value &Cov = P.Val.get("api_coverage");
+  ASSERT_EQ(Cov.kind(), json::Value::Kind::Array);
+  ASSERT_EQ(Cov.size(), Spec.Crates.size());
+  EXPECT_EQ(Cov.at(0).get("crate").asString(), "slab");
+  EXPECT_GT(
+      Cov.at(0).get("api_coverage").get("edges_covered").asInt(), 0);
 }
 
 TEST(CampaignTest, SingleRunDocumentKeepsWallTimeByDefault) {
   Session S;
   RunResult R = S.runOne("slab", quickBase());
   json::Value Doc = resultToJson(R);
-  EXPECT_EQ(Doc.get("schema_version").asInt(), 2);
+  EXPECT_EQ(Doc.get("schema_version").asInt(), 5);
   EXPECT_TRUE(Doc.get("synthesis").has("solve_wall_seconds"));
   ResultJsonOptions NoWall;
   NoWall.HostWallTime = false;

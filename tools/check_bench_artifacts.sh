@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# CI gate: every bench artifact CHANGES.md cites must be committed.
+#
+# CHANGES.md records perf claims against named BENCH_*.json documents;
+# a claim whose artifact was never committed (or was renamed away) is
+# unverifiable. Run from anywhere inside the repository.
+set -eu
+
+cd "$(git rev-parse --show-toplevel)"
+
+REFS=$(grep -o 'BENCH_[A-Za-z0-9_]*\.json' CHANGES.md | sort -u || true)
+
+if [ -z "$REFS" ]; then
+  echo "ok: CHANGES.md references no bench artifacts"
+  exit 0
+fi
+
+MISSING=""
+for REF in $REFS; do
+  if ! git ls-files --error-unmatch "bench/$REF" >/dev/null 2>&1; then
+    MISSING="$MISSING $REF"
+  fi
+done
+
+if [ -n "$MISSING" ]; then
+  echo "error: CHANGES.md references bench artifacts not tracked in bench/:" >&2
+  for REF in $MISSING; do
+    echo "  $REF" >&2
+  done
+  echo "hint: run the bench in a release build, un-ignore the file in .gitignore, and commit bench/<name>" >&2
+  exit 1
+fi
+
+echo "ok: every bench artifact referenced in CHANGES.md is committed"

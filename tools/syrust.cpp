@@ -25,6 +25,12 @@
 ///   syrust report <trace.json>
 ///       Print a per-stage latency/throughput breakdown of a trace
 ///       previously written with `--trace-out`.
+///   syrust coverage <file> [--top N]
+///       Render the API-pair coverage carried by a run, campaign,
+///       audit, or --coverage-out document: per-crate covered/total
+///       dependency-graph nodes and edges, saturation time, and the
+///       first N never-covered edges with both endpoint signatures
+///       (docs/OBSERVABILITY.md).
 ///
 /// Options for `run`:
 ///   --budget <sim-seconds>   simulated budget (default 600)
@@ -59,6 +65,11 @@
 ///   --json                   print the full result as JSON
 ///   --trace-out <file>       write a Chrome trace-event JSON trace
 ///   --metrics-out <file>     write JSONL metrics snapshots
+///   --coverage-out <file>    write the raw API-pair coverage document
+///                            (kind "coverage"; `syrust coverage` reads
+///                            it back)
+///   --no-api-coverage        skip dependency-graph edge marking (the
+///                            api_coverage section then reports zeros)
 ///   --trace-wall             attach real wall-clock to trace events
 ///                            (breaks byte-identical traces; profiling
 ///                            only; requires --trace-out)
@@ -89,6 +100,10 @@
 ///                            JSON to stdout
 ///   --trace                  merge per-worker flight-recorder traces
 ///                            into <dir>/trace.json (requires --out)
+///   --coverage-out <file>    write the campaign's merged per-crate
+///                            API-pair coverage document (byte-identical
+///                            for any --jobs)
+///   --no-api-coverage        skip edge marking in every job
 ///
 /// Options for `audit`:
 ///   --crates all|a,b,c       audit matrix crates (default all supported)
@@ -108,6 +123,12 @@
 ///                            Ownership disagreements (oracle self-test)
 ///   --out <dir>              write audit.json here (created if missing)
 ///   --json                   print the audit document to stdout
+///   --coverage-out <file>    write the audited streams' merged per-crate
+///                            API-pair coverage document
+///
+/// Options for `coverage`:
+///   --top <n>                never-covered edges listed per crate
+///                            (default 10; 0 disables the listings)
 ///
 /// Unknown or malformed flags are rejected with a specific error, and
 /// an invalid configuration is rejected field by field before anything
@@ -119,9 +140,12 @@
 #include "core/ResultJson.h"
 #include "core/Session.h"
 #include "oracle/AuditRunner.h"
+#include "report/CoverageReport.h"
 #include "report/Table.h"
 #include "report/TraceReport.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
+#include "types/CompatCache.h"
 
 #include <sys/stat.h>
 
@@ -129,6 +153,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -157,6 +183,8 @@ int usage() {
                "[--json]\n"
                "                  [--trace-out FILE] [--metrics-out FILE] "
                "[--trace-wall]\n"
+               "                  [--coverage-out FILE] "
+               "[--no-api-coverage]\n"
                "       syrust campaign [--crates all|a,b,c] "
                "[--seeds N[..M]]\n"
                "                  [--variants v1,v2] [--jobs N] "
@@ -165,15 +193,18 @@ int usage() {
                "[--no-compat-cache]\n"
                "                  [--portfolio] [--strategy NAME] "
                "[--solve-budget N]\n"
-               "                  [--out DIR] [--trace]\n"
+               "                  [--out DIR] [--trace] "
+               "[--coverage-out FILE] [--no-api-coverage]\n"
                "       syrust audit [--crates all|a,b,c] [--seeds N[..M]]\n"
                "                  [--apis N] [--max-lines N] "
                "[--max-models N]\n"
                "                  [--jobs N] [--no-compat-cache] "
                "[--weaken-kills]\n"
                "                  [--portfolio] [--strategy NAME]\n"
-               "                  [--out DIR] [--json]\n"
-               "       syrust report <trace.json>\n");
+               "                  [--out DIR] [--json] "
+               "[--coverage-out FILE]\n"
+               "       syrust report <trace.json>\n"
+               "       syrust coverage <file> [--top N]\n");
   return 2;
 }
 
@@ -232,6 +263,7 @@ int cmdRun(int Argc, char **Argv) {
   bool Json = false;
   const char *TraceOut = nullptr;
   const char *MetricsOut = nullptr;
+  const char *CoverageOut = nullptr;
   bool TraceWall = false;
   bool ParseOk = true;
   for (int I = 1; I < Argc && ParseOk; ++I) {
@@ -289,6 +321,10 @@ int cmdRun(int Argc, char **Argv) {
       TraceOut = NextValue();
     } else if (!std::strcmp(Arg, "--metrics-out")) {
       MetricsOut = NextValue();
+    } else if (!std::strcmp(Arg, "--coverage-out")) {
+      CoverageOut = NextValue();
+    } else if (!std::strcmp(Arg, "--no-api-coverage")) {
+      Config.TrackApiCoverage = false;
     } else if (!std::strcmp(Arg, "--trace-wall")) {
       TraceWall = true;
     } else if (!std::strcmp(Arg, "--no-semantic")) {
@@ -359,6 +395,16 @@ int cmdRun(int Argc, char **Argv) {
   if (MetricsOut && !writeFile(MetricsOut, Recorder.metrics().jsonl())) {
     std::fprintf(stderr, "syrust run: cannot write metrics to '%s'\n",
                  MetricsOut);
+    return 1;
+  }
+  if (CoverageOut &&
+      !writeFile(CoverageOut,
+                 coverage::coverageDocumentToJson(
+                     {{Spec->Info.Name, R.ApiCoverage}})
+                         .dump() +
+                     "\n")) {
+    std::fprintf(stderr, "syrust run: cannot write coverage to '%s'\n",
+                 CoverageOut);
     return 1;
   }
 
@@ -462,6 +508,7 @@ int cmdCampaign(int Argc, char **Argv) {
   campaign::CampaignSpec Spec;
   Spec.Crates = S.supportedCrates();
   const char *OutDir = nullptr;
+  const char *CoverageOut = nullptr;
   bool ParseOk = true;
   for (int I = 0; I < Argc && ParseOk; ++I) {
     const char *Arg = Argv[I];
@@ -538,6 +585,10 @@ int cmdCampaign(int Argc, char **Argv) {
       OutDir = NextValue();
     } else if (!std::strcmp(Arg, "--trace")) {
       Spec.Trace = true;
+    } else if (!std::strcmp(Arg, "--coverage-out")) {
+      CoverageOut = NextValue();
+    } else if (!std::strcmp(Arg, "--no-api-coverage")) {
+      Spec.Base.TrackApiCoverage = false;
     } else {
       std::fprintf(stderr, "syrust campaign: unknown flag '%s'\n", Arg);
       return usage();
@@ -571,6 +622,16 @@ int cmdCampaign(int Argc, char **Argv) {
   });
   campaign::CampaignResult R = Runner.run();
   std::string Aggregate = campaign::campaignToJson(Spec, R).dump();
+
+  if (CoverageOut &&
+      !writeFile(CoverageOut,
+                 coverage::coverageDocumentToJson(R.ApiCoverage).dump() +
+                     "\n")) {
+    std::fprintf(stderr,
+                 "syrust campaign: cannot write coverage to '%s'\n",
+                 CoverageOut);
+    return 1;
+  }
 
   if (!OutDir) {
     std::printf("%s\n", Aggregate.c_str());
@@ -638,6 +699,7 @@ int cmdAudit(int Argc, char **Argv) {
   oracle::AuditSpec Spec;
   Spec.Crates = S.supportedCrates();
   const char *OutDir = nullptr;
+  const char *CoverageOut = nullptr;
   bool Json = false;
   bool ParseOk = true;
   for (int I = 0; I < Argc && ParseOk; ++I) {
@@ -710,6 +772,8 @@ int cmdAudit(int Argc, char **Argv) {
       OutDir = NextValue();
     } else if (!std::strcmp(Arg, "--json")) {
       Json = true;
+    } else if (!std::strcmp(Arg, "--coverage-out")) {
+      CoverageOut = NextValue();
     } else {
       std::fprintf(stderr, "syrust audit: unknown flag '%s'\n", Arg);
       return usage();
@@ -743,6 +807,15 @@ int cmdAudit(int Argc, char **Argv) {
       });
   std::string Doc = auditToJson(Spec, R).dump();
   int Exit = R.clean() ? 0 : 1;
+
+  if (CoverageOut &&
+      !writeFile(CoverageOut,
+                 coverage::coverageDocumentToJson(R.ApiCoverage).dump() +
+                     "\n")) {
+    std::fprintf(stderr, "syrust audit: cannot write coverage to '%s'\n",
+                 CoverageOut);
+    return 1;
+  }
 
   if (OutDir) {
     if (::mkdir(OutDir, 0777) != 0 && errno != EEXIST) {
@@ -817,11 +890,112 @@ int cmdReport(int Argc, char **Argv) {
   TraceSummary Summary;
   std::string Err;
   if (!summarizeTrace(Data, Summary, Err)) {
+    // A common slip is pointing `report` at one of our other JSON
+    // documents; those all carry a `kind` field, so dispatch on it and
+    // point at the right verb instead of dumping a parse error.
+    json::ParseResult P = json::parse(Data);
+    if (P.Ok && P.Val.kind() == json::Value::Kind::Object &&
+        P.Val.has("kind")) {
+      const std::string Kind = P.Val.get("kind").asString();
+      if (Kind == "campaign" || Kind == "coverage" || Kind == "audit") {
+        std::fprintf(stderr,
+                     "syrust report: '%s' is a %s document, not a "
+                     "trace; try `syrust coverage %s`%s\n",
+                     Argv[0], Kind.c_str(), Argv[0],
+                     Kind == "audit"
+                         ? " for its api_coverage section"
+                         : "");
+        return 1;
+      }
+    }
     std::fprintf(stderr, "syrust report: %s: %s\n", Argv[0],
                  Err.c_str());
     return 1;
   }
   std::printf("%s", renderTraceSummary(Summary).c_str());
+  return 0;
+}
+
+int cmdCoverage(int Argc, char **Argv) {
+  if (Argc < 1) {
+    std::fprintf(stderr, "syrust coverage: missing <file> argument\n");
+    return usage();
+  }
+  int Top = 10;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (!std::strcmp(Arg, "--top")) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr,
+                     "syrust coverage: missing value for --top\n");
+        return usage();
+      }
+      const char *V = Argv[++I];
+      char *End = nullptr;
+      long N = std::strtol(V, &End, 10);
+      if (End == V || *End != '\0' || N < 0) {
+        std::fprintf(stderr,
+                     "syrust coverage: malformed count '%s' for --top\n",
+                     V);
+        return usage();
+      }
+      Top = static_cast<int>(N);
+    } else {
+      std::fprintf(stderr, "syrust coverage: unknown flag '%s'\n", Arg);
+      return usage();
+    }
+  }
+
+  std::string Data;
+  if (!readFile(Argv[0], Data)) {
+    std::fprintf(stderr, "syrust coverage: cannot read '%s'\n", Argv[0]);
+    return 1;
+  }
+  json::ParseResult P = json::parse(Data);
+  if (!P.Ok) {
+    std::fprintf(stderr, "syrust coverage: %s: %s\n", Argv[0],
+                 P.Error.c_str());
+    return 1;
+  }
+  std::vector<ApiCoverageEntry> Entries;
+  std::string Err;
+  if (!collectApiCoverage(P.Val, Entries, Err)) {
+    std::fprintf(stderr, "syrust coverage: %s: %s\n", Argv[0],
+                 Err.c_str());
+    return 1;
+  }
+
+  // The never-covered listings need each crate's database and frozen
+  // dependency graph. Rebuild them from the bundled registry on demand
+  // (a fresh instance + a scratch compat cache per crate - cheap: only
+  // the pairwise probes the graph needs, never the joint matrix) and
+  // keep them alive for the duration of the render.
+  Session S;
+  struct CrateModel {
+    std::unique_ptr<crates::CrateInstance> Inst;
+    api::DependencyGraph Graph;
+  };
+  std::map<std::string, CrateModel> Models;
+  CrateApiResolver Resolver = [&](const std::string &Name) -> CrateApiView {
+    auto It = Models.find(Name);
+    if (It == Models.end()) {
+      CrateModel M;
+      if (const CrateSpec *Spec = S.find(Name)) {
+        M.Inst = Spec->instantiate();
+        types::CompatCache Scratch;
+        M.Graph =
+            api::buildDependencyGraph(M.Inst->Db, M.Inst->Arena, Scratch);
+      }
+      It = Models.emplace(Name, std::move(M)).first;
+    }
+    if (!It->second.Inst)
+      return {};
+    return {&It->second.Inst->Db, &It->second.Graph};
+  };
+
+  CoverageReportOptions Opts;
+  Opts.TopNeverCovered = Top;
+  std::printf("%s", renderApiCoverage(Entries, Resolver, Opts).c_str());
   return 0;
 }
 
@@ -840,6 +1014,8 @@ int main(int Argc, char **Argv) {
     return cmdAudit(Argc - 2, Argv + 2);
   if (!std::strcmp(Argv[1], "report"))
     return cmdReport(Argc - 2, Argv + 2);
+  if (!std::strcmp(Argv[1], "coverage"))
+    return cmdCoverage(Argc - 2, Argv + 2);
   std::fprintf(stderr, "syrust: unknown command '%s'\n", Argv[1]);
   return usage();
 }
