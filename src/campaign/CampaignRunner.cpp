@@ -64,16 +64,41 @@ void CampaignRunner::onJobDone(
   JobDone = std::move(Fn);
 }
 
+void CampaignRunner::preload(std::map<size_t, PreloadedCell> Cells) {
+  Preloaded = std::move(Cells);
+}
+
+void CampaignRunner::onJobCheckpoint(CheckpointSink Fn) {
+  Checkpoint = std::move(Fn);
+}
+
 CampaignResult CampaignRunner::run() {
   std::vector<CampaignJob> Jobs = expandMatrix(Spec);
 
   CampaignResult Result;
   Result.Jobs.resize(Jobs.size());
-  // Never spawn more workers than jobs: an idle worker is pure overhead
-  // and its empty trace lane is noise.
+
+  // Resume: finished cells slot straight into their matrix positions and
+  // never reach the pool. Worker -1 marks them as not run here.
+  size_t Live = 0;
+  std::vector<bool> IsPreloaded(Jobs.size(), false);
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    auto It = Preloaded.find(I);
+    if (It == Preloaded.end()) {
+      ++Live;
+      continue;
+    }
+    IsPreloaded[I] = true;
+    Result.Jobs[I].Job = Jobs[I];
+    Result.Jobs[I].Worker = -1;
+    Result.Jobs[I].Result = It->second.Result;
+  }
+
+  // Never spawn more workers than live jobs: an idle worker is pure
+  // overhead and its empty trace lane is noise.
   int Workers = Spec.Jobs;
-  if (static_cast<size_t>(Workers) > Jobs.size())
-    Workers = static_cast<int>(Jobs.size() ? Jobs.size() : 1);
+  if (static_cast<size_t>(Workers) > Live)
+    Workers = static_cast<int>(Live ? Live : 1);
   Result.Workers = Workers;
 
   // Deal the matrix round-robin so every worker starts with a fair
@@ -81,7 +106,8 @@ CampaignResult CampaignRunner::run() {
   // run costs ~2x a slab run of the same budget).
   std::vector<WorkerQueue> Queues(Workers);
   for (size_t I = 0; I < Jobs.size(); ++I)
-    Queues[I % Workers].push(I);
+    if (!IsPreloaded[I])
+      Queues[I % Workers].push(I);
 
   // One recorder per worker — owned here, wired into each of that
   // worker's drivers in turn. Lane = worker id, so the merged trace
@@ -109,10 +135,31 @@ CampaignResult CampaignRunner::run() {
       CampaignJobResult &Slot = Result.Jobs[*JobIdx];
       Slot.Job = Job;
       Slot.Worker = Me;
+      // With a checkpoint sink armed, bracket the job with counter
+      // snapshots: jobs run serially per worker, so after-minus-before
+      // is exactly this job's contribution to the per-stage totals.
+      std::map<std::string, uint64_t> Before;
+      if (Checkpoint)
+        for (const auto &[Name, C] : Rec.metrics().counters())
+          Before[Name] = C->value();
       Slot.Result = S.runOne(Job.Crate, Job.Config, &Rec);
-      if (JobDone) {
+      std::map<std::string, uint64_t> Deltas;
+      if (Checkpoint)
+        // Zero deltas are kept deliberately: the aggregate's merged
+        // section lists registered-but-zero counters too, and on a
+        // resume with no live cells the stored deltas are the only
+        // source of that key set.
+        for (const auto &[Name, C] : Rec.metrics().counters()) {
+          auto It = Before.find(Name);
+          Deltas[Name] =
+              C->value() - (It == Before.end() ? 0 : It->second);
+        }
+      if (JobDone || Checkpoint) {
         std::lock_guard<std::mutex> Lock(JobDoneMu);
-        JobDone(Slot);
+        if (JobDone)
+          JobDone(Slot);
+        if (Checkpoint)
+          Checkpoint(Slot, Deltas);
       }
     }
   };
@@ -151,8 +198,14 @@ CampaignResult CampaignRunner::run() {
       }
   }
 
-  // Per-stage totals: sum each worker's final counters. Integer sums
-  // commute, so the totals cannot depend on which worker ran what.
+  // Per-stage totals: preloaded cells' recorded deltas plus each live
+  // worker's final counters. Integer sums commute, so the totals cannot
+  // depend on which worker ran what — or on where a resume split the
+  // matrix.
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    if (IsPreloaded[I])
+      for (const auto &[Name, N] : Preloaded.at(I).CounterDeltas)
+        Result.MergedCounters[Name] += N;
   for (obs::Recorder &Rec : Recorders)
     for (const auto &[Name, C] : Rec.metrics().counters())
       Result.MergedCounters[Name] += C->value();

@@ -29,8 +29,16 @@
 #include "campaign/Campaign.h"
 
 #include <functional>
+#include <map>
 
 namespace syrust::campaign {
+
+/// One finished cell recovered from a checkpoint (Checkpoint.h): the
+/// cell's result plus the per-stage counter increments it contributed.
+struct PreloadedCell {
+  core::RunResult Result;
+  std::map<std::string, uint64_t> CounterDeltas;
+};
 
 /// Runs one campaign. See file comment for the scheduling and
 /// determinism contract.
@@ -45,6 +53,23 @@ public:
   /// need not be thread-safe). For CLI progress lines; keep it cheap.
   void onJobDone(std::function<void(const CampaignJobResult &)> Fn);
 
+  /// Marks matrix cells as already finished (resume): their results slot
+  /// straight into the aggregate, their counter deltas seed the merged
+  /// counters, and only the remaining cells are dealt to the pool.
+  /// Indexes beyond the matrix are ignored. The merge still walks matrix
+  /// order, so a resumed aggregate is byte-identical to an uninterrupted
+  /// one.
+  void preload(std::map<size_t, PreloadedCell> Cells);
+
+  /// Optional checkpoint sink, fired (under the same mutex as onJobDone)
+  /// after each *live* job with that job's per-stage counter deltas —
+  /// what CheckpointWriter::append persists. Never fired for preloaded
+  /// cells. Setting a sink makes workers snapshot their counters around
+  /// every job; jobs run serially per worker, so the deltas are exact.
+  using CheckpointSink = std::function<void(
+      const CampaignJobResult &, const std::map<std::string, uint64_t> &)>;
+  void onJobCheckpoint(CheckpointSink Fn);
+
   /// Expands the matrix, runs every job, merges in matrix order.
   CampaignResult run();
 
@@ -52,6 +77,8 @@ private:
   const core::Session &S;
   CampaignSpec Spec;
   std::function<void(const CampaignJobResult &)> JobDone;
+  CheckpointSink Checkpoint;
+  std::map<size_t, PreloadedCell> Preloaded;
 };
 
 } // namespace syrust::campaign

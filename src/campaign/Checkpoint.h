@@ -1,0 +1,101 @@
+//===--- Checkpoint.h - Campaign checkpoint/resume -------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cell-granular campaign checkpointing: a JSONL file whose header names
+/// the spec (by canonical fingerprint) and whose every further line is
+/// one finished `(crate, seed, variant)` cell — its full result document
+/// plus the per-stage metric counter deltas that cell contributed. A
+/// killed campaign (SIGKILL included) resumes by preloading the finished
+/// cells into CampaignRunner and running only the remainder; the resumed
+/// aggregate is byte-identical to an uninterrupted run's.
+///
+/// Why cell granularity is sound: each cell is internally deterministic —
+/// its RNG is seeded from the cell's own seed and the blocked-model
+/// signatures are replayable (see sat/) — so an *unfinished* cell can
+/// simply be re-run from scratch and will reproduce the identical result.
+/// The frontier therefore needs no mid-cell RNG or solver state: the set
+/// of finished indexes IS the checkpoint. Counter deltas ride along
+/// because the aggregate's `metrics` section sums per-stage counters
+/// across the whole matrix, and integer sums commute, so
+/// `sum(preloaded deltas) + sum(live worker counters)` equals the
+/// uninterrupted total exactly.
+///
+/// Crash safety: cells are appended and flushed one line at a time, so a
+/// SIGKILL can tear at most the final line. The loader stops at the
+/// first malformed line and reports how many cells survived; the torn
+/// cell is simply re-run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_CAMPAIGN_CHECKPOINT_H
+#define SYRUST_CAMPAIGN_CHECKPOINT_H
+
+#include "campaign/CampaignRunner.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace syrust::campaign {
+
+/// Canonical fingerprint of everything that determines a campaign's
+/// results: crates, seed range, variants, and the full base RunConfig
+/// (via core::runConfigToJson). Jobs and Trace are deliberately excluded
+/// — pool width never affects results (the byte-identity contract), so a
+/// checkpoint taken at `--jobs 8` resumes fine at `--jobs 1`. FNV-1a
+/// over the canonical JSON rendering, as 16 hex digits.
+std::string specFingerprint(const CampaignSpec &Spec);
+
+/// Everything loadCheckpoint() recovers from a checkpoint file.
+struct CheckpointData {
+  /// The header's fingerprint; compare against specFingerprint() of the
+  /// resuming spec before preloading.
+  std::string Fingerprint;
+  /// Finished cells by matrix index, ready for CampaignRunner::preload.
+  std::map<size_t, PreloadedCell> Cells;
+  /// Non-empty when the file ended in a torn line (SIGKILL mid-append);
+  /// purely informational — the torn cell re-runs.
+  std::string TornTail;
+};
+
+/// Loads \p Path. Returns false with \p Err set when the file cannot be
+/// read or its header is malformed; a torn *cell* line is not an error
+/// (loading stops there and TornTail records it). A missing file is an
+/// error — callers distinguish "fresh start" by checking existence.
+bool loadCheckpoint(const std::string &Path, CheckpointData &Out,
+                    std::string &Err);
+
+/// Appends finished cells to a checkpoint file, one flushed JSONL line
+/// per cell, writing the header first when the file starts empty. Wire
+/// append() as the CampaignRunner checkpoint sink.
+class CheckpointWriter {
+public:
+  CheckpointWriter() = default;
+  ~CheckpointWriter() { close(); }
+  CheckpointWriter(const CheckpointWriter &) = delete;
+  CheckpointWriter &operator=(const CheckpointWriter &) = delete;
+
+  /// Opens \p Path for append (creating it if needed) and writes the
+  /// header line if the file is empty. Returns false with \p Err set on
+  /// I/O failure.
+  bool open(const std::string &Path, const CampaignSpec &Spec,
+            std::string &Err);
+
+  /// Appends one finished cell and flushes, so the line survives a kill
+  /// that lands right after the job.
+  void append(const CampaignJobResult &JR,
+              const std::map<std::string, uint64_t> &CounterDeltas);
+
+  void close();
+
+private:
+  std::FILE *F = nullptr;
+};
+
+} // namespace syrust::campaign
+
+#endif // SYRUST_CAMPAIGN_CHECKPOINT_H

@@ -7,11 +7,40 @@
 #include "core/ResultJson.h"
 
 #include "miri/Heap.h"
+#include "support/StringUtils.h"
 
 using namespace syrust;
 using namespace syrust::core;
 using namespace syrust::json;
 using namespace syrust::rustsim;
+
+namespace {
+
+/// Every ErrorCategory, in enum order, for name -> value lookup.
+const ErrorCategory AllCategories[] = {
+    ErrorCategory::Type,
+    ErrorCategory::LifetimeOwnership,
+    ErrorCategory::Misc,
+};
+
+/// Every ErrorDetail, in enum order, for name -> value lookup.
+const ErrorDetail AllDetails[] = {
+    ErrorDetail::None,          ErrorDetail::TraitBound,
+    ErrorDetail::Polymorphism,  ErrorDetail::DefaultTypeParam,
+    ErrorDetail::TypeMismatch,  ErrorDetail::Ownership,
+    ErrorDetail::Borrowing,     ErrorDetail::AnonLifetime,
+    ErrorDetail::Arity,         ErrorDetail::MethodNotFound,
+};
+
+/// Every UbKind, in enum order, for name -> value lookup.
+const miri::UbKind AllUbKinds[] = {
+    miri::UbKind::None,          miri::UbKind::MemoryLeak,
+    miri::UbKind::DanglingPointer, miri::UbKind::UseAfterFree,
+    miri::UbKind::OutOfBoundsPointer, miri::UbKind::DoubleFree,
+    miri::UbKind::InvalidBorrow,
+};
+
+} // namespace
 
 json::Value syrust::core::resultToJson(const RunResult &R,
                                        const ResultJsonOptions &Opts) {
@@ -157,4 +186,274 @@ json::Value syrust::core::resultToJson(const RunResult &R,
   Refine.set("bans", Value::integer(static_cast<int64_t>(R.Refine.Bans)));
   Root.set("refinement", std::move(Refine));
   return Root;
+}
+
+namespace {
+
+/// Field-cursor over one JSON object: typed getters that record the
+/// first missing/mistyped key instead of silently defaulting, so a
+/// checkpoint written by a different schema fails loudly with the field
+/// name rather than resuming with zeroed counters.
+class Fields {
+public:
+  Fields(const Value &V, std::string &Err) : V(V), Err(Err) {}
+
+  bool ok() const { return Err.empty(); }
+
+  uint64_t u64(const char *Key) {
+    const Value *F = want(Key, Value::Kind::Number);
+    return F ? static_cast<uint64_t>(F->asInt()) : 0;
+  }
+  int64_t i64(const char *Key) {
+    const Value *F = want(Key, Value::Kind::Number);
+    return F ? F->asInt() : 0;
+  }
+  double num(const char *Key) {
+    const Value *F = want(Key, Value::Kind::Number);
+    return F ? F->asDouble() : 0;
+  }
+  bool boolean(const char *Key) {
+    const Value *F = want(Key, Value::Kind::Bool);
+    return F && F->asBool();
+  }
+  std::string str(const char *Key) {
+    const Value *F = want(Key, Value::Kind::String);
+    return F ? F->asString() : std::string();
+  }
+  const Value *object(const char *Key) {
+    return want(Key, Value::Kind::Object);
+  }
+  const Value *array(const char *Key) {
+    return want(Key, Value::Kind::Array);
+  }
+
+private:
+  const Value *want(const char *Key, Value::Kind K) {
+    if (!V.has(Key)) {
+      fail(format("missing field '%s'", Key));
+      return nullptr;
+    }
+    const Value &F = V.get(Key);
+    if (F.kind() != K) {
+      fail(format("field '%s' has the wrong type", Key));
+      return nullptr;
+    }
+    return &F;
+  }
+  void fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg;
+  }
+
+  const Value &V;
+  std::string &Err;
+};
+
+bool categoryFromName(const std::string &Name, ErrorCategory &Out) {
+  for (ErrorCategory C : AllCategories)
+    if (Name == categoryName(C)) {
+      Out = C;
+      return true;
+    }
+  return false;
+}
+
+bool detailFromName(const std::string &Name, ErrorDetail &Out) {
+  for (ErrorDetail D : AllDetails)
+    if (Name == detailName(D)) {
+      Out = D;
+      return true;
+    }
+  return false;
+}
+
+bool ubKindFromName(const std::string &Name, miri::UbKind &Out) {
+  for (miri::UbKind K : AllUbKinds)
+    if (Name == miri::ubKindName(K)) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+bool syrust::core::resultFromJson(const Value &V, RunResult &Out,
+                                  std::string &Err) {
+  Err.clear();
+  Out = RunResult();
+  if (V.kind() != Value::Kind::Object) {
+    Err = "result document is not an object";
+    return false;
+  }
+  Fields F(V, Err);
+  if (F.i64("schema_version") != 5 && F.ok()) {
+    Err = format("unsupported schema_version %lld (want 5)",
+                 static_cast<long long>(V.get("schema_version").asInt()));
+    return false;
+  }
+  Out.Crate = F.str("crate");
+  Out.Supported = F.boolean("supported");
+  Out.Synthesized = F.u64("synthesized");
+  Out.Rejected = F.u64("rejected");
+  Out.Executed = F.u64("executed");
+  Out.MaxLenReached = static_cast<int>(F.i64("max_len_reached"));
+  Out.SpaceExhausted = F.boolean("space_exhausted");
+  Out.ElapsedSeconds = F.num("elapsed_sim_seconds");
+  // rejected_percent is derived from synthesized/rejected; recomputed on
+  // re-serialization, so it is deliberately not parsed.
+
+  if (const Value *ByCat = F.object("by_category"))
+    for (const auto &[Name, N] : ByCat->members()) {
+      ErrorCategory C;
+      if (!categoryFromName(Name, C)) {
+        Err = "unknown error category '" + Name + "'";
+        return false;
+      }
+      Out.ByCategory[C] = static_cast<uint64_t>(N.asInt());
+    }
+  if (const Value *ByDet = F.object("by_detail"))
+    for (const auto &[Name, N] : ByDet->members()) {
+      ErrorDetail D;
+      if (!detailFromName(Name, D)) {
+        Err = "unknown error detail '" + Name + "'";
+        return false;
+      }
+      Out.ByDetail[D] = static_cast<uint64_t>(N.asInt());
+    }
+
+  if (const Value *Curve = F.array("curve"))
+    for (size_t I = 0; I < Curve->size() && F.ok(); ++I) {
+      Fields P(Curve->at(I), Err);
+      CurvePoint Pt;
+      Pt.AtSeconds = P.num("t");
+      Pt.Synthesized = P.u64("synthesized");
+      Pt.Rejected = P.u64("rejected");
+      Pt.TypeErrors = P.u64("type");
+      Pt.LifetimeErrors = P.u64("lifetime");
+      Pt.MiscErrors = P.u64("misc");
+      Out.Curve.push_back(Pt);
+    }
+
+  if (const Value *Cov = F.object("coverage")) {
+    Fields C(*Cov, Err);
+    Out.Coverage.ComponentLine = C.num("component_line");
+    Out.Coverage.ComponentBranch = C.num("component_branch");
+    Out.Coverage.LibraryLine = C.num("library_line");
+    Out.Coverage.LibraryBranch = C.num("library_branch");
+    Out.CoverageSaturation = C.num("saturation_seconds");
+    if (const Value *Snaps = C.array("snapshots"))
+      for (size_t I = 0; I < Snaps->size() && C.ok(); ++I) {
+        Fields P(Snaps->at(I), Err);
+        coverage::CoverageSnapshot S;
+        S.AtSeconds = P.num("t");
+        S.Numbers.ComponentLine = P.num("component_line");
+        S.Numbers.ComponentBranch = P.num("component_branch");
+        S.Numbers.LibraryLine = P.num("library_line");
+        S.Numbers.LibraryBranch = P.num("library_branch");
+        Out.CoverageSnaps.push_back(S);
+      }
+  }
+
+  if (F.ok() && V.has("api_coverage") &&
+      !coverage::apiCoverageFromJson(V.get("api_coverage"),
+                                     Out.ApiCoverage, Err))
+    return false;
+
+  if (const Value *Bug = F.object("bug")) {
+    Fields B(*Bug, Err);
+    Out.BugFound = B.boolean("found");
+    if (Out.BugFound) {
+      if (!ubKindFromName(B.str("kind"), Out.FirstBug.Kind)) {
+        if (Err.empty())
+          Err = "unknown UB kind '" + Bug->get("kind").asString() + "'";
+        return false;
+      }
+      Out.FirstBug.Message = B.str("message");
+      Out.TimeToBug = B.num("time_to_bug");
+      Out.BugLines = static_cast<int>(B.i64("lines"));
+      Out.BugProgram = B.str("program");
+      if (Bug->has("minimized_lines")) {
+        Out.MinimizedLines =
+            static_cast<int>(Bug->get("minimized_lines").asInt());
+        Out.MinimizedProgram = Bug->get("minimized_program").asString();
+      }
+      Out.UbCount = B.u64("ub_count");
+    }
+  }
+
+  if (const Value *Synth = F.object("synthesis")) {
+    Fields S(*Synth, Err);
+    Out.Synth.Emitted = S.u64("emitted");
+    Out.Synth.PathFiltered = S.u64("path_filtered");
+    Out.Synth.DuplicatesSkipped = S.u64("duplicates_skipped");
+    Out.Synth.HashCollisions = S.u64("hash_collisions");
+    Out.Synth.Rebuilds = S.u64("rebuilds");
+    Out.Synth.IncrementalExtends = S.u64("incremental_extends");
+    Out.Synth.ModelsReblocked = S.u64("models_reblocked");
+    Out.Synth.DeadLengthRevivals = S.u64("dead_length_revivals");
+    Out.Synth.SolveCalls = S.u64("solve_calls");
+    Out.Synth.SolverConflicts = S.u64("solver_conflicts");
+    Out.Synth.SolverPropagations = S.u64("solver_propagations");
+    Out.Synth.CompatHits = S.u64("compat_cache_hits");
+    Out.Synth.CompatBaseHits = S.u64("compat_cache_base_hits");
+    Out.Synth.CompatMisses = S.u64("compat_cache_misses");
+    Out.Synth.PortfolioRaces = S.u64("portfolio_races");
+    Out.Synth.PortfolioUnsatWins = S.u64("portfolio_unsat_wins");
+    Out.Synth.PortfolioCancels = S.u64("portfolio_cancels");
+    // Wall-time diagnostics are optional (campaign aggregates strip
+    // them); absent means zero.
+    if (Synth->has("build_wall_seconds"))
+      Out.Synth.BuildSeconds = Synth->get("build_wall_seconds").asDouble();
+    if (Synth->has("solve_wall_seconds"))
+      Out.Synth.SolveSeconds = Synth->get("solve_wall_seconds").asDouble();
+  }
+
+  if (const Value *Refine = F.object("refinement")) {
+    Fields R(*Refine, Err);
+    Out.Refine.EagerConcretizations = R.u64("eager_concretizations");
+    Out.Refine.TraitRemovals = R.u64("trait_removals");
+    Out.Refine.ComboBlocks = R.u64("combo_blocks");
+    Out.Refine.OutputDuplications = R.u64("output_duplications");
+    Out.Refine.DirectFixes = R.u64("direct_fixes");
+    Out.Refine.Bans = R.u64("bans");
+  }
+  return F.ok();
+}
+
+json::Value syrust::core::runConfigToJson(const RunConfig &C) {
+  Value V = Value::object();
+  V.set("budget_seconds", Value::number(C.BudgetSeconds));
+  V.set("num_apis", Value::integer(C.NumApis));
+  V.set("semantic_aware", Value::boolean(C.SemanticAware));
+  V.set("interleave_lengths", Value::boolean(C.InterleaveLengths));
+  V.set("mutate_inputs", Value::boolean(C.MutateInputs));
+  V.set("incremental_refinement",
+        Value::boolean(C.IncrementalRefinement));
+  const char *Mode = C.Mode == refine::RefinementMode::PurelyEager
+                         ? "eager"
+                         : C.Mode == refine::RefinementMode::PurelyLazy
+                               ? "lazy"
+                               : "hybrid";
+  V.set("mode", Value::string(Mode));
+  V.set("portfolio", Value::boolean(C.Portfolio));
+  V.set("strategy", Value::string(C.Strategy));
+  V.set("solve_conflict_budget",
+        Value::integer(static_cast<int64_t>(C.SolveConflictBudget)));
+  V.set("eager_cap", Value::integer(static_cast<int64_t>(C.EagerCap)));
+  V.set("seed", Value::integer(static_cast<int64_t>(C.Seed)));
+  V.set("solve_cost", Value::number(C.SolveCost));
+  V.set("compile_cost", Value::number(C.CompileCost));
+  V.set("exec_cost", Value::number(C.ExecCost));
+  V.set("snapshot_interval", Value::number(C.SnapshotInterval));
+  V.set("curve_samples", Value::integer(C.CurveSamples));
+  V.set("max_tests", Value::integer(static_cast<int64_t>(C.MaxTests)));
+  V.set("stop_on_first_bug", Value::boolean(C.StopOnFirstBug));
+  V.set("minimize_bugs", Value::boolean(C.MinimizeBugs));
+  V.set("use_compat_cache", Value::boolean(C.UseCompatCache));
+  V.set("track_api_coverage", Value::boolean(C.TrackApiCoverage));
+  V.set("json_error_channel", Value::boolean(C.JsonErrorChannel));
+  V.set("record_tests",
+        Value::integer(static_cast<int64_t>(C.RecordTests)));
+  return V;
 }

@@ -33,6 +33,24 @@ struct ResultJsonOptions {
 json::Value resultToJson(const RunResult &R,
                          const ResultJsonOptions &Opts = ResultJsonOptions());
 
+/// The inverse of resultToJson: rebuilds a RunResult from its document.
+/// Round-trip faithful for every serialized field — re-serializing the
+/// parsed result (with the same options) reproduces the document byte
+/// for byte, which is what lets campaign checkpoints store finished
+/// cells as documents and resumed aggregates stay byte-identical to
+/// uninterrupted ones (campaign/Checkpoint.h). Fields the document does
+/// not carry (the per-test record database) stay default. Returns false
+/// and sets \p Err with the offending field on malformed input.
+bool resultFromJson(const json::Value &V, RunResult &Out,
+                    std::string &Err);
+
+/// Canonical full-field serialization of a RunConfig, used to fingerprint
+/// campaign/serve request specs (checkpoint compatibility, request
+/// dedup). Every field participates, so two configs hash equal iff every
+/// knob matches; key order is the writer's sorted-map order, so the
+/// rendering is canonical.
+json::Value runConfigToJson(const RunConfig &C);
+
 } // namespace syrust::core
 
 #endif // SYRUST_CORE_RESULTJSON_H

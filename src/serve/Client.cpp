@@ -1,0 +1,111 @@
+//===--- Client.cpp - Blocking serve-protocol client ----------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include "support/StringUtils.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+using namespace syrust;
+using namespace syrust::serve;
+using namespace syrust::json;
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connect(const std::string &SocketPath, std::string &Err) {
+  close();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = format("socket path is %zu bytes; AF_UNIX allows %zu",
+                 SocketPath.size(), sizeof(Addr.sun_path) - 1);
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size());
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = format("socket(): %s", std::strerror(errno));
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Err = format("cannot connect to '%s': %s", SocketPath.c_str(),
+                 std::strerror(errno));
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::callRaw(const std::string &Payload, std::string &ResponseOut,
+                     std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  std::string Frame = encodeFrame(Payload);
+  size_t Off = 0;
+  while (Off < Frame.size()) {
+    ssize_t W = ::write(Fd, Frame.data() + Off, Frame.size() - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = format("write: %s", std::strerror(errno));
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  for (;;) {
+    FrameDecoder::Status St = Decoder.next(ResponseOut);
+    if (St == FrameDecoder::Status::Frame)
+      return true;
+    if (St == FrameDecoder::Status::Oversized) {
+      Err = "daemon sent an oversized frame";
+      return false;
+    }
+    char Buf[65536];
+    ssize_t R = ::read(Fd, Buf, sizeof(Buf));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = format("read: %s", std::strerror(errno));
+      return false;
+    }
+    if (R == 0) {
+      Err = "daemon closed the connection before responding";
+      return false;
+    }
+    Decoder.feed(Buf, static_cast<size_t>(R));
+  }
+}
+
+bool Client::call(const json::Value &Request, json::Value &Response,
+                  std::string &Err) {
+  std::string Payload;
+  if (!callRaw(Request.dump(), Payload, Err))
+    return false;
+  ParseResult P = parse(Payload);
+  if (!P.Ok) {
+    Err = "malformed response JSON: " + P.Error;
+    return false;
+  }
+  Response = std::move(P.Val);
+  return true;
+}

@@ -1,0 +1,64 @@
+//===--- Client.h - Blocking serve-protocol client -------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the serve protocol: connect to a daemon's AF_UNIX
+/// socket, send one request frame, block for the response frame. Used
+/// by the CLI's `--connect` routing (tools/syrust.cpp) and the serve
+/// tests. Deliberately blocking and single-request-at-a-time — the
+/// daemon handles concurrency; callers that want pipelining open more
+/// clients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_SERVE_CLIENT_H
+#define SYRUST_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include "support/Json.h"
+
+#include <string>
+
+namespace syrust::serve {
+
+/// One connection to a `syrust serve` daemon.
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&O) noexcept
+      : Fd(O.Fd), Decoder(std::move(O.Decoder)) {
+    O.Fd = -1;
+  }
+
+  /// Connects to the daemon at \p SocketPath. False with \p Err when
+  /// the daemon is not there.
+  bool connect(const std::string &SocketPath, std::string &Err);
+
+  /// Sends \p Request and blocks for the matching response document.
+  /// False with \p Err on transport failure (daemon died, oversized
+  /// response, malformed response JSON).
+  bool call(const json::Value &Request, json::Value &Response,
+            std::string &Err);
+
+  /// Sends raw bytes as one frame and blocks for a response — the
+  /// hostility tests use this to ship deliberately broken payloads.
+  bool callRaw(const std::string &Payload, std::string &ResponseOut,
+               std::string &Err);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+private:
+  int Fd = -1;
+  FrameDecoder Decoder;
+};
+
+} // namespace syrust::serve
+
+#endif // SYRUST_SERVE_CLIENT_H

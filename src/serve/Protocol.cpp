@@ -1,0 +1,107 @@
+//===--- Protocol.cpp - Length-prefixed serve wire protocol ---------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+using namespace syrust;
+using namespace syrust::serve;
+using namespace syrust::json;
+
+std::string syrust::serve::encodeFrame(const std::string &Payload) {
+  std::string Out;
+  Out.reserve(4 + Payload.size());
+  uint32_t N = static_cast<uint32_t>(Payload.size());
+  Out.push_back(static_cast<char>((N >> 24) & 0xff));
+  Out.push_back(static_cast<char>((N >> 16) & 0xff));
+  Out.push_back(static_cast<char>((N >> 8) & 0xff));
+  Out.push_back(static_cast<char>(N & 0xff));
+  Out += Payload;
+  return Out;
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string &Payload) {
+  if (Broken)
+    return Status::Oversized;
+  if (Buf.size() < 4)
+    return Status::NeedMore;
+  uint32_t N = (static_cast<uint32_t>(static_cast<unsigned char>(Buf[0]))
+                << 24) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(Buf[1]))
+                << 16) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(Buf[2]))
+                << 8) |
+               static_cast<uint32_t>(static_cast<unsigned char>(Buf[3]));
+  if (N > MaxFrameBytes) {
+    Broken = true; // Past this point every byte offset is meaningless.
+    return Status::Oversized;
+  }
+  if (Buf.size() < 4 + static_cast<size_t>(N))
+    return Status::NeedMore;
+  Payload.assign(Buf, 4, N);
+  Buf.erase(0, 4 + static_cast<size_t>(N));
+  return Status::Frame;
+}
+
+json::Value syrust::serve::responseToJson(const cli::Response &R,
+                                          const json::Value &Id) {
+  Value V = Value::object();
+  V.set("ok", Value::boolean(true));
+  V.set("exit_code", Value::integer(R.ExitCode));
+  V.set("output", Value::string(R.Output));
+  if (!R.Error.empty())
+    V.set("error", Value::string(R.Error));
+  Value Files = Value::array();
+  for (const auto &[Path, Content] : R.Files) {
+    Value F = Value::object();
+    F.set("path", Value::string(Path));
+    F.set("content", Value::string(Content));
+    Files.push(std::move(F));
+  }
+  V.set("files", std::move(Files));
+  if (!Id.isNull())
+    V.set("id", Id);
+  return V;
+}
+
+json::Value syrust::serve::errorResponseJson(const std::string &Message,
+                                             const json::Value &Id) {
+  Value V = Value::object();
+  V.set("ok", Value::boolean(false));
+  V.set("error", Value::string(Message));
+  if (!Id.isNull())
+    V.set("id", Id);
+  return V;
+}
+
+bool syrust::serve::responseFromJson(const json::Value &V,
+                                     cli::Response &Out,
+                                     std::string &Err) {
+  if (V.kind() != Value::Kind::Object) {
+    Err = "response is not a JSON object";
+    return false;
+  }
+  if (!V.get("ok").asBool()) {
+    Err = V.has("error") ? V.get("error").asString()
+                         : "request failed with no error message";
+    return false;
+  }
+  if (!V.has("exit_code") || !V.has("output")) {
+    Err = "response object lacks exit_code/output";
+    return false;
+  }
+  Out = cli::Response();
+  Out.ExitCode = static_cast<int>(V.get("exit_code").asInt());
+  Out.Output = V.get("output").asString();
+  if (V.has("error"))
+    Out.Error = V.get("error").asString();
+  const Value &Files = V.get("files");
+  for (size_t I = 0; I < Files.size(); ++I) {
+    const Value &F = Files.at(I);
+    Out.Files.emplace_back(F.get("path").asString(),
+                           F.get("content").asString());
+  }
+  return true;
+}

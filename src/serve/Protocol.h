@@ -1,0 +1,94 @@
+//===--- Protocol.h - Length-prefixed serve wire protocol ------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `syrust serve` wire format: every message, both directions, is
+/// one frame — a 4-byte big-endian payload length followed by that many
+/// bytes of UTF-8 JSON. Length prefixes make message boundaries explicit
+/// (no sniffing for balanced braces), so the daemon can tell a hostile
+/// or broken client apart from a slow one:
+///
+///   - a length prefix above MaxFrameBytes is unrecoverable (the stream
+///     position is lost) — the decoder reports Oversized and the server
+///     drops that client, nobody else;
+///   - a frame whose payload is not valid JSON, or not a valid request,
+///     is recoverable — the framing is still in sync, so the server
+///     answers with an error response and keeps the connection;
+///   - a connection that dies mid-frame simply never completes the
+///     frame; its partial bytes die with the client.
+///
+/// Requests are JSON objects: `{"verb": "run" | "campaign" | "audit" |
+/// "coverage", ...}` where every other member is the verb's CLI flag
+/// spelled without `--` (the cli option table decodes both surfaces, so
+/// they cannot drift; see cli/RequestSpec.h), plus an optional "id"
+/// echoed verbatim in the response for correlation. Control verbs
+/// "ping", "stats", and "shutdown" are handled by the server directly.
+///
+/// Responses: `{"ok": true, "exit_code": N, "output": "...", "error":
+/// "...", "files": [{"path": ..., "content": ...}, ...]}` — the exact
+/// Response the offline CLI would have produced, carried as raw bytes,
+/// or `{"ok": false, "error": "..."}` for requests that never executed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_SERVE_PROTOCOL_H
+#define SYRUST_SERVE_PROTOCOL_H
+
+#include "cli/Execute.h"
+#include "support/Json.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace syrust::serve {
+
+/// Hard cap on one frame's payload. Large enough for any aggregate
+/// document we produce; small enough that a hostile 4 GiB length prefix
+/// is refused instead of honored.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// Wraps \p Payload in a length prefix.
+std::string encodeFrame(const std::string &Payload);
+
+/// Incremental frame reassembly over a byte stream.
+class FrameDecoder {
+public:
+  enum class Status {
+    NeedMore,  ///< No complete frame buffered yet.
+    Frame,     ///< One frame extracted into the out-parameter.
+    Oversized, ///< Length prefix beyond MaxFrameBytes; stream is lost.
+  };
+
+  /// Appends raw bytes from the socket.
+  void feed(const char *Data, size_t N) { Buf.append(Data, N); }
+
+  /// Extracts the next complete frame's payload. Call until NeedMore.
+  /// Oversized is sticky: the stream position is unrecoverable.
+  Status next(std::string &Payload);
+
+private:
+  std::string Buf;
+  bool Broken = false;
+};
+
+/// Renders an executed request's Response as the wire document, echoing
+/// \p Id (any JSON value; Null = absent).
+json::Value responseToJson(const cli::Response &R, const json::Value &Id);
+
+/// Renders a never-executed request's error ("ok": false).
+json::Value errorResponseJson(const std::string &Message,
+                              const json::Value &Id);
+
+/// Parses a response document back into a Response (the --connect
+/// client side). Returns false with \p Err on a malformed document or
+/// an "ok": false response (whose error message lands in \p Err).
+bool responseFromJson(const json::Value &V, cli::Response &Out,
+                      std::string &Err);
+
+} // namespace syrust::serve
+
+#endif // SYRUST_SERVE_PROTOCOL_H

@@ -1,0 +1,470 @@
+//===--- Server.cpp - The syrust serve daemon -----------------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "campaign/Checkpoint.h"
+#include "cli/Execute.h"
+#include "support/StringUtils.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+using namespace syrust;
+using namespace syrust::serve;
+using namespace syrust::json;
+
+namespace {
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+obs::Recorder::Options metricsOnly() {
+  obs::Recorder::Options O;
+  O.Trace = false;
+  O.Metrics = true;
+  return O;
+}
+
+} // namespace
+
+Server::Server(const core::Session &S, cli::ServeRequest Options)
+    : S(S), Options(std::move(Options)), Metrics(metricsOnly()) {}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    ExecutorStop = true;
+  }
+  QueueCv.notify_all();
+  if (Executor.joinable())
+    Executor.join();
+  for (ClientConn &C : Clients)
+    if (C.Fd >= 0)
+      ::close(C.Fd);
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ::unlink(Options.SocketPath.c_str());
+  }
+  if (WakePipe[0] >= 0)
+    ::close(WakePipe[0]);
+  if (WakePipe[1] >= 0)
+    ::close(WakePipe[1]);
+}
+
+bool Server::start(std::string &Err) {
+  if (!Options.CheckpointDir.empty()) {
+    if (::mkdir(Options.CheckpointDir.c_str(), 0777) != 0 &&
+        errno != EEXIST) {
+      Err = format("cannot create checkpoint dir '%s': %s",
+                   Options.CheckpointDir.c_str(), std::strerror(errno));
+      return false;
+    }
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Options.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = format("socket path is %zu bytes; AF_UNIX allows %zu",
+                 Options.SocketPath.size(), sizeof(Addr.sun_path) - 1);
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Options.SocketPath.c_str(),
+              Options.SocketPath.size());
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Err = format("socket(): %s", std::strerror(errno));
+    return false;
+  }
+  // A stale socket file from a killed daemon would make bind() fail;
+  // replacing it is exactly the resume-after-SIGKILL path.
+  ::unlink(Options.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    Err = format("bind('%s'): %s", Options.SocketPath.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  if (::listen(ListenFd, 64) != 0) {
+    Err = format("listen('%s'): %s", Options.SocketPath.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  if (::pipe(WakePipe) != 0) {
+    Err = format("pipe(): %s", std::strerror(errno));
+    return false;
+  }
+  setNonBlocking(ListenFd);
+  setNonBlocking(WakePipe[0]);
+  setNonBlocking(WakePipe[1]);
+
+  Executor = std::thread([this] { executorLoop(); });
+  return true;
+}
+
+void Server::requestStop() {
+  Stopping.store(true);
+  // Async-signal-safe wakeup; the IO loop notices the flag.
+  char B = 's';
+  (void)!::write(WakePipe[1], &B, 1);
+}
+
+json::Value Server::statsJson() {
+  // Warm-analysis gauges read fresh: the ratio of hits to builds is the
+  // daemon's reason to exist.
+  core::Session::AnalysisStats A = S.analysisStats();
+  Metrics.gaugeSet("serve.warm.builds", static_cast<double>(A.Builds));
+  Metrics.gaugeSet("serve.warm.hits", static_cast<double>(A.Hits));
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    size_t Depth = 0;
+    for (const auto &[Client, Q] : Queues)
+      Depth += Q.size();
+    Metrics.gaugeSet("serve.queue.depth", static_cast<double>(Depth));
+    Metrics.gaugeSet("serve.clients.active",
+                     static_cast<double>(Clients.size()));
+  }
+  return Metrics.metrics().snapshotValue(0);
+}
+
+bool Server::submit(Pending P) {
+  std::lock_guard<std::mutex> Lock(QueueMu);
+  int &Count = InFlight[P.Client];
+  if (Count >= Options.MaxInflight)
+    return false;
+  ++Count;
+  auto It = Queues.find(P.Client);
+  if (It == Queues.end()) {
+    Queues.emplace(P.Client, std::deque<Pending>());
+    RoundRobin.push_back(P.Client);
+    It = Queues.find(P.Client);
+  }
+  It->second.push_back(std::move(P));
+  QueueCv.notify_one();
+  return true;
+}
+
+bool Server::nextRequest(Pending &Out) {
+  std::unique_lock<std::mutex> Lock(QueueMu);
+  QueueCv.wait(Lock, [&] {
+    if (ExecutorStop)
+      return true;
+    for (const auto &[Client, Q] : Queues)
+      if (!Q.empty())
+        return true;
+    return false;
+  });
+  if (ExecutorStop)
+    return false;
+  // Round-robin across clients in arrival order: each pass serves the
+  // next client (after the previously served one) that has work, so a
+  // client streaming requests cannot starve a client with one.
+  const size_t N = RoundRobin.size();
+  for (size_t Step = 0; Step < N; ++Step) {
+    size_t Slot = (RoundRobinCursor + Step) % N;
+    auto It = Queues.find(RoundRobin[Slot]);
+    if (It == Queues.end() || It->second.empty())
+      continue;
+    Out = std::move(It->second.front());
+    It->second.pop_front();
+    RoundRobinCursor = (Slot + 1) % N;
+    return true;
+  }
+  return false; // Unreachable: the predicate saw work.
+}
+
+void Server::requestFinished(uint64_t Client) {
+  std::lock_guard<std::mutex> Lock(QueueMu);
+  auto It = InFlight.find(Client);
+  if (It != InFlight.end() && It->second > 0)
+    --It->second;
+}
+
+void Server::clientGone(uint64_t Client) {
+  std::lock_guard<std::mutex> Lock(QueueMu);
+  Queues.erase(Client);
+  InFlight.erase(Client);
+  for (size_t I = 0; I < RoundRobin.size(); ++I)
+    if (RoundRobin[I] == Client) {
+      RoundRobin.erase(RoundRobin.begin() + I);
+      if (RoundRobinCursor > I)
+        --RoundRobinCursor;
+      if (!RoundRobin.empty())
+        RoundRobinCursor %= RoundRobin.size();
+      else
+        RoundRobinCursor = 0;
+      break;
+    }
+}
+
+void Server::executorLoop() {
+  for (;;) {
+    Pending P;
+    if (!nextRequest(P))
+      return;
+
+    // Serve-managed checkpointing: campaigns get a per-fingerprint
+    // file so a killed daemon resumes them on resubmission. Skipped
+    // when the request named its own path or merges traces (resumed
+    // cells have no trace events).
+    std::string ManagedCkpt;
+    if (P.Spec.V == cli::Verb::Campaign &&
+        !Options.CheckpointDir.empty() &&
+        P.Spec.Campaign.CheckpointPath.empty() &&
+        !P.Spec.Campaign.Spec.Trace) {
+      ManagedCkpt =
+          Options.CheckpointDir +
+          (Options.CheckpointDir.back() == '/' ? "" : "/") +
+          campaign::specFingerprint(P.Spec.Campaign.Spec) + ".jsonl";
+      P.Spec.Campaign.CheckpointPath = ManagedCkpt;
+    }
+
+    cli::Response R = cli::execute(S, P.Spec);
+
+    // A completed campaign (clean or with findings) no longer needs its
+    // managed checkpoint; failures keep it for the retry to resume.
+    if (!ManagedCkpt.empty() &&
+        (R.ExitCode == cli::ExitOk || R.ExitCode == cli::ExitFinding))
+      ::unlink(ManagedCkpt.c_str());
+
+    {
+      std::lock_guard<std::mutex> Lock(OutboxMu);
+      Outbox.emplace_back(P.Client, responseToJson(R, P.Id));
+    }
+    requestFinished(P.Client);
+    char B = 'r';
+    (void)!::write(WakePipe[1], &B, 1);
+  }
+}
+
+void Server::queueResponse(uint64_t Client, const json::Value &Doc) {
+  for (ClientConn &C : Clients)
+    if (C.Id == Client) {
+      C.WriteBuf += encodeFrame(Doc.dump());
+      return;
+    }
+  Metrics.count("serve.responses.dropped"); // Client left before reply.
+}
+
+void Server::dropClient(size_t Index) {
+  ClientConn &C = Clients[Index];
+  clientGone(C.Id);
+  ::close(C.Fd);
+  Metrics.count("serve.clients.dropped");
+  Clients.erase(Clients.begin() + Index);
+}
+
+void Server::handleFrame(ClientConn &C, const std::string &Payload) {
+  Metrics.count("serve.frames.total");
+  ParseResult P = parse(Payload);
+  if (!P.Ok) {
+    // Framing is intact, so the connection survives its own garbage.
+    Metrics.count("serve.requests.invalid");
+    queueResponse(C.Id, errorResponseJson(
+                            "malformed request JSON: " + P.Error,
+                            Value::null()));
+    return;
+  }
+  const Value Id = P.Val.get("id");
+  const std::string VerbStr = P.Val.get("verb").asString();
+
+  if (VerbStr == "ping") {
+    Value V = Value::object();
+    V.set("ok", Value::boolean(true));
+    V.set("pong", Value::boolean(true));
+    if (!Id.isNull())
+      V.set("id", Id);
+    queueResponse(C.Id, V);
+    return;
+  }
+  if (VerbStr == "stats") {
+    Value V = Value::object();
+    V.set("ok", Value::boolean(true));
+    V.set("stats", statsJson());
+    if (!Id.isNull())
+      V.set("id", Id);
+    queueResponse(C.Id, V);
+    return;
+  }
+  if (VerbStr == "shutdown") {
+    Value V = Value::object();
+    V.set("ok", Value::boolean(true));
+    V.set("shutting_down", Value::boolean(true));
+    if (!Id.isNull())
+      V.set("id", Id);
+    queueResponse(C.Id, V);
+    Stopping.store(true);
+    return;
+  }
+
+  Pending Req;
+  Req.Client = C.Id;
+  Req.Id = Id;
+  std::vector<std::string> Errors;
+  if (!cli::fromRequestJson(P.Val, Req.Spec, Errors) ||
+      !(Errors = cli::finalize(S, Req.Spec)).empty()) {
+    Metrics.count("serve.requests.invalid");
+    queueResponse(C.Id, errorResponseJson(join(Errors, "; "), Id));
+    return;
+  }
+  Metrics.count("serve.requests.total");
+  Metrics.count(std::string("serve.requests.") +
+                cli::verbName(Req.Spec.V));
+  if (!submit(std::move(Req))) {
+    Metrics.count("serve.requests.rejected");
+    queueResponse(
+        C.Id,
+        errorResponseJson(
+            format("client has %d request(s) in flight (the per-client "
+                   "cap); retry after a response",
+                   Options.MaxInflight),
+            Id));
+  }
+}
+
+int Server::run() {
+  for (;;) {
+    // Once shutdown is requested, stay only as long as unflushed
+    // responses remain (the shutdown ack itself, most prominently).
+    bool PendingWrites = false;
+    for (const ClientConn &C : Clients)
+      if (!C.WriteBuf.empty())
+        PendingWrites = true;
+    {
+      std::lock_guard<std::mutex> Lock(OutboxMu);
+      if (!Outbox.empty())
+        PendingWrites = true;
+    }
+    if (Stopping.load() && !PendingWrites)
+      break;
+
+    std::vector<pollfd> Fds;
+    Fds.push_back({ListenFd, POLLIN, 0});
+    Fds.push_back({WakePipe[0], POLLIN, 0});
+    const size_t Polled = Clients.size();
+    for (const ClientConn &C : Clients)
+      Fds.push_back({C.Fd,
+                     static_cast<short>(POLLIN | (C.WriteBuf.empty()
+                                                      ? 0
+                                                      : POLLOUT)),
+                     0});
+
+    int N = ::poll(Fds.data(), Fds.size(), Stopping.load() ? 50 : -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return cli::ExitRuntime;
+    }
+    if (N == 0 && Stopping.load())
+      break; // Grace period for the ack expired.
+
+    // Drain wakeups and the executor's outbox.
+    if (Fds[1].revents & POLLIN) {
+      char Buf[64];
+      while (::read(WakePipe[0], Buf, sizeof(Buf)) > 0) {
+      }
+    }
+    {
+      std::vector<std::pair<uint64_t, Value>> Ready;
+      {
+        std::lock_guard<std::mutex> Lock(OutboxMu);
+        Ready.swap(Outbox);
+      }
+      for (const auto &[Client, Doc] : Ready) {
+        Metrics.count("serve.responses.total");
+        queueResponse(Client, Doc);
+      }
+    }
+
+    // New connections.
+    if (Fds[0].revents & POLLIN) {
+      for (;;) {
+        int Fd = ::accept(ListenFd, nullptr, nullptr);
+        if (Fd < 0)
+          break;
+        setNonBlocking(Fd);
+        ClientConn C;
+        C.Fd = Fd;
+        C.Id = NextClientId++;
+        Clients.push_back(std::move(C));
+        Metrics.count("serve.clients.accepted");
+      }
+    }
+
+    // Client IO. Walk only the clients that were present when Fds was
+    // built (accept() above may have appended more — they have no
+    // pollfd yet and get their first turn next round), and backwards so
+    // dropClient() keeps lower indices valid.
+    for (size_t I = Polled; I-- > 0;) {
+      pollfd &P = Fds[2 + I];
+      ClientConn &C = Clients[I];
+      if (P.revents & (POLLERR | POLLNVAL)) {
+        dropClient(I);
+        continue;
+      }
+      if (P.revents & POLLIN) {
+        char Buf[65536];
+        bool Dead = false, Broken = false;
+        for (;;) {
+          ssize_t R = ::read(C.Fd, Buf, sizeof(Buf));
+          if (R > 0) {
+            C.Decoder.feed(Buf, static_cast<size_t>(R));
+            continue;
+          }
+          if (R == 0)
+            Dead = true; // EOF: a mid-frame disconnect dies here too.
+          break;
+        }
+        std::string Frame;
+        for (;;) {
+          FrameDecoder::Status St = C.Decoder.next(Frame);
+          if (St == FrameDecoder::Status::Frame) {
+            handleFrame(C, Frame);
+            continue;
+          }
+          if (St == FrameDecoder::Status::Oversized) {
+            // The stream position is unrecoverable; this client is
+            // done. Everyone else keeps being served.
+            Metrics.count("serve.frames.oversized");
+            Broken = true;
+          }
+          break;
+        }
+        if (Broken || (Dead && C.WriteBuf.empty())) {
+          dropClient(I);
+          continue;
+        }
+        if (Dead && !C.WriteBuf.empty()) {
+          // Flush below, drop on the next round.
+        }
+      }
+      if ((P.revents & POLLHUP) && C.WriteBuf.empty()) {
+        dropClient(I);
+        continue;
+      }
+      if (!C.WriteBuf.empty()) {
+        ssize_t W = ::write(C.Fd, C.WriteBuf.data(), C.WriteBuf.size());
+        if (W > 0)
+          C.WriteBuf.erase(0, static_cast<size_t>(W));
+        else if (W < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR)
+          dropClient(I);
+      }
+    }
+  }
+  return cli::ExitOk;
+}

@@ -1,0 +1,148 @@
+//===--- Server.h - The syrust serve daemon --------------------*- C++ -*-===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-running synthesis endpoint: one warm core::Session — every
+/// CrateAnalysis built once, then shared copy-on-write by every request
+/// — behind an AF_UNIX socket speaking the length-prefixed JSON
+/// protocol (Protocol.h). This is the paper's amortization argument
+/// (§6 spreads per-crate analysis across thousands of tests) turned
+/// into a process boundary: startup cost is paid once per daemon, not
+/// once per invocation.
+///
+/// Architecture: one IO thread (poll loop: accept, frame reassembly,
+/// response write-back) and one executor thread that drains a fair
+/// scheduler. Fairness is per client: requests land in per-client FIFO
+/// queues, the executor services clients round-robin, and a client may
+/// have at most MaxInflight requests queued-or-running — submissions
+/// beyond the cap are rejected immediately with an error response, so
+/// one greedy client can neither starve others nor grow the daemon's
+/// memory unboundedly. Requests execute one at a time (each campaign
+/// parallelizes internally across its own --jobs pool), which keeps the
+/// headline contract trivial: responses are byte-identical to offline
+/// execution because they ARE offline execution — same cli::execute,
+/// same warm Session, carried back as raw bytes.
+///
+/// Hostile clients cannot take the daemon down: an oversized length
+/// prefix or dead connection drops that client alone; garbage JSON or
+/// an invalid request gets an error response on a live connection.
+///
+/// Checkpointing: with CheckpointDir set, every campaign request is
+/// checkpointed to <dir>/<spec-fingerprint>.jsonl while it runs. A
+/// SIGKILLed daemon therefore resumes a campaign when the same spec is
+/// resubmitted — finished cells preload, only the remainder re-runs,
+/// and the aggregate is byte-identical (campaign/Checkpoint.h). The
+/// file is deleted after a completed response, so disk use is bounded
+/// by in-flight work.
+///
+/// Observability: the serve.* metrics (docs/OBSERVABILITY.md) —
+/// request/rejection/drop counters, queue-depth gauge, and the
+/// warm-analysis hit/build gauges from Session::analysisStats() — are
+/// returned by the "stats" control verb.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYRUST_SERVE_SERVER_H
+#define SYRUST_SERVE_SERVER_H
+
+#include "cli/RequestSpec.h"
+#include "obs/Recorder.h"
+#include "serve/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace syrust::serve {
+
+/// One `syrust serve` daemon. start() binds the socket, run() blocks
+/// serving until shutdown (the "shutdown" verb, requestStop(), or a
+/// signal wired to requestStop()).
+class Server {
+public:
+  Server(const core::Session &S, cli::ServeRequest Options);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens on the configured socket path (removing a stale
+  /// socket file first) and starts the executor. Returns false with
+  /// \p Err on socket failure.
+  bool start(std::string &Err);
+
+  /// Serves until shutdown. Returns the daemon's exit code (ExitOk for
+  /// a requested shutdown, ExitRuntime for IO-loop failure).
+  int run();
+
+  /// Asks the IO loop to shut down (async-signal-safe: one write to the
+  /// self-pipe).
+  void requestStop();
+
+  /// The bound socket path (Options echo, for logs/tests).
+  const std::string &socketPath() const { return Options.SocketPath; }
+
+private:
+  struct ClientConn {
+    int Fd = -1;
+    uint64_t Id = 0;
+    FrameDecoder Decoder;
+    std::string WriteBuf;
+  };
+
+  /// One queued work request.
+  struct Pending {
+    uint64_t Client = 0;
+    cli::RequestSpec Spec;
+    json::Value Id; ///< Echoed in the response; Null = absent.
+  };
+
+  void handleFrame(ClientConn &C, const std::string &Payload);
+  void queueResponse(uint64_t Client, const json::Value &Doc);
+  void dropClient(size_t Index);
+  void executorLoop();
+  json::Value statsJson();
+
+  /// Scheduler: round-robin over per-client FIFOs, cap enforced at
+  /// submit. Guarded by QueueMu.
+  bool submit(Pending P);
+  bool nextRequest(Pending &Out);
+  void requestFinished(uint64_t Client);
+  void clientGone(uint64_t Client);
+
+  const core::Session &S;
+  cli::ServeRequest Options;
+
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1};
+  std::vector<ClientConn> Clients;
+  uint64_t NextClientId = 1;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::map<uint64_t, std::deque<Pending>> Queues; ///< Per-client FIFO.
+  std::vector<uint64_t> RoundRobin; ///< Client service order (arrival).
+  size_t RoundRobinCursor = 0;
+  std::map<uint64_t, int> InFlight; ///< Queued + running, per client.
+  bool ExecutorStop = false;
+
+  /// Responses (and progress-side effects) ready for the IO thread.
+  std::mutex OutboxMu;
+  std::vector<std::pair<uint64_t, json::Value>> Outbox;
+
+  std::thread Executor;
+  std::atomic<bool> Stopping{false};
+
+  obs::Recorder Metrics;
+};
+
+} // namespace syrust::serve
+
+#endif // SYRUST_SERVE_SERVER_H

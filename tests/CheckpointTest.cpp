@@ -1,0 +1,277 @@
+//===--- CheckpointTest.cpp - Campaign checkpoint/resume tests ------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The checkpoint contract: a campaign killed at any cell boundary (or
+// mid-append — SIGKILL tears the final line) resumes to an aggregate
+// byte-identical to an uninterrupted run's. These tests drive the
+// pieces — fingerprints, the JSONL writer/loader, the torn-tail rule,
+// and RunResult JSON round-tripping — then prove the headline property
+// end to end through CampaignRunner::preload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Checkpoint.h"
+
+#include "campaign/Campaign.h"
+#include "core/ResultJson.h"
+#include "core/Session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace syrust;
+using namespace syrust::campaign;
+
+namespace {
+
+CampaignSpec smallSpec() {
+  CampaignSpec Spec;
+  Spec.Crates = {"slab", "bytes"};
+  Spec.SeedBegin = 2021;
+  Spec.SeedEnd = 2022;
+  Spec.Variants = {"base", "no-semantic"};
+  Spec.Base.BudgetSeconds = 8;
+  return Spec;
+}
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "/" + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+TEST(CheckpointTest, FingerprintIgnoresPoolWidthOnly) {
+  CampaignSpec Spec = smallSpec();
+  const std::string Base = specFingerprint(Spec);
+  EXPECT_EQ(16u, Base.size());
+
+  // Jobs and Trace never affect results, so they must not affect the
+  // fingerprint: a checkpoint taken at --jobs 8 resumes at --jobs 1.
+  CampaignSpec Wider = smallSpec();
+  Wider.Jobs = 8;
+  Wider.Trace = true;
+  EXPECT_EQ(Base, specFingerprint(Wider));
+
+  // Everything result-determining must perturb it.
+  CampaignSpec C = smallSpec();
+  C.Crates = {"slab"};
+  EXPECT_NE(Base, specFingerprint(C));
+  C = smallSpec();
+  C.SeedEnd = 2023;
+  EXPECT_NE(Base, specFingerprint(C));
+  C = smallSpec();
+  C.Variants = {"base"};
+  EXPECT_NE(Base, specFingerprint(C));
+  C = smallSpec();
+  C.Base.BudgetSeconds = 9;
+  EXPECT_NE(Base, specFingerprint(C));
+  C = smallSpec();
+  C.Base.Portfolio = true;
+  EXPECT_NE(Base, specFingerprint(C));
+}
+
+TEST(CheckpointTest, ResultJsonRoundTripsByteIdentically) {
+  // The property the whole design leans on: parsing a rendered result
+  // and re-rendering it reproduces the bytes. (Object keys render
+  // sorted; numbers render canonically.)
+  core::Session S;
+  core::RunConfig Config;
+  Config.BudgetSeconds = 8;
+  core::RunResult R = S.runOne("slab", Config);
+
+  core::ResultJsonOptions NoWall;
+  NoWall.HostWallTime = false;
+  const std::string Once = core::resultToJson(R, NoWall).dump();
+  json::ParseResult P = json::parse(Once);
+  ASSERT_TRUE(P.Ok) << P.Error;
+  core::RunResult Back;
+  std::string Err;
+  ASSERT_TRUE(core::resultFromJson(P.Val, Back, Err)) << Err;
+  EXPECT_EQ(Once, core::resultToJson(Back, NoWall).dump());
+}
+
+TEST(CheckpointTest, WriterLoaderRoundTrip) {
+  core::Session S;
+  CampaignSpec Spec = smallSpec();
+  const std::string Path = tempPath("ckpt_roundtrip.jsonl");
+  std::remove(Path.c_str());
+
+  // Run the campaign once, checkpointing every cell.
+  CampaignRunner Runner(S, Spec);
+  CheckpointWriter W;
+  std::string Err;
+  ASSERT_TRUE(W.open(Path, Spec, Err)) << Err;
+  size_t Appended = 0;
+  Runner.onJobCheckpoint(
+      [&](const CampaignJobResult &JR,
+          const std::map<std::string, uint64_t> &Deltas) {
+        W.append(JR, Deltas);
+        ++Appended;
+      });
+  CampaignResult Full = Runner.run();
+  W.close();
+  ASSERT_EQ(Full.Jobs.size(), Appended);
+
+  CheckpointData Data;
+  ASSERT_TRUE(loadCheckpoint(Path, Data, Err)) << Err;
+  EXPECT_EQ(specFingerprint(Spec), Data.Fingerprint);
+  EXPECT_EQ(Full.Jobs.size(), Data.Cells.size());
+  EXPECT_TRUE(Data.TornTail.empty());
+
+  // Every recovered cell re-renders to the same result document.
+  for (const auto &[Index, Cell] : Data.Cells) {
+    ASSERT_LT(Index, Full.Jobs.size());
+    const CampaignJobResult &JR = Full.Jobs[Index];
+    EXPECT_EQ(core::resultToJson(JR.Result).dump(),
+              core::resultToJson(Cell.Result).dump());
+  }
+}
+
+TEST(CheckpointTest, MissingFileAndBadHeaderAreErrors) {
+  CheckpointData Data;
+  std::string Err;
+  EXPECT_FALSE(loadCheckpoint(tempPath("ckpt_nope.jsonl"), Data, Err));
+
+  const std::string Bad = tempPath("ckpt_bad_header.jsonl");
+  {
+    std::ofstream Out(Bad, std::ios::binary);
+    Out << "{\"kind\":\"something_else\"}\n";
+  }
+  EXPECT_FALSE(loadCheckpoint(Bad, Data, Err));
+  EXPECT_NE(std::string::npos, Err.find("header"));
+}
+
+TEST(CheckpointTest, TornTailIsToleratedNotFatal) {
+  core::Session S;
+  CampaignSpec Spec = smallSpec();
+  const std::string Path = tempPath("ckpt_torn.jsonl");
+  std::remove(Path.c_str());
+
+  CampaignRunner Runner(S, Spec);
+  CheckpointWriter W;
+  std::string Err;
+  ASSERT_TRUE(W.open(Path, Spec, Err)) << Err;
+  Runner.onJobCheckpoint(
+      [&](const CampaignJobResult &JR,
+          const std::map<std::string, uint64_t> &Deltas) {
+        W.append(JR, Deltas);
+      });
+  Runner.run();
+  W.close();
+
+  CheckpointData Whole;
+  ASSERT_TRUE(loadCheckpoint(Path, Whole, Err)) << Err;
+  const size_t All = Whole.Cells.size();
+  ASSERT_GE(All, 2u);
+
+  // SIGKILL mid-append: chop the file mid-way through its last line.
+  std::string Bytes = slurp(Path);
+  ASSERT_FALSE(Bytes.empty());
+  std::string Torn = Bytes.substr(0, Bytes.size() - Bytes.size() / 8);
+  ASSERT_NE(Torn, Bytes);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Torn;
+  }
+  CheckpointData Partial;
+  ASSERT_TRUE(loadCheckpoint(Path, Partial, Err)) << Err;
+  EXPECT_LT(Partial.Cells.size(), All);
+  EXPECT_FALSE(Partial.TornTail.empty());
+}
+
+TEST(CheckpointTest, ResumedAggregateIsByteIdentical) {
+  core::Session S;
+  CampaignSpec Spec = smallSpec();
+
+  // The uninterrupted truth.
+  CampaignRunner Uninterrupted(S, Spec);
+  CampaignResult FullRun = Uninterrupted.run();
+  const std::string Truth = campaignToJson(Spec, FullRun).dump();
+
+  // An interrupted run: checkpoint every cell, then pretend the process
+  // died and only a prefix of cells (plus a torn tail) survived.
+  const std::string Path = tempPath("ckpt_resume.jsonl");
+  std::remove(Path.c_str());
+  {
+    CampaignRunner First(S, Spec);
+    CheckpointWriter W;
+    std::string Err;
+    ASSERT_TRUE(W.open(Path, Spec, Err)) << Err;
+    First.onJobCheckpoint(
+        [&](const CampaignJobResult &JR,
+            const std::map<std::string, uint64_t> &Deltas) {
+          W.append(JR, Deltas);
+        });
+    First.run();
+    W.close();
+  }
+  std::string Bytes = slurp(Path);
+  {
+    // Keep the header and roughly half the cells; tear the last kept
+    // line in two to simulate the kill landing mid-append.
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Bytes.substr(0, Bytes.size() / 2 + 3);
+  }
+
+  CheckpointData Data;
+  std::string Err;
+  ASSERT_TRUE(loadCheckpoint(Path, Data, Err)) << Err;
+  ASSERT_EQ(specFingerprint(Spec), Data.Fingerprint);
+  ASSERT_GT(Data.Cells.size(), 0u);
+  ASSERT_LT(Data.Cells.size(), FullRun.Jobs.size());
+
+  // Resume — at a different pool width, which must not matter.
+  CampaignSpec Resumed = Spec;
+  Resumed.Jobs = 3;
+  CampaignRunner Second(S, Resumed);
+  Second.preload(std::move(Data.Cells));
+  CampaignResult Resume = Second.run();
+  EXPECT_EQ(Truth, campaignToJson(Spec, Resume).dump());
+}
+
+TEST(CheckpointTest, PreloadedCellsDoNotReExecute) {
+  core::Session S;
+  CampaignSpec Spec = smallSpec();
+
+  const std::string Path = tempPath("ckpt_noreexec.jsonl");
+  std::remove(Path.c_str());
+  CampaignRunner First(S, Spec);
+  CheckpointWriter W;
+  std::string Err;
+  ASSERT_TRUE(W.open(Path, Spec, Err)) << Err;
+  First.onJobCheckpoint([&](const CampaignJobResult &JR,
+                            const std::map<std::string, uint64_t> &D) {
+    W.append(JR, D);
+  });
+  CampaignResult FullRun = First.run();
+  W.close();
+
+  CheckpointData Data;
+  ASSERT_TRUE(loadCheckpoint(Path, Data, Err)) << Err;
+  ASSERT_EQ(FullRun.Jobs.size(), Data.Cells.size());
+
+  // Everything preloaded: the second run must execute zero live jobs.
+  CampaignRunner Second(S, Spec);
+  Second.preload(std::move(Data.Cells));
+  size_t LiveJobs = 0;
+  Second.onJobCheckpoint(
+      [&](const CampaignJobResult &,
+          const std::map<std::string, uint64_t> &) { ++LiveJobs; });
+  CampaignResult Resume = Second.run();
+  EXPECT_EQ(0u, LiveJobs);
+  EXPECT_EQ(campaignToJson(Spec, FullRun).dump(),
+            campaignToJson(Spec, Resume).dump());
+}
+
+} // namespace

@@ -1,0 +1,320 @@
+//===--- CliRequestTest.cpp - Unified request API tests -------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The cli library is the single construction path for every request the
+// framework executes — `syrust` argv and the serve protocol both go
+// through its option table. These tests pin the properties that make
+// that worth having: one specific message per bad field, and argv/JSON
+// agreement by construction (argvToRequestJson output decodes to the
+// same spec parseArgv produced).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cli/RequestSpec.h"
+
+#include "core/Session.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::cli;
+
+namespace {
+
+RequestSpec parseOk(Verb V, std::vector<const char *> Argv) {
+  RequestSpec Spec;
+  std::vector<std::string> Errors;
+  bool Ok = parseArgv(V, static_cast<int>(Argv.size()), Argv.data(), Spec,
+                      Errors);
+  EXPECT_TRUE(Ok) << (Errors.empty() ? "" : Errors.front());
+  return Spec;
+}
+
+std::vector<std::string> parseErrors(Verb V,
+                                     std::vector<const char *> Argv) {
+  RequestSpec Spec;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(parseArgv(V, static_cast<int>(Argv.size()), Argv.data(),
+                         Spec, Errors));
+  return Errors;
+}
+
+bool mentions(const std::vector<std::string> &Errors,
+              const std::string &Needle) {
+  for (const std::string &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(CliRequestTest, ExitCodesAreTheDocumentedContract) {
+  // docs/SERVE.md and the usage text promise these numbers; scripts
+  // depend on them.
+  EXPECT_EQ(0, ExitOk);
+  EXPECT_EQ(1, ExitFinding);
+  EXPECT_EQ(2, ExitUsage);
+  EXPECT_EQ(3, ExitRuntime);
+}
+
+TEST(CliRequestTest, VerbNamesRoundTrip) {
+  for (Verb V : {Verb::List, Verb::Run, Verb::Campaign, Verb::Audit,
+                 Verb::Coverage, Verb::Report, Verb::Serve}) {
+    Verb Back;
+    ASSERT_TRUE(verbFromName(verbName(V), Back)) << verbName(V);
+    EXPECT_EQ(static_cast<int>(V), static_cast<int>(Back));
+  }
+  Verb V;
+  EXPECT_FALSE(verbFromName("bogus", V));
+  EXPECT_FALSE(verbFromName("", V));
+}
+
+TEST(CliRequestTest, RunArgvParses) {
+  RequestSpec Spec = parseOk(
+      Verb::Run, {"slab", "--budget", "25", "--seed", "7", "--portfolio",
+                  "--trace-out", "t.json", "--json"});
+  EXPECT_EQ(Verb::Run, Spec.V);
+  EXPECT_EQ("slab", Spec.Run.Crate);
+  EXPECT_EQ(25.0, Spec.Run.Config.BudgetSeconds);
+  EXPECT_EQ(7u, Spec.Run.Config.Seed);
+  EXPECT_TRUE(Spec.Run.Config.Portfolio);
+  EXPECT_EQ("t.json", Spec.Out.TraceOut);
+  EXPECT_TRUE(Spec.Out.Json);
+}
+
+TEST(CliRequestTest, CampaignArgvParses) {
+  RequestSpec Spec = parseOk(
+      Verb::Campaign,
+      {"--crates", "slab,bytes", "--seeds", "3..5", "--variants",
+       "base,portfolio", "--jobs", "4", "--budget", "9", "--out", "d",
+       "--checkpoint", "ck.jsonl"});
+  EXPECT_EQ(Verb::Campaign, Spec.V);
+  ASSERT_EQ(2u, Spec.Campaign.Spec.Crates.size());
+  EXPECT_EQ("slab", Spec.Campaign.Spec.Crates[0]);
+  EXPECT_EQ(3u, Spec.Campaign.Spec.SeedBegin);
+  EXPECT_EQ(5u, Spec.Campaign.Spec.SeedEnd);
+  ASSERT_EQ(2u, Spec.Campaign.Spec.Variants.size());
+  EXPECT_EQ(4, Spec.Campaign.Spec.Jobs);
+  EXPECT_EQ(9.0, Spec.Campaign.Spec.Base.BudgetSeconds);
+  EXPECT_EQ("d", Spec.Out.OutDir);
+  EXPECT_EQ("ck.jsonl", Spec.Campaign.CheckpointPath);
+}
+
+TEST(CliRequestTest, OneSpecificMessagePerBadField) {
+  // Three independent mistakes → three messages, each naming its field.
+  std::vector<std::string> Errors = parseErrors(
+      Verb::Campaign,
+      {"--budget", "nope", "--seeds", "9..3", "--bogus-flag"});
+  EXPECT_EQ(3u, Errors.size());
+  EXPECT_TRUE(mentions(Errors, "--budget")) << Errors.front();
+  EXPECT_TRUE(mentions(Errors, "--seeds"));
+  EXPECT_TRUE(mentions(Errors, "--bogus-flag"));
+}
+
+TEST(CliRequestTest, FlagsAreScopedToTheirVerbs) {
+  // --checkpoint belongs to campaign alone; run must name the rejected
+  // flag, not silently eat it.
+  EXPECT_TRUE(mentions(
+      parseErrors(Verb::Run, {"slab", "--checkpoint", "x.jsonl"}),
+      "--checkpoint"));
+  EXPECT_TRUE(
+      mentions(parseErrors(Verb::Coverage, {"f.json", "--budget", "3"}),
+               "--budget"));
+  // --top belongs to coverage alone.
+  EXPECT_TRUE(mentions(parseErrors(Verb::Run, {"slab", "--top", "3"}),
+                       "--top"));
+}
+
+TEST(CliRequestTest, MissingValuesAndPositionals) {
+  EXPECT_TRUE(
+      mentions(parseErrors(Verb::Run, {"slab", "--budget"}), "--budget"));
+  EXPECT_TRUE(mentions(parseErrors(Verb::Run, {}), "crate"));
+  EXPECT_TRUE(mentions(parseErrors(Verb::Report, {}), "file"));
+  EXPECT_TRUE(
+      mentions(parseErrors(Verb::Run, {"slab", "extra"}), "extra"));
+}
+
+TEST(CliRequestTest, JsonRequestDecodes) {
+  json::ParseResult P = json::parse(
+      "{\"verb\":\"campaign\",\"crates\":\"slab,bytes\","
+      "\"seeds\":\"3..5\",\"jobs\":4,\"budget\":9,\"out\":\"d\"}");
+  ASSERT_TRUE(P.Ok);
+  RequestSpec Spec;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(fromRequestJson(P.Val, Spec, Errors))
+      << (Errors.empty() ? "" : Errors.front());
+  EXPECT_EQ(Verb::Campaign, Spec.V);
+  ASSERT_EQ(2u, Spec.Campaign.Spec.Crates.size());
+  EXPECT_EQ(3u, Spec.Campaign.Spec.SeedBegin);
+  EXPECT_EQ(5u, Spec.Campaign.Spec.SeedEnd);
+  EXPECT_EQ(4, Spec.Campaign.Spec.Jobs);
+  EXPECT_EQ("d", Spec.Out.OutDir);
+}
+
+TEST(CliRequestTest, JsonRequestRejectsBadMembers) {
+  // Unknown member, wrong type, and wire-invalid verbs each get one
+  // specific message.
+  auto decodeErrors = [](const std::string &Text) {
+    json::ParseResult P = json::parse(Text);
+    EXPECT_TRUE(P.Ok);
+    RequestSpec Spec;
+    std::vector<std::string> Errors;
+    EXPECT_FALSE(fromRequestJson(P.Val, Spec, Errors));
+    return Errors;
+  };
+  EXPECT_TRUE(mentions(
+      decodeErrors("{\"verb\":\"run\",\"crate\":\"slab\",\"bogus\":1}"),
+      "bogus"));
+  EXPECT_TRUE(mentions(
+      decodeErrors(
+          "{\"verb\":\"run\",\"crate\":\"slab\",\"budget\":\"ten\"}"),
+      "budget"));
+  EXPECT_TRUE(
+      mentions(decodeErrors("{\"verb\":\"serve\",\"socket\":\"s\"}"),
+               "verb"));
+  EXPECT_TRUE(mentions(decodeErrors("{\"crates\":\"slab\"}"), "verb"));
+  // --connect is how a request reaches a daemon, not something a daemon
+  // forwards to itself.
+  EXPECT_TRUE(mentions(
+      decodeErrors(
+          "{\"verb\":\"run\",\"crate\":\"slab\",\"connect\":\"s\"}"),
+      "connect"));
+}
+
+TEST(CliRequestTest, ArgvAndJsonSurfacesAgree) {
+  // The no-drift property: render argv as a protocol request, decode
+  // it, and the spec must match what parseArgv produced directly.
+  struct Case {
+    Verb V;
+    std::vector<const char *> Argv;
+  };
+  const Case Cases[] = {
+      {Verb::Run,
+       {"slab", "--budget", "25", "--seed", "7", "--portfolio",
+        "--stop-on-bug", "--max-tests", "50", "--json"}},
+      {Verb::Campaign,
+       {"--crates", "slab,bytes", "--seeds", "3..5", "--variants",
+        "base,portfolio", "--jobs", "4", "--budget", "9", "--out", "d",
+        "--coverage-out", "c.json"}},
+      {Verb::Audit,
+       {"--crates", "slab", "--seeds", "2..4", "--max-models", "100",
+        "--weaken-kills", "--out", "a"}},
+      {Verb::Coverage, {"c.json", "--top", "3"}},
+  };
+  for (const Case &C : Cases) {
+    RequestSpec Direct;
+    std::vector<std::string> Errors;
+    ASSERT_TRUE(parseArgv(C.V, static_cast<int>(C.Argv.size()),
+                          C.Argv.data(), Direct, Errors));
+
+    json::Value Wire;
+    ASSERT_TRUE(argvToRequestJson(C.V, static_cast<int>(C.Argv.size()),
+                                  C.Argv.data(), Wire, Errors));
+    // The wire form must decode cleanly after a JSON round trip, as it
+    // would over the socket.
+    json::ParseResult P = json::parse(Wire.dump());
+    ASSERT_TRUE(P.Ok);
+    RequestSpec ViaWire;
+    ASSERT_TRUE(fromRequestJson(P.Val, ViaWire, Errors))
+        << (Errors.empty() ? "" : Errors.front());
+
+    EXPECT_EQ(static_cast<int>(Direct.V), static_cast<int>(ViaWire.V));
+    // Re-render both through the wire encoder? ViaWire came from JSON,
+    // not argv — compare the load-bearing fields directly.
+    EXPECT_EQ(Direct.Run.Crate, ViaWire.Run.Crate);
+    EXPECT_EQ(Direct.Run.Config.BudgetSeconds,
+              ViaWire.Run.Config.BudgetSeconds);
+    EXPECT_EQ(Direct.Run.Config.Seed, ViaWire.Run.Config.Seed);
+    EXPECT_EQ(Direct.Run.Config.Portfolio, ViaWire.Run.Config.Portfolio);
+    EXPECT_EQ(Direct.Run.Config.StopOnFirstBug,
+              ViaWire.Run.Config.StopOnFirstBug);
+    EXPECT_EQ(Direct.Campaign.Spec.Crates, ViaWire.Campaign.Spec.Crates);
+    EXPECT_EQ(Direct.Campaign.Spec.SeedBegin,
+              ViaWire.Campaign.Spec.SeedBegin);
+    EXPECT_EQ(Direct.Campaign.Spec.SeedEnd, ViaWire.Campaign.Spec.SeedEnd);
+    EXPECT_EQ(Direct.Campaign.Spec.Variants,
+              ViaWire.Campaign.Spec.Variants);
+    EXPECT_EQ(Direct.Campaign.Spec.Jobs, ViaWire.Campaign.Spec.Jobs);
+    EXPECT_EQ(Direct.Campaign.Spec.Base.BudgetSeconds,
+              ViaWire.Campaign.Spec.Base.BudgetSeconds);
+    EXPECT_EQ(Direct.Audit.Spec.Crates, ViaWire.Audit.Spec.Crates);
+    EXPECT_EQ(Direct.Audit.Spec.Base.MaxModels,
+              ViaWire.Audit.Spec.Base.MaxModels);
+    EXPECT_EQ(Direct.Audit.Spec.Base.WeakenConsumptionKills,
+              ViaWire.Audit.Spec.Base.WeakenConsumptionKills);
+    EXPECT_EQ(Direct.Coverage.File, ViaWire.Coverage.File);
+    EXPECT_EQ(Direct.Coverage.Top, ViaWire.Coverage.Top);
+    EXPECT_EQ(Direct.Out.OutDir, ViaWire.Out.OutDir);
+    EXPECT_EQ(Direct.Out.CoverageOut, ViaWire.Out.CoverageOut);
+    EXPECT_EQ(Direct.Out.Json, ViaWire.Out.Json);
+  }
+}
+
+TEST(CliRequestTest, ConnectIsClientSideOnly) {
+  // --connect parses (the CLI routes on it) but never reaches the wire
+  // form argvToRequestJson produces.
+  std::vector<const char *> Argv = {"slab", "--budget", "5", "--connect",
+                                    "/tmp/sock"};
+  RequestSpec Spec = parseOk(Verb::Run, Argv);
+  EXPECT_EQ("/tmp/sock", Spec.Connect);
+
+  json::Value Wire;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(argvToRequestJson(Verb::Run,
+                                static_cast<int>(Argv.size()),
+                                Argv.data(), Wire, Errors));
+  EXPECT_FALSE(Wire.has("connect"));
+  EXPECT_EQ("run", Wire.get("verb").asString());
+}
+
+TEST(CliRequestTest, FinalizeCrossFieldRules) {
+  core::Session S;
+  {
+    // --trace-wall without --trace-out: nothing to stamp.
+    RequestSpec Spec =
+        parseOk(Verb::Run, {"slab", "--trace-wall"});
+    EXPECT_TRUE(mentions(finalize(S, Spec), "--trace-out"));
+  }
+  {
+    // --trace without --out: merged trace has nowhere to go.
+    RequestSpec Spec = parseOk(Verb::Campaign, {"--trace"});
+    EXPECT_TRUE(mentions(finalize(S, Spec), "--out"));
+  }
+  {
+    // Checkpointed cells carry no trace events, so resume cannot
+    // reconstruct a merged trace: refuse the combination.
+    RequestSpec Spec = parseOk(
+        Verb::Campaign,
+        {"--checkpoint", "ck.jsonl", "--trace", "--out", "d"});
+    EXPECT_TRUE(mentions(finalize(S, Spec), "--checkpoint"));
+  }
+  {
+    RequestSpec Spec = parseOk(Verb::Serve, {});
+    EXPECT_TRUE(mentions(finalize(S, Spec), "--socket"));
+  }
+  {
+    RequestSpec Spec = parseOk(Verb::Run, {"no_such_crate"});
+    EXPECT_TRUE(mentions(finalize(S, Spec), "no_such_crate"));
+  }
+  {
+    RequestSpec Spec = parseOk(Verb::Run, {"slab", "--strategy", "nope"});
+    EXPECT_TRUE(mentions(finalize(S, Spec), "known:"));
+  }
+}
+
+TEST(CliRequestTest, FinalizeExpandsAllCrates) {
+  core::Session S;
+  RequestSpec Spec = parseOk(Verb::Campaign, {"--budget", "3"});
+  ASSERT_TRUE(finalize(S, Spec).empty());
+  // Empty --crates means every synthesis-supporting crate.
+  EXPECT_EQ(S.supportedCrates().size(), Spec.Campaign.Spec.Crates.size());
+
+  RequestSpec Explicit =
+      parseOk(Verb::Campaign, {"--crates", "all", "--budget", "3"});
+  ASSERT_TRUE(finalize(S, Explicit).empty());
+  EXPECT_EQ(Spec.Campaign.Spec.Crates, Explicit.Campaign.Spec.Crates);
+}
+
+} // namespace

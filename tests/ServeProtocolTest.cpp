@@ -1,0 +1,160 @@
+//===--- ServeProtocolTest.cpp - Serve wire-format tests ------------------===//
+//
+// Part of SyRust-CPP (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The framing layer is what lets the daemon tell a hostile client from a
+// slow one, so these tests are deliberately unfriendly: dribbled bytes,
+// truncated frames, absurd length prefixes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <gtest/gtest.h>
+
+using namespace syrust;
+using namespace syrust::serve;
+
+namespace {
+
+TEST(ServeProtocolTest, EncodeDecodeRoundTrip) {
+  FrameDecoder D;
+  std::string Frame = encodeFrame("{\"verb\":\"ping\"}");
+  ASSERT_EQ(4u + 15u, Frame.size());
+  D.feed(Frame.data(), Frame.size());
+  std::string Payload;
+  ASSERT_EQ(FrameDecoder::Status::Frame, D.next(Payload));
+  EXPECT_EQ("{\"verb\":\"ping\"}", Payload);
+  EXPECT_EQ(FrameDecoder::Status::NeedMore, D.next(Payload));
+}
+
+TEST(ServeProtocolTest, LengthPrefixIsBigEndian) {
+  std::string Frame = encodeFrame("ab");
+  EXPECT_EQ('\0', Frame[0]);
+  EXPECT_EQ('\0', Frame[1]);
+  EXPECT_EQ('\0', Frame[2]);
+  EXPECT_EQ('\2', Frame[3]);
+}
+
+TEST(ServeProtocolTest, DribbledBytesReassemble) {
+  // One byte at a time — the slow-client path.
+  FrameDecoder D;
+  std::string Frame = encodeFrame("hello");
+  std::string Payload;
+  for (size_t I = 0; I + 1 < Frame.size(); ++I) {
+    D.feed(Frame.data() + I, 1);
+    ASSERT_EQ(FrameDecoder::Status::NeedMore, D.next(Payload));
+  }
+  D.feed(Frame.data() + Frame.size() - 1, 1);
+  ASSERT_EQ(FrameDecoder::Status::Frame, D.next(Payload));
+  EXPECT_EQ("hello", Payload);
+}
+
+TEST(ServeProtocolTest, BackToBackFramesInOneRead) {
+  FrameDecoder D;
+  std::string Two = encodeFrame("one") + encodeFrame("two");
+  D.feed(Two.data(), Two.size());
+  std::string Payload;
+  ASSERT_EQ(FrameDecoder::Status::Frame, D.next(Payload));
+  EXPECT_EQ("one", Payload);
+  ASSERT_EQ(FrameDecoder::Status::Frame, D.next(Payload));
+  EXPECT_EQ("two", Payload);
+  EXPECT_EQ(FrameDecoder::Status::NeedMore, D.next(Payload));
+}
+
+TEST(ServeProtocolTest, TruncatedFrameStaysPending) {
+  // A client that dies mid-frame leaves the decoder waiting, never
+  // delivering a half frame.
+  FrameDecoder D;
+  std::string Frame = encodeFrame("abcdef");
+  D.feed(Frame.data(), Frame.size() - 3);
+  std::string Payload;
+  EXPECT_EQ(FrameDecoder::Status::NeedMore, D.next(Payload));
+  EXPECT_EQ(FrameDecoder::Status::NeedMore, D.next(Payload));
+}
+
+TEST(ServeProtocolTest, OversizedPrefixIsStickyPoison) {
+  // A 4 GiB length prefix must be refused, and the decoder must stay
+  // refusing: the stream position is unrecoverable.
+  FrameDecoder D;
+  const char Evil[4] = {'\xff', '\xff', '\xff', '\xff'};
+  D.feed(Evil, 4);
+  std::string Payload;
+  EXPECT_EQ(FrameDecoder::Status::Oversized, D.next(Payload));
+  std::string Fine = encodeFrame("innocent");
+  D.feed(Fine.data(), Fine.size());
+  EXPECT_EQ(FrameDecoder::Status::Oversized, D.next(Payload));
+}
+
+TEST(ServeProtocolTest, MaxFrameBoundaryExact) {
+  // Exactly MaxFrameBytes is legal; one more is not. Only the prefix is
+  // fed — the decoder must classify from the length alone.
+  auto prefixOf = [](uint32_t N) {
+    std::string P(4, '\0');
+    P[0] = static_cast<char>(N >> 24);
+    P[1] = static_cast<char>(N >> 16);
+    P[2] = static_cast<char>(N >> 8);
+    P[3] = static_cast<char>(N);
+    return P;
+  };
+  std::string Payload;
+  FrameDecoder AtLimit;
+  std::string P = prefixOf(MaxFrameBytes);
+  AtLimit.feed(P.data(), 4);
+  EXPECT_EQ(FrameDecoder::Status::NeedMore, AtLimit.next(Payload));
+  FrameDecoder PastLimit;
+  P = prefixOf(MaxFrameBytes + 1);
+  PastLimit.feed(P.data(), 4);
+  EXPECT_EQ(FrameDecoder::Status::Oversized, PastLimit.next(Payload));
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripsThroughTheWire) {
+  cli::Response R;
+  R.ExitCode = cli::ExitFinding;
+  R.Output = "totals: 1 bug\n";
+  R.Error = "";
+  R.Files.push_back({"out/aggregate.json", "{\"a\":1}\n"});
+  R.Files.push_back({"out/trace.json", "[]\n"});
+
+  json::Value Id = json::Value::integer(42);
+  json::Value Doc = responseToJson(R, Id);
+  // As over the socket: bytes out, bytes in.
+  json::ParseResult P = json::parse(Doc.dump());
+  ASSERT_TRUE(P.Ok);
+  EXPECT_EQ(42, P.Val.get("id").asInt());
+
+  cli::Response Back;
+  std::string Err;
+  ASSERT_TRUE(responseFromJson(P.Val, Back, Err)) << Err;
+  EXPECT_EQ(R.ExitCode, Back.ExitCode);
+  EXPECT_EQ(R.Output, Back.Output);
+  EXPECT_EQ(R.Error, Back.Error);
+  ASSERT_EQ(2u, Back.Files.size());
+  EXPECT_EQ(R.Files[0].first, Back.Files[0].first);
+  EXPECT_EQ(R.Files[0].second, Back.Files[0].second);
+  EXPECT_EQ(R.Files[1].second, Back.Files[1].second);
+}
+
+TEST(ServeProtocolTest, ErrorResponseCarriesTheMessage) {
+  json::Value Doc =
+      errorResponseJson("unknown member 'bogus'", json::Value::null());
+  cli::Response Out;
+  std::string Err;
+  EXPECT_FALSE(responseFromJson(Doc, Out, Err));
+  EXPECT_NE(std::string::npos, Err.find("unknown member 'bogus'"));
+}
+
+TEST(ServeProtocolTest, MalformedResponseDocumentsAreRejected) {
+  cli::Response Out;
+  std::string Err;
+  json::ParseResult P = json::parse("{\"ok\":true}");
+  ASSERT_TRUE(P.Ok);
+  EXPECT_FALSE(responseFromJson(P.Val, Out, Err));
+  P = json::parse("[1,2,3]");
+  ASSERT_TRUE(P.Ok);
+  EXPECT_FALSE(responseFromJson(P.Val, Out, Err));
+}
+
+} // namespace

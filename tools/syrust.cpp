@@ -4,999 +4,127 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// The command-line face of the framework:
+/// The command-line face of the framework — deliberately thin. Every
+/// verb's grammar, validation, and execution live in the cli library
+/// (cli/RequestSpec.h, cli/Execute.h), which the `syrust serve` wire
+/// protocol shares; this file only maps process conventions onto that
+/// API: argv in, stdout/stderr/files/exit-code out.
 ///
-///   syrust list
-///       Print the library inventory (Figure 12).
-///   syrust run <crate> [options]
-///       Run the full pipeline against one library model.
-///   syrust campaign [options]
-///       Fan a (crate, seed, variant) job matrix across a work-stealing
-///       thread pool and merge the results deterministically — the
-///       paper's 64-container cluster campaign (Section 6.2) at
-///       one-machine scale (docs/CAMPAIGNS.md).
-///   syrust audit [options]
-///       Replay enumerated models (emitted and Rule-7 path-filtered)
-///       through the semantic checker and classify every
-///       encoder/checker disagreement; unexpected ones (Ownership,
-///       Borrowing, TypeMismatch - the dimensions Rules 1-9 claim to
-///       encode) are delta-debugged to minimal repros and fail the
-///       audit with exit code 1.
-///   syrust report <trace.json>
-///       Print a per-stage latency/throughput breakdown of a trace
-///       previously written with `--trace-out`.
-///   syrust coverage <file> [--top N]
-///       Render the API-pair coverage carried by a run, campaign,
-///       audit, or --coverage-out document: per-crate covered/total
-///       dependency-graph nodes and edges, saturation time, and the
-///       first N never-covered edges with both endpoint signatures
-///       (docs/OBSERVABILITY.md).
+///   syrust list                        library inventory (Figure 12)
+///   syrust run <crate> [options]       one full pipeline run
+///   syrust campaign [options]          (crate, seed, variant) matrix on
+///                                      a work-stealing pool; supports
+///                                      --checkpoint FILE resume
+///   syrust audit [options]             encoder/checker agreement oracle
+///   syrust report <trace.json>         per-stage trace breakdown
+///   syrust coverage <file> [--top N]   API-pair coverage rendering
+///   syrust serve --socket PATH         long-running daemon serving the
+///                                      above over a local socket
 ///
-/// Options for `run`:
-///   --budget <sim-seconds>   simulated budget (default 600)
-///   --seed <n>               RNG seed (default 2021)
-///   --apis <n>               APIs to select (default 15)
-///   --no-semantic            RQ2 variant: Section 4.4 constraints off
-///   --eager                  RQ3 variant: purely eager refinement
-///   --lazy                   purely lazy refinement (H+-style)
-///   --interleave             round-robin program lengths (7.4.3)
-///   --mutate-inputs          perturb template inputs (7.4.2)
-///   --no-incremental         rebuild encodings from scratch on every
-///                            database refinement (historical behavior)
-///   --no-compat-cache        disable the memoized compatibility kernel
-///                            and shared per-crate analysis (identical
-///                            results, slower encoding builds)
-///   --portfolio              race the solver-strategy portfolio on hard
-///                            solve episodes (byte-identical program
-///                            stream; budget-stop Unknowns become real
-///                            UNSAT proofs)
-///   --strategy <name>        run one named solver configuration instead
-///                            of the baseline (unknown names are
-///                            rejected with the known-name list; unlike
-///                            --portfolio this changes the stream)
-///   --solve-budget <n>       per-solve conflict budget (0 = encoder
-///                            default; benches lower it so budget
-///                            exhaustion actually occurs)
-///   --stop-on-bug            stop at the first UB
-///   --minimize               delta-debug the bug-inducing program
-///   --max-tests <n>          hard cap on synthesized test cases
-///   --log-tests <n>          retain + print the first n test records
-///   --json-errors            route diagnostics via the JSON channel
-///   --json                   print the full result as JSON
-///   --trace-out <file>       write a Chrome trace-event JSON trace
-///   --metrics-out <file>     write JSONL metrics snapshots
-///   --coverage-out <file>    write the raw API-pair coverage document
-///                            (kind "coverage"; `syrust coverage` reads
-///                            it back)
-///   --no-api-coverage        skip dependency-graph edge marking (the
-///                            api_coverage section then reports zeros)
-///   --trace-wall             attach real wall-clock to trace events
-///                            (breaks byte-identical traces; profiling
-///                            only; requires --trace-out)
+/// run/campaign/audit/coverage accept `--connect SOCKET` to submit the
+/// request to a daemon instead of executing in-process; the response
+/// (stdout bytes, output files, exit code) is identical by construction
+/// because the daemon runs the same cli::execute over a warm Session.
 ///
-/// Options for `campaign`:
-///   --crates all|a,b,c       job matrix crates (default all supported)
-///   --seeds N[..M]           inclusive seed range (default 2021)
-///   --variants v1,v2         named config variants (default base);
-///                            known: base, no-semantic, eager, lazy,
-///                            interleave, mutate-inputs, no-incremental,
-///                            no-compat-cache, portfolio
-///   --jobs <n>               pool workers (default 1)
-///   --no-compat-cache        disable the memoized compatibility kernel
-///                            for every job (same as listing the
-///                            no-compat-cache variant, but composes with
-///                            other variants)
-///   --portfolio              race the solver portfolio in every job
-///                            (same as listing the portfolio variant,
-///                            but composes with other variants)
-///   --strategy <name>        named solver configuration for every job
-///                            (unknown names rejected)
-///   --solve-budget <n>       per-solve conflict budget for every job
-///   --budget <sim-seconds>   simulated budget per job (default 600)
-///   --apis <n>               APIs to select per job (default 15)
-///   --max-tests <n>          hard cap on test cases per job
-///   --out <dir>              write aggregate.json + per-job JSON here
-///                            (created if missing); default: aggregate
-///                            JSON to stdout
-///   --trace                  merge per-worker flight-recorder traces
-///                            into <dir>/trace.json (requires --out)
-///   --coverage-out <file>    write the campaign's merged per-crate
-///                            API-pair coverage document (byte-identical
-///                            for any --jobs)
-///   --no-api-coverage        skip edge marking in every job
+/// Exit codes, uniform across all verbs (docs/SERVE.md):
+///   0 ok · 1 finding (UB / unexpected audit disagreement) ·
+///   2 usage or configuration error · 3 environment failure
 ///
-/// Options for `audit`:
-///   --crates all|a,b,c       audit matrix crates (default all supported)
-///   --seeds N[..M]           inclusive seed range (default 2021)
-///   --apis <n>               APIs to select per audit (default 15)
-///   --max-lines <n>          cap program length (default: crate's own)
-///   --max-models <n>         models replayed per audit (default 2000)
-///   --jobs <n>               pool workers (default 1)
-///   --no-compat-cache        disable the memoized compatibility kernel
-///   --portfolio              race the solver portfolio during the
-///                            audited enumeration (audited stream is
-///                            byte-identical either way)
-///   --strategy <name>        named solver configuration for the audited
-///                            enumeration (unknown names rejected)
-///   --weaken-kills           canary: drop the encoder's consumption-kill
-///                            clauses; the audit MUST then fail with
-///                            Ownership disagreements (oracle self-test)
-///   --out <dir>              write audit.json here (created if missing)
-///   --json                   print the audit document to stdout
-///   --coverage-out <file>    write the audited streams' merged per-crate
-///                            API-pair coverage document
-///
-/// Options for `coverage`:
-///   --top <n>                never-covered edges listed per crate
-///                            (default 10; 0 disables the listings)
-///
-/// Unknown or malformed flags are rejected with a specific error, and
-/// an invalid configuration is rejected field by field before anything
-/// runs.
+/// Run `syrust` with no arguments for the full flag listing; per-knob
+/// documentation lives in the cli option table (cli/RequestSpec.cpp).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "campaign/CampaignRunner.h"
-#include "core/ResultJson.h"
+#include "cli/Execute.h"
+#include "cli/RequestSpec.h"
 #include "core/Session.h"
-#include "oracle/AuditRunner.h"
-#include "report/CoverageReport.h"
-#include "report/Table.h"
-#include "report/TraceReport.h"
-#include "support/Json.h"
-#include "support/StringUtils.h"
-#include "types/CompatCache.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
 
-#include <sys/stat.h>
-
-#include <cerrno>
+#include <csignal>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
 
 using namespace syrust;
-using namespace syrust::core;
-using namespace syrust::crates;
-using namespace syrust::report;
-using namespace syrust::rustsim;
 
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: syrust list\n"
-               "       syrust run <crate> [--budget N] [--seed N] "
-               "[--apis N]\n"
-               "                  [--no-semantic] [--eager] [--lazy]\n"
-               "                  [--interleave] [--mutate-inputs] "
-               "[--no-incremental]\n"
-               "                  [--no-compat-cache] [--portfolio] "
-               "[--strategy NAME]\n"
-               "                  [--solve-budget N] "
-               "[--stop-on-bug] [--minimize] "
-               "[--max-tests N]\n"
-               "                  [--log-tests N] [--json-errors] "
-               "[--json]\n"
-               "                  [--trace-out FILE] [--metrics-out FILE] "
-               "[--trace-wall]\n"
-               "                  [--coverage-out FILE] "
-               "[--no-api-coverage]\n"
-               "       syrust campaign [--crates all|a,b,c] "
-               "[--seeds N[..M]]\n"
-               "                  [--variants v1,v2] [--jobs N] "
-               "[--budget N]\n"
-               "                  [--apis N] [--max-tests N] "
-               "[--no-compat-cache]\n"
-               "                  [--portfolio] [--strategy NAME] "
-               "[--solve-budget N]\n"
-               "                  [--out DIR] [--trace] "
-               "[--coverage-out FILE] [--no-api-coverage]\n"
-               "       syrust audit [--crates all|a,b,c] [--seeds N[..M]]\n"
-               "                  [--apis N] [--max-lines N] "
-               "[--max-models N]\n"
-               "                  [--jobs N] [--no-compat-cache] "
-               "[--weaken-kills]\n"
-               "                  [--portfolio] [--strategy NAME]\n"
-               "                  [--out DIR] [--json] "
-               "[--coverage-out FILE]\n"
-               "       syrust report <trace.json>\n"
-               "       syrust coverage <file> [--top N]\n");
-  return 2;
+  std::fprintf(stderr, "%s", cli::usageText().c_str());
+  return cli::ExitUsage;
 }
 
-bool writeFile(const char *Path, const std::string &Data) {
-  std::FILE *F = std::fopen(Path, "wb");
-  if (!F)
-    return false;
-  bool Ok =
-      std::fwrite(Data.data(), 1, Data.size(), F) == Data.size();
-  Ok = (std::fclose(F) == 0) && Ok;
-  return Ok;
+/// The active daemon, for signal-driven shutdown. requestStop() is
+/// async-signal-safe (one pipe write).
+serve::Server *ActiveServer = nullptr;
+
+void onSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestStop();
 }
 
-bool readFile(const char *Path, std::string &Out) {
-  std::FILE *F = std::fopen(Path, "rb");
-  if (!F)
-    return false;
-  char Buf[4096];
-  size_t N;
-  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
-    Out.append(Buf, N);
-  bool Ok = !std::ferror(F);
-  std::fclose(F);
-  return Ok;
-}
-
-int cmdList() {
-  Table T({"Library", "Cat.", "Downloads", "Poly", "Subcomponent",
-           "Bug", "Synthesizable"});
-  for (const CrateSpec &Spec : allCrates()) {
-    T.addRow({Spec.Info.Name, Spec.Info.Category,
-              fmtCount(Spec.Info.Downloads),
-              Spec.Info.Polymorphic ? "yes" : "no",
-              Spec.Info.Subcomponent,
-              Spec.Bug ? Spec.Bug->BugType : "-",
-              Spec.Info.SupportsSynthesis ? "yes" : "no (closures)"});
-  }
-  std::printf("%s", T.render().c_str());
-  return 0;
-}
-
-int cmdRun(int Argc, char **Argv) {
-  if (Argc < 1) {
-    std::fprintf(stderr, "syrust run: missing <crate> argument\n");
-    return usage();
-  }
-  Session S;
-  const CrateSpec *Spec = S.find(Argv[0]);
-  if (!Spec) {
-    std::fprintf(stderr, "unknown crate '%s'; try `syrust list`\n",
-                 Argv[0]);
-    return 2;
-  }
-
-  RunConfig Config;
-  bool Json = false;
-  const char *TraceOut = nullptr;
-  const char *MetricsOut = nullptr;
-  const char *CoverageOut = nullptr;
-  bool TraceWall = false;
-  bool ParseOk = true;
-  for (int I = 1; I < Argc && ParseOk; ++I) {
-    const char *Arg = Argv[I];
-    // Strict value parsing: a flag that takes a value fails loudly when
-    // the value is missing or not a number, instead of atof-ing garbage
-    // to 0 and silently running with the wrong configuration.
-    auto NextValue = [&]() -> const char * {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "syrust run: missing value for %s\n", Arg);
-        ParseOk = false;
-        return nullptr;
-      }
-      return Argv[++I];
-    };
-    auto NextNum = [&](double &Out) {
-      const char *V = NextValue();
-      if (!V)
-        return false;
-      char *End = nullptr;
-      Out = std::strtod(V, &End);
-      if (End == V || *End != '\0') {
-        std::fprintf(stderr,
-                     "syrust run: malformed number '%s' for %s\n", V,
-                     Arg);
-        ParseOk = false;
-        return false;
-      }
-      if (Out < 0) {
-        std::fprintf(stderr,
-                     "syrust run: %s must be non-negative, got '%s'\n",
-                     Arg, V);
-        ParseOk = false;
-        return false;
-      }
-      return true;
-    };
-    double Num = 0;
-    if (!std::strcmp(Arg, "--budget")) {
-      if (NextNum(Num))
-        Config.BudgetSeconds = Num;
-    } else if (!std::strcmp(Arg, "--seed")) {
-      if (NextNum(Num))
-        Config.Seed = static_cast<uint64_t>(Num);
-    } else if (!std::strcmp(Arg, "--apis")) {
-      if (NextNum(Num))
-        Config.NumApis = static_cast<int>(Num);
-    } else if (!std::strcmp(Arg, "--max-tests")) {
-      if (NextNum(Num))
-        Config.MaxTests = static_cast<uint64_t>(Num);
-    } else if (!std::strcmp(Arg, "--log-tests")) {
-      if (NextNum(Num))
-        Config.RecordTests = static_cast<size_t>(Num);
-    } else if (!std::strcmp(Arg, "--trace-out")) {
-      TraceOut = NextValue();
-    } else if (!std::strcmp(Arg, "--metrics-out")) {
-      MetricsOut = NextValue();
-    } else if (!std::strcmp(Arg, "--coverage-out")) {
-      CoverageOut = NextValue();
-    } else if (!std::strcmp(Arg, "--no-api-coverage")) {
-      Config.TrackApiCoverage = false;
-    } else if (!std::strcmp(Arg, "--trace-wall")) {
-      TraceWall = true;
-    } else if (!std::strcmp(Arg, "--no-semantic")) {
-      Config.SemanticAware = false;
-    } else if (!std::strcmp(Arg, "--eager")) {
-      Config.Mode = refine::RefinementMode::PurelyEager;
-    } else if (!std::strcmp(Arg, "--lazy")) {
-      Config.Mode = refine::RefinementMode::PurelyLazy;
-    } else if (!std::strcmp(Arg, "--interleave")) {
-      Config.InterleaveLengths = true;
-    } else if (!std::strcmp(Arg, "--mutate-inputs")) {
-      Config.MutateInputs = true;
-    } else if (!std::strcmp(Arg, "--no-incremental")) {
-      Config.IncrementalRefinement = false;
-    } else if (!std::strcmp(Arg, "--no-compat-cache")) {
-      Config.UseCompatCache = false;
-    } else if (!std::strcmp(Arg, "--portfolio")) {
-      Config.Portfolio = true;
-    } else if (!std::strcmp(Arg, "--strategy")) {
-      const char *V = NextValue();
-      if (V)
-        Config.Strategy = V;
-    } else if (!std::strcmp(Arg, "--solve-budget")) {
-      if (NextNum(Num))
-        Config.SolveConflictBudget = static_cast<uint64_t>(Num);
-    } else if (!std::strcmp(Arg, "--stop-on-bug")) {
-      Config.StopOnFirstBug = true;
-    } else if (!std::strcmp(Arg, "--minimize")) {
-      Config.MinimizeBugs = true;
-    } else if (!std::strcmp(Arg, "--json")) {
-      Json = true;
-    } else if (!std::strcmp(Arg, "--json-errors")) {
-      Config.JsonErrorChannel = true;
-    } else {
-      std::fprintf(stderr, "syrust run: unknown flag '%s'\n", Arg);
-      return usage();
-    }
-  }
-  if (!ParseOk)
-    return usage();
-  if (TraceWall && !TraceOut) {
-    std::fprintf(stderr,
-                 "syrust run: --trace-wall requires --trace-out\n");
-    return usage();
-  }
-  std::vector<std::string> Errors = Config.validate();
-  if (!Errors.empty()) {
+/// Routes a parsed request to a daemon and replays its response locally:
+/// same stdout bytes, same files (written client-side), same exit code.
+int runConnected(cli::Verb V, int Argc, const char *const *Argv,
+                 const std::string &Socket) {
+  json::Value Request;
+  std::vector<std::string> Errors;
+  if (!cli::argvToRequestJson(V, Argc, Argv, Request, Errors)) {
     for (const std::string &E : Errors)
-      std::fprintf(stderr, "syrust run: %s\n", E.c_str());
-    return 2;
-  }
-
-  obs::Recorder::Options ObsOpts;
-  ObsOpts.Trace = TraceOut != nullptr;
-  ObsOpts.Metrics = MetricsOut != nullptr;
-  ObsOpts.WallClock = TraceWall;
-  obs::Recorder Recorder(ObsOpts);
-  obs::Recorder *Obs =
-      (TraceOut || MetricsOut) ? &Recorder : nullptr;
-
-  RunResult R = S.runOne(*Spec, Config, Obs);
-
-  if (TraceOut && !writeFile(TraceOut, Recorder.tracer().chromeJson())) {
-    std::fprintf(stderr, "syrust run: cannot write trace to '%s'\n",
-                 TraceOut);
-    return 1;
-  }
-  if (MetricsOut && !writeFile(MetricsOut, Recorder.metrics().jsonl())) {
-    std::fprintf(stderr, "syrust run: cannot write metrics to '%s'\n",
-                 MetricsOut);
-    return 1;
-  }
-  if (CoverageOut &&
-      !writeFile(CoverageOut,
-                 coverage::coverageDocumentToJson(
-                     {{Spec->Info.Name, R.ApiCoverage}})
-                         .dump() +
-                     "\n")) {
-    std::fprintf(stderr, "syrust run: cannot write coverage to '%s'\n",
-                 CoverageOut);
-    return 1;
-  }
-
-  if (Json) {
-    std::printf("%s\n", resultToJson(R).dump().c_str());
-    return 0;
-  }
-  if (!R.Supported) {
-    std::printf("%s uses closure-based APIs; excluded from synthesis "
-                "(Section 7.1)\n",
-                Spec->Info.Name.c_str());
-    return 0;
-  }
-
-  std::printf("crate            %s (%s)\n", Spec->Info.Name.c_str(),
-              Spec->Info.Subcomponent.c_str());
-  std::printf("synthesized      %llu (max length %d%s)\n",
-              static_cast<unsigned long long>(R.Synthesized),
-              R.MaxLenReached,
-              R.SpaceExhausted ? ", space exhausted" : "");
-  std::printf("rejected         %llu (%s)\n",
-              static_cast<unsigned long long>(R.Rejected),
-              fmtPercent(R.rejectedPercent()).c_str());
-  std::printf("  type           %s\n",
-              fmtShare(R.categoryPercent(ErrorCategory::Type)).c_str());
-  std::printf("  lifetime/own   %s\n",
-              fmtShare(R.categoryPercent(ErrorCategory::LifetimeOwnership))
-                  .c_str());
-  std::printf("  misc           %s\n",
-              fmtShare(R.categoryPercent(ErrorCategory::Misc)).c_str());
-  std::printf("executed         %llu\n",
-              static_cast<unsigned long long>(R.Executed));
-  std::printf("synthesis        %llu rebuilds, %llu incremental extends, "
-              "%llu models re-blocked\n",
-              static_cast<unsigned long long>(R.Synth.Rebuilds),
-              static_cast<unsigned long long>(R.Synth.IncrementalExtends),
-              static_cast<unsigned long long>(R.Synth.ModelsReblocked));
-  std::printf("                 %llu duplicates skipped, %llu dead-length "
-              "revivals\n",
-              static_cast<unsigned long long>(R.Synth.DuplicatesSkipped),
-              static_cast<unsigned long long>(R.Synth.DeadLengthRevivals));
-  std::printf("solver           %llu solve calls, %llu conflicts, "
-              "%llu propagations\n",
-              static_cast<unsigned long long>(R.Synth.SolveCalls),
-              static_cast<unsigned long long>(R.Synth.SolverConflicts),
-              static_cast<unsigned long long>(R.Synth.SolverPropagations));
-  std::printf("                 %.3fs building encodings, %.3fs solving "
-              "(wall)\n",
-              R.Synth.BuildSeconds, R.Synth.SolveSeconds);
-  std::printf("coverage         component %.2f%% line / %.2f%% branch; "
-              "library %.2f%% / %.2f%%\n",
-              R.Coverage.ComponentLine, R.Coverage.ComponentBranch,
-              R.Coverage.LibraryLine, R.Coverage.LibraryBranch);
-  if (R.BugFound) {
-    std::printf("\nBUG after %.2f sim-s (%d lines): %s\n", R.TimeToBug,
-                R.BugLines, R.FirstBug.Message.c_str());
-    std::printf("%s", R.BugProgram.c_str());
-    if (R.MinimizedLines > 0 && !R.MinimizedProgram.empty()) {
-      std::printf("\nminimized to %d lines:\n%s", R.MinimizedLines,
-                  R.MinimizedProgram.c_str());
-    }
-  } else {
-    std::printf("\nno undefined behavior found within budget\n");
-  }
-  if (!R.Db.records().empty()) {
-    std::printf("\nfirst %zu test records (Algorithm 1's DB):\n",
-                R.Db.records().size());
-    for (const TestRecord &Rec : R.Db.records()) {
-      const char *Verdict = Rec.Verdict == TestVerdict::Rejected
-                                ? "REJECTED"
-                                : Rec.Verdict == TestVerdict::Ub
-                                      ? "UB"
-                                      : "passed";
-      std::printf("[t=%.2f %s] %s\n%s", Rec.AtSeconds, Verdict,
-                  Rec.Message.c_str(), Rec.Source.c_str());
-    }
-  }
-  return 0;
-}
-
-/// Parses `N` or `N..M` into an inclusive seed range.
-bool parseSeedRange(const char *Text, uint64_t &Begin, uint64_t &End) {
-  const char *Dots = std::strstr(Text, "..");
-  char *EndPtr = nullptr;
-  Begin = std::strtoull(Text, &EndPtr, 10);
-  if (EndPtr == Text)
-    return false;
-  if (!Dots) {
-    End = Begin;
-    return *EndPtr == '\0';
-  }
-  if (EndPtr != Dots)
-    return false;
-  const char *Second = Dots + 2;
-  End = std::strtoull(Second, &EndPtr, 10);
-  return EndPtr != Second && *EndPtr == '\0';
-}
-
-int cmdCampaign(int Argc, char **Argv) {
-  Session S;
-  campaign::CampaignSpec Spec;
-  Spec.Crates = S.supportedCrates();
-  const char *OutDir = nullptr;
-  const char *CoverageOut = nullptr;
-  bool ParseOk = true;
-  for (int I = 0; I < Argc && ParseOk; ++I) {
-    const char *Arg = Argv[I];
-    auto NextValue = [&]() -> const char * {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "syrust campaign: missing value for %s\n",
-                     Arg);
-        ParseOk = false;
-        return nullptr;
-      }
-      return Argv[++I];
-    };
-    auto NextNum = [&](double &Out) {
-      const char *V = NextValue();
-      if (!V)
-        return false;
-      char *End = nullptr;
-      Out = std::strtod(V, &End);
-      if (End == V || *End != '\0') {
-        std::fprintf(stderr,
-                     "syrust campaign: malformed number '%s' for %s\n",
-                     V, Arg);
-        ParseOk = false;
-        return false;
-      }
-      return true;
-    };
-    double Num = 0;
-    if (!std::strcmp(Arg, "--crates")) {
-      const char *V = NextValue();
-      if (!V)
-        break;
-      if (std::strcmp(V, "all"))
-        Spec.Crates = split(V, ',');
-    } else if (!std::strcmp(Arg, "--seeds")) {
-      const char *V = NextValue();
-      if (!V)
-        break;
-      if (!parseSeedRange(V, Spec.SeedBegin, Spec.SeedEnd)) {
-        std::fprintf(stderr,
-                     "syrust campaign: malformed seed range '%s' for "
-                     "--seeds (want N or N..M)\n",
-                     V);
-        ParseOk = false;
-      }
-    } else if (!std::strcmp(Arg, "--variants")) {
-      const char *V = NextValue();
-      if (V)
-        Spec.Variants = split(V, ',');
-    } else if (!std::strcmp(Arg, "--jobs")) {
-      if (NextNum(Num))
-        Spec.Jobs = static_cast<int>(Num);
-    } else if (!std::strcmp(Arg, "--budget")) {
-      if (NextNum(Num))
-        Spec.Base.BudgetSeconds = Num;
-    } else if (!std::strcmp(Arg, "--apis")) {
-      if (NextNum(Num))
-        Spec.Base.NumApis = static_cast<int>(Num);
-    } else if (!std::strcmp(Arg, "--max-tests")) {
-      if (NextNum(Num))
-        Spec.Base.MaxTests = static_cast<uint64_t>(Num);
-    } else if (!std::strcmp(Arg, "--no-compat-cache")) {
-      Spec.Base.UseCompatCache = false;
-    } else if (!std::strcmp(Arg, "--portfolio")) {
-      Spec.Base.Portfolio = true;
-    } else if (!std::strcmp(Arg, "--strategy")) {
-      const char *V = NextValue();
-      if (V)
-        Spec.Base.Strategy = V;
-    } else if (!std::strcmp(Arg, "--solve-budget")) {
-      if (NextNum(Num))
-        Spec.Base.SolveConflictBudget = static_cast<uint64_t>(Num);
-    } else if (!std::strcmp(Arg, "--out")) {
-      OutDir = NextValue();
-    } else if (!std::strcmp(Arg, "--trace")) {
-      Spec.Trace = true;
-    } else if (!std::strcmp(Arg, "--coverage-out")) {
-      CoverageOut = NextValue();
-    } else if (!std::strcmp(Arg, "--no-api-coverage")) {
-      Spec.Base.TrackApiCoverage = false;
-    } else {
-      std::fprintf(stderr, "syrust campaign: unknown flag '%s'\n", Arg);
-      return usage();
-    }
-  }
-  if (!ParseOk)
-    return usage();
-  if (Spec.Trace && !OutDir) {
-    std::fprintf(stderr, "syrust campaign: --trace requires --out\n");
+      std::fprintf(stderr, "syrust %s: %s\n", cli::verbName(V),
+                   E.c_str());
     return usage();
   }
-  std::vector<std::string> Errors = Spec.validate(S);
-  if (!Errors.empty()) {
-    for (const std::string &E : Errors)
-      std::fprintf(stderr, "syrust campaign: %s\n", E.c_str());
-    return 2;
-  }
 
-  campaign::CampaignRunner Runner(S, Spec);
-  size_t Total = campaign::expandMatrix(Spec).size();
-  size_t Done = 0;
-  // Progress to stderr: stdout carries only the deterministic summary
-  // (or the aggregate document itself).
-  Runner.onJobDone([&](const campaign::CampaignJobResult &JR) {
-    ++Done;
-    std::fprintf(stderr, "[%zu/%zu] %s seed=%llu %s: %llu synthesized\n",
-                 Done, Total, JR.Job.Crate.c_str(),
-                 static_cast<unsigned long long>(JR.Job.Seed),
-                 JR.Job.Variant.c_str(),
-                 static_cast<unsigned long long>(JR.Result.Synthesized));
-  });
-  campaign::CampaignResult R = Runner.run();
-  std::string Aggregate = campaign::campaignToJson(Spec, R).dump();
-
-  if (CoverageOut &&
-      !writeFile(CoverageOut,
-                 coverage::coverageDocumentToJson(R.ApiCoverage).dump() +
-                     "\n")) {
-    std::fprintf(stderr,
-                 "syrust campaign: cannot write coverage to '%s'\n",
-                 CoverageOut);
-    return 1;
+  serve::Client Client;
+  std::string Err;
+  if (!Client.connect(Socket, Err)) {
+    std::fprintf(stderr, "syrust %s: %s\n", cli::verbName(V),
+                 Err.c_str());
+    return cli::ExitRuntime;
   }
-
-  if (!OutDir) {
-    std::printf("%s\n", Aggregate.c_str());
-    return 0;
+  json::Value Doc;
+  if (!Client.call(Request, Doc, Err)) {
+    std::fprintf(stderr, "syrust %s: %s\n", cli::verbName(V),
+                 Err.c_str());
+    return cli::ExitRuntime;
   }
-
-  if (::mkdir(OutDir, 0777) != 0 && errno != EEXIST) {
-    std::fprintf(stderr, "syrust campaign: cannot create '%s'\n",
-                 OutDir);
-    return 1;
+  cli::Response Resp;
+  if (!serve::responseFromJson(Doc, Resp, Err)) {
+    // The daemon refused the request (validation failure) or the
+    // response was unusable; its message already names the bad field.
+    std::fprintf(stderr, "syrust %s: %s\n", cli::verbName(V),
+                 Err.c_str());
+    return cli::ExitUsage;
   }
-  std::string Dir = OutDir;
-  if (!Dir.empty() && Dir.back() != '/')
-    Dir += '/';
-  if (!writeFile((Dir + "aggregate.json").c_str(), Aggregate + "\n")) {
-    std::fprintf(stderr, "syrust campaign: cannot write '%s'\n",
-                 (Dir + "aggregate.json").c_str());
-    return 1;
+  if (!cli::writeResponseFiles(Resp, Err)) {
+    std::fprintf(stderr, "syrust %s: %s\n", cli::verbName(V),
+                 Err.c_str());
+    return cli::ExitRuntime;
   }
-  for (const campaign::CampaignJobResult &JR : R.Jobs) {
-    std::string Name =
-        format("job-%03zu-%s-s%llu-%s.json", JR.Job.Index,
-               JR.Job.Crate.c_str(),
-               static_cast<unsigned long long>(JR.Job.Seed),
-               JR.Job.Variant.c_str());
-    if (!writeFile((Dir + Name).c_str(),
-                   resultToJson(JR.Result).dump() + "\n")) {
-      std::fprintf(stderr, "syrust campaign: cannot write '%s'\n",
-                   (Dir + Name).c_str());
-      return 1;
-    }
-  }
-  if (Spec.Trace &&
-      !writeFile((Dir + "trace.json").c_str(), R.MergedTraceJson)) {
-    std::fprintf(stderr, "syrust campaign: cannot write '%s'\n",
-                 (Dir + "trace.json").c_str());
-    return 1;
-  }
-
-  Table T({"Crate", "Seed", "Variant", "# Synthesized", "# Rejected (%)",
-           "# Executed", "Bug"});
-  for (const campaign::CampaignJobResult &JR : R.Jobs) {
-    const RunResult &Res = JR.Result;
-    T.addRow({JR.Job.Crate, std::to_string(JR.Job.Seed), JR.Job.Variant,
-              fmtCount(Res.Synthesized),
-              fmtCount(Res.Rejected) + " (" +
-                  fmtPercent(Res.rejectedPercent()) + ")",
-              fmtCount(Res.Executed), Res.BugFound ? "yes" : "-"});
-  }
-  std::printf("%s", T.render().c_str());
-  std::printf("\ntotals: %llu synthesized, %llu rejected, %llu executed, "
-              "%llu UB events, %llu jobs with a bug\n",
-              static_cast<unsigned long long>(R.Totals.Synthesized),
-              static_cast<unsigned long long>(R.Totals.Rejected),
-              static_cast<unsigned long long>(R.Totals.Executed),
-              static_cast<unsigned long long>(R.Totals.UbCount),
-              static_cast<unsigned long long>(R.Totals.BugsFound));
-  std::printf("wrote %s and %zu per-job documents\n",
-              (Dir + "aggregate.json").c_str(), R.Jobs.size());
-  return 0;
+  if (!Resp.Error.empty())
+    std::fprintf(stderr, "syrust %s: %s\n", cli::verbName(V),
+                 Resp.Error.c_str());
+  std::fwrite(Resp.Output.data(), 1, Resp.Output.size(), stdout);
+  return Resp.ExitCode;
 }
 
-int cmdAudit(int Argc, char **Argv) {
-  Session S;
-  oracle::AuditSpec Spec;
-  Spec.Crates = S.supportedCrates();
-  const char *OutDir = nullptr;
-  const char *CoverageOut = nullptr;
-  bool Json = false;
-  bool ParseOk = true;
-  for (int I = 0; I < Argc && ParseOk; ++I) {
-    const char *Arg = Argv[I];
-    auto NextValue = [&]() -> const char * {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "syrust audit: missing value for %s\n",
-                     Arg);
-        ParseOk = false;
-        return nullptr;
-      }
-      return Argv[++I];
-    };
-    auto NextNum = [&](double &Out) {
-      const char *V = NextValue();
-      if (!V)
-        return false;
-      char *End = nullptr;
-      Out = std::strtod(V, &End);
-      if (End == V || *End != '\0') {
-        std::fprintf(stderr,
-                     "syrust audit: malformed number '%s' for %s\n", V,
-                     Arg);
-        ParseOk = false;
-        return false;
-      }
-      return true;
-    };
-    double Num = 0;
-    if (!std::strcmp(Arg, "--crates")) {
-      const char *V = NextValue();
-      if (!V)
-        break;
-      if (std::strcmp(V, "all"))
-        Spec.Crates = split(V, ',');
-    } else if (!std::strcmp(Arg, "--seeds")) {
-      const char *V = NextValue();
-      if (!V)
-        break;
-      if (!parseSeedRange(V, Spec.SeedBegin, Spec.SeedEnd)) {
-        std::fprintf(stderr,
-                     "syrust audit: malformed seed range '%s' for "
-                     "--seeds (want N or N..M)\n",
-                     V);
-        ParseOk = false;
-      }
-    } else if (!std::strcmp(Arg, "--apis")) {
-      if (NextNum(Num))
-        Spec.Base.NumApis = static_cast<int>(Num);
-    } else if (!std::strcmp(Arg, "--max-lines")) {
-      if (NextNum(Num))
-        Spec.Base.MaxLines = static_cast<int>(Num);
-    } else if (!std::strcmp(Arg, "--max-models")) {
-      if (NextNum(Num))
-        Spec.Base.MaxModels = static_cast<uint64_t>(Num);
-    } else if (!std::strcmp(Arg, "--jobs")) {
-      if (NextNum(Num))
-        Spec.Jobs = static_cast<int>(Num);
-    } else if (!std::strcmp(Arg, "--no-compat-cache")) {
-      Spec.Base.UseCompatCache = false;
-    } else if (!std::strcmp(Arg, "--portfolio")) {
-      Spec.Base.Portfolio = true;
-    } else if (!std::strcmp(Arg, "--strategy")) {
-      const char *V = NextValue();
-      if (V)
-        Spec.Base.Strategy = V;
-    } else if (!std::strcmp(Arg, "--weaken-kills")) {
-      Spec.Base.WeakenConsumptionKills = true;
-    } else if (!std::strcmp(Arg, "--out")) {
-      OutDir = NextValue();
-    } else if (!std::strcmp(Arg, "--json")) {
-      Json = true;
-    } else if (!std::strcmp(Arg, "--coverage-out")) {
-      CoverageOut = NextValue();
-    } else {
-      std::fprintf(stderr, "syrust audit: unknown flag '%s'\n", Arg);
-      return usage();
-    }
+int runServe(const cli::RequestSpec &Spec, const core::Session &S) {
+  serve::Server Server(S, Spec.Serve);
+  std::string Err;
+  if (!Server.start(Err)) {
+    std::fprintf(stderr, "syrust serve: %s\n", Err.c_str());
+    return cli::ExitRuntime;
   }
-  if (!ParseOk)
-    return usage();
-  std::vector<std::string> Errors = Spec.validate(S);
-  if (!Errors.empty()) {
-    for (const std::string &E : Errors)
-      std::fprintf(stderr, "syrust audit: %s\n", E.c_str());
-    return 2;
-  }
-
-  size_t Total = oracle::expandAuditMatrix(Spec).size();
-  size_t Done = 0;
-  // Progress to stderr: stdout carries only the deterministic summary
-  // (or the audit document itself).
-  oracle::AuditRunResult R = runAudit(
-      S, Spec, [&](const oracle::AuditJobResult &JR) {
-        ++Done;
-        std::fprintf(stderr,
-                     "[%zu/%zu] %s seed=%llu: %llu replayed, "
-                     "%llu unexpected\n",
-                     Done, Total, JR.Job.Crate.c_str(),
-                     static_cast<unsigned long long>(JR.Job.Seed),
-                     static_cast<unsigned long long>(
-                         JR.Result.ModelsReplayed),
-                     static_cast<unsigned long long>(
-                         JR.Result.UnexpectedTotal));
-      });
-  std::string Doc = auditToJson(Spec, R).dump();
-  int Exit = R.clean() ? 0 : 1;
-
-  if (CoverageOut &&
-      !writeFile(CoverageOut,
-                 coverage::coverageDocumentToJson(R.ApiCoverage).dump() +
-                     "\n")) {
-    std::fprintf(stderr, "syrust audit: cannot write coverage to '%s'\n",
-                 CoverageOut);
-    return 1;
-  }
-
-  if (OutDir) {
-    if (::mkdir(OutDir, 0777) != 0 && errno != EEXIST) {
-      std::fprintf(stderr, "syrust audit: cannot create '%s'\n", OutDir);
-      return 1;
-    }
-    std::string Path = std::string(OutDir);
-    if (!Path.empty() && Path.back() != '/')
-      Path += '/';
-    Path += "audit.json";
-    if (!writeFile(Path.c_str(), Doc + "\n")) {
-      std::fprintf(stderr, "syrust audit: cannot write '%s'\n",
-                   Path.c_str());
-      return 1;
-    }
-  }
-  if (Json) {
-    std::printf("%s\n", Doc.c_str());
-    return Exit;
-  }
-
-  Table T({"Crate", "Seed", "Replayed", "Pass", "Agree-Reject",
-           "Expected", "UNEXPECTED", "Filtered-OK"});
-  for (const oracle::AuditJobResult &JR : R.Jobs) {
-    const oracle::AuditResult &Res = JR.Result;
-    T.addRow({JR.Job.Crate, std::to_string(JR.Job.Seed),
-              fmtCount(Res.ModelsReplayed), fmtCount(Res.AgreePass),
-              fmtCount(Res.AgreeReject), fmtCount(Res.ExpectedTotal),
-              fmtCount(Res.UnexpectedTotal),
-              fmtCount(Res.FilteredCompilable)});
-  }
-  std::printf("%s", T.render().c_str());
-  std::printf("\ntotals: %llu replayed, %llu agree-pass, %llu "
-              "agree-reject, %llu expected, %llu UNEXPECTED, %llu "
-              "filtered-compilable\n",
-              static_cast<unsigned long long>(R.Totals.ModelsReplayed),
-              static_cast<unsigned long long>(R.Totals.AgreePass),
-              static_cast<unsigned long long>(R.Totals.AgreeReject),
-              static_cast<unsigned long long>(R.Totals.ExpectedTotal),
-              static_cast<unsigned long long>(R.Totals.UnexpectedTotal),
-              static_cast<unsigned long long>(
-                  R.Totals.FilteredCompilable));
-  for (const oracle::AuditJobResult &JR : R.Jobs)
-    for (const oracle::Disagreement &D : JR.Result.Unexpected)
-      std::printf("\nUNEXPECTED %s (%s seed=%llu): %s\noriginal "
-                  "(%d lines):\n%sminimized (%d lines, %llu steps):\n%s",
-                  detailName(D.Detail), JR.Job.Crate.c_str(),
-                  static_cast<unsigned long long>(JR.Job.Seed),
-                  D.Message.c_str(), D.Lines, D.Source.c_str(),
-                  D.MinimizedLines,
-                  static_cast<unsigned long long>(D.MinimizerSteps),
-                  D.MinimizedSource.c_str());
-  if (Exit != 0)
-    std::printf("\naudit FAILED: %llu unexpected disagreement(s) - the "
-                "encoder and checker disagree about Rust\n",
-                static_cast<unsigned long long>(
-                    R.Totals.UnexpectedTotal));
+  ActiveServer = &Server;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::fprintf(stderr, "syrust serve: listening on %s\n",
+               Server.socketPath().c_str());
+  int Exit = Server.run();
+  ActiveServer = nullptr;
   return Exit;
-}
-
-int cmdReport(int Argc, char **Argv) {
-  if (Argc != 1) {
-    std::fprintf(stderr,
-                 "syrust report: expected exactly one trace file\n");
-    return usage();
-  }
-  std::string Data;
-  if (!readFile(Argv[0], Data)) {
-    std::fprintf(stderr, "syrust report: cannot read '%s'\n", Argv[0]);
-    return 1;
-  }
-  TraceSummary Summary;
-  std::string Err;
-  if (!summarizeTrace(Data, Summary, Err)) {
-    // A common slip is pointing `report` at one of our other JSON
-    // documents; those all carry a `kind` field, so dispatch on it and
-    // point at the right verb instead of dumping a parse error.
-    json::ParseResult P = json::parse(Data);
-    if (P.Ok && P.Val.kind() == json::Value::Kind::Object &&
-        P.Val.has("kind")) {
-      const std::string Kind = P.Val.get("kind").asString();
-      if (Kind == "campaign" || Kind == "coverage" || Kind == "audit") {
-        std::fprintf(stderr,
-                     "syrust report: '%s' is a %s document, not a "
-                     "trace; try `syrust coverage %s`%s\n",
-                     Argv[0], Kind.c_str(), Argv[0],
-                     Kind == "audit"
-                         ? " for its api_coverage section"
-                         : "");
-        return 1;
-      }
-    }
-    std::fprintf(stderr, "syrust report: %s: %s\n", Argv[0],
-                 Err.c_str());
-    return 1;
-  }
-  std::printf("%s", renderTraceSummary(Summary).c_str());
-  return 0;
-}
-
-int cmdCoverage(int Argc, char **Argv) {
-  if (Argc < 1) {
-    std::fprintf(stderr, "syrust coverage: missing <file> argument\n");
-    return usage();
-  }
-  int Top = 10;
-  for (int I = 1; I < Argc; ++I) {
-    const char *Arg = Argv[I];
-    if (!std::strcmp(Arg, "--top")) {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr,
-                     "syrust coverage: missing value for --top\n");
-        return usage();
-      }
-      const char *V = Argv[++I];
-      char *End = nullptr;
-      long N = std::strtol(V, &End, 10);
-      if (End == V || *End != '\0' || N < 0) {
-        std::fprintf(stderr,
-                     "syrust coverage: malformed count '%s' for --top\n",
-                     V);
-        return usage();
-      }
-      Top = static_cast<int>(N);
-    } else {
-      std::fprintf(stderr, "syrust coverage: unknown flag '%s'\n", Arg);
-      return usage();
-    }
-  }
-
-  std::string Data;
-  if (!readFile(Argv[0], Data)) {
-    std::fprintf(stderr, "syrust coverage: cannot read '%s'\n", Argv[0]);
-    return 1;
-  }
-  json::ParseResult P = json::parse(Data);
-  if (!P.Ok) {
-    std::fprintf(stderr, "syrust coverage: %s: %s\n", Argv[0],
-                 P.Error.c_str());
-    return 1;
-  }
-  std::vector<ApiCoverageEntry> Entries;
-  std::string Err;
-  if (!collectApiCoverage(P.Val, Entries, Err)) {
-    std::fprintf(stderr, "syrust coverage: %s: %s\n", Argv[0],
-                 Err.c_str());
-    return 1;
-  }
-
-  // The never-covered listings need each crate's database and frozen
-  // dependency graph. Rebuild them from the bundled registry on demand
-  // (a fresh instance + a scratch compat cache per crate - cheap: only
-  // the pairwise probes the graph needs, never the joint matrix) and
-  // keep them alive for the duration of the render.
-  Session S;
-  struct CrateModel {
-    std::unique_ptr<crates::CrateInstance> Inst;
-    api::DependencyGraph Graph;
-  };
-  std::map<std::string, CrateModel> Models;
-  CrateApiResolver Resolver = [&](const std::string &Name) -> CrateApiView {
-    auto It = Models.find(Name);
-    if (It == Models.end()) {
-      CrateModel M;
-      if (const CrateSpec *Spec = S.find(Name)) {
-        M.Inst = Spec->instantiate();
-        types::CompatCache Scratch;
-        M.Graph =
-            api::buildDependencyGraph(M.Inst->Db, M.Inst->Arena, Scratch);
-      }
-      It = Models.emplace(Name, std::move(M)).first;
-    }
-    if (!It->second.Inst)
-      return {};
-    return {&It->second.Inst->Db, &It->second.Graph};
-  };
-
-  CoverageReportOptions Opts;
-  Opts.TopNeverCovered = Top;
-  std::printf("%s", renderApiCoverage(Entries, Resolver, Opts).c_str());
-  return 0;
 }
 
 } // namespace
@@ -1004,18 +132,50 @@ int cmdCoverage(int Argc, char **Argv) {
 int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
-  if (!std::strcmp(Argv[1], "list"))
-    return cmdList();
-  if (!std::strcmp(Argv[1], "run"))
-    return cmdRun(Argc - 2, Argv + 2);
-  if (!std::strcmp(Argv[1], "campaign"))
-    return cmdCampaign(Argc - 2, Argv + 2);
-  if (!std::strcmp(Argv[1], "audit"))
-    return cmdAudit(Argc - 2, Argv + 2);
-  if (!std::strcmp(Argv[1], "report"))
-    return cmdReport(Argc - 2, Argv + 2);
-  if (!std::strcmp(Argv[1], "coverage"))
-    return cmdCoverage(Argc - 2, Argv + 2);
-  std::fprintf(stderr, "syrust: unknown command '%s'\n", Argv[1]);
-  return usage();
+  cli::Verb V;
+  if (!cli::verbFromName(Argv[1], V)) {
+    std::fprintf(stderr, "syrust: unknown command '%s'\n", Argv[1]);
+    return usage();
+  }
+
+  cli::RequestSpec Spec;
+  std::vector<std::string> Errors;
+  if (!cli::parseArgv(V, Argc - 2, Argv + 2, Spec, Errors)) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "syrust %s: %s\n", cli::verbName(V),
+                   E.c_str());
+    return usage();
+  }
+
+  if (!Spec.Connect.empty())
+    return runConnected(V, Argc - 2, Argv + 2, Spec.Connect);
+
+  core::Session S;
+  Errors = cli::finalize(S, Spec);
+  if (!Errors.empty()) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "syrust %s: %s\n", cli::verbName(V),
+                   E.c_str());
+    return cli::ExitUsage;
+  }
+
+  if (V == cli::Verb::Serve)
+    return runServe(Spec, S);
+
+  // Progress to stderr: stdout carries only the deterministic output.
+  cli::Response Resp =
+      cli::execute(S, Spec, [&](const std::string &Line) {
+        std::fprintf(stderr, "%s\n", Line.c_str());
+      });
+  std::string Err;
+  if (!cli::writeResponseFiles(Resp, Err)) {
+    std::fprintf(stderr, "syrust %s: %s\n", cli::verbName(V),
+                 Err.c_str());
+    return cli::ExitRuntime;
+  }
+  if (!Resp.Error.empty())
+    std::fprintf(stderr, "syrust %s: %s\n", cli::verbName(V),
+                 Resp.Error.c_str());
+  std::fwrite(Resp.Output.data(), 1, Resp.Output.size(), stdout);
+  return Resp.ExitCode;
 }
