@@ -18,6 +18,15 @@ DependencyGraph syrust::api::buildDependencyGraph(const ApiDatabase &Db,
   DependencyGraph G;
   G.NumNodes = Db.size();
 
+  G.SlotBase.resize(Db.size() + 1, 0);
+  for (size_t K = 0; K < Db.size(); ++K)
+    G.SlotBase[K + 1] =
+        G.SlotBase[K] +
+        static_cast<uint32_t>(Db.get(static_cast<ApiId>(K)).Inputs.size());
+  G.WordsPerRow = (Db.size() + 63) / 64;
+  G.Bits.assign(static_cast<size_t>(G.SlotBase[Db.size()]) * G.WordsPerRow,
+                0);
+
   // Rename with the same "a<ApiId>" suffix Encoding::sync and
   // CrateAnalysis use, so the probe keys below are the interned pointers
   // the precomputed matrix already holds.
@@ -50,6 +59,8 @@ DependencyGraph syrust::api::buildDependencyGraph(const ApiDatabase &Db,
             DependencyGraph::packKey(E.Producer, E.Consumer, E.Slot),
             static_cast<int>(G.Edges.size()));
         G.Edges.push_back(E);
+        size_t Row = G.SlotBase[B] + J;
+        G.Bits[Row * G.WordsPerRow + A / 64] |= uint64_t(1) << (A % 64);
       }
     }
   }

@@ -76,6 +76,31 @@ public:
     return It == Index.end() ? -1 : It->second;
   }
 
+  /// O(1) membership test over the same edge set as edgeIndex(), backed
+  /// by per-(consumer, slot) bitset rows over producer ids instead of a
+  /// hash probe. This is the encoder's pruning fast path: one bit test
+  /// replaces a CompatCache lookup, and by construction (the edge set is
+  /// exactly the probe-success set) the answer equals
+  /// Cache.unifiable2(renamed output of Producer, renamed slot pattern).
+  bool hasEdge(ApiId Producer, ApiId Consumer, int Slot) const {
+    size_t Row = static_cast<size_t>(SlotBase[static_cast<size_t>(Consumer)]) +
+                 static_cast<size_t>(Slot);
+    uint64_t Word =
+        Bits[Row * WordsPerRow + static_cast<size_t>(Producer) / 64];
+    return (Word >> (static_cast<size_t>(Producer) % 64)) & 1;
+  }
+
+  /// True when \p Consumer has at least one inbound producer for slot
+  /// \p Slot anywhere in the database (any bit set in the row).
+  bool slotHasProducer(ApiId Consumer, int Slot) const {
+    size_t Row = static_cast<size_t>(SlotBase[static_cast<size_t>(Consumer)]) +
+                 static_cast<size_t>(Slot);
+    for (size_t W = 0; W < WordsPerRow; ++W)
+      if (Bits[Row * WordsPerRow + W])
+        return true;
+    return false;
+  }
+
   /// Canonical one-line-per-edge rendering (golden tests): endpoint
   /// names and types from \p Db plus the edge metadata.
   std::string describe(const ApiDatabase &Db) const;
@@ -96,6 +121,14 @@ private:
   size_t NumNodes = 0;
   std::vector<DependencyEdge> Edges;
   std::unordered_map<uint64_t, int> Index;
+
+  /// Bitset adjacency: row r = SlotBase[Consumer] + Slot holds one bit
+  /// per producer id, WordsPerRow 64-bit words per row. SlotBase is the
+  /// prefix sum of input counts over consumer ids (one trailing total
+  /// entry), so rows for all (consumer, slot) pairs pack densely.
+  std::vector<uint32_t> SlotBase;
+  std::vector<uint64_t> Bits;
+  size_t WordsPerRow = 0;
 };
 
 /// Builds the graph over every signature of \p Db. Signatures are

@@ -52,6 +52,10 @@ bool syrust::campaign::applyVariant(const std::string &Name,
     Config.Portfolio = true; // Strategy racing; streams stay identical.
     return true;
   }
+  if (Name == "no-graph-prune") {
+    Config.GraphPrune = false; // A/B against graph-guided probes.
+    return true;
+  }
   return false;
 }
 

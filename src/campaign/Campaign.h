@@ -115,8 +115,8 @@ struct CampaignResult {
 
 /// Applies a named variant to \p Config. Vocabulary: "base" (identity),
 /// "no-semantic", "eager", "lazy", "interleave", "mutate-inputs",
-/// "no-incremental", "no-compat-cache", "portfolio". Returns false for
-/// an unknown name.
+/// "no-incremental", "no-compat-cache", "portfolio", "no-graph-prune".
+/// Returns false for an unknown name.
 bool applyVariant(const std::string &Name, core::RunConfig &Config);
 
 /// Lays out the matrix in deterministic order: crates outermost (in the

@@ -151,6 +151,14 @@ const OptionDef Options[] = {
          runConfigOf(S)->UseCompatCache = false;
        return std::string();
      }},
+    {"--no-graph-prune", VRun | VCampaign | VAudit, OptionDef::Flag_,
+     [](RequestSpec &S, const std::string &, double) {
+       if (S.V == Verb::Audit)
+         S.Audit.Spec.Base.GraphPrune = false;
+       else
+         runConfigOf(S)->GraphPrune = false;
+       return std::string();
+     }},
     {"--no-api-coverage", VRun | VCampaign, OptionDef::Flag_,
      [](RequestSpec &S, const std::string &, double) {
        runConfigOf(S)->TrackApiCoverage = false;
@@ -668,8 +676,9 @@ std::string syrust::cli::usageText() {
          "                  [--no-semantic] [--eager] [--lazy]\n"
          "                  [--interleave] [--mutate-inputs] "
          "[--no-incremental]\n"
-         "                  [--no-compat-cache] [--portfolio] "
-         "[--strategy NAME]\n"
+         "                  [--no-compat-cache] [--no-graph-prune] "
+         "[--portfolio]\n"
+         "                  [--strategy NAME]\n"
          "                  [--solve-budget N] [--stop-on-bug] "
          "[--minimize] [--max-tests N]\n"
          "                  [--log-tests N] [--json-errors] [--json]\n"
@@ -681,6 +690,7 @@ std::string syrust::cli::usageText() {
          "                  [--variants v1,v2] [--jobs N] [--budget N]\n"
          "                  [--apis N] [--max-tests N] "
          "[--no-compat-cache]\n"
+         "                  [--no-graph-prune]\n"
          "                  [--portfolio] [--strategy NAME] "
          "[--solve-budget N]\n"
          "                  [--out DIR] [--trace] [--coverage-out FILE] "
@@ -689,7 +699,8 @@ std::string syrust::cli::usageText() {
          "       syrust audit [--crates all|a,b,c] [--seeds N[..M]]\n"
          "                  [--apis N] [--max-lines N] [--max-models N]\n"
          "                  [--jobs N] [--no-compat-cache] "
-         "[--weaken-kills]\n"
+         "[--no-graph-prune]\n"
+         "                  [--weaken-kills]\n"
          "                  [--portfolio] [--strategy NAME]\n"
          "                  [--out DIR] [--json] [--coverage-out FILE]\n"
          "                  [--connect SOCKET]\n"

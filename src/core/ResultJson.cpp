@@ -164,6 +164,20 @@ json::Value syrust::core::resultToJson(const RunResult &R,
   Synth.set("portfolio_cancels",
             Value::integer(
                 static_cast<int64_t>(R.Synth.PortfolioCancels)));
+  Synth.set("prune_graph_probes",
+            Value::integer(
+                static_cast<int64_t>(R.Synth.PruneGraphProbes)));
+  Synth.set("prune_fallback_probes",
+            Value::integer(
+                static_cast<int64_t>(R.Synth.PruneFallbackProbes)));
+  Synth.set("prune_dead_sites",
+            Value::integer(static_cast<int64_t>(R.Synth.PruneDeadSites)));
+  Synth.set("prune_vars_avoided",
+            Value::integer(
+                static_cast<int64_t>(R.Synth.PruneVarsAvoided)));
+  Synth.set("prune_clauses_avoided",
+            Value::integer(
+                static_cast<int64_t>(R.Synth.PruneClausesAvoided)));
   if (Opts.HostWallTime) {
     Synth.set("build_wall_seconds", Value::number(R.Synth.BuildSeconds));
     Synth.set("solve_wall_seconds", Value::number(R.Synth.SolveSeconds));
@@ -401,6 +415,11 @@ bool syrust::core::resultFromJson(const Value &V, RunResult &Out,
     Out.Synth.PortfolioRaces = S.u64("portfolio_races");
     Out.Synth.PortfolioUnsatWins = S.u64("portfolio_unsat_wins");
     Out.Synth.PortfolioCancels = S.u64("portfolio_cancels");
+    Out.Synth.PruneGraphProbes = S.u64("prune_graph_probes");
+    Out.Synth.PruneFallbackProbes = S.u64("prune_fallback_probes");
+    Out.Synth.PruneDeadSites = S.u64("prune_dead_sites");
+    Out.Synth.PruneVarsAvoided = S.u64("prune_vars_avoided");
+    Out.Synth.PruneClausesAvoided = S.u64("prune_clauses_avoided");
     // Wall-time diagnostics are optional (campaign aggregates strip
     // them); absent means zero.
     if (Synth->has("build_wall_seconds"))
@@ -452,6 +471,7 @@ json::Value syrust::core::runConfigToJson(const RunConfig &C) {
   V.set("minimize_bugs", Value::boolean(C.MinimizeBugs));
   V.set("use_compat_cache", Value::boolean(C.UseCompatCache));
   V.set("track_api_coverage", Value::boolean(C.TrackApiCoverage));
+  V.set("graph_prune", Value::boolean(C.GraphPrune));
   V.set("json_error_channel", Value::boolean(C.JsonErrorChannel));
   V.set("record_tests",
         Value::integer(static_cast<int64_t>(C.RecordTests)));

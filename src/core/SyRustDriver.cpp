@@ -160,14 +160,15 @@ RunResult SyRustDriver::run() {
   Rng R(Config.Seed ^ std::hash<std::string>{}(Spec->Info.Name));
   selectApis(*Inst, R);
 
-  // API-pair coverage over the crate's frozen dependency graph. With a
+  // The crate's frozen dependency graph serves two consumers: API-pair
+  // coverage marking and the encoder's graph-guided pruning. With a
   // shared analysis the graph is precomputed; otherwise build it here
   // against a scratch cache - never the run's Compat, whose
   // compat.cache.* counters must reflect only synthesis probes.
   api::DependencyGraph LocalGraph;
+  const api::DependencyGraph *Graph = nullptr;
   std::unique_ptr<coverage::ApiPairCoverage> ApiCov;
-  if (Config.TrackApiCoverage) {
-    const api::DependencyGraph *Graph;
+  if (Config.TrackApiCoverage || Config.GraphPrune) {
     if (Analysis) {
       Graph = &Analysis->graph();
     } else {
@@ -175,7 +176,8 @@ RunResult SyRustDriver::run() {
       LocalGraph = api::buildDependencyGraph(Inst->Db, Inst->Arena, Scratch);
       Graph = &LocalGraph;
     }
-    ApiCov = std::make_unique<coverage::ApiPairCoverage>(*Graph);
+    if (Config.TrackApiCoverage)
+      ApiCov = std::make_unique<coverage::ApiPairCoverage>(*Graph);
   }
 
   SimClock Clock;
@@ -204,6 +206,8 @@ RunResult SyRustDriver::run() {
   Opts.SolverSeed = Config.Seed;
   Opts.Obs = Obs;
   Opts.Compat = Compat.get();
+  Opts.Graph = Graph;
+  Opts.GraphPrune = Config.GraphPrune;
   Synthesizer Synth(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs,
                     Inst->MaxLen, Opts);
   Checker Check(Inst->Arena, Inst->Traits);
@@ -453,6 +457,15 @@ RunResult SyRustDriver::run() {
       Obs->count("compat.cache.base_hits", CS.BaseHits);
       Obs->count("compat.cache.misses", CS.Misses);
     }
+  }
+  if (Obs) {
+    Obs->count("synth.prune.graph_probes", Result.Synth.PruneGraphProbes);
+    Obs->count("synth.prune.fallback_probes",
+               Result.Synth.PruneFallbackProbes);
+    Obs->count("synth.prune.dead_sites", Result.Synth.PruneDeadSites);
+    Obs->count("synth.prune.vars_avoided", Result.Synth.PruneVarsAvoided);
+    Obs->count("synth.prune.clauses_avoided",
+               Result.Synth.PruneClausesAvoided);
   }
   if (ApiCov)
     Result.ApiCoverage = ApiCov->data();

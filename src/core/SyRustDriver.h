@@ -130,6 +130,16 @@ struct RunConfig {
   /// exists for overhead A/B benches.
   bool TrackApiCoverage = true;
 
+  /// Graph-guided encoding pruning: the encoder answers candidate
+  /// probes from the frozen dependency graph's bitset rows (an O(1) bit
+  /// test instead of a CompatCache lookup). The graph's edge set is
+  /// exactly the probe-success set, so program streams and all result
+  /// documents are byte-identical on/off - only throughput and the
+  /// prune.* probe-split counters change (--no-graph-prune is the
+  /// escape hatch for A/B runs). Dead-site elimination in the encoder
+  /// is structural and unaffected by this switch.
+  bool GraphPrune = true;
+
   /// Route compiler diagnostics through the cargo-style JSON channel
   /// (serialize, then parse back) before handing them to refinement -
   /// reproducing the paper's `--message-format=json` executor/synthesizer

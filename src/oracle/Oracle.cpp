@@ -201,9 +201,11 @@ AuditResult syrust::oracle::auditOne(const Session &S,
     Filtered.push_back(P);
   };
 
-  // API-pair coverage of the audited stream: shared frozen graph when
-  // the analysis exists, otherwise a local build against a scratch
-  // cache (never the audit's Compat - its counters mirror a real run's).
+  // The frozen dependency graph serves two consumers: API-pair coverage
+  // of the audited stream and the encoder's graph-guided candidate
+  // probes. Shared graph when the analysis exists, otherwise a local
+  // build against a scratch cache (never the audit's Compat - its
+  // counters mirror a real run's).
   api::DependencyGraph LocalGraph;
   const api::DependencyGraph *Graph;
   if (Analysis) {
@@ -214,6 +216,8 @@ AuditResult syrust::oracle::auditOne(const Session &S,
     Graph = &LocalGraph;
   }
   coverage::ApiPairCoverage ApiCov(*Graph);
+  Opts.Graph = Graph;
+  Opts.GraphPrune = Config.GraphPrune;
 
   int MaxLines = Config.MaxLines > 0
                      ? std::min(Config.MaxLines, Inst->MaxLen)

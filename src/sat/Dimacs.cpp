@@ -76,6 +76,39 @@ DimacsResult syrust::sat::loadDimacs(Solver &S, std::string_view Text) {
       continue;
     }
 
+    if (startsWith(Line, "v ") || Line == "v") {
+      // Solution line ("v 1 -2 0") as modelToDimacs emits; each literal
+      // becomes a unit clause so a saved model can be reloaded and
+      // re-checked. Ids may be sparse (pruned-encoder exports skip
+      // never-assigned variables); missing ids are simply left free.
+      std::string_view Rest = trim(Line.substr(1));
+      const char *P = Rest.data();
+      const char *End = Rest.data() + Rest.size();
+      bool Terminated = false;
+      while (P < End) {
+        char *Next = nullptr;
+        long Val = std::strtol(P, &Next, 10);
+        if (Next == P) {
+          R.Error = format("line %d: expected literal", LineNo);
+          return R;
+        }
+        P = Next;
+        if (Val == 0) {
+          Terminated = true;
+          break;
+        }
+        R.Consistent =
+            S.addClause(fromDimacs(S, Val)) && R.Consistent;
+        ++R.NumModelLits;
+      }
+      if (!Terminated) {
+        R.Error =
+            format("line %d: solution line not terminated by 0", LineNo);
+        return R;
+      }
+      continue;
+    }
+
     if (startsWith(Line, "p ")) {
       if (SawHeader) {
         R.Error = format("line %d: duplicate problem header", LineNo);

@@ -8,8 +8,14 @@
 /// DIMACS CNF parsing and solution printing, so the Sat4J-substitute
 /// solver is usable standalone (debugging synthesis formulas, comparing
 /// against reference solvers). Supports the standard `p cnf V C` header,
-/// comment lines, and an extension line `c atmost k l1 l2 ... 0` /
-/// `c atleast k l1 l2 ... 0` for the native cardinality constraints.
+/// comment lines, an extension line `c atmost k l1 l2 ... 0` /
+/// `c atleast k l1 l2 ... 0` for the native cardinality constraints, and
+/// solution lines `v l1 l2 ... 0` (as modelToDimacs emits), whose
+/// literals are asserted as unit clauses. Solution lines may use sparse
+/// variable ids: an encoder that prunes dead call sites never assigns
+/// their variables, so its exported model simply skips those ids and the
+/// round-trip loadDimacs(modelToDimacs(S)) still reproduces the model on
+/// every mentioned variable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +36,8 @@ struct DimacsResult {
   int NumVars = 0;
   int NumClauses = 0;
   int NumCardinality = 0;
+  /// Literals asserted from solution ("v") lines.
+  int NumModelLits = 0;
   /// False when the formula was proven inconsistent while loading.
   bool Consistent = true;
 };

@@ -19,6 +19,7 @@
 
 #include "sat/Solver.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace syrust::sat {
@@ -26,9 +27,17 @@ namespace syrust::sat {
 /// Streams the models of a solver, blocking each one over a projection set.
 class ModelEnumerator {
 public:
-  /// \p Projection lists the variables whose values define "the same model".
+  /// \p Projection lists the variables whose values define "the same
+  /// model". VarUndef entries are dropped up front: an encoder that
+  /// prunes dead call sites keeps VarUndef placeholders in its variable
+  /// tables, and passing such a table through unfiltered would make
+  /// blockCurrent() probe modelValue(VarUndef) on every block.
   ModelEnumerator(Solver &S, std::vector<Var> Projection)
-      : S(S), Projection(std::move(Projection)) {}
+      : S(S), Projection(std::move(Projection)) {
+    this->Projection.erase(std::remove(this->Projection.begin(),
+                                       this->Projection.end(), VarUndef),
+                           this->Projection.end());
+  }
 
   /// Finds the next model not yet enumerated. Returns false when the
   /// formula is exhausted (or the solver hit its budget; check

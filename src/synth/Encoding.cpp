@@ -33,11 +33,26 @@
 ///     is implied by the larger one and stays harmlessly behind;
 ///   * closure-sensitive - clauses asserting "one of the currently known
 ///     options holds" which would wrongly constrain a grown space
-///     (exactly-one's at-least half, empty-slot ~A, slot at-least,
-///     output V=>triggers, owned-value persistence, redundancy 3): these
-///     carry the negated generation guard and are re-emitted under a
-///     fresh guard each sync; solving assumes the current guard, and a
-///     unit clause retires the previous generation.
+///     (exactly-one's at-least half, slot at-least, output V=>triggers,
+///     owned-value persistence, redundancy 3): these carry the negated
+///     generation guard and are re-emitted under a fresh guard each
+///     sync; solving assumes the current guard, and a unit clause
+///     retires the previous generation.
+///
+/// Dead-site elimination (DESIGN.md 5g): a call site whose required
+/// input slot has zero candidates can never be chosen, so instead of
+/// allocating its A-variable and asserting guarded ~A (the historical
+/// empty-slot clause), the site is simply not materialized - no A, no
+/// U-variables, no per-slot clauses, no joint cross-products. This is a
+/// structural decision taken identically in both GraphPrune modes (probe
+/// answers are arm-independent), so the solver-visible formula - and
+/// therefore the CDCL decision sequence and the program stream - cannot
+/// depend on the prune flag. A later sync re-probes dead sites from
+/// scratch and materializes the ones a refinement made fillable; every
+/// clause that references a possibly-dead site either skips it (its A is
+/// structurally false) or, where the site's absence must actively forbid
+/// something (a mutable borrow whose let_mut site is dead), asserts the
+/// guarded negation so revival can retract it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -114,6 +129,49 @@ size_t Encoding::prevSlotCount(int Line, size_t Kk, size_t J) const {
   return PrevSlots[L][Kk][J];
 }
 
+bool Encoding::wasLive(int Line, size_t Kk) const {
+  size_t L = static_cast<size_t>(Line);
+  return L < PrevHadA.size() && Kk < PrevHadA[L].size() &&
+         PrevHadA[L][Kk] != 0;
+}
+
+bool Encoding::probeUnifiable2(const Type *Ty, const Type *Pattern) const {
+  if (Opts.Compat)
+    return Opts.Compat->unifiable2(Ty, Pattern);
+  Substitution Probe;
+  return unifiable(Ty, Pattern, Probe);
+}
+
+bool Encoding::probeJoint(const Type *T1, const Type *P1, const Type *T2,
+                          const Type *P2) const {
+  if (Opts.Compat)
+    return Opts.Compat->unifiableJoint(T1, P1, T2, P2);
+  Substitution Joint;
+  return unifiable(T1, P1, Joint) && unifiable(T2, P2, Joint);
+}
+
+bool Encoding::probeFeeds(ApiId Producer, const Type *Ty, size_t Kk,
+                          size_t J) {
+  // Third probe arm: the frozen dependency graph holds the precomputed
+  // answer for (base producer, base consumer, slot) triples - one bit
+  // test instead of a cache lookup. Producer-less types (template
+  // inputs, builtin-derived) and refinement-added APIs (ids past the
+  // graph's node set - the run-local overlay the frozen graph does not
+  // cover) fall back to the cache/direct arm. All arms agree by
+  // construction: the graph's edge set is exactly the probe-success set
+  // over the same "a<ApiId>" renaming (DESIGN.md 5g), so this split
+  // cannot change which candidates exist.
+  if (Opts.GraphPrune && Opts.Graph && Producer != ApiIdInvalid &&
+      static_cast<size_t>(Producer) < Opts.Graph->numNodes() &&
+      static_cast<size_t>(Active[Kk]) < Opts.Graph->numNodes()) {
+    ++Prune.GraphProbes;
+    return Opts.Graph->hasEdge(Producer, Active[Kk],
+                               static_cast<int>(J));
+  }
+  ++Prune.FallbackProbes;
+  return probeUnifiable2(Ty, RenIn[Kk][J]);
+}
+
 void Encoding::addGuarded(std::vector<Lit> Lits) {
   if (Gen != sat::VarUndef)
     Lits.push_back(mkLit(Gen, true));
@@ -143,9 +201,12 @@ void Encoding::sync() {
   for (size_t X = 0; X < VarTypes.size(); ++X)
     PrevTypes[X].insert(VarTypes[X].begin(), VarTypes[X].end());
   PrevSlots.assign(Sites.size(), {});
+  PrevHadA.assign(Sites.size(), {});
   for (size_t I = 0; I < Sites.size(); ++I) {
     PrevSlots[I].resize(Sites[I].size());
+    PrevHadA[I].resize(Sites[I].size());
     for (size_t Kk = 0; Kk < Sites[I].size(); ++Kk) {
+      PrevHadA[I][Kk] = Sites[I][Kk].A != sat::VarUndef;
       PrevSlots[I][Kk].resize(Sites[I][Kk].Slots.size());
       for (size_t J = 0; J < Sites[I][Kk].Slots.size(); ++J)
         PrevSlots[I][Kk][J] = Sites[I][Kk].Slots[J].size();
@@ -211,8 +272,11 @@ void Encoding::buildTypeUniverse() {
   // ones, which is why the sync snapshots are per-variable type *sets*.
   int K = static_cast<int>(Inputs.size());
   VarTypes.assign(static_cast<size_t>(K + NumLines), {});
-  for (int X = 0; X < K; ++X)
+  VarProducers.assign(static_cast<size_t>(K + NumLines), {});
+  for (int X = 0; X < K; ++X) {
     VarTypes[static_cast<size_t>(X)] = {Inputs[static_cast<size_t>(X)].Ty};
+    VarProducers[static_cast<size_t>(X)] = {ApiIdInvalid};
+  }
 
   // Types available strictly before each line, grown monotonically.
   std::vector<const Type *> Avail;
@@ -226,30 +290,38 @@ void Encoding::buildTypeUniverse() {
 
   for (int I = 0; I < NumLines; ++I) {
     std::vector<const Type *> OutTys;
+    std::vector<ApiId> OutProds;
     std::set<const Type *> OutSeen;
-    auto AddOut = [&](const Type *Ty) {
-      if (OutSeen.insert(Ty).second)
+    // Producer recorded per type at zero probe cost; the dedup keeps
+    // the first producer, which is enough - equal interned outputs give
+    // equal probe answers whichever producer keys the graph row.
+    auto AddOut = [&](const Type *Ty, ApiId Producer) {
+      if (OutSeen.insert(Ty).second) {
         OutTys.push_back(Ty);
+        OutProds.push_back(Producer);
+      }
     };
     for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
       const ApiSig &Sig = Db.get(Active[Kk]);
       if (Sig.Builtin == BuiltinKind::None) {
-        AddOut(RenOut[Kk]);
+        AddOut(RenOut[Kk], Active[Kk]);
         continue;
       }
-      // Builtins derive their output from the chosen argument type.
+      // Builtins derive their output from the chosen argument type;
+      // those types have no frozen-graph producer and take the
+      // fallback probe arm.
       for (const Type *Ty : Avail) {
         if (Ty->isRef())
           continue; // Encoder restriction: builtins act on non-refs.
         switch (Sig.Builtin) {
         case BuiltinKind::LetMut:
-          AddOut(Ty);
+          AddOut(Ty, ApiIdInvalid);
           break;
         case BuiltinKind::Borrow:
-          AddOut(Arena.ref(Ty, /*Mutable=*/false));
+          AddOut(Arena.ref(Ty, /*Mutable=*/false), ApiIdInvalid);
           break;
         case BuiltinKind::BorrowMut:
-          AddOut(Arena.ref(Ty, /*Mutable=*/true));
+          AddOut(Arena.ref(Ty, /*Mutable=*/true), ApiIdInvalid);
           break;
         case BuiltinKind::None:
           break;
@@ -257,6 +329,7 @@ void Encoding::buildTypeUniverse() {
       }
     }
     VarTypes[static_cast<size_t>(K + I)] = OutTys;
+    VarProducers[static_cast<size_t>(K + I)] = OutProds;
     for (const Type *Ty : OutTys)
       AddAvail(Ty);
   }
@@ -272,38 +345,83 @@ void Encoding::buildCallSites() {
     for (size_t Kk = 0; Kk < Active.size(); ++Kk) {
       const ApiSig &Sig = Db.get(Active[Kk]);
       CallSite &Site = LineSites[Kk];
-      bool NewSite = Kk >= PrevActive;
-      if (NewSite) {
-        Site.A = Solver.newVar();
-        Site.Slots.resize(Sig.Inputs.size());
-      }
-      for (size_t J = 0; J < Sig.Inputs.size(); ++J) {
-        const Type *Pattern = RenIn[Kk][J];
+
+      // Candidates of slot J not yet encoded, in the canonical (X, Ty)
+      // order, with U unallocated. NewOnly restricts to (var, type)
+      // pairs new this sync - the live-site incremental append.
+      auto Probe = [&](size_t J, bool NewOnly,
+                       std::vector<Candidate> &Out) {
         for (int X = 0; X < K + I; ++X) {
-          for (const Type *Ty : VarTypes[static_cast<size_t>(X)]) {
-            if (!NewSite && !isNewType(X, Ty))
+          const std::vector<const Type *> &Tys =
+              VarTypes[static_cast<size_t>(X)];
+          for (size_t Ti = 0; Ti < Tys.size(); ++Ti) {
+            const Type *Ty = Tys[Ti];
+            if (NewOnly && !isNewType(X, Ty))
               continue; // Candidate already encoded.
             if (Sig.Builtin != BuiltinKind::None && Ty->isRef())
               continue; // Builtins act on non-reference values.
             if (Opts.SemanticAware &&
                 Sig.Builtin == BuiltinKind::BorrowMut && X < K)
               continue; // Template bindings are immutable (no `mut`).
-            bool Feeds;
-            if (Opts.Compat) {
-              Feeds = Opts.Compat->unifiable2(Ty, Pattern);
-            } else {
-              Substitution Probe;
-              Feeds = unifiable(Ty, Pattern, Probe);
-            }
-            if (!Feeds)
+            if (!probeFeeds(VarProducers[static_cast<size_t>(X)][Ti], Ty,
+                            Kk, J))
               continue;
             Candidate C;
             C.Var = X;
             C.Ty = Ty;
+            Out.push_back(C);
+          }
+        }
+      };
+
+      if (Site.A != sat::VarUndef) {
+        // Live site: append the candidates this sync introduced.
+        for (size_t J = 0; J < Sig.Inputs.size(); ++J) {
+          std::vector<Candidate> Added;
+          Probe(J, /*NewOnly=*/true, Added);
+          for (Candidate &C : Added) {
             C.U = Solver.newVar();
             Site.Slots[J].push_back(C);
             ++TotalCandidates;
           }
+        }
+        continue;
+      }
+
+      // Fresh site (new API, or dead on every sync so far): probe every
+      // slot into temporaries first, bailing at the first unfillable
+      // one. An API with an empty input slot can never be called, so
+      // materializing it would only grow the formula with always-false
+      // structure - skip the A-variable, the U-variables, and every
+      // downstream clause (dead-site elimination; identical in both
+      // prune modes, see the file comment).
+      std::vector<std::vector<Candidate>> Tmp(Sig.Inputs.size());
+      bool Alive = true;
+      size_t ProbedSlots = 0;
+      for (size_t J = 0; J < Sig.Inputs.size() && Alive; ++J) {
+        Probe(J, /*NewOnly=*/false, Tmp[J]);
+        ++ProbedSlots;
+        if (Tmp[J].empty())
+          Alive = false;
+      }
+      if (!Alive) {
+        size_t Cands = 0;
+        for (const std::vector<Candidate> &T : Tmp)
+          Cands += T.size();
+        ++Prune.DeadSites;
+        Prune.VarsAvoided += 1 + Cands;
+        Prune.ClausesAvoided += 2 * Cands + 2 * ProbedSlots;
+        continue; // Site stays dead; the next sync re-probes it.
+      }
+      // Materialize in the historical order: A first, then the slot-
+      // major U sequence.
+      Site.A = Solver.newVar();
+      Site.Slots.assign(Sig.Inputs.size(), {});
+      for (size_t J = 0; J < Sig.Inputs.size(); ++J) {
+        for (Candidate &C : Tmp[J]) {
+          C.U = Solver.newVar();
+          Site.Slots[J].push_back(C);
+          ++TotalCandidates;
         }
       }
     }
@@ -337,28 +455,36 @@ void Encoding::buildContextConstraints() {
   for (int I = 0; I < NumLines; ++I) {
     std::vector<CallSite> &LineSites = Sites[static_cast<size_t>(I)];
 
-    // Exactly one API per line. The at-most half is monotone (re-emit on
-    // growth; the superseded smaller card is implied by the larger); the
-    // at-least half is closure-sensitive and rides the generation guard.
+    // Exactly one API per line, over the *live* sites only - dead-
+    // eliminated sites have no A-variable, and their absence is exactly
+    // what shrinks the formula. The at-most half is monotone (re-emit
+    // when this line's live set grew); the at-least half is closure-
+    // sensitive and rides the generation guard. A line with zero live
+    // sites yields the empty guarded clause: the length is impossible
+    // this generation, the same verdict the historical per-site
+    // forced-false As produced.
     std::vector<Lit> ALits;
-    for (CallSite &Site : LineSites)
-      ALits.push_back(mkLit(Site.A));
-    if (Active.size() > PrevActive)
+    size_t PrevLiveN = 0;
+    for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
+      if (LineSites[Kk].A != sat::VarUndef)
+        ALits.push_back(mkLit(LineSites[Kk].A));
+      if (wasLive(I, Kk))
+        ++PrevLiveN;
+    }
+    if (ALits.size() > PrevLiveN)
       Solver.addAtMost(ALits, 1);
     addGuarded(ALits);
 
-    // Use-variable wiring.
+    // Use-variable wiring. Materialization guarantees every slot of a
+    // live site has at least one candidate (the historical empty-slot
+    // guarded ~A became dead-site elimination).
     for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
       CallSite &Site = LineSites[Kk];
+      if (Site.A == sat::VarUndef)
+        continue; // Dead-eliminated: no variables, no clauses.
       for (size_t J = 0; J < Site.Slots.size(); ++J) {
         std::vector<Candidate> &Slot = Site.Slots[J];
         size_t Prev = prevSlotCount(I, Kk, J);
-        if (Slot.empty()) {
-          // An input cannot be filled: the API is unusable on this line
-          // (until a later refinement adds a candidate - hence guarded).
-          addGuarded({mkLit(Site.A, true)});
-          continue;
-        }
         std::vector<Lit> AtLeast{mkLit(Site.A, true)};
         std::vector<Lit> ULits;
         for (size_t Ci = 0; Ci < Slot.size(); ++Ci) {
@@ -392,14 +518,9 @@ void Encoding::buildContextConstraints() {
               if (C1.Var == C2.Var && !C1.Ty->isPrim() &&
                   !C1.Ty->isSharedRef()) {
                 Compatible = false; // Rule 4: no owned/mut aliasing.
-              } else if (Opts.Compat) {
-                Compatible = Opts.Compat->unifiableJoint(
-                    C1.Ty, RenIn[Kk][J1], C2.Ty, RenIn[Kk][J2]);
               } else {
-                Substitution Joint;
-                Compatible =
-                    unifiable(C1.Ty, RenIn[Kk][J1], Joint) &&
-                    unifiable(C2.Ty, RenIn[Kk][J2], Joint);
+                Compatible = probeJoint(C1.Ty, RenIn[Kk][J1], C2.Ty,
+                                        RenIn[Kk][J2]);
               }
               if (!Compatible)
                 Solver.addClause(mkLit(C1.U, true), mkLit(C2.U, true));
@@ -417,11 +538,13 @@ void Encoding::buildContextConstraints() {
       std::vector<Lit> Triggers;
       std::vector<Lit> NewTriggers;
       for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
+        if (LineSites[Kk].A == sat::VarUndef)
+          continue; // Dead site: no candidates, no triggers.
         const ApiSig &Sig = Db.get(Active[Kk]);
         if (Sig.Builtin == BuiltinKind::None) {
           if (RenOut[Kk] == Ty) {
             Triggers.push_back(mkLit(LineSites[Kk].A));
-            if (Kk >= PrevActive)
+            if (!wasLive(I, Kk))
               NewTriggers.push_back(mkLit(LineSites[Kk].A));
           }
           continue;
@@ -559,25 +682,35 @@ void Encoding::buildSemanticConstraints() {
     for (size_t Kk = 0; Kk < LineSites.size(); ++Kk) {
       const ApiSig &Sig = Db.get(Active[Kk]);
       CallSite &Site = LineSites[Kk];
+      if (Site.A == sat::VarUndef)
+        continue; // Dead-eliminated: no candidates to tie.
       size_t PrevFirstSlot =
           Site.Slots.empty() ? 0 : prevSlotCount(I, Kk, 0);
 
       // Mutable borrows require a `let mut` binding (Section 6.2's
       // assignment-to-mutable builtin exists exactly to enable this).
-      // Additive: only new candidates.
+      // Additive per (candidate, let_mut site) pair - but the defining
+      // line's let_mut site may itself be dead-eliminated, and a later
+      // refinement can revive it. While it is dead the borrow is
+      // impossible (guarded ~U, re-asserted each sync so revival can
+      // retract it); once both ends exist, the implication is emitted
+      // exactly once, when the later of the two appeared.
       if (Sig.Builtin == BuiltinKind::BorrowMut) {
-        for (size_t Ci = PrevFirstSlot; Ci < Site.Slots[0].size(); ++Ci) {
+        for (size_t Ci = 0; Ci < Site.Slots[0].size(); ++Ci) {
           Candidate &C = Site.Slots[0][Ci];
           if (C.Var < K)
             continue; // Filtered at candidate creation.
+          bool CandNew = Ci >= PrevFirstSlot;
           int DefLine = C.Var - K;
           // Find the let_mut site of the defining line.
           for (size_t K2 = 0; K2 < Active.size(); ++K2) {
-            if (Db.get(Active[K2]).Builtin == BuiltinKind::LetMut) {
-              Solver.addClause(
-                  mkLit(C.U, true),
-                  mkLit(Sites[static_cast<size_t>(DefLine)][K2].A));
-            }
+            if (Db.get(Active[K2]).Builtin != BuiltinKind::LetMut)
+              continue;
+            CallSite &Def = Sites[static_cast<size_t>(DefLine)][K2];
+            if (Def.A == sat::VarUndef)
+              addGuarded({mkLit(C.U, true)});
+            else if (CandNew || !wasLive(DefLine, K2))
+              Solver.addClause(mkLit(C.U, true), mkLit(Def.A));
           }
         }
       }
@@ -668,6 +801,8 @@ void Encoding::buildSemanticConstraints() {
           if (Sig.Builtin != BuiltinKind::Borrow &&
               Sig.Builtin != BuiltinKind::BorrowMut)
             continue;
+          if (Sites[static_cast<size_t>(I)][Kk].A == sat::VarUndef)
+            continue; // Dead-eliminated on this line.
           bool Mut = Sig.Builtin == BuiltinKind::BorrowMut;
           size_t Prev = prevSlotCount(I, Kk, 0);
           std::vector<Candidate> &Slot =
@@ -713,24 +848,31 @@ void Encoding::buildRedundancyConstraints() {
       BorrowIdxs.push_back(Kk);
   }
 
-  // (1) No move-to-mutable of an already-mutable variable. Additive.
+  // (1) No move-to-mutable of an already-mutable variable. Additive per
+  // (candidate, defining-line let_mut site) pair; while the defining
+  // line's let_mut site is dead-eliminated the clause is vacuous (that
+  // A is structurally false), so it is emitted when a revival
+  // materializes the site.
   if (LetMutIdx >= 0) {
     for (int I = 0; I < NumLines; ++I) {
+      CallSite &Mover =
+          Sites[static_cast<size_t>(I)][static_cast<size_t>(LetMutIdx)];
+      if (Mover.A == sat::VarUndef)
+        continue; // Dead-eliminated on this line.
       size_t Prev = prevSlotCount(I, static_cast<size_t>(LetMutIdx), 0);
-      std::vector<Candidate> &Slot =
-          Sites[static_cast<size_t>(I)][static_cast<size_t>(LetMutIdx)]
-              .Slots[0];
-      for (size_t Ci = Prev; Ci < Slot.size(); ++Ci) {
+      std::vector<Candidate> &Slot = Mover.Slots[0];
+      for (size_t Ci = 0; Ci < Slot.size(); ++Ci) {
         Candidate &C = Slot[Ci];
         if (C.Var < K)
           continue;
         int DefLine = C.Var - K;
-        Solver.addClause(
-            mkLit(C.U, true),
-            mkLit(Sites[static_cast<size_t>(DefLine)]
-                       [static_cast<size_t>(LetMutIdx)]
-                           .A,
-                  true));
+        CallSite &Def = Sites[static_cast<size_t>(DefLine)]
+                             [static_cast<size_t>(LetMutIdx)];
+        if (Def.A == sat::VarUndef)
+          continue; // A dead let_mut can never be chosen there.
+        if (Ci >= Prev ||
+            !wasLive(DefLine, static_cast<size_t>(LetMutIdx)))
+          Solver.addClause(mkLit(C.U, true), mkLit(Def.A, true));
       }
     }
   }
@@ -746,6 +888,8 @@ void Encoding::buildRedundancyConstraints() {
         for (size_t Kk : BorrowIdxs) {
           if (Db.get(Active[Kk]).Builtin != BuiltinKind::BorrowMut)
             continue;
+          if (Sites[static_cast<size_t>(I)][Kk].A == sat::VarUndef)
+            continue; // Dead-eliminated on this line.
           size_t Prev = prevSlotCount(I, Kk, 0);
           std::vector<Candidate> &Slot =
               Sites[static_cast<size_t>(I)][Kk].Slots[0];
@@ -766,6 +910,8 @@ void Encoding::buildRedundancyConstraints() {
   // is closure-sensitive (later refinements add consumers): guarded.
   for (int I = 0; I < NumLines; ++I) {
     for (size_t Kk : BorrowIdxs) {
+      if (Sites[static_cast<size_t>(I)][Kk].A == sat::VarUndef)
+        continue; // Dead borrow site: nothing is created to use.
       std::vector<Lit> Clause{
           mkLit(Sites[static_cast<size_t>(I)][Kk].A, true)};
       VarId Out = K + I;
@@ -921,7 +1067,11 @@ size_t Encoding::seedBlockedModels(const std::vector<ModelSig> &Sigs) {
         break;
       }
       CallSite &Site = Sites[static_cast<size_t>(I)][It->second];
-      if (Pick.Uses.size() != Site.Slots.size()) {
+      // A dead-eliminated site has no A-variable: the program cannot be
+      // synthesized here, so (like a vanished candidate) the signature
+      // is dropped.
+      if (Site.A == sat::VarUndef ||
+          Pick.Uses.size() != Site.Slots.size()) {
         Mapped = false;
         break;
       }
@@ -1014,6 +1164,10 @@ Program Encoding::decode() const {
       Decl = Arena.ref(Predicted[static_cast<size_t>(S.Args[0])], true);
       break;
     case BuiltinKind::None: {
+      // Deliberately not routed through the probe helpers: this is the
+      // one unification that needs the accumulated substitution (each
+      // argument extends Pred toward the output prediction), not a
+      // boolean compatibility answer.
       Substitution Pred;
       for (size_t J = 0; J < S.Args.size(); ++J) {
         const Type *ArgTy = Predicted[static_cast<size_t>(S.Args[J])];

@@ -47,6 +47,7 @@
 #define SYRUST_SYNTH_ENCODING_H
 
 #include "api/ApiDatabase.h"
+#include "api/DependencyGraph.h"
 #include "obs/Recorder.h"
 #include "program/Program.h"
 #include "sat/Portfolio.h"
@@ -103,6 +104,21 @@ struct SynthOptions {
   /// (core::CrateAnalysis). Cached and direct answers are identical by
   /// construction, so enumeration order does not depend on this setting.
   types::CompatCache *Compat = nullptr;
+  /// Frozen per-crate API dependency graph consulted for producer ->
+  /// consumer slot probes when GraphPrune is on; null always takes the
+  /// Compat/direct fallback. The graph's edge set is by construction
+  /// exactly the set of (producer, consumer, slot) triples whose
+  /// unifiable2 probe succeeds (DESIGN.md 5g), so the graph and
+  /// fallback arms return identical answers and enumeration order does
+  /// not depend on this setting.
+  const api::DependencyGraph *Graph = nullptr;
+  /// Answer candidate probes with Graph's O(1) bitset rows instead of
+  /// CompatCache lookups (--no-graph-prune is the escape hatch). Only
+  /// the probe *mechanism* switches: program streams are byte-identical
+  /// on/off; only throughput and the prune.* probe-split counters
+  /// change. Dead-site elimination is structural and applies in both
+  /// modes.
+  bool GraphPrune = true;
   /// Invoked for every model the Rule 7 path post-check rejects (the
   /// encoder's final verdict on such programs is "reject"). The oracle
   /// replays these through the checker to audit the agreement of the
@@ -113,6 +129,31 @@ struct SynthOptions {
   /// use-after-move programs. The agreement oracle must catch and
   /// minimize the resulting Ownership disagreements.
   bool WeakenConsumptionKills = false;
+};
+
+/// Encoding-build pruning counters. Deterministic: pure functions of
+/// the database snapshot and sync sequence, so campaign aggregation can
+/// sum them in matrix order. The graph/fallback probe split depends on
+/// the GraphPrune setting (that is the point of the A/B); the dead-site
+/// numbers do not - elimination runs in both modes.
+struct PruneStats {
+  /// Probes answered by the dependency graph's bitset rows - each one a
+  /// CompatCache lookup avoided.
+  uint64_t GraphProbes = 0;
+  /// Probes answered by the CompatCache / direct-unification fallback
+  /// (graph off, no frozen producer, or a refinement-added API outside
+  /// the frozen graph's node set).
+  uint64_t FallbackProbes = 0;
+  /// Call sites never materialized because an input slot had zero
+  /// candidates (dead-API elimination).
+  uint64_t DeadSites = 0;
+  /// SAT variables (the A plus every probed U) dead sites would have
+  /// allocated.
+  uint64_t VarsAvoided = 0;
+  /// Lower bound of clauses dead sites would have emitted (U=>A and
+  /// U=>V per candidate plus per-slot cardinalities; joint-compat
+  /// cross-products and semantic clauses are not counted).
+  uint64_t ClausesAvoided = 0;
 };
 
 /// SAT encoding for one (API database snapshot, program length) pair.
@@ -186,6 +227,8 @@ public:
   const sat::PortfolioStats &portfolioStats() const {
     return Solver.portfolioStats();
   }
+  /// Pruning counters accumulated over every sync of this encoding.
+  const PruneStats &pruneStats() const { return Prune; }
 
 private:
   /// One (variable, encoder-type) candidate for an input slot.
@@ -195,7 +238,11 @@ private:
     sat::Var U = sat::VarUndef;
   };
 
-  /// Per (line, api) call-site encoding.
+  /// Per (line, api) call-site encoding. A stays VarUndef - and Slots
+  /// stays empty - for a *dead* site: one whose required input slot had
+  /// zero candidates at every sync so far, eliminated before any of its
+  /// variables or clauses reach the solver. A later sync that makes
+  /// every slot fillable materializes it from scratch.
   struct CallSite {
     sat::Var A = sat::VarUndef;
     /// Candidates per input slot.
@@ -212,6 +259,23 @@ private:
   bool isNewType(program::VarId X, const types::Type *Ty) const;
   /// Candidate count of (line, site, slot) before the current sync.
   size_t prevSlotCount(int Line, size_t Kk, size_t J) const;
+  /// True when site (Line, Kk) was already materialized before the
+  /// current sync (distinguishes revived dead sites and brand-new APIs,
+  /// which need full emission, from live sites, which only append).
+  bool wasLive(int Line, size_t Kk) const;
+  /// The three probe arms behind one face (identical answers each):
+  /// pair compatibility via cache or direct unification...
+  bool probeUnifiable2(const types::Type *Ty,
+                       const types::Type *Pattern) const;
+  /// ...joint two-slot compatibility via cache or a shared direct
+  /// substitution...
+  bool probeJoint(const types::Type *T1, const types::Type *P1,
+                  const types::Type *T2, const types::Type *P2) const;
+  /// ...and the candidate probe "can (X typed Ty, produced by Producer)
+  /// feed slot J of site Kk", answered by the dependency graph's bitset
+  /// when GraphPrune covers the triple and by probeUnifiable2 otherwise.
+  bool probeFeeds(api::ApiId Producer, const types::Type *Ty, size_t Kk,
+                  size_t J);
   /// Adds a closure-sensitive clause under the current generation guard
   /// (plain clause when guards are off).
   void addGuarded(std::vector<sat::Lit> Lits);
@@ -245,6 +309,12 @@ private:
   /// Possible encoder-level types of each variable. Template variables
   /// have exactly one; line outputs one per producible type.
   std::vector<std::vector<const types::Type *>> VarTypes;
+  /// Parallel to VarTypes: the non-builtin API whose renamed output the
+  /// type is (the first producer when several share an interned output -
+  /// any of them keys the same graph row answer), or ApiIdInvalid for
+  /// template inputs and builtin-derived types, which take the fallback
+  /// probe arm. Recomputed with VarTypes at zero probe cost.
+  std::vector<std::vector<api::ApiId>> VarProducers;
 
   /// CallSites[i][k] for line i, Active[k].
   std::vector<std::vector<CallSite>> Sites;
@@ -259,6 +329,10 @@ private:
   /// grows) and candidate counts per slot (slots only ever append).
   std::vector<std::set<const types::Type *>> PrevTypes;
   std::vector<std::vector<std::vector<size_t>>> PrevSlots;
+  /// Which call sites were materialized before this sync (dead sites
+  /// report 0 here AND zero PrevSlots counts, so a revival re-emits
+  /// everything as new).
+  std::vector<std::vector<char>> PrevHadA;
   size_t PrevActive = 0;
 
   /// Generation guard: closure-sensitive clauses carry ~Gen, solving
@@ -278,6 +352,7 @@ private:
   mutable sat::Portfolio Solver;
   size_t VarCount = 0;
   size_t TotalCandidates = 0;
+  PruneStats Prune;
   bool HasModel = false;
 };
 

@@ -82,6 +82,12 @@ void Synthesizer::retireEncoding(std::unique_ptr<Encoding> &E) {
   RetiredRaces += E->portfolioStats().Races;
   RetiredUnsatWins += E->portfolioStats().UnsatWins;
   RetiredCancels += E->portfolioStats().Cancels;
+  const PruneStats &P = E->pruneStats();
+  RetiredPrune.GraphProbes += P.GraphProbes;
+  RetiredPrune.FallbackProbes += P.FallbackProbes;
+  RetiredPrune.DeadSites += P.DeadSites;
+  RetiredPrune.VarsAvoided += P.VarsAvoided;
+  RetiredPrune.ClausesAvoided += P.ClausesAvoided;
   if (Opts.IncrementalRefinement) {
     // Successor encodings replay these; signatures that stop mapping
     // (their API got banned) are unreachable and dropped on replay.
@@ -96,12 +102,18 @@ void Synthesizer::refreshSolverStats() {
   uint64_t Races = RetiredRaces;
   uint64_t UnsatWins = RetiredUnsatWins;
   uint64_t Cancels = RetiredCancels;
+  PruneStats Prune = RetiredPrune;
   auto Absorb = [&](const Encoding &E) {
     Conflicts += E.solverStats().Conflicts;
     Propagations += E.solverStats().Propagations;
     Races += E.portfolioStats().Races;
     UnsatWins += E.portfolioStats().UnsatWins;
     Cancels += E.portfolioStats().Cancels;
+    Prune.GraphProbes += E.pruneStats().GraphProbes;
+    Prune.FallbackProbes += E.pruneStats().FallbackProbes;
+    Prune.DeadSites += E.pruneStats().DeadSites;
+    Prune.VarsAvoided += E.pruneStats().VarsAvoided;
+    Prune.ClausesAvoided += E.pruneStats().ClausesAvoided;
   };
   if (Enc)
     Absorb(*Enc);
@@ -113,6 +125,11 @@ void Synthesizer::refreshSolverStats() {
   Stats.PortfolioRaces = Races;
   Stats.PortfolioUnsatWins = UnsatWins;
   Stats.PortfolioCancels = Cancels;
+  Stats.PruneGraphProbes = Prune.GraphProbes;
+  Stats.PruneFallbackProbes = Prune.FallbackProbes;
+  Stats.PruneDeadSites = Prune.DeadSites;
+  Stats.PruneVarsAvoided = Prune.VarsAvoided;
+  Stats.PruneClausesAvoided = Prune.ClausesAvoided;
 }
 
 bool Synthesizer::solveNext(Encoding &E) {

@@ -85,6 +85,16 @@ struct SynthStats {
   uint64_t PortfolioRaces = 0;
   uint64_t PortfolioUnsatWins = 0;
   uint64_t PortfolioCancels = 0;
+  /// Encoding-build pruning outcomes summed over all encodings this
+  /// synthesizer ever owned (synth::PruneStats). The graph/fallback
+  /// probe split reflects the GraphPrune setting; dead-site elimination
+  /// is structural, so those numbers are identical prune-on/off. All
+  /// deterministic (functions of the database and sync sequence).
+  uint64_t PruneGraphProbes = 0;
+  uint64_t PruneFallbackProbes = 0;
+  uint64_t PruneDeadSites = 0;
+  uint64_t PruneVarsAvoided = 0;
+  uint64_t PruneClausesAvoided = 0;
 };
 
 /// Enumerates candidate programs of increasing length.
@@ -160,6 +170,9 @@ private:
   uint64_t RetiredRaces = 0;
   uint64_t RetiredUnsatWins = 0;
   uint64_t RetiredCancels = 0;
+  /// Prune-stat totals of encodings retired so far (same absorb
+  /// pattern: totals = retired + live encodings).
+  PruneStats RetiredPrune;
 
   SynthStats Stats;
   bool BudgetStop = false;

@@ -140,6 +140,33 @@ TEST_F(GraphFixture, EdgesAreSortedAndDenselyIndexed) {
               static_cast<int>(I));
 }
 
+TEST_F(GraphFixture, BitsetLookupAgreesWithEdgeIndex) {
+  // The encoder's O(1) probe path: hasEdge must answer exactly what the
+  // binary-searched edge list answers, for every triple.
+  ApiId New = addApi("Vec::new", {}, "Vec<T>");
+  ApiId BorrowMut = addApi("borrow_mut", {"T"}, "&mut T");
+  ApiId Push = addApi("Vec::push", {"&mut Vec<T>", "T"}, "()");
+  ApiId Lone = addApi("lone", {"u8"}, "String");
+  (void)New;
+  (void)BorrowMut;
+  (void)Lone;
+  DependencyGraph G = build();
+  for (size_t A = 0; A < Db.size(); ++A)
+    for (size_t B = 0; B < Db.size(); ++B)
+      for (size_t J = 0; J < Db.get(static_cast<ApiId>(B)).Inputs.size();
+           ++J)
+        EXPECT_EQ(G.hasEdge(static_cast<ApiId>(A), static_cast<ApiId>(B),
+                            static_cast<int>(J)),
+                  G.edgeIndex(static_cast<ApiId>(A), static_cast<ApiId>(B),
+                              static_cast<int>(J)) >= 0)
+            << A << " -> " << B << "#" << J;
+  // Dead-API pass support: a slot no output can feed reports no
+  // producer, a fed slot reports at least one.
+  EXPECT_FALSE(G.slotHasProducer(Lone, 0));
+  EXPECT_TRUE(G.slotHasProducer(Push, 0));
+  EXPECT_TRUE(G.slotHasProducer(Push, 1));
+}
+
 //===----------------------------------------------------------------------===//
 // Golden stability on bundled crates.
 //===----------------------------------------------------------------------===//
@@ -200,6 +227,15 @@ TEST(DependencyGraphGoldenTest, EveryEdgeAgreesWithDirectProbes) {
                                 static_cast<ApiId>(B),
                                 static_cast<int>(J));
           EXPECT_EQ(Idx >= 0, Unifies)
+              << Name << ": " << Inst->Db.get(static_cast<ApiId>(A)).Name
+              << " -> " << Inst->Db.get(static_cast<ApiId>(B)).Name << "#"
+              << J;
+          // The O(1) bitset probe the encoder uses must agree too -
+          // that agreement is the pruning-soundness invariant
+          // (DESIGN.md 5g).
+          EXPECT_EQ(G.hasEdge(static_cast<ApiId>(A), static_cast<ApiId>(B),
+                              static_cast<int>(J)),
+                    Unifies)
               << Name << ": " << Inst->Db.get(static_cast<ApiId>(A)).Name
               << " -> " << Inst->Db.get(static_cast<ApiId>(B)).Name << "#"
               << J;

@@ -88,6 +88,58 @@ TEST(DimacsTest, ModelRoundTrip) {
   EXPECT_EQ(modelToDimacs(S), "v 1 -2 0");
 }
 
+TEST(DimacsTest, ModelRoundTripWithSparseIds) {
+  // A pruned-encoder export mentions only the variables the solver ever
+  // assigned; ids 2..4 here are gaps. Reloading the v-line must pin the
+  // mentioned variables and leave the gaps free.
+  Solver S;
+  DimacsResult R = loadDimacs(S, "p cnf 5 0\nv 1 -5 0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.NumModelLits, 2);
+  EXPECT_TRUE(R.Consistent);
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_EQ(S.modelValue(0), Value::True);
+  EXPECT_EQ(S.modelValue(4), Value::False);
+}
+
+TEST(DimacsTest, ModelLineRoundTripsThroughExport) {
+  Solver S;
+  ASSERT_TRUE(loadDimacs(S, "p cnf 3 3\n1 0\n-2 0\n3 0\n").Ok);
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  std::string Exported = modelToDimacs(S);
+
+  Solver T;
+  DimacsResult R = loadDimacs(T, Exported);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(T.solve(), SolveResult::Sat);
+  for (int V = 0; V < S.numVars(); ++V)
+    EXPECT_EQ(T.modelValue(V), S.modelValue(V)) << "var " << V;
+}
+
+TEST(DimacsTest, ModelLineCreatesVarsOnDemand) {
+  Solver S;
+  DimacsResult R = loadDimacs(S, "v -7 0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.NumVars, 7);
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_EQ(S.modelValue(6), Value::False);
+}
+
+TEST(DimacsTest, ContradictoryModelLineIsInconsistent) {
+  Solver S;
+  DimacsResult R = loadDimacs(S, "p cnf 1 1\n1 0\nv -1 0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Consistent);
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(DimacsTest, RejectsUnterminatedModelLine) {
+  Solver S;
+  DimacsResult R = loadDimacs(S, "v 1 -2\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Error.empty());
+}
+
 TEST(DimacsTest, EmptyInputIsTriviallySat) {
   Solver S;
   DimacsResult R = loadDimacs(S, "");

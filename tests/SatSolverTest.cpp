@@ -454,6 +454,21 @@ TEST(EnumerationTest, ExactlyOneYieldsNModels) {
   EXPECT_EQ(Count, 6);
 }
 
+TEST(EnumerationTest, ProjectionIgnoresVarUndefPlaceholders) {
+  // A pruned encoder's variable table keeps VarUndef where a dead call
+  // site would have had its A-variable; the enumerator must filter the
+  // placeholders and still count the real projection's models.
+  Solver S;
+  auto Vars = makeVars(S, 3);
+  std::vector<Var> Projection = {VarUndef, Vars[0], VarUndef, Vars[1],
+                                 Vars[2], VarUndef};
+  ModelEnumerator Enum(S, Projection);
+  int Count = 0;
+  while (Enum.next())
+    ASSERT_LE(++Count, 8);
+  EXPECT_EQ(Count, 8);
+}
+
 TEST(EnumerationTest, ProjectionCollapsesDontCares) {
   // y is unconstrained; projecting on {x} must yield exactly 2 models.
   Solver S;

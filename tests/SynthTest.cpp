@@ -4,9 +4,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/DependencyGraph.h"
 #include "rustsim/Checker.h"
 #include "synth/SeenPrograms.h"
 #include "synth/Synthesizer.h"
+#include "types/CompatCache.h"
 #include "types/TypeParser.h"
 
 #include <gtest/gtest.h>
@@ -565,6 +567,138 @@ TEST(SynthDeterminism, IncrementalMatchesRebuildEmittedSet) {
   EXPECT_EQ(IncSet, RebSet);
   EXPECT_EQ(Inc.DuplicatesSkipped, 0u);
   EXPECT_GT(Reb.DuplicatesSkipped, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Graph-guided encoding pruning
+//===----------------------------------------------------------------------===//
+
+struct PrunedRun {
+  std::vector<uint64_t> Hashes;
+  uint64_t GraphProbes = 0;
+  uint64_t FallbackProbes = 0;
+  uint64_t DeadSites = 0;
+  uint64_t VarsAvoided = 0;
+};
+
+/// The refinement-heavy script of runScriptedRefinement with the frozen
+/// dependency graph wired into the encoder, plus one API ("lone") whose
+/// u8 slot nothing in the universe can feed - a dead site on every line.
+/// Round additions get ids beyond the frozen graph, exercising the
+/// fallback arm.
+PrunedRun runGraphScripted(bool GraphPrune, bool Incremental) {
+  TypeArena Arena;
+  TypeParser Parser{Arena, {}};
+  TraitEnv Traits{Arena};
+  ApiDatabase Db;
+  addBuiltinApis(Db, Arena);
+  auto Add = [&](const std::string &Name, std::vector<std::string> Ins,
+                 const std::string &Out) {
+    ApiSig Sig;
+    Sig.Name = Name;
+    for (const auto &I : Ins)
+      Sig.Inputs.push_back(Parser.parse(I));
+    Sig.Output = Parser.parse(Out);
+    Db.add(std::move(Sig));
+  };
+  Add("f", {"String"}, "Token");
+  Add("g", {"Token"}, "usize");
+  Add("h", {"Vec<String>"}, "usize");
+  Add("lone", {"u8"}, "IoHandle");
+  types::CompatCache Scratch;
+  api::DependencyGraph Graph =
+      api::buildDependencyGraph(Db, Arena, Scratch);
+  std::vector<TemplateInput> Inputs = {{"s", Parser.parse("String")},
+                                       {"v", Parser.parse("Vec<String>")}};
+  SynthOptions Opts;
+  Opts.IncrementalRefinement = Incremental;
+  Opts.Graph = &Graph;
+  Opts.GraphPrune = GraphPrune;
+  Synthesizer Synth(Arena, Traits, Db, Inputs, /*MaxLines=*/3, Opts);
+  PrunedRun Run;
+  for (int Round = 0; Round < 4; ++Round) {
+    for (int K = 0; K < 25; ++K) {
+      auto P = Synth.next();
+      if (!P.has_value())
+        break;
+      Run.Hashes.push_back(P->hash());
+    }
+    Add("r" + std::to_string(Round), {"usize"},
+        "Out" + std::to_string(Round));
+    Synth.notifyDatabaseChanged();
+  }
+  while (auto P = Synth.next())
+    Run.Hashes.push_back(P->hash());
+  Run.GraphProbes = Synth.stats().PruneGraphProbes;
+  Run.FallbackProbes = Synth.stats().PruneFallbackProbes;
+  Run.DeadSites = Synth.stats().PruneDeadSites;
+  Run.VarsAvoided = Synth.stats().PruneVarsAvoided;
+  return Run;
+}
+
+TEST(SynthGraphPrune, StreamIdenticalPruneOnAndOff) {
+  PrunedRun On = runGraphScripted(true, true);
+  PrunedRun Off = runGraphScripted(false, true);
+  ASSERT_FALSE(On.Hashes.empty());
+  // The invariant behind --no-graph-prune: the graph's edge set is the
+  // probe-success set, so the emitted stream is identical in ORDER, not
+  // just as a set.
+  EXPECT_EQ(On.Hashes, Off.Hashes);
+  // The probe split shows the switch took effect...
+  EXPECT_GT(On.GraphProbes, 0u);
+  EXPECT_EQ(Off.GraphProbes, 0u);
+  EXPECT_GT(Off.FallbackProbes, 0u);
+  // ...and the probe population is identical: every probe the off mode
+  // computes, the on mode answers from the graph or the fallback arm.
+  EXPECT_EQ(On.GraphProbes + On.FallbackProbes, Off.FallbackProbes);
+  // Dead-site elimination is structural, identical in both modes.
+  EXPECT_GT(On.DeadSites, 0u);
+  EXPECT_EQ(On.DeadSites, Off.DeadSites);
+  EXPECT_EQ(On.VarsAvoided, Off.VarsAvoided);
+}
+
+TEST(SynthGraphPrune, ExtendMatchesFreshPrunedRebuildSet) {
+  // extendForDatabaseChange() after the additive rounds must leave the
+  // pruned encoder with the same emitted set a fresh pruned rebuild
+  // enumerates (order may differ between the paths; the incremental one
+  // must stay duplicate-free without the hash net's help).
+  PrunedRun Inc = runGraphScripted(true, true);
+  PrunedRun Reb = runGraphScripted(true, false);
+  ASSERT_FALSE(Inc.Hashes.empty());
+  std::set<uint64_t> IncSet(Inc.Hashes.begin(), Inc.Hashes.end());
+  std::set<uint64_t> RebSet(Reb.Hashes.begin(), Reb.Hashes.end());
+  EXPECT_EQ(IncSet.size(), Inc.Hashes.size());
+  EXPECT_EQ(IncSet, RebSet);
+}
+
+TEST_F(SynthFixture, DeadLengthRevivalWithPrunedEncodings) {
+  // The mk;eat prefix exhausts below length 3; gulp (added after the
+  // graph froze, so answered by the fallback arm) revives the dormant
+  // length. Revival must re-probe dead sites from scratch - "eat"'s
+  // line-2 site materializes only now.
+  addApi("mk", {"String"}, "Token");
+  addApi("eat", {"Token"}, "usize");
+  types::CompatCache Scratch;
+  api::DependencyGraph Graph =
+      api::buildDependencyGraph(Db, Arena, Scratch);
+  SynthOptions Opts;
+  Opts.InterleaveLengths = true;
+  Opts.Graph = &Graph;
+  Opts.GraphPrune = true;
+  Synthesizer Synth(Arena, Traits, Db, vecTemplate(), 3, Opts);
+  size_t MaxLen = 0;
+  while (auto P = Synth.next())
+    MaxLen = std::max(MaxLen, P->Stmts.size());
+  EXPECT_LT(MaxLen, 3u);
+  addApi("gulp", {"usize"}, "u8");
+  Synth.notifyDatabaseChanged();
+  bool SawLen3 = false;
+  while (auto P = Synth.next())
+    SawLen3 |= P->Stmts.size() == 3;
+  EXPECT_TRUE(SawLen3);
+  EXPECT_GE(Synth.stats().DeadLengthRevivals, 1u);
+  EXPECT_GT(Synth.stats().PruneGraphProbes, 0u);
+  EXPECT_GT(Synth.stats().PruneFallbackProbes, 0u);
 }
 
 TEST_F(SynthFixture, NoDuplicateProgramsAcrossFullEnumeration) {
