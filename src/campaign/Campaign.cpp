@@ -56,6 +56,16 @@ bool syrust::campaign::applyVariant(const std::string &Name,
     Config.GraphPrune = false; // A/B against graph-guided probes.
     return true;
   }
+  if (Name == "coverage-bias") {
+    // Coverage-guided enumeration bias. Unlike the variants above, this
+    // deliberately *changes* the emitted stream (see DESIGN.md 5h). The
+    // biased episode leg only exists in interleaved mode, so the variant
+    // forces it on; TrackApiCoverage is the RunConfig default and is
+    // required by validate().
+    Config.BiasCoverage = true;
+    Config.InterleaveLengths = true;
+    return true;
+  }
   return false;
 }
 
@@ -87,7 +97,8 @@ CampaignSpec::validate(const Session &S) const {
                        V +
                        "'; known: base, no-semantic, eager, lazy, "
                        "interleave, mutate-inputs, no-incremental, "
-                       "no-compat-cache, portfolio");
+                       "no-compat-cache, portfolio, no-graph-prune, "
+                       "coverage-bias");
   }
   if (Jobs < 1)
     Errors.push_back("CampaignSpec.Jobs must be at least 1, got " +

@@ -181,6 +181,7 @@ CampaignResult CampaignRunner::run() {
   // jobs as they appear.
   for (const std::string &Crate : Spec.Crates)
     Result.ApiCoverage.emplace_back(Crate, coverage::ApiCoverageData());
+  uint64_t MergeConflicts = 0;
   for (const CampaignJobResult &JR : Result.Jobs) {
     const RunResult &R = JR.Result;
     Result.Totals.Synthesized += R.Synthesized;
@@ -193,10 +194,16 @@ CampaignResult CampaignRunner::run() {
       Result.Totals.ByCategory[Cat] += N;
     for (auto &[Crate, Data] : Result.ApiCoverage)
       if (Crate == JR.Job.Crate) {
-        Data.mergeFrom(R.ApiCoverage);
+        if (Data.mergeFrom(R.ApiCoverage))
+          ++MergeConflicts;
         break;
       }
   }
+  // A conflict means covered bits were discarded; record it where every
+  // other anomaly counter lives. Added only when nonzero so clean
+  // aggregates keep their exact pre-existing key set.
+  if (MergeConflicts)
+    Result.MergedCounters["coverage.api.merge_conflicts"] += MergeConflicts;
 
   // Per-stage totals: preloaded cells' recorded deltas plus each live
   // worker's final counters. Integer sums commute, so the totals cannot

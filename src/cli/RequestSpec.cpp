@@ -164,6 +164,15 @@ const OptionDef Options[] = {
        runConfigOf(S)->TrackApiCoverage = false;
        return std::string();
      }},
+    {"--bias-coverage", VRun | VCampaign, OptionDef::Flag_,
+     [](RequestSpec &S, const std::string &, double) {
+       // Forces interleaved mode: the biased episode leg replaces the
+       // round-robin length rotation, which only exists interleaved.
+       core::RunConfig *C = runConfigOf(S);
+       C->BiasCoverage = true;
+       C->InterleaveLengths = true;
+       return std::string();
+     }},
 
     // Run-only variants and toggles.
     {"--no-semantic", VRun, OptionDef::Flag_,
@@ -684,7 +693,8 @@ std::string syrust::cli::usageText() {
          "                  [--log-tests N] [--json-errors] [--json]\n"
          "                  [--trace-out FILE] [--metrics-out FILE] "
          "[--trace-wall]\n"
-         "                  [--coverage-out FILE] [--no-api-coverage]\n"
+         "                  [--coverage-out FILE] [--no-api-coverage] "
+         "[--bias-coverage]\n"
          "                  [--connect SOCKET]\n"
          "       syrust campaign [--crates all|a,b,c] [--seeds N[..M]]\n"
          "                  [--variants v1,v2] [--jobs N] [--budget N]\n"
@@ -695,7 +705,8 @@ std::string syrust::cli::usageText() {
          "[--solve-budget N]\n"
          "                  [--out DIR] [--trace] [--coverage-out FILE] "
          "[--no-api-coverage]\n"
-         "                  [--checkpoint FILE] [--connect SOCKET]\n"
+         "                  [--bias-coverage] [--checkpoint FILE] "
+         "[--connect SOCKET]\n"
          "       syrust audit [--crates all|a,b,c] [--seeds N[..M]]\n"
          "                  [--apis N] [--max-lines N] [--max-models N]\n"
          "                  [--jobs N] [--no-compat-cache] "

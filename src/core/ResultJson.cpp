@@ -178,6 +178,12 @@ json::Value syrust::core::resultToJson(const RunResult &R,
   Synth.set("prune_clauses_avoided",
             Value::integer(
                 static_cast<int64_t>(R.Synth.PruneClausesAvoided)));
+  Synth.set("bias_picks",
+            Value::integer(static_cast<int64_t>(R.Synth.BiasPicks)));
+  Synth.set("bias_new_edges",
+            Value::integer(static_cast<int64_t>(R.Synth.BiasNewEdges)));
+  Synth.set("bias_decays",
+            Value::integer(static_cast<int64_t>(R.Synth.BiasDecays)));
   if (Opts.HostWallTime) {
     Synth.set("build_wall_seconds", Value::number(R.Synth.BuildSeconds));
     Synth.set("solve_wall_seconds", Value::number(R.Synth.SolveSeconds));
@@ -420,6 +426,9 @@ bool syrust::core::resultFromJson(const Value &V, RunResult &Out,
     Out.Synth.PruneDeadSites = S.u64("prune_dead_sites");
     Out.Synth.PruneVarsAvoided = S.u64("prune_vars_avoided");
     Out.Synth.PruneClausesAvoided = S.u64("prune_clauses_avoided");
+    Out.Synth.BiasPicks = S.u64("bias_picks");
+    Out.Synth.BiasNewEdges = S.u64("bias_new_edges");
+    Out.Synth.BiasDecays = S.u64("bias_decays");
     // Wall-time diagnostics are optional (campaign aggregates strip
     // them); absent means zero.
     if (Synth->has("build_wall_seconds"))
@@ -472,6 +481,7 @@ json::Value syrust::core::runConfigToJson(const RunConfig &C) {
   V.set("use_compat_cache", Value::boolean(C.UseCompatCache));
   V.set("track_api_coverage", Value::boolean(C.TrackApiCoverage));
   V.set("graph_prune", Value::boolean(C.GraphPrune));
+  V.set("bias_coverage", Value::boolean(C.BiasCoverage));
   V.set("json_error_channel", Value::boolean(C.JsonErrorChannel));
   V.set("record_tests",
         Value::integer(static_cast<int64_t>(C.RecordTests)));

@@ -68,6 +68,11 @@ std::vector<std::string> RunConfig::validate() const {
     Errors.push_back("RunConfig.Strategy '" + Strategy +
                      "' is not a known solver strategy (known: " +
                      sat::knownStrategyNames() + ")");
+  if (BiasCoverage && !TrackApiCoverage)
+    Errors.push_back(
+        "RunConfig.BiasCoverage requires TrackApiCoverage: bias reads "
+        "never-covered edges live from the coverage bitsets "
+        "(drop --no-api-coverage or --bias-coverage)");
   return Errors;
 }
 
@@ -101,6 +106,54 @@ std::vector<ApiId> syrust::core::selectApiSubset(
       continue;
     Selected.push_back(Id);
   }
+  // --bias-coverage leg: a never-covered edge is only coverable when
+  // BOTH endpoints make the cut, so each draw multiplies the paper's
+  // base weight by 1 + the candidate's never-covered edges into the
+  // set selected so far (self-edges included). Recomputing per pick
+  // grows a connected subset around realizable gaps instead of a bag
+  // of isolated hubs. Integer-valued counts (times the exact 1.5
+  // unsafe boost) keep the weighted draw bit-exact across platforms -
+  // no libm, no rounding divergence.
+  const std::vector<api::DependencyEdge> *BiasEdges = nullptr;
+  std::vector<char> InSelected;
+  if (Opts.Graph) {
+    BiasEdges = &Opts.Graph->edges();
+    InSelected.assign(Db.size(), 0);
+    for (ApiId Id : Selected)
+      InSelected[static_cast<size_t>(Id)] = 1;
+  }
+  auto EdgeCovered = [&](size_t EdgeIdx) {
+    if (!Opts.Coverage)
+      return false;
+    const std::vector<uint8_t> &Bits = Opts.Coverage->EdgeBits;
+    return EdgeIdx / 8 < Bits.size() &&
+           ((Bits[EdgeIdx / 8] >> (EdgeIdx % 8)) & 1) != 0;
+  };
+  auto BiasBoost = [&](ApiId Id) {
+    // 1 + never-covered edges joining Id to Selected or to itself
+    // (capped). On the first draw (nothing selected yet) only
+    // self-edges count, so ties fall back to the paper's base
+    // weighting. The cap matters: an unbounded boost makes the draw
+    // near-deterministic, excluding the same weakly-connected APIs on
+    // every seed - and when the candidate pool barely exceeds
+    // NumApis, systematically starving any API loses its edges
+    // outright while a random exclusion spreads the cost. Capped at
+    // 4:1 the bias nudges the draw without erasing per-seed
+    // diversity.
+    uint64_t Connect = 0;
+    for (size_t I = 0; I < BiasEdges->size(); ++I) {
+      const api::DependencyEdge &E = (*BiasEdges)[I];
+      const bool TouchesId = E.Producer == Id || E.Consumer == Id;
+      if (!TouchesId || EdgeCovered(I))
+        continue;
+      const ApiId Other = E.Producer == Id ? E.Consumer : E.Producer;
+      if (Other == Id || InSelected[static_cast<size_t>(Other)])
+        ++Connect;
+    }
+    if (Connect > 3)
+      Connect = 3;
+    return 1.0 + static_cast<double>(Connect);
+  };
   std::vector<ApiId> Pool;
   for (ApiId Id : Candidates)
     if (!IsSelected(Id))
@@ -108,9 +161,15 @@ std::vector<ApiId> syrust::core::selectApiSubset(
   while (static_cast<int>(Selected.size()) < NumApis && !Pool.empty()) {
     std::vector<double> Weights;
     Weights.reserve(Pool.size());
-    for (ApiId Id : Pool)
-      Weights.push_back(Db.get(Id).HasUnsafe ? 1.5 : 1.0);
+    for (ApiId Id : Pool) {
+      double W = Db.get(Id).HasUnsafe ? 1.5 : 1.0;
+      if (BiasEdges)
+        W *= BiasBoost(Id);
+      Weights.push_back(W);
+    }
     size_t Pick = R.pickWeighted(Weights);
+    if (BiasEdges)
+      InSelected[static_cast<size_t>(Pool[Pick])] = 1;
     Selected.push_back(Pool[Pick]);
     Pool.erase(Pool.begin() + static_cast<long>(Pick));
   }
@@ -119,10 +178,19 @@ std::vector<ApiId> syrust::core::selectApiSubset(
   return Selected;
 }
 
-void SyRustDriver::selectApis(CrateInstance &Inst, Rng &R) const {
+void SyRustDriver::selectApis(CrateInstance &Inst,
+                              const api::DependencyGraph *Graph,
+                              Rng &R) const {
   ApiSelectionOptions Opts;
   Opts.Pinned = Inst.Pinned;
   Opts.NumApis = Config.NumApis;
+  // --bias-coverage: weight the draw by never-covered incident degree.
+  // At run start the coverage document is all-zero, so a null Coverage
+  // (every edge never covered) is exact; campaign workers inherit no
+  // cross-run bits by design - each cell stays a pure function of
+  // (crate, seed, variant).
+  Opts.Graph = Graph;
+  Opts.Coverage = nullptr;
   std::vector<ApiId> Selected = selectApiSubset(Inst.Db, Opts, R);
   // Unselected APIs are disabled for this run (builtins always stay).
   for (size_t I = 0; I < Inst.Db.size(); ++I) {
@@ -158,17 +226,23 @@ RunResult SyRustDriver::run() {
     Compat = std::make_unique<types::CompatCache>(
         Analysis ? &Analysis->baseCache() : nullptr);
   Rng R(Config.Seed ^ std::hash<std::string>{}(Spec->Info.Name));
-  selectApis(*Inst, R);
 
-  // The crate's frozen dependency graph serves two consumers: API-pair
-  // coverage marking and the encoder's graph-guided pruning. With a
-  // shared analysis the graph is precomputed; otherwise build it here
-  // against a scratch cache - never the run's Compat, whose
-  // compat.cache.* counters must reflect only synthesis probes.
+  // The crate's frozen dependency graph serves three consumers: API-pair
+  // coverage marking, the encoder's graph-guided pruning, and (bias mode
+  // only) coverage-weighted API selection. With a shared analysis the
+  // graph is precomputed; otherwise build it here against a scratch
+  // cache - never the run's Compat, whose compat.cache.* counters must
+  // reflect only synthesis probes. Bias mode needs the graph before
+  // selectApis; everyone else acquires it afterwards, exactly where the
+  // bias-off pipeline always built it (buildDependencyGraph ignores
+  // bans, so both orders see identical edges, but arena type-interning
+  // order stays untouched on the bias-off path).
   api::DependencyGraph LocalGraph;
   const api::DependencyGraph *Graph = nullptr;
   std::unique_ptr<coverage::ApiPairCoverage> ApiCov;
-  if (Config.TrackApiCoverage || Config.GraphPrune) {
+  auto AcquireGraph = [&]() {
+    if (Graph)
+      return;
     if (Analysis) {
       Graph = &Analysis->graph();
     } else {
@@ -176,6 +250,13 @@ RunResult SyRustDriver::run() {
       LocalGraph = api::buildDependencyGraph(Inst->Db, Inst->Arena, Scratch);
       Graph = &LocalGraph;
     }
+  };
+  if (Config.BiasCoverage)
+    AcquireGraph();
+  selectApis(*Inst, Config.BiasCoverage ? Graph : nullptr, R);
+
+  if (Config.TrackApiCoverage || Config.GraphPrune) {
+    AcquireGraph();
     if (Config.TrackApiCoverage)
       ApiCov = std::make_unique<coverage::ApiPairCoverage>(*Graph);
   }
@@ -208,6 +289,8 @@ RunResult SyRustDriver::run() {
   Opts.Compat = Compat.get();
   Opts.Graph = Graph;
   Opts.GraphPrune = Config.GraphPrune;
+  Opts.BiasCoverage = Config.BiasCoverage;
+  Opts.BiasSeed = Config.Seed;
   Synthesizer Synth(Inst->Arena, Inst->Traits, Inst->Db, Inst->Inputs,
                     Inst->MaxLen, Opts);
   Checker Check(Inst->Arena, Inst->Traits);
@@ -309,6 +392,9 @@ RunResult SyRustDriver::run() {
     if (ApiCov) {
       const coverage::ApiPairCoverage::MarkDelta Delta =
           ApiCov->markProgram(*P, Inst->Db);
+      if (Config.BiasCoverage)
+        Synth.noteCoverage(static_cast<int>(P->Stmts.size()),
+                           Delta.NewEdges, Clock.now());
       if (Obs) {
         if (Delta.NewNodes)
           Obs->count("coverage.api.nodes_covered", Delta.NewNodes);
@@ -466,6 +552,13 @@ RunResult SyRustDriver::run() {
     Obs->count("synth.prune.vars_avoided", Result.Synth.PruneVarsAvoided);
     Obs->count("synth.prune.clauses_avoided",
                Result.Synth.PruneClausesAvoided);
+    // Only bias runs emit synth.bias.* rows: a bias-off aggregate must
+    // stay byte-identical to the pre-bias pipeline, zero rows included.
+    if (Config.BiasCoverage) {
+      Obs->count("synth.bias.picks", Result.Synth.BiasPicks);
+      Obs->count("synth.bias.new_edges", Result.Synth.BiasNewEdges);
+      Obs->count("synth.bias.decays", Result.Synth.BiasDecays);
+    }
   }
   if (ApiCov)
     Result.ApiCoverage = ApiCov->data();

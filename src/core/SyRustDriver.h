@@ -140,6 +140,19 @@ struct RunConfig {
   /// is structural and unaffected by this switch.
   bool GraphPrune = true;
 
+  /// Coverage-guided enumeration bias (--bias-coverage, off by
+  /// default): API selection weights candidates by their never-covered
+  /// dependency-graph edges, and in interleaved mode the synthesizer
+  /// replaces the round-robin length rotation with a weighted draw
+  /// steered by live coverage feedback (Synthesizer::noteCoverage).
+  /// Unlike GraphPrune this deliberately *changes* the emitted stream -
+  /// that is the point: steer enumeration toward unvisited graph paths
+  /// the way a coverage-guided fuzzer steers mutation. A fixed (crate,
+  /// seed, variant) cell stays byte-identical for any --jobs because
+  /// all re-weighting draws from the run's own Rng and decays on the
+  /// SimClock. Requires TrackApiCoverage (validate() enforces it).
+  bool BiasCoverage = false;
+
   /// Route compiler diagnostics through the cargo-style JSON channel
   /// (serialize, then parse back) before handing them to refinement -
   /// reproducing the paper's `--message-format=json` executor/synthesizer
@@ -239,11 +252,25 @@ struct ApiSelectionOptions {
   std::vector<api::ApiId> Pinned;
   /// Selection budget (Section 6.2 uses 15 per library).
   int NumApis = 15;
+  /// Coverage-bias leg (RunConfig::BiasCoverage): when set, each
+  /// candidate's weight is additionally multiplied by 1 plus its count
+  /// of never-covered incident dependency-graph edges, so well-connected
+  /// APIs whose edges are still unvisited dominate the sample. Null
+  /// keeps the paper's unsafe-only weighting (the bias-off stream is
+  /// untouched by construction).
+  const api::DependencyGraph *Graph = nullptr;
+  /// Live coverage consulted for the never-covered test; null treats
+  /// every edge of Graph as never covered (the start-of-run state).
+  /// Ignored unless Graph is set.
+  const coverage::ApiCoverageData *Coverage = nullptr;
 };
 
 /// Section 6.2's API-subset selection: pinned picks first (deduplicated,
 /// restricted to synthesizable APIs, clamped to the budget), then a
-/// weighted random fill where unsafe-containing APIs get 50% more weight.
+/// weighted random fill where unsafe-containing APIs get 50% more weight
+/// (and, with ApiSelectionOptions::Graph set, a 1 + never-covered-degree
+/// multiplier - the --bias-coverage leg; weights stay integer-or-half
+/// valued doubles, so the draw is exact on every platform).
 /// Never returns more than Opts.NumApis entries or a duplicate. Exposed
 /// as a free function so tests can drive it directly.
 std::vector<api::ApiId> selectApiSubset(const api::ApiDatabase &Db,
@@ -280,7 +307,8 @@ public:
   RunResult run();
 
 private:
-  void selectApis(crates::CrateInstance &Inst, Rng &R) const;
+  void selectApis(crates::CrateInstance &Inst,
+                  const api::DependencyGraph *Graph, Rng &R) const;
 
   const crates::CrateSpec *Spec;
   RunConfig Config;

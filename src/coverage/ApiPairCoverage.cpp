@@ -7,6 +7,7 @@
 #include "coverage/ApiPairCoverage.h"
 
 #include <bit>
+#include <cstdio>
 
 using namespace syrust;
 using namespace syrust::api;
@@ -79,14 +80,26 @@ bool hexToBits(const std::string &Hex, size_t WantBytes,
 uint64_t ApiCoverageData::nodesCovered() const { return popcount(NodeBits); }
 uint64_t ApiCoverageData::edgesCovered() const { return popcount(EdgeBits); }
 
-void ApiCoverageData::mergeFrom(const ApiCoverageData &Other) {
+bool ApiCoverageData::mergeFrom(const ApiCoverageData &Other) {
   if (Other.empty())
-    return;
+    return false;
   if (empty() || NodesTotal != Other.NodesTotal ||
       EdgesTotal != Other.EdgesTotal) {
     // Adopt wholesale: either this side is empty, or the documents come
     // from different graphs and ORing byte-by-byte would scramble bit
-    // offsets. Keep whichever covers the larger graph.
+    // offsets. Keep whichever covers the larger graph. Two non-empty
+    // documents disagreeing is a genuine conflict - the smaller side's
+    // covered bits are discarded, which must not happen silently.
+    const bool Conflict = !empty();
+    if (Conflict)
+      std::fprintf(stderr,
+                   "warning: api_coverage merge conflict: totals "
+                   "%llu/%llu vs %llu/%llu nodes/edges; keeping the "
+                   "larger graph, dropping the other document's bits\n",
+                   static_cast<unsigned long long>(NodesTotal),
+                   static_cast<unsigned long long>(EdgesTotal),
+                   static_cast<unsigned long long>(Other.NodesTotal),
+                   static_cast<unsigned long long>(Other.EdgesTotal));
     if (empty() || Other.EdgesTotal > EdgesTotal) {
       const uint64_t Unmatched = UnmatchedEdges;
       *this = Other;
@@ -98,7 +111,7 @@ void ApiCoverageData::mergeFrom(const ApiCoverageData &Other) {
       Snaps.clear();
       SaturationSeconds = -1;
     }
-    return;
+    return Conflict;
   }
   for (size_t I = 0; I < NodeBits.size(); ++I)
     NodeBits[I] |= Other.NodeBits[I];
@@ -107,6 +120,7 @@ void ApiCoverageData::mergeFrom(const ApiCoverageData &Other) {
   UnmatchedEdges += Other.UnmatchedEdges;
   Snaps.clear();
   SaturationSeconds = -1;
+  return false;
 }
 
 ApiPairCoverage::ApiPairCoverage(const DependencyGraph &Graph) : Graph(Graph) {
@@ -166,8 +180,12 @@ ApiCoverageData ApiPairCoverage::data() const {
     Out.SaturationSeconds = -1;
     return Out;
   }
-  double Saturation = Out.Snaps.front().AtSeconds;
-  uint64_t Best = Out.Snaps.front().EdgesCovered;
+  // Start from the "never improved" sentinel, not the first snapshot's
+  // timestamp: a run that covered zero edges must report -1, not the
+  // time of its first (empty) sample - downstream merges and reports
+  // treat any non-negative value as a real saturation instant.
+  double Saturation = -1;
+  uint64_t Best = 0;
   for (const ApiCoverageSnapshot &S : Out.Snaps) {
     if (S.EdgesCovered > Best) {
       Best = S.EdgesCovered;

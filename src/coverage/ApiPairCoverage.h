@@ -70,10 +70,14 @@ struct ApiCoverageData {
   /// \p Other's totals when this is empty. Totals of two non-empty
   /// documents for the same crate agree by construction (the graph is
   /// frozen); on a mismatch the larger document wins wholesale rather
-  /// than corrupting bit offsets. Snapshots and saturation are dropped -
-  /// only commutative state survives, keeping campaign aggregates
+  /// than corrupting bit offsets - that discards the smaller side's
+  /// covered bits, so the conflict is warned to stderr and reported by
+  /// returning true (callers surface it as the
+  /// coverage.api.merge_conflicts counter). Returns false for every
+  /// clean merge. Snapshots and saturation are dropped - only
+  /// commutative state survives, keeping campaign aggregates
   /// byte-identical for any --jobs.
-  void mergeFrom(const ApiCoverageData &Other);
+  bool mergeFrom(const ApiCoverageData &Other);
 };
 
 /// Marks the bitsets as programs are emitted. Construct per run from the

@@ -167,11 +167,13 @@ AuditRunResult syrust::oracle::runAudit(
   // AuditSpec::Crates name.
   for (const std::string &Crate : Spec.Crates)
     Result.ApiCoverage.emplace_back(Crate, coverage::ApiCoverageData());
+  uint64_t MergeConflicts = 0;
   for (const AuditJobResult &JR : Result.Jobs) {
     const AuditResult &R = JR.Result;
     for (auto &[Crate, Data] : Result.ApiCoverage)
       if (Crate == JR.Job.Crate) {
-        Data.mergeFrom(R.ApiCoverage);
+        if (Data.mergeFrom(R.ApiCoverage))
+          ++MergeConflicts;
         break;
       }
     Result.Totals.ModelsReplayed += R.ModelsReplayed;
@@ -184,6 +186,9 @@ AuditRunResult syrust::oracle::runAudit(
     for (const auto &[Det, N] : R.Expected)
       Result.Totals.Expected[Det] += N;
   }
+  // Nonzero-only, so clean aggregates keep their exact key set.
+  if (MergeConflicts)
+    Result.MergedCounters["coverage.api.merge_conflicts"] += MergeConflicts;
   for (obs::Recorder &Rec : Recorders)
     for (const auto &[Name, C] : Rec.metrics().counters())
       Result.MergedCounters[Name] += C->value();

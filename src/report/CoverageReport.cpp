@@ -9,6 +9,8 @@
 #include "report/Table.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+
 using namespace syrust;
 using namespace syrust::api;
 using namespace syrust::coverage;
@@ -141,14 +143,38 @@ syrust::report::renderApiCoverage(const std::vector<ApiCoverageEntry> &Entries,
                   static_cast<unsigned long long>(Missing),
                   Missing == 1 ? "" : "s");
     if (static_cast<uint64_t>(Opts.TopNeverCovered) < Missing)
-      Out += format(" (showing first %d)", Opts.TopNeverCovered);
+      Out += format(" (top %d by endpoint degree)", Opts.TopNeverCovered);
     Out += "\n";
-    int Shown = 0;
+    // Rank never-covered edges by how connected their endpoints are -
+    // the ones whose APIs sit in the thick of the graph are the most
+    // actionable gaps. The order is fully pinned: stable sort on
+    // descending endpoint-degree sum with the dense edge index (already
+    // unique and ascending within equal keys) as tie-break, so the
+    // listing is byte-identical across platforms and libc qsorts.
     const std::vector<DependencyEdge> &Edges = View.Graph->edges();
-    for (size_t I = 0; I < Edges.size() && Shown < Opts.TopNeverCovered;
-         ++I) {
-      if (bitSet(D.EdgeBits, I))
-        continue;
+    std::vector<uint64_t> Degree(View.Graph->numNodes(), 0);
+    for (const DependencyEdge &Edge : Edges) {
+      ++Degree[static_cast<size_t>(Edge.Producer)];
+      ++Degree[static_cast<size_t>(Edge.Consumer)];
+    }
+    std::vector<size_t> Ranked;
+    for (size_t I = 0; I < Edges.size(); ++I)
+      if (!bitSet(D.EdgeBits, I))
+        Ranked.push_back(I);
+    auto EdgeDegree = [&](size_t I) {
+      return Degree[static_cast<size_t>(Edges[I].Producer)] +
+             Degree[static_cast<size_t>(Edges[I].Consumer)];
+    };
+    std::stable_sort(Ranked.begin(), Ranked.end(),
+                     [&](size_t A, size_t B) {
+                       const uint64_t DA = EdgeDegree(A), DB = EdgeDegree(B);
+                       if (DA != DB)
+                         return DA > DB;
+                       return A < B;
+                     });
+    if (Ranked.size() > static_cast<size_t>(Opts.TopNeverCovered))
+      Ranked.resize(static_cast<size_t>(Opts.TopNeverCovered));
+    for (size_t I : Ranked) {
       const DependencyEdge &Edge = Edges[I];
       const ApiSig &P = View.Db->get(Edge.Producer);
       const ApiSig &C = View.Db->get(Edge.Consumer);
@@ -158,7 +184,6 @@ syrust::report::renderApiCoverage(const std::vector<ApiCoverageEntry> &Entries,
                     C.Inputs[static_cast<size_t>(Edge.Slot)]->str().c_str(),
                     Edge.ByRef ? ", by-ref" : ", by-value",
                     Edge.Generic ? ", generic" : "");
-      ++Shown;
     }
   }
   return Out;

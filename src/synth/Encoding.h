@@ -119,6 +119,19 @@ struct SynthOptions {
   /// change. Dead-site elimination is structural and applies in both
   /// modes.
   bool GraphPrune = true;
+  /// Coverage-guided episode bias (--bias-coverage): in interleaved mode
+  /// the synthesizer replaces the round-robin length rotation with a
+  /// weighted draw from its own deterministic Rng, weighting each live
+  /// length by the new-edge yield the driver feeds back through
+  /// Synthesizer::noteCoverage(). Unlike GraphPrune this deliberately
+  /// *changes* the emitted stream; it stays deterministic per (seed,
+  /// crate) because the bias Rng and the yield decay run on the
+  /// simulated clock, never on host time or scheduling.
+  bool BiasCoverage = false;
+  /// Seed for the bias Rng (the driver passes the run seed). Separate
+  /// from SolverSeed so biased scheduling never perturbs solver
+  /// tie-breaking.
+  uint64_t BiasSeed = 1;
   /// Invoked for every model the Rule 7 path post-check rejects (the
   /// encoder's final verdict on such programs is "reject"). The oracle
   /// replays these through the checker to audit the agreement of the

@@ -18,6 +18,10 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
                                        T0)
       .count();
 }
+
+/// Simulated-time cadence on which --bias-coverage halves the
+/// per-length yield weights, so stale hot streaks fade.
+constexpr double kBiasDecayInterval = 30.0;
 } // namespace
 
 Synthesizer::Synthesizer(types::TypeArena &Arena,
@@ -32,6 +36,11 @@ Synthesizer::Synthesizer(types::TypeArena &Arena,
   // well past typical run sizes.
   Seen.reserve(1 << 16);
   Stats.CurrentLength = 1;
+  if (Opts.BiasCoverage) {
+    LengthYield.assign(static_cast<size_t>(MaxLines), 0);
+    BiasRng.reseed(Opts.BiasSeed);
+    BiasNextDecay = kBiasDecayInterval;
+  }
   if (Opts.InterleaveLengths) {
     LengthEncs.resize(static_cast<size_t>(MaxLines));
     LengthLive.assign(static_cast<size_t>(MaxLines), 1);
@@ -282,11 +291,34 @@ std::optional<Program> Synthesizer::nextSequential() {
   return std::nullopt;
 }
 
+void Synthesizer::noteCoverage(int Length, uint64_t NewEdges,
+                               double NowSeconds) {
+  if (!Opts.BiasCoverage)
+    return;
+  // Decay on the simulated clock, not per call: halving every fixed
+  // interval keeps the weights a pure function of (seed, emission
+  // sequence, sim time), so replays are byte-identical.
+  while (NowSeconds >= BiasNextDecay) {
+    for (uint64_t &Y : LengthYield)
+      Y /= 2;
+    BiasNextDecay += kBiasDecayInterval;
+    ++Stats.BiasDecays;
+  }
+  Stats.BiasNewEdges += NewEdges;
+  if (Length >= 1 && static_cast<size_t>(Length) <= LengthYield.size())
+    LengthYield[static_cast<size_t>(Length - 1)] += NewEdges;
+}
+
 std::optional<Program> Synthesizer::nextInterleaved() {
   // Round-robin across live lengths; a length that proves UNSAT goes
   // dormant but keeps its encoding, so a later database addition can
   // revive it. The rotation pointer persists across calls, so each call
-  // samples the "next" length.
+  // samples the "next" length. With --bias-coverage and any live
+  // yield signal, the rotation is replaced by a weighted draw over the
+  // live lengths: weight 1 plus the length's decayed never-covered-
+  // edge yield, so lengths that recently opened new dependency-graph
+  // territory get solved more often while cold lengths still get a
+  // floor of attention.
   while (!Done) {
     size_t Live = 0;
     for (char L : LengthLive)
@@ -294,6 +326,48 @@ std::optional<Program> Synthesizer::nextInterleaved() {
     if (Live == 0) {
       Done = true;
       return std::nullopt;
+    }
+    if (Opts.BiasCoverage) {
+      std::vector<size_t> LiveIdx;
+      std::vector<double> Weights;
+      LiveIdx.reserve(LengthEncs.size());
+      Weights.reserve(LengthEncs.size());
+      uint64_t TotalYield = 0;
+      for (size_t I = 0; I < LengthEncs.size(); ++I) {
+        if (!LengthLive[I])
+          continue;
+        LiveIdx.push_back(I);
+        TotalYield += LengthYield[I];
+        // Integer-valued doubles only: exact on every platform, so the
+        // draw cannot diverge across compilers or libm versions. The
+        // yield is capped at 8:1 over a cold length - an unbounded
+        // weight concentrates nearly every draw on one length, which
+        // re-enumerates duplicates there while starving the rest.
+        uint64_t Y = LengthYield[I] > 7 ? 7 : LengthYield[I];
+        Weights.push_back(1.0 + static_cast<double>(Y));
+      }
+      // Draw only while there is signal to follow. With every live
+      // yield at zero (cold start, or a long dry spell decayed the
+      // counters away) a weighted draw is just a noisier round-robin,
+      // so fall through to the rotation until coverage speaks again.
+      if (TotalYield > 0) {
+        size_t Idx = LiveIdx[BiasRng.pickWeighted(Weights)];
+        ++Stats.BiasPicks;
+        Encoding *E = LengthEncs[Idx].get();
+        if (!solveNext(*E)) {
+          if (E->budgetExhausted()) {
+            BudgetStop = true;
+            LengthUnknown[Idx] = 1;
+          }
+          LengthLive[Idx] = 0;
+          continue;
+        }
+        Stats.CurrentLength = E->numLines();
+        Program P = E->decode();
+        if (acceptProgram(P))
+          return P;
+        continue; // Rejected or duplicate: redraw.
+      }
     }
     for (size_t Tried = 0; Tried < LengthEncs.size(); ++Tried) {
       size_t Idx = Rotation % LengthEncs.size();

@@ -32,6 +32,7 @@
 #ifndef SYRUST_SYNTH_SYNTHESIZER_H
 #define SYRUST_SYNTH_SYNTHESIZER_H
 
+#include "support/Rng.h"
 #include "synth/Encoding.h"
 #include "synth/SeenPrograms.h"
 
@@ -95,6 +96,15 @@ struct SynthStats {
   uint64_t PruneDeadSites = 0;
   uint64_t PruneVarsAvoided = 0;
   uint64_t PruneClausesAvoided = 0;
+  /// Coverage-guided bias outcomes (all zero with BiasCoverage off).
+  /// BiasPicks counts weighted length draws that replaced a round-robin
+  /// rotation step; BiasNewEdges sums the never-covered-edge yield the
+  /// driver fed back through noteCoverage(); BiasDecays counts the
+  /// SimClock-driven halvings of the per-length yield weights. All
+  /// deterministic: functions of the seed and the simulated clock.
+  uint64_t BiasPicks = 0;
+  uint64_t BiasNewEdges = 0;
+  uint64_t BiasDecays = 0;
 };
 
 /// Enumerates candidate programs of increasing length.
@@ -113,6 +123,15 @@ public:
   /// replay the blocked models. Additions also revive exhausted lengths
   /// (interleaved mode), since new instances can unlock them.
   void notifyDatabaseChanged();
+
+  /// Coverage feedback for --bias-coverage: the driver reports how many
+  /// never-covered dependency-graph edges the last emitted program of
+  /// \p Length newly covered, at simulated time \p NowSeconds. The
+  /// per-length yield weights steer subsequent interleaved length draws
+  /// and decay by halving on a fixed simulated-time cadence, so a
+  /// length's hot streak fades instead of monopolizing the schedule
+  /// forever. A no-op unless SynthOptions::BiasCoverage is set.
+  void noteCoverage(int Length, uint64_t NewEdges, double NowSeconds);
 
   const SynthStats &stats() const { return Stats; }
 
@@ -150,6 +169,15 @@ private:
   /// which only an actual proof would let us skip.
   std::vector<char> LengthUnknown;
   size_t Rotation = 0;
+  /// --bias-coverage state: one never-covered-edge yield weight per
+  /// length (same indexing as LengthEncs), the dedicated bias Rng, and
+  /// the next simulated-time decay boundary. The Rng is separate from
+  /// the solver's so biased scheduling cannot perturb solver
+  /// tie-breaking, and the decay runs on the SimClock so a fixed
+  /// (crate, seed) cell replays byte-identically at any --jobs.
+  std::vector<uint64_t> LengthYield;
+  Rng BiasRng;
+  double BiasNextDecay = 0;
   /// The last-resort duplicate net: hash lookups verified against stored
   /// canonical program keys, so a 64-bit collision cannot silently drop
   /// a distinct program.

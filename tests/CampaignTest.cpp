@@ -125,6 +125,16 @@ TEST(RunConfigValidateTest, ReportsEveryProblemAtOnce) {
   EXPECT_EQ(C.validate().size(), 3u);
 }
 
+TEST(RunConfigValidateTest, RejectsBiasWithoutCoverageTracking) {
+  RunConfig C;
+  C.BiasCoverage = true;
+  EXPECT_TRUE(C.validate().empty()); // Tracking is on by default.
+  C.TrackApiCoverage = false;
+  std::vector<std::string> E = C.validate();
+  ASSERT_EQ(E.size(), 1u);
+  EXPECT_TRUE(contains(E, "BiasCoverage requires TrackApiCoverage"));
+}
+
 //===----------------------------------------------------------------------===//
 // CampaignSpec::validate.
 //===----------------------------------------------------------------------===//
@@ -166,6 +176,10 @@ TEST(CampaignSpecValidateTest, RejectsUnknownVariant) {
   std::vector<std::string> E = Spec.validate(S);
   EXPECT_TRUE(contains(E, "unknown variant 'turbo'"));
   EXPECT_TRUE(contains(E, "known: base, no-semantic, eager"));
+  // The known-variants list must track the full applyVariant vocabulary
+  // (it used to silently omit no-graph-prune).
+  EXPECT_TRUE(contains(E, "no-graph-prune"));
+  EXPECT_TRUE(contains(E, "coverage-bias"));
 }
 
 TEST(CampaignSpecValidateTest, RejectsNonPositiveJobs) {
@@ -222,6 +236,11 @@ TEST(CampaignTest, ApplyVariantCoversTheVocabulary) {
   EXPECT_TRUE(C.MutateInputs);
   EXPECT_TRUE(applyVariant("no-incremental", C));
   EXPECT_FALSE(C.IncrementalRefinement);
+  RunConfig Bias;
+  EXPECT_TRUE(applyVariant("coverage-bias", Bias));
+  EXPECT_TRUE(Bias.BiasCoverage);
+  EXPECT_TRUE(Bias.InterleaveLengths); // The biased leg is interleaved.
+  EXPECT_TRUE(Bias.validate().empty());
   EXPECT_FALSE(applyVariant("turbo", C));
 }
 
@@ -330,6 +349,54 @@ TEST(CampaignTest, AggregateDocumentShape) {
   EXPECT_EQ(Cov.at(0).get("crate").asString(), "slab");
   EXPECT_GT(
       Cov.at(0).get("api_coverage").get("edges_covered").asInt(), 0);
+}
+
+TEST(CampaignTest, SaturationSentinelSurvivesRunDocumentRoundTrip) {
+  // A run that tracked coverage but never covered an edge carries the
+  // -1 "never saturated" sentinel. The full run-document round trip
+  // (serialize -> dump -> parse -> resultFromJson) must preserve it -
+  // no path may revive it as a real timestamp.
+  RunResult R;
+  R.Crate = "slab";
+  R.ApiCoverage.NodesTotal = 5;
+  R.ApiCoverage.EdgesTotal = 9;
+  R.ApiCoverage.NodeBits.assign(1, 0);
+  R.ApiCoverage.EdgeBits.assign(2, 0);
+  R.ApiCoverage.Snaps.push_back({10.0, 0, 0});
+  R.ApiCoverage.SaturationSeconds = -1;
+  json::ParseResult P = json::parse(resultToJson(R, {false}).dump());
+  ASSERT_TRUE(P.Ok) << P.Error;
+  RunResult Back;
+  std::string Err;
+  ASSERT_TRUE(resultFromJson(P.Val, Back, Err)) << Err;
+  EXPECT_DOUBLE_EQ(Back.ApiCoverage.SaturationSeconds, -1);
+  ASSERT_EQ(Back.ApiCoverage.Snaps.size(), 1u);
+  // And re-serializing reproduces the document byte for byte, sentinel
+  // included (the checkpoint-resume identity depends on this).
+  EXPECT_EQ(resultToJson(Back, {false}).dump(),
+            resultToJson(R, {false}).dump());
+}
+
+TEST(CampaignTest, SaturationSentinelSurvivesCampaignAggregate) {
+  // Campaign aggregates merge per-run coverage; merges drop all per-run
+  // timing, so the aggregate's api_coverage entries must carry the -1
+  // sentinel through serialize -> parse, never a revived timestamp.
+  Session S;
+  CampaignSpec Spec;
+  Spec.Crates = {"slab"};
+  Spec.Base = quickBase();
+  CampaignResult R = CampaignRunner(S, Spec).run();
+  json::ParseResult P = json::parse(campaignToJson(Spec, R).dump());
+  ASSERT_TRUE(P.Ok) << P.Error;
+  const json::Value &Cov = P.Val.get("api_coverage");
+  ASSERT_EQ(Cov.size(), 1u);
+  coverage::ApiCoverageData Back;
+  std::string Err;
+  ASSERT_TRUE(coverage::apiCoverageFromJson(
+      Cov.at(0).get("api_coverage"), Back, Err))
+      << Err;
+  EXPECT_DOUBLE_EQ(Back.SaturationSeconds, -1);
+  EXPECT_TRUE(Back.Snaps.empty());
 }
 
 TEST(CampaignTest, SingleRunDocumentKeepsWallTimeByDefault) {

@@ -269,4 +269,85 @@ TEST_F(ApiCoverageFixture, MergeOrsBitsAndDropsSnapshots) {
   EXPECT_EQ(Copy.NodeBits, A.NodeBits);
 }
 
+TEST_F(ApiCoverageFixture, MergeConflictIsReportedNotSilent) {
+  api::DependencyGraph G = build();
+  ApiPairCoverage Cov(G);
+  Cov.markProgram(newThenPush(Push), Db);
+  ApiCoverageData A = Cov.data();
+
+  // Clean merges report no conflict: empty other side, empty this side,
+  // and matching totals.
+  ApiCoverageData Target = A;
+  EXPECT_FALSE(Target.mergeFrom(ApiCoverageData()));
+  ApiCoverageData Adopt;
+  EXPECT_FALSE(Adopt.mergeFrom(A));
+  EXPECT_FALSE(Target.mergeFrom(A));
+
+  // Two non-empty documents with different totals is a genuine
+  // conflict: the smaller side's covered bits are discarded, and the
+  // regression being pinned is that this used to happen silently.
+  ApiCoverageData Other;
+  Other.NodesTotal = A.NodesTotal + 1;
+  Other.EdgesTotal = A.EdgesTotal + 1;
+  Other.NodeBits.assign((Other.NodesTotal + 7) / 8, 0);
+  Other.EdgeBits.assign((Other.EdgesTotal + 7) / 8, 0);
+  Other.NodeBits[0] = 1;
+  ApiCoverageData Bigger = A;
+  EXPECT_TRUE(Bigger.mergeFrom(Other));
+  EXPECT_EQ(Bigger.EdgesTotal, Other.EdgesTotal); // Larger graph won.
+  ApiCoverageData Smaller = Other;
+  EXPECT_TRUE(Smaller.mergeFrom(A));
+  EXPECT_EQ(Smaller.EdgesTotal, Other.EdgesTotal); // Kept, A discarded.
+  EXPECT_EQ(Smaller.UnmatchedEdges, A.UnmatchedEdges + Other.UnmatchedEdges);
+}
+
+TEST_F(ApiCoverageFixture, ZeroCoverageRunKeepsSaturationSentinel) {
+  api::DependencyGraph G = build();
+  ApiPairCoverage Cov(G);
+  // Snapshots exist but nothing was ever covered: saturation must stay
+  // the -1 sentinel. The regression being pinned: data() used to report
+  // the first snapshot's timestamp as a real saturation instant.
+  Cov.snapshot(10);
+  Cov.snapshot(20);
+  ApiCoverageData D = Cov.data();
+  ASSERT_EQ(D.Snaps.size(), 2u);
+  EXPECT_EQ(D.edgesCovered(), 0u);
+  EXPECT_DOUBLE_EQ(D.SaturationSeconds, -1);
+
+  // And the sentinel survives the serialize -> parse round trip.
+  ApiCoverageData Back;
+  std::string Err;
+  ASSERT_TRUE(apiCoverageFromJson(apiCoverageToJson(D), Back, Err)) << Err;
+  EXPECT_DOUBLE_EQ(Back.SaturationSeconds, -1);
+}
+
+TEST_F(ApiCoverageFixture, SentinelSurvivesStandaloneCoverageDocument) {
+  api::DependencyGraph G = build();
+  ApiPairCoverage Cov(G);
+  Cov.snapshot(10); // Zero coverage: saturation is the -1 sentinel.
+  ApiCoverageData D = Cov.data();
+  ASSERT_DOUBLE_EQ(D.SaturationSeconds, -1);
+
+  // kind:"coverage" document: serialize, re-parse the dumped text, and
+  // pull the entry back out - the sentinel must never be revived as a
+  // real timestamp.
+  json::Value Doc = coverageDocumentToJson({{"vecdeque", D}});
+  json::ParseResult P = json::parse(Doc.dump());
+  ASSERT_TRUE(P.Ok) << P.Error;
+  const json::Value &Entry = P.Val.get("crates").at(0);
+  EXPECT_EQ(Entry.get("crate").asString(), "vecdeque");
+  ApiCoverageData Back;
+  std::string Err;
+  ASSERT_TRUE(
+      apiCoverageFromJson(Entry.get("api_coverage"), Back, Err))
+      << Err;
+  EXPECT_DOUBLE_EQ(Back.SaturationSeconds, -1);
+
+  // Merging parsed documents keeps the sentinel too (merge drops all
+  // per-run timing state).
+  ApiCoverageData Merged;
+  Merged.mergeFrom(Back);
+  EXPECT_DOUBLE_EQ(Merged.SaturationSeconds, -1);
+}
+
 } // namespace

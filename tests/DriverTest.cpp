@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/ResultJson.h"
 #include "core/SyRustDriver.h"
 #include "types/TypeParser.h"
 
@@ -163,6 +164,76 @@ TEST(DriverTest, ApiSubsetSelectionClampsAndDedupes) {
   EXPECT_EQ(AllUnique.size(), All.size());
   for (api::ApiId Id : Builtins)
     EXPECT_EQ(AllUnique.count(Id), 0u);
+}
+
+TEST(DriverTest, BiasedSelectionWeightsNeverCoveredDegree) {
+  // Two-API library: `hub` has the graph's only edge (its String output
+  // feeds its own String slot, so its incident degree is 2), `loner`
+  // has none. With the graph handed to the selector and no coverage
+  // document (everything never-covered), hub's weight is 1+2=3 against
+  // loner's 1, so across a fixed seed sweep hub must win strictly more
+  // single-slot draws than under the unweighted paper policy - and once
+  // every edge is marked covered, the boosts all collapse to 1 and each
+  // draw must match the unweighted pick exactly, seed by seed.
+  types::TypeArena Arena;
+  types::TypeParser Parser{Arena, {}};
+  api::ApiDatabase Db;
+  api::ApiSig Hub;
+  Hub.Name = "hub";
+  Hub.Inputs.push_back(Parser.parse("String"));
+  Hub.Output = Parser.parse("String");
+  api::ApiId HubId = Db.add(std::move(Hub));
+  api::ApiSig Loner;
+  Loner.Name = "loner";
+  Loner.Inputs.push_back(Parser.parse("usize"));
+  Loner.Output = Parser.parse("bool");
+  Db.add(std::move(Loner));
+  types::CompatCache Cache;
+  api::DependencyGraph Graph = api::buildDependencyGraph(Db, Arena, Cache);
+  ASSERT_EQ(Graph.numEdges(), 1u);
+
+  ApiSelectionOptions Plain;
+  Plain.NumApis = 1;
+  ApiSelectionOptions Biased = Plain;
+  Biased.Graph = &Graph;
+  coverage::ApiCoverageData AllCovered;
+  AllCovered.NodesTotal = Db.size();
+  AllCovered.EdgesTotal = Graph.numEdges();
+  AllCovered.NodeBits.assign((Db.size() + 7) / 8, 0xff);
+  AllCovered.EdgeBits.assign((Graph.numEdges() + 7) / 8, 0xff);
+  ApiSelectionOptions Saturated = Biased;
+  Saturated.Coverage = &AllCovered;
+
+  int PlainHub = 0, BiasedHub = 0;
+  for (uint64_t Seed = 0; Seed < 200; ++Seed) {
+    Rng RPlain(Seed), RBiased(Seed), RSat(Seed);
+    std::vector<api::ApiId> P = selectApiSubset(Db, Plain, RPlain);
+    std::vector<api::ApiId> B = selectApiSubset(Db, Biased, RBiased);
+    std::vector<api::ApiId> S = selectApiSubset(Db, Saturated, RSat);
+    ASSERT_EQ(P.size(), 1u);
+    PlainHub += P[0] == HubId;
+    BiasedHub += B[0] == HubId;
+    EXPECT_EQ(S, P); // Fully covered: bias collapses to the paper policy.
+  }
+  EXPECT_GT(BiasedHub, PlainHub);
+}
+
+TEST(DriverTest, BiasCoverageIsDeterministicAndCounted) {
+  RunConfig C = quickConfig();
+  C.BiasCoverage = true;
+  C.InterleaveLengths = true;
+  RunResult A = SyRustDriver(*findCrate("slab"), C).run();
+  RunResult B = SyRustDriver(*findCrate("slab"), C).run();
+  // Biased runs replay byte-identically for a fixed (crate, seed).
+  EXPECT_EQ(resultToJson(A, {false}).dump(), resultToJson(B, {false}).dump());
+  EXPECT_GT(A.Synth.BiasPicks, 0u);
+  // The bias-off pipeline never touches the bias state.
+  RunConfig Off = quickConfig();
+  Off.InterleaveLengths = true;
+  RunResult Plain = SyRustDriver(*findCrate("slab"), Off).run();
+  EXPECT_EQ(Plain.Synth.BiasPicks, 0u);
+  EXPECT_EQ(Plain.Synth.BiasNewEdges, 0u);
+  EXPECT_EQ(Plain.Synth.BiasDecays, 0u);
 }
 
 TEST(DriverTest, CurveIsMonotone) {

@@ -5,7 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/SyRustDriver.h"
+#include "report/CoverageReport.h"
 #include "report/Table.h"
+#include "types/TypeParser.h"
 
 #include <gtest/gtest.h>
 
@@ -82,6 +84,77 @@ TEST(FormatterTest, PercentFormatting) {
   EXPECT_EQ(fmtPercent(10.87), "10.87 %");
   EXPECT_EQ(fmtShare(95.447), "95.45 %");
   EXPECT_EQ(fmtCount(1225952), "1225952");
+}
+
+//===----------------------------------------------------------------------===//
+// Never-covered edge listing: degree-ranked, order fully pinned.
+//===----------------------------------------------------------------------===//
+
+TEST(CoverageReportTest, NeverCoveredListingIsDegreeRankedAndPinned) {
+  // Three APIs whose graph has four edges with distinct endpoint-degree
+  // sums: mk() -> String, use1(String) -> bool, and the String-to-String
+  // hub use2. Degrees: mk 2, use1 2, use2 4 (a self-edge counts both
+  // endpoints), so the ranked order is
+  //   use2->use2 (8), mk->use2 (6, lower edge index wins the tie),
+  //   use2->use1 (6), mk->use1 (4)
+  // - a golden pin of both the ranking and the index tie-break, which
+  // replaced the old first-N-by-index listing.
+  syrust::types::TypeArena Arena;
+  syrust::types::TypeParser Parser{Arena, {}};
+  syrust::api::ApiDatabase Db;
+  auto Add = [&](const char *Name, const char *In, const char *Out) {
+    syrust::api::ApiSig Sig;
+    Sig.Name = Name;
+    if (In)
+      Sig.Inputs.push_back(Parser.parse(In));
+    Sig.Output = Parser.parse(Out);
+    return Db.add(std::move(Sig));
+  };
+  Add("mk", nullptr, "String");
+  Add("use1", "String", "bool");
+  Add("use2", "String", "String");
+  syrust::types::CompatCache Cache;
+  syrust::api::DependencyGraph Graph =
+      syrust::api::buildDependencyGraph(Db, Arena, Cache);
+  ASSERT_EQ(Graph.numEdges(), 4u);
+
+  ApiCoverageEntry E;
+  E.Crate = "toy";
+  E.Data.NodesTotal = Graph.numNodes();
+  E.Data.EdgesTotal = Graph.numEdges();
+  E.Data.NodeBits.assign((Graph.numNodes() + 7) / 8, 0);
+  E.Data.EdgeBits.assign((Graph.numEdges() + 7) / 8, 0);
+  CrateApiResolver Resolver = [&](const std::string &) {
+    return CrateApiView{&Db, &Graph};
+  };
+
+  std::string Full = renderApiCoverage({E}, Resolver);
+  size_t Hub = Full.find("use2 -> use2#0");
+  size_t MkHub = Full.find("mk -> use2#0");
+  size_t HubUse1 = Full.find("use2 -> use1#0");
+  size_t MkUse1 = Full.find("mk -> use1#0");
+  ASSERT_NE(Hub, std::string::npos) << Full;
+  ASSERT_NE(MkHub, std::string::npos);
+  ASSERT_NE(HubUse1, std::string::npos);
+  ASSERT_NE(MkUse1, std::string::npos);
+  EXPECT_LT(Hub, MkHub);
+  EXPECT_LT(MkHub, HubUse1);
+  EXPECT_LT(HubUse1, MkUse1);
+
+  // Truncation takes the ranked top N, not the first N edge indices,
+  // and says so.
+  CoverageReportOptions Top2;
+  Top2.TopNeverCovered = 2;
+  std::string Cut = renderApiCoverage({E}, Resolver, Top2);
+  EXPECT_NE(Cut.find("(top 2 by endpoint degree)"), std::string::npos)
+      << Cut;
+  EXPECT_NE(Cut.find("use2 -> use2#0"), std::string::npos);
+  EXPECT_NE(Cut.find("mk -> use2#0"), std::string::npos);
+  EXPECT_EQ(Cut.find("mk -> use1#0"), std::string::npos);
+
+  // The ranking is a pure function of the document: rendering twice is
+  // byte-identical.
+  EXPECT_EQ(Full, renderApiCoverage({E}, Resolver));
 }
 
 } // namespace
